@@ -1,0 +1,87 @@
+// Command gengraph generates synthetic graphs (the models backing the
+// dataset proxies) and writes them as edge lists.
+//
+//	gengraph -model ba -n 10000 -deg 8 -out social.txt
+//	gengraph -model web -n 20000 -deg 40 -span 900 -out crawl.txt
+//	gengraph -dataset Indochina -scale 0.5 -out indochina.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "ba", "generator: ba|er|ws|rmat|web")
+		ds      = flag.String("dataset", "", "generate a named dataset proxy instead")
+		scale   = flag.Float64("scale", 1.0, "proxy scale with -dataset")
+		n       = flag.Int("n", 10000, "vertices (ba/er/ws/web); rmat uses -rmatscale")
+		deg     = flag.Int("deg", 8, "attachment edges (ba), ring degree (ws), total degree (web)")
+		edges   = flag.Int("edges", 0, "edge count for er/rmat (default 4n)")
+		span    = flag.Int("span", 500, "locality window (web)")
+		hubs    = flag.Float64("hubs", 0.01, "hub fraction (web)")
+		beta    = flag.Float64("beta", 0.1, "rewiring probability (ws)")
+		rmScale = flag.Int("rmatscale", 14, "log2 vertices (rmat)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	g, err := generate(*model, *ds, *scale, *n, *deg, *edges, *span, *hubs, *beta, *rmScale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graph.WriteEdgeList(w, g); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %d vertices, %d edges (avg deg %.2f)\n",
+		g.NumVertices(), g.NumEdges(), graph.AvgDegree(g))
+}
+
+func generate(model, ds string, scale float64, n, deg, edges, span int, hubs, beta float64, rmScale int, seed int64) (*graph.Graph, error) {
+	if ds != "" {
+		spec, err := dataset.Lookup(ds)
+		if err != nil {
+			return nil, err
+		}
+		return dataset.Generate(spec, scale, seed), nil
+	}
+	if edges == 0 {
+		edges = 4 * n
+	}
+	switch model {
+	case "ba":
+		return gen.BarabasiAlbert(n, deg, seed), nil
+	case "er":
+		return gen.ErdosRenyi(n, edges, seed), nil
+	case "ws":
+		return gen.WattsStrogatz(n, deg, beta, seed), nil
+	case "rmat":
+		return gen.RMAT(rmScale, edges, 0.57, 0.19, 0.19, seed), nil
+	case "web":
+		return gen.WebLocality(n, deg, span, hubs, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gengraph:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,186 @@
+// Command hlquery builds a dynamic distance index over a graph and serves
+// interactive queries and updates on stdin — a minimal operational shell
+// around the library.
+//
+// Load a graph from an edge-list file or generate a dataset proxy:
+//
+//	hlquery -graph web.txt -landmarks 20
+//	hlquery -dataset Skitter -scale 0.2
+//
+// Commands on stdin:
+//
+//	q <u> <v>        exact distance query
+//	add <u> <v>      insert edge (graph + index updated)
+//	addv <n1,n2,..>  insert vertex connected to existing vertices
+//	stats            index size statistics
+//	verify           O(|R|·|E|) correctness audit of the labelling
+//	help, quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	dynhl "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "edge-list file to load")
+		ds        = flag.String("dataset", "", "generate a dataset proxy instead (e.g. Skitter)")
+		scale     = flag.Float64("scale", 0.2, "proxy scale when -dataset is used")
+		landmarks = flag.Int("landmarks", 20, "number of landmarks |R|")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		parallel  = flag.Bool("parallel", false, "parallel index construction")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *ds, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	start := time.Now()
+	idx, err := dynhl.Build(g, dynhl.Options{Landmarks: *landmarks, Parallel: *parallel})
+	if err != nil {
+		fatal(err)
+	}
+	st := idx.Stats()
+	fmt.Printf("index built in %v: %d landmarks, %d entries (avg %.2f/vertex)\n",
+		time.Since(start).Round(time.Millisecond), st.Landmarks, st.LabelEntries, st.AvgLabelSize)
+
+	repl(idx)
+}
+
+func loadGraph(path, ds string, scale float64, seed int64) (*dynhl.Graph, error) {
+	switch {
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dynhl.ReadGraph(f)
+	case ds != "":
+		spec, err := dataset.Lookup(ds)
+		if err != nil {
+			return nil, err
+		}
+		return dataset.Generate(spec, scale, seed), nil
+	default:
+		return nil, fmt.Errorf("need -graph FILE or -dataset NAME")
+	}
+}
+
+func repl(idx *dynhl.Index) {
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) > 0 {
+			if quit := execute(idx, fields); quit {
+				return
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+// execute runs one command, reporting whether the REPL should exit.
+func execute(idx *dynhl.Index, fields []string) bool {
+	switch fields[0] {
+	case "q", "query":
+		u, v, err := twoVertices(fields[1:])
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		start := time.Now()
+		d := idx.Query(u, v)
+		el := time.Since(start)
+		if d == dynhl.Inf {
+			fmt.Printf("d(%d,%d) = inf (disconnected)  [%v]\n", u, v, el)
+		} else {
+			fmt.Printf("d(%d,%d) = %d  [%v]\n", u, v, d, el)
+		}
+	case "add":
+		u, v, err := twoVertices(fields[1:])
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		start := time.Now()
+		st, err := idx.InsertEdge(u, v)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("inserted (%d,%d): %d affected, +%d/-%d entries  [%v]\n",
+			u, v, st.AffectedUnion, st.EntriesAdded, st.EntriesRemoved, time.Since(start))
+	case "addv":
+		if len(fields) != 2 {
+			fmt.Println("error: usage addv n1,n2,...")
+			return false
+		}
+		var ns []uint32
+		for _, s := range strings.Split(fields[1], ",") {
+			n, err := strconv.ParseUint(s, 10, 32)
+			if err != nil {
+				fmt.Println("error:", err)
+				return false
+			}
+			ns = append(ns, uint32(n))
+		}
+		v, st, err := idx.InsertVertex(ns)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("inserted vertex %d (%d neighbours, %d affected)\n", v, len(ns), st.AffectedUnion)
+	case "stats":
+		st := idx.Stats()
+		fmt.Printf("vertices=%d edges=%d landmarks=%d entries=%d avg=%.2f bytes=%d\n",
+			st.Vertices, st.Edges, st.Landmarks, st.LabelEntries, st.AvgLabelSize, st.Bytes)
+	case "verify":
+		start := time.Now()
+		if err := idx.Verify(); err != nil {
+			fmt.Println("VERIFY FAILED:", err)
+		} else {
+			fmt.Printf("labelling verified exact [%v]\n", time.Since(start))
+		}
+	case "help":
+		fmt.Println("commands: q <u> <v> | add <u> <v> | addv n1,n2,... | stats | verify | quit")
+	case "quit", "exit":
+		return true
+	default:
+		fmt.Printf("unknown command %q (try help)\n", fields[0])
+	}
+	return false
+}
+
+func twoVertices(args []string) (uint32, uint32, error) {
+	if len(args) != 2 {
+		return 0, 0, fmt.Errorf("want two vertex ids")
+	}
+	u, err := strconv.ParseUint(args[0], 10, 32)
+	if err != nil {
+		return 0, 0, err
+	}
+	v, err := strconv.ParseUint(args[1], 10, 32)
+	if err != nil {
+		return 0, 0, err
+	}
+	return uint32(u), uint32(v), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hlquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command hlserver serves exact distance queries and online updates over
+// HTTP (see internal/httpapi for the JSON API). The graph comes from an
+// edge-list file or a generated dataset proxy.
+//
+//	hlserver -graph web.txt -addr :8080
+//	hlserver -dataset Flickr -scale 0.2 -landmarks 20
+//
+//	curl 'localhost:8080/distance?u=3&v=97'
+//	curl -X POST localhost:8080/edges -d '{"u":3,"v":97}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	dynhl "repro"
+	"repro/internal/dataset"
+	"repro/internal/httpapi"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		graphPath = flag.String("graph", "", "edge-list file to load")
+		ds        = flag.String("dataset", "", "generate a dataset proxy instead")
+		scale     = flag.Float64("scale", 0.2, "proxy scale when -dataset is used")
+		landmarks = flag.Int("landmarks", 20, "number of landmarks |R|")
+		seed      = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *ds, *scale, *seed)
+	if err != nil {
+		log.Fatal("hlserver: ", err)
+	}
+	log.Printf("graph: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+
+	start := time.Now()
+	idx, err := dynhl.Build(g, dynhl.Options{Landmarks: *landmarks, Parallel: true})
+	if err != nil {
+		log.Fatal("hlserver: ", err)
+	}
+	st := idx.Stats()
+	log.Printf("index built in %v: %d landmarks, %d entries (%.2f per vertex)",
+		time.Since(start).Round(time.Millisecond), st.Landmarks, st.LabelEntries, st.AvgLabelSize)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.New(idx).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("serving on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal("hlserver: ", err)
+	}
+}
+
+func loadGraph(path, ds string, scale float64, seed int64) (*dynhl.Graph, error) {
+	switch {
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dynhl.ReadGraph(f)
+	case ds != "":
+		spec, err := dataset.Lookup(ds)
+		if err != nil {
+			return nil, err
+		}
+		return dataset.Generate(spec, scale, seed), nil
+	default:
+		return nil, fmt.Errorf("need -graph FILE or -dataset NAME")
+	}
+}

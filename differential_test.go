@@ -1,0 +1,109 @@
+package dynhl
+
+import (
+	"testing"
+
+	"repro/internal/exper"
+	"repro/internal/fulldyn"
+	"repro/internal/hcl"
+	"repro/internal/inchl"
+	"repro/internal/landmark"
+	"repro/internal/pll"
+	"repro/internal/testutil"
+)
+
+// TestDifferentialThreeOracles drives the same insertion stream through the
+// three independently-implemented distance oracles — IncHL+, IncFD and
+// IncPLL — and requires all of them to agree with each other and with BFS
+// on every query. Three implementations sharing no query or update code
+// agreeing on random workloads is the strongest cross-check in the suite.
+func TestDifferentialThreeOracles(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		base := testutil.RandomGraph(60, 110, 500+seed)
+		lm := landmark.ByDegree(base, 5)
+
+		gHL := base.Clone()
+		idxHL, err := hcl.Build(gHL, lm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		updHL := inchl.New(idxHL)
+
+		gFD := base.Clone()
+		idxFD, err := fulldyn.Build(gFD, lm)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		gPLL := base.Clone()
+		idxPLL := pll.Build(gPLL)
+
+		inserts := exper.SampleInsertions(base, 25, seed*11+3)
+		for i, e := range inserts {
+			if _, err := updHL.InsertEdge(e[0], e[1]); err != nil {
+				t.Fatal(err)
+			}
+			if err := idxFD.InsertEdge(e[0], e[1]); err != nil {
+				t.Fatal(err)
+			}
+			if err := idxPLL.InsertEdge(e[0], e[1]); err != nil {
+				t.Fatal(err)
+			}
+			if i%5 != 4 {
+				continue
+			}
+			oracle := testutil.AllPairsOracle(gHL)
+			for u := uint32(0); u < 60; u++ {
+				for v := uint32(0); v < 60; v++ {
+					want := oracle[u][v]
+					if got := idxHL.Query(u, v); got != want {
+						t.Fatalf("seed %d step %d: IncHL+(%d,%d)=%d want %d", seed, i, u, v, got, want)
+					}
+					if got := idxFD.Query(u, v); got != want {
+						t.Fatalf("seed %d step %d: IncFD(%d,%d)=%d want %d", seed, i, u, v, got, want)
+					}
+					if got := idxPLL.Query(u, v); got != want {
+						t.Fatalf("seed %d step %d: IncPLL(%d,%d)=%d want %d", seed, i, u, v, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialUpperBounds pins the relationship between the two
+// landmark upper bounds: IncFD's full-tree bound can never be worse than
+// IncHL+'s label bound is exact-or-above, and both dominate the true
+// distance.
+func TestDifferentialUpperBounds(t *testing.T) {
+	g := testutil.RandomConnectedGraph(50, 90, 77)
+	lm := landmark.ByDegree(g, 5)
+	idxHL, err := hcl.Build(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxFD, err := fulldyn.Build(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := testutil.AllPairsOracle(g)
+	for u := uint32(0); u < 50; u++ {
+		for v := uint32(0); v < 50; v++ {
+			d := oracle[u][v]
+			hb := idxHL.UpperBound(u, v)
+			fb := idxFD.UpperBound(u, v)
+			if hb < d || fb < d {
+				t.Fatalf("upper bound below true distance at (%d,%d): HL %d FD %d true %d", u, v, hb, fb, d)
+			}
+			// Both bounds route through landmarks; HL's minimal labels must
+			// not lose exactness relative to FD's complete trees.
+			// HL's bound dominates FD's: for the landmark r achieving FD's
+			// d(u,r)+d(r,v), decomposing both legs through u's and v's best
+			// entries and the highway triangle inequality gives a pair term
+			// no larger, so hb ≤ fb always.
+			if hb > fb {
+				t.Fatalf("HL bound %d above FD bound %d at (%d,%d)", hb, fb, u, v)
+			}
+		}
+	}
+}

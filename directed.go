@@ -1,0 +1,106 @@
+package dynhl
+
+import (
+	"fmt"
+
+	"repro/internal/dhcl"
+	"repro/internal/digraph"
+)
+
+// Digraph is a directed, unweighted dynamic graph (Section 5 of the paper:
+// the directed extension keeps forward and backward labels per vertex).
+type Digraph = digraph.Digraph
+
+// NewDigraph returns an empty directed graph with capacity hints for n
+// vertices.
+func NewDigraph(n int) *Digraph { return digraph.New(n) }
+
+// DirectedStats reports what one directed insertion did.
+type DirectedStats = dhcl.Stats
+
+// DirectedIndex is a dynamic exact distance oracle over a directed graph,
+// maintained incrementally by the directed IncHL+ variant. Not safe for
+// concurrent use.
+type DirectedIndex struct {
+	idx *dhcl.Index
+}
+
+// BuildDirected constructs the directed labelling of g with the given
+// landmark count, selecting the highest total-degree vertices as landmarks.
+func BuildDirected(g *Digraph, landmarks int) (*DirectedIndex, error) {
+	if landmarks <= 0 {
+		landmarks = 20
+	}
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("dynhl: cannot index an empty graph")
+	}
+	lms := topDegreeDirected(g, landmarks)
+	idx, err := dhcl.Build(g, lms)
+	if err != nil {
+		return nil, err
+	}
+	return &DirectedIndex{idx: idx}, nil
+}
+
+// BuildDirectedWithLandmarks constructs the labelling with an explicit
+// landmark set.
+func BuildDirectedWithLandmarks(g *Digraph, landmarks []uint32) (*DirectedIndex, error) {
+	idx, err := dhcl.Build(g, landmarks)
+	if err != nil {
+		return nil, err
+	}
+	return &DirectedIndex{idx: idx}, nil
+}
+
+// Query returns the exact directed distance u→v, Inf when unreachable.
+func (x *DirectedIndex) Query(u, v uint32) Dist { return x.idx.Query(u, v) }
+
+// InsertEdge inserts the directed edge a→b and repairs both label sets.
+func (x *DirectedIndex) InsertEdge(a, b uint32) (DirectedStats, error) {
+	return x.idx.InsertEdge(a, b)
+}
+
+// InsertVertex adds a vertex with initial out- and in-neighbours.
+func (x *DirectedIndex) InsertVertex(outTo, inFrom []uint32) (uint32, DirectedStats, error) {
+	return x.idx.InsertVertex(outTo, inFrom)
+}
+
+// Verify audits both label directions against BFS ground truth.
+func (x *DirectedIndex) Verify() error { return x.idx.VerifyCover() }
+
+// Landmarks returns the landmark vertices in rank order.
+func (x *DirectedIndex) Landmarks() []uint32 {
+	return append([]uint32(nil), x.idx.Landmarks...)
+}
+
+// LabelEntries returns size(L_f)+size(L_b).
+func (x *DirectedIndex) LabelEntries() int64 { return x.idx.NumEntries() }
+
+func topDegreeDirected(g *Digraph, k int) []uint32 {
+	n := g.NumVertices()
+	if k > n {
+		k = n
+	}
+	type dv struct {
+		v uint32
+		d int
+	}
+	all := make([]dv, n)
+	for i := 0; i < n; i++ {
+		all[i] = dv{uint32(i), g.OutDegree(uint32(i)) + g.InDegree(uint32(i))}
+	}
+	// Partial selection sort of the top k (k is small).
+	out := make([]uint32, 0, k)
+	used := make([]bool, n)
+	for len(out) < k {
+		best, bestD := -1, -1
+		for i, e := range all {
+			if !used[i] && (e.d > bestD || (e.d == bestD && best >= 0 && e.v < all[best].v)) {
+				best, bestD = i, e.d
+			}
+		}
+		used[best] = true
+		out = append(out, all[best].v)
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+// Package dynhl answers exact shortest-path distance queries on large
+// dynamic graphs and keeps its index up to date under edge and vertex
+// insertions, implementing "Efficient Maintenance of Distance Labelling for
+// Incremental Updates in Large Dynamic Graphs" (Farhan & Wang, EDBT 2021).
+//
+// The index is a highway cover labelling: a small set of landmark vertices,
+// the exact landmark-to-landmark distance matrix (the highway), and one
+// compact distance label per vertex. Queries combine a highway upper bound
+// with a bounded bidirectional search; insertions are absorbed by IncHL+,
+// which finds the affected vertices with a jumped BFS and repairs exactly
+// their labels while preserving labelling minimality — outdated and
+// redundant entries are removed, so the index does not grow stale or bloated
+// as the graph evolves.
+//
+// Basic use:
+//
+//	g := dynhl.NewGraph(0)
+//	// ... add vertices and edges ...
+//	idx, err := dynhl.Build(g, dynhl.Options{Landmarks: 20})
+//	d := idx.Query(u, v)          // exact distance, Inf if disconnected
+//	idx.InsertEdge(a, b)          // graph + index updated together
+//	idx.InsertVertex([]uint32{a}) // new vertex with initial neighbours
+//
+// The internal packages hold the substrates and baselines used by the
+// reproduction study: internal/hcl (static labelling), internal/inchl (the
+// IncHL+ algorithm), internal/pll and internal/fulldyn (the IncPLL and
+// IncFD baselines), internal/gen and internal/dataset (synthetic proxies of
+// the paper's 12 networks) and internal/exper (the harness regenerating
+// every table and figure of the paper; see EXPERIMENTS.md).
+package dynhl

@@ -1,0 +1,172 @@
+package dynhl
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/hcl"
+	"repro/internal/inchl"
+	"repro/internal/landmark"
+)
+
+// Graph is an undirected, unweighted dynamic graph over vertices
+// 0..NumVertices-1, the update model of the paper.
+type Graph = graph.Graph
+
+// Dist is a shortest-path distance in hops.
+type Dist = graph.Dist
+
+// Inf is the distance reported for disconnected vertex pairs.
+const Inf = graph.Inf
+
+// NewGraph returns an empty graph with capacity hints for n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// ReadGraph parses a whitespace-separated edge list ("u v" per line, '#'
+// and '%' comments allowed).
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteGraph writes g as an edge list readable by ReadGraph.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// Landmark selection strategies for Options.Strategy.
+const (
+	TopDegree      = landmark.TopDegree      // highest-degree vertices (default, the paper's choice)
+	RandomSelect   = landmark.Random         // uniform random vertices
+	WeightedSelect = landmark.WeightedRandom // degree-weighted random vertices
+)
+
+// Options configures Build.
+type Options struct {
+	// Landmarks is |R|, the number of landmark vertices (default 20, the
+	// paper's setting; use more on graphs with billions of vertices, e.g.
+	// the paper uses 150 for Clueweb09).
+	Landmarks int
+	// Strategy selects how landmarks are chosen (default TopDegree).
+	Strategy string
+	// Seed drives the random strategies.
+	Seed int64
+	// Parallel enables the multi-goroutine construction; Workers bounds the
+	// goroutines (0 = GOMAXPROCS). The result is identical to serial.
+	Parallel bool
+	Workers  int
+}
+
+// UpdateStats reports what one insertion did: how many landmarks were
+// skipped by the equal-distance rule, how many vertices were affected, and
+// how many label entries were added, modified or removed.
+type UpdateStats = inchl.Stats
+
+// Index is a dynamic distance oracle over a Graph: a highway cover
+// labelling maintained incrementally by IncHL+. The Index owns the graph
+// passed to Build — all further mutations must go through InsertEdge /
+// InsertVertex so that graph and labelling stay consistent.
+//
+// An Index is not safe for concurrent use.
+type Index struct {
+	idx *hcl.Index
+	upd *inchl.Updater
+}
+
+// Build constructs the minimal highway cover labelling of g.
+func Build(g *Graph, opt Options) (*Index, error) {
+	if opt.Landmarks <= 0 {
+		opt.Landmarks = 20
+	}
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("dynhl: cannot index an empty graph")
+	}
+	lms, err := landmark.Select(g, opt.Landmarks, opt.Strategy, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return BuildWithLandmarks(g, lms, opt)
+}
+
+// BuildWithLandmarks constructs the labelling with an explicit landmark set
+// (Options strategy fields are ignored).
+func BuildWithLandmarks(g *Graph, landmarks []uint32, opt Options) (*Index, error) {
+	var idx *hcl.Index
+	var err error
+	if opt.Parallel {
+		idx, err = hcl.BuildParallel(g, landmarks, opt.Workers)
+	} else {
+		idx, err = hcl.Build(g, landmarks)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Index{idx: idx, upd: inchl.New(idx)}, nil
+}
+
+// Graph returns the underlying graph. Treat it as read-only; mutate through
+// the Index methods.
+func (x *Index) Graph() *Graph { return x.idx.G }
+
+// Landmarks returns the landmark vertex ids in rank order.
+func (x *Index) Landmarks() []uint32 {
+	return append([]uint32(nil), x.idx.Landmarks...)
+}
+
+// Query returns the exact shortest-path distance between u and v in the
+// current graph, or Inf when they are disconnected.
+func (x *Index) Query(u, v uint32) Dist { return x.idx.Query(u, v) }
+
+// InsertEdge inserts the undirected edge (a,b) into the graph and repairs
+// the labelling with IncHL+. The edge must be new and both endpoints must
+// exist.
+func (x *Index) InsertEdge(a, b uint32) (UpdateStats, error) {
+	return x.upd.InsertEdge(a, b)
+}
+
+// InsertVertex adds a new vertex joined to the given existing neighbours
+// and returns its id.
+func (x *Index) InsertVertex(neighbors []uint32) (uint32, UpdateStats, error) {
+	return x.upd.InsertVertex(neighbors)
+}
+
+// Stats describes the index size.
+type Stats struct {
+	Vertices     int
+	Edges        uint64
+	Landmarks    int
+	LabelEntries int64   // size(L), total distance entries
+	Bytes        int64   // labels + highway storage
+	AvgLabelSize float64 // entries per vertex (the paper's l)
+}
+
+// Stats returns current size statistics.
+func (x *Index) Stats() Stats {
+	return Stats{
+		Vertices:     x.idx.G.NumVertices(),
+		Edges:        x.idx.G.NumEdges(),
+		Landmarks:    x.idx.NumLandmarks(),
+		LabelEntries: x.idx.NumEntries(),
+		Bytes:        x.idx.Bytes(),
+		AvgLabelSize: x.idx.AvgLabelSize(),
+	}
+}
+
+// Verify checks the highway cover property of the current labelling against
+// ground-truth BFS distances; it is O(|R|·|E|) and intended for tests and
+// debugging.
+func (x *Index) Verify() error { return x.idx.VerifyCover() }
+
+// Save serialises the labelling to w in a compact binary format. The graph
+// is not included — persist it separately with WriteGraph.
+func (x *Index) Save(w io.Writer) error {
+	_, err := x.idx.WriteTo(w)
+	return err
+}
+
+// LoadIndex restores a labelling saved with Save and attaches it to g,
+// which must be the graph it was built over. Use (*Index).Verify for a full
+// consistency audit after loading from untrusted storage.
+func LoadIndex(r io.Reader, g *Graph) (*Index, error) {
+	idx, err := hcl.ReadIndex(r, g)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{idx: idx, upd: inchl.New(idx)}, nil
+}

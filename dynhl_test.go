@@ -1,0 +1,137 @@
+package dynhl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bfs"
+	"repro/internal/testutil"
+)
+
+func TestBuildQueryInsertRoundTrip(t *testing.T) {
+	g := testutil.RandomConnectedGraph(80, 150, 3)
+	idx, err := Build(g, Options{Landmarks: 6})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := len(idx.Landmarks()); got != 6 {
+		t.Fatalf("Landmarks: got %d", got)
+	}
+	for _, p := range [][2]uint32{{0, 79}, {5, 5}, {12, 40}} {
+		want := bfs.Dist(g, p[0], p[1])
+		if got := idx.Query(p[0], p[1]); got != want {
+			t.Errorf("Query%v: got %d, want %d", p, got, want)
+		}
+	}
+	st, err := idx.InsertEdge(0, 79)
+	if err != nil {
+		t.Fatalf("InsertEdge: %v", err)
+	}
+	if st.LandmarksTotal != 6 {
+		t.Errorf("stats: %+v", st)
+	}
+	if got := idx.Query(0, 79); got != 1 {
+		t.Errorf("Query after insert: got %d, want 1", got)
+	}
+	if err := idx.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDefaultsAndErrors(t *testing.T) {
+	g := testutil.RandomConnectedGraph(50, 80, 1)
+	idx, err := Build(g, Options{})
+	if err != nil {
+		t.Fatalf("Build defaults: %v", err)
+	}
+	if got := len(idx.Landmarks()); got != 20 {
+		t.Errorf("default landmarks: got %d, want 20", got)
+	}
+	if _, err := Build(NewGraph(0), Options{}); err == nil {
+		t.Error("empty graph must fail")
+	}
+	if _, err := Build(g, Options{Strategy: "bogus"}); err == nil {
+		t.Error("unknown strategy must fail")
+	}
+}
+
+func TestBuildParallelOption(t *testing.T) {
+	g := testutil.RandomConnectedGraph(100, 200, 9)
+	serial, err := Build(g.Clone(), Options{Landmarks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Build(g.Clone(), Options{Landmarks: 8, Parallel: true, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ps := serial.Stats(), par.Stats()
+	if ss.LabelEntries != ps.LabelEntries || ss.Bytes != ps.Bytes {
+		t.Errorf("parallel build differs: %+v vs %+v", ss, ps)
+	}
+}
+
+func TestInsertVertexThroughAPI(t *testing.T) {
+	g := testutil.RandomConnectedGraph(40, 60, 5)
+	idx, err := Build(g, Options{Landmarks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := idx.InsertVertex([]uint32{3, 17})
+	if err != nil {
+		t.Fatalf("InsertVertex: %v", err)
+	}
+	want := bfs.Dist(idx.Graph(), 0, v)
+	if got := idx.Query(0, v); got != want {
+		t.Errorf("Query(0,new): got %d, want %d", got, want)
+	}
+	if err := idx.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	g := testutil.RandomConnectedGraph(60, 100, 2)
+	idx, err := Build(g, Options{Landmarks: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := idx.Stats()
+	if s.Vertices != 60 || s.Edges != g.NumEdges() || s.Landmarks != 5 {
+		t.Errorf("stats: %+v", s)
+	}
+	if s.LabelEntries <= 0 || s.Bytes <= 0 || s.AvgLabelSize <= 0 {
+		t.Errorf("degenerate sizes: %+v", s)
+	}
+}
+
+func TestReadWriteGraph(t *testing.T) {
+	g, err := ReadGraph(strings.NewReader("0 1\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteGraph(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != 2 {
+		t.Errorf("round trip lost edges: %d", back.NumEdges())
+	}
+}
+
+func TestSelectionStrategies(t *testing.T) {
+	g := testutil.RandomConnectedGraph(50, 90, 4)
+	for _, s := range []string{TopDegree, RandomSelect, WeightedSelect} {
+		idx, err := Build(g.Clone(), Options{Landmarks: 4, Strategy: s, Seed: 2})
+		if err != nil {
+			t.Fatalf("strategy %q: %v", s, err)
+		}
+		if err := idx.Verify(); err != nil {
+			t.Fatalf("strategy %q: %v", s, err)
+		}
+	}
+}

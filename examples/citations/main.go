@@ -1,0 +1,99 @@
+// Citations demonstrates the directed extension (Section 5 of the paper):
+// a citation graph where edges point from citing to cited papers, grown one
+// publication at a time. Queries are asymmetric — "how many citation hops
+// from paper X to the foundational paper F" is finite, the reverse is not —
+// so the index keeps forward and backward labels per vertex.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	dynhl "repro"
+)
+
+func main() {
+	const (
+		papers    = 6000
+		citesEach = 8
+		newPapers = 200
+		seed      = 3
+	)
+	rng := rand.New(rand.NewSource(seed))
+
+	// Bootstrap corpus: papers cite earlier papers, preferring recent and
+	// foundational (low-id) work — the classic citation-network shape.
+	g := dynhl.NewDigraph(papers)
+	for i := 0; i < papers; i++ {
+		g.AddVertex()
+	}
+	for p := 1; p < papers; p++ {
+		for c := 0; c < citesEach && c < p; c++ {
+			var target int
+			if rng.Float64() < 0.3 {
+				target = rng.Intn(min(p, 50)) // foundational papers
+			} else {
+				target = p - 1 - rng.Intn(min(p, 400)) // recent work
+			}
+			_, _ = g.AddEdge(uint32(p), uint32(target))
+		}
+	}
+	fmt.Printf("citation graph: %d papers, %d citations\n", g.NumVertices(), g.NumEdges())
+
+	start := time.Now()
+	idx, err := dynhl.BuildDirected(g, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("directed index built in %v (%d forward+backward entries)\n",
+		time.Since(start).Round(time.Millisecond), idx.LabelEntries())
+
+	foundational := uint32(0)
+
+	// New publications arrive: each is a vertex insertion with outgoing
+	// citations only (nothing cites a brand-new paper yet).
+	var updTotal time.Duration
+	for i := 0; i < newPapers; i++ {
+		n := idx.Landmarks() // keep the call pattern honest; landmarks are stable
+		_ = n
+		k := 3 + rng.Intn(5)
+		cites := map[uint32]bool{}
+		for len(cites) < k {
+			cites[uint32(rng.Intn(g.NumVertices()))] = true
+		}
+		outTo := make([]uint32, 0, k)
+		for c := range cites {
+			outTo = append(outTo, c)
+		}
+		t0 := time.Now()
+		if _, _, err := idx.InsertVertex(outTo, nil); err != nil {
+			log.Fatal(err)
+		}
+		updTotal += time.Since(t0)
+	}
+	fmt.Printf("ingested %d new papers, %.3f ms mean per paper\n",
+		newPapers, float64(updTotal.Microseconds())/1000/newPapers)
+
+	// Asymmetric queries: citation distance TO the foundational paper
+	// versus FROM it.
+	latest := uint32(g.NumVertices() - 1)
+	to := idx.Query(latest, foundational)
+	from := idx.Query(foundational, latest)
+	fmt.Printf("citation hops %d → %d: %s\n", latest, foundational, distStr(to))
+	fmt.Printf("citation hops %d → %d: %s (citations never point forward in time)\n",
+		foundational, latest, distStr(from))
+
+	if err := idx.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("directed index verified exact")
+}
+
+func distStr(d dynhl.Dist) string {
+	if d == dynhl.Inf {
+		return "unreachable"
+	}
+	return fmt.Sprintf("%d", d)
+}

@@ -1,0 +1,89 @@
+// Roadnet demonstrates the weighted extension (Section 5 of the paper): a
+// grid-like road network with travel-time weights, where new road segments
+// open over time and a dispatcher needs exact travel times between
+// locations. Dijkstra replaces BFS throughout the index.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	dynhl "repro"
+)
+
+func main() {
+	const (
+		side     = 70 // 70×70 grid of intersections
+		newRoads = 150
+		seed     = 8
+	)
+	rng := rand.New(rand.NewSource(seed))
+	n := side * side
+
+	// Build the road grid: orthogonal neighbours connected with travel
+	// times 1..9 minutes; a few diagonal shortcuts exist from the start.
+	g := dynhl.NewWeightedGraph(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex()
+	}
+	at := func(r, c int) uint32 { return uint32(r*side + c) }
+	w := func() dynhl.Dist { return dynhl.Dist(1 + rng.Intn(9)) }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if c+1 < side {
+				g.MustAddEdge(at(r, c), at(r, c+1), w())
+			}
+			if r+1 < side {
+				g.MustAddEdge(at(r, c), at(r+1, c), w())
+			}
+		}
+	}
+	fmt.Printf("road network: %d intersections, %d segments\n", g.NumVertices(), g.NumEdges())
+
+	start := time.Now()
+	idx, err := dynhl.BuildWeighted(g, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("weighted index built in %v (%d label entries)\n",
+		time.Since(start).Round(time.Millisecond), idx.LabelEntries())
+
+	// Dispatcher queries before the bypass opens.
+	depot := at(0, 0)
+	hospital := at(side-1, side-1)
+	before := idx.Query(depot, hospital)
+	fmt.Printf("travel time depot→hospital: %d min\n", before)
+
+	// City keeps opening new road segments (diagonals and bypasses).
+	var updTotal time.Duration
+	opened := 0
+	for opened < newRoads {
+		r := rng.Intn(side - 1)
+		c := rng.Intn(side - 1)
+		u, v := at(r, c), at(r+1, c+1)
+		if g.HasEdge(u, v) {
+			continue
+		}
+		t0 := time.Now()
+		if _, err := idx.InsertEdge(u, v, w()); err != nil {
+			log.Fatal(err)
+		}
+		updTotal += time.Since(t0)
+		opened++
+	}
+	fmt.Printf("opened %d new segments, %.3f ms mean per segment\n",
+		opened, float64(updTotal.Microseconds())/1000/float64(opened))
+
+	after := idx.Query(depot, hospital)
+	fmt.Printf("travel time depot→hospital now: %d min (was %d)\n", after, before)
+	if after > before {
+		log.Fatal("new roads can never increase travel time")
+	}
+
+	if err := idx.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("weighted index verified exact")
+}

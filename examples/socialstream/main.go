@@ -1,0 +1,116 @@
+// Socialstream simulates the paper's social-network motivation: a
+// friendship graph absorbing a stream of new friendships (edge insertions)
+// and new members (vertex insertions) while serving degrees-of-separation
+// queries in real time.
+//
+// It prints the update latency distribution and shows that the labelling
+// size stays flat — the minimality preservation that separates IncHL+ from
+// the append-only IncPLL baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	dynhl "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	const (
+		members     = 20000
+		friendships = 5 // preferential-attachment edges per member
+		events      = 2000
+		seed        = 42
+	)
+	rng := rand.New(rand.NewSource(seed))
+
+	// Bootstrap an existing social network (scale-free, like Flickr or
+	// LiveJournal in the paper's Table 2).
+	g := gen.BarabasiAlbert(members, friendships, seed)
+	fmt.Printf("social network: %d members, %d friendships\n", g.NumVertices(), g.NumEdges())
+
+	start := time.Now()
+	idx, err := dynhl.Build(g, dynhl.Options{Landmarks: 20, Parallel: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index built in %v (%d label entries, %.2f per member)\n",
+		time.Since(start).Round(time.Millisecond), idx.Stats().LabelEntries, idx.Stats().AvgLabelSize)
+	entriesBefore := idx.Stats().LabelEntries
+
+	// Live event stream: 90% new friendships, 10% new members who join and
+	// immediately befriend a few existing members.
+	var updateTotal time.Duration
+	var worst time.Duration
+	newMembers, newFriendships := 0, 0
+	for i := 0; i < events; i++ {
+		t0 := time.Now()
+		if rng.Float64() < 0.10 {
+			k := 1 + rng.Intn(3)
+			friends := make([]uint32, 0, k)
+			for len(friends) < k {
+				f := uint32(rng.Intn(idx.Graph().NumVertices()))
+				friends = append(friends, f)
+			}
+			if _, _, err := idx.InsertVertex(dedupe(friends)); err != nil {
+				log.Fatal(err)
+			}
+			newMembers++
+		} else {
+			u := uint32(rng.Intn(idx.Graph().NumVertices()))
+			v := uint32(rng.Intn(idx.Graph().NumVertices()))
+			if u == v || idx.Graph().HasEdge(u, v) {
+				continue
+			}
+			if _, err := idx.InsertEdge(u, v); err != nil {
+				log.Fatal(err)
+			}
+			newFriendships++
+		}
+		d := time.Since(t0)
+		updateTotal += d
+		if d > worst {
+			worst = d
+		}
+
+		// Interleave live queries: degrees of separation between members.
+		if i%200 == 0 {
+			a := uint32(rng.Intn(idx.Graph().NumVertices()))
+			b := uint32(rng.Intn(idx.Graph().NumVertices()))
+			q0 := time.Now()
+			dist := idx.Query(a, b)
+			fmt.Printf("  event %4d: separation(%5d,%5d) = %v  [query %v]\n",
+				i, a, b, distString(dist), time.Since(q0).Round(time.Microsecond))
+		}
+	}
+
+	n := newMembers + newFriendships
+	fmt.Printf("\nprocessed %d events (%d friendships, %d new members)\n", n, newFriendships, newMembers)
+	fmt.Printf("mean update latency %v, worst %v\n", (updateTotal / time.Duration(n)).Round(time.Microsecond), worst.Round(time.Microsecond))
+	after := idx.Stats()
+	fmt.Printf("label entries %d -> %d (%.1f%% change): minimality keeps the index lean\n",
+		entriesBefore, after.LabelEntries,
+		100*float64(after.LabelEntries-entriesBefore)/float64(entriesBefore))
+}
+
+func dedupe(xs []uint32) []uint32 {
+	seen := map[uint32]bool{}
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func distString(d dynhl.Dist) string {
+	if d == dynhl.Inf {
+		return "∞"
+	}
+	return fmt.Sprintf("%d", d)
+}

@@ -1,0 +1,156 @@
+// Package bfs implements the breadth-first-search toolkit shared by the
+// labelling methods: full single-source BFS, distance queries between single
+// pairs, and the bounded bidirectional search over a landmark-sparsified
+// graph that turns a highway-cover upper bound into an exact distance
+// (Section 3 of Farhan & Wang, EDBT 2021).
+package bfs
+
+import (
+	"repro/internal/graph"
+	"repro/internal/queue"
+)
+
+// All computes the distances from src to every vertex, writing them into
+// dist, which must have length g.NumVertices(). Unreached vertices get
+// graph.Inf.
+func All(g *graph.Graph, src uint32, dist []graph.Dist) {
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	dist[src] = 0
+	q := queue.NewUint32(64)
+	q.Push(src)
+	for !q.Empty() {
+		v := q.Pop()
+		dv := dist[v]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] == graph.Inf {
+				dist[w] = dv + 1
+				q.Push(w)
+			}
+		}
+	}
+}
+
+// Distances allocates and returns the full distance vector from src.
+func Distances(g *graph.Graph, src uint32) []graph.Dist {
+	dist := make([]graph.Dist, g.NumVertices())
+	All(g, src, dist)
+	return dist
+}
+
+// Dist returns the exact distance between u and v with a plain BFS. It is
+// the ground-truth oracle used by tests and benchmark baselines, not by any
+// indexed query path.
+func Dist(g *graph.Graph, u, v uint32) graph.Dist {
+	if u == v {
+		return 0
+	}
+	dist := make([]graph.Dist, g.NumVertices())
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	dist[u] = 0
+	q := queue.NewUint32(64)
+	q.Push(u)
+	for !q.Empty() {
+		x := q.Pop()
+		dx := dist[x]
+		for _, w := range g.Neighbors(x) {
+			if dist[w] == graph.Inf {
+				if w == v {
+					return dx + 1
+				}
+				dist[w] = dx + 1
+				q.Push(w)
+			}
+		}
+	}
+	return graph.Inf
+}
+
+// Sparsified runs a bidirectional BFS between u and v on the subgraph
+// G[V\R] obtained by removing every vertex for which avoid reports true
+// (the endpoints themselves are kept even if avoid holds, matching Q(u,v,Γ)
+// in the paper). The search is bounded: as soon as it can prove the
+// sparsified distance exceeds bound it returns graph.Inf.
+//
+// distU and distV are scratch vectors of length g.NumVertices() whose
+// entries must all be graph.Inf on entry; they are restored sparsely before
+// returning so callers can reuse them across queries without re-clearing.
+// touched is a reusable scratch slice.
+func Sparsified(g *graph.Graph, u, v uint32, bound graph.Dist, avoid func(uint32) bool, distU, distV []graph.Dist, touched *[]uint32) graph.Dist {
+	if u == v {
+		return 0
+	}
+	if bound == 0 {
+		return graph.Inf
+	}
+	*touched = (*touched)[:0]
+	defer func() {
+		for _, x := range *touched {
+			distU[x] = graph.Inf
+			distV[x] = graph.Inf
+		}
+	}()
+
+	distU[u] = 0
+	distV[v] = 0
+	*touched = append(*touched, u, v)
+	frontU := []uint32{u}
+	frontV := []uint32{v}
+	var du, dv graph.Dist // levels fully expanded on each side
+	best := graph.Inf
+	if bound != graph.Inf {
+		best = bound + 1 // sentinel meaning "nothing within bound yet"
+	}
+
+	for len(frontU) > 0 && len(frontV) > 0 {
+		// After expanding du levels on one side and dv on the other, every
+		// path of length ≤ du+dv has been recorded as a meeting, so once
+		// du+dv+1 ≥ best no undiscovered path can improve on best.
+		if best != graph.Inf && graph.AddDist(graph.AddDist(du, dv), 1) >= best {
+			break
+		}
+		if len(frontU) <= len(frontV) {
+			frontU = expand(g, u, v, frontU, du, distU, distV, avoid, &best, touched)
+			du++
+		} else {
+			frontV = expand(g, v, u, frontV, dv, distV, distU, avoid, &best, touched)
+			dv++
+		}
+	}
+	if bound != graph.Inf && best > bound {
+		return graph.Inf
+	}
+	return best
+}
+
+// expand advances one BFS level of the side rooted at src, whose opposite
+// endpoint is dst. Removed vertices are neither discovered nor expanded,
+// except for the two endpoints.
+func expand(g *graph.Graph, src, dst uint32, front []uint32, depth graph.Dist, dist, other []graph.Dist, avoid func(uint32) bool, best *graph.Dist, touched *[]uint32) []uint32 {
+	var next []uint32
+	for _, x := range front {
+		if avoid != nil && x != src && avoid(x) {
+			continue
+		}
+		for _, w := range g.Neighbors(x) {
+			if dist[w] != graph.Inf {
+				continue
+			}
+			if avoid != nil && w != dst && w != src && avoid(w) {
+				continue // vertex removed from the sparsified graph
+			}
+			dist[w] = depth + 1
+			*touched = append(*touched, w)
+			if other[w] != graph.Inf {
+				if t := graph.AddDist(depth+1, other[w]); t < *best {
+					*best = t
+				}
+			}
+			next = append(next, w)
+		}
+	}
+	return next
+}

@@ -1,0 +1,189 @@
+package bfs_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bfs"
+	"repro/internal/graph"
+	"repro/internal/testutil"
+)
+
+func TestAllOnPath(t *testing.T) {
+	g := graph.New(5)
+	for i := 0; i < 5; i++ {
+		g.AddVertex()
+	}
+	for i := 0; i < 4; i++ {
+		g.MustAddEdge(uint32(i), uint32(i+1))
+	}
+	d := bfs.Distances(g, 0)
+	for i, want := range []graph.Dist{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Errorf("dist[%d]: got %d, want %d", i, d[i], want)
+		}
+	}
+}
+
+func TestDistDisconnected(t *testing.T) {
+	g := graph.New(4)
+	for i := 0; i < 4; i++ {
+		g.AddVertex()
+	}
+	g.MustAddEdge(0, 1)
+	if got := bfs.Dist(g, 0, 3); got != graph.Inf {
+		t.Errorf("bfs.Dist(0,3): got %d, want Inf", got)
+	}
+	if got := bfs.Dist(g, 2, 2); got != 0 {
+		t.Errorf("bfs.Dist(2,2): got %d, want 0", got)
+	}
+}
+
+func newScratch(n int) ([]graph.Dist, []graph.Dist, []uint32) {
+	du := make([]graph.Dist, n)
+	dv := make([]graph.Dist, n)
+	for i := 0; i < n; i++ {
+		du[i] = graph.Inf
+		dv[i] = graph.Inf
+	}
+	return du, dv, nil
+}
+
+func TestSparsifiedNoAvoidMatchesBFS(t *testing.T) {
+	g := testutil.RandomGraph(50, 90, 2)
+	du, dv, touched := newScratch(50)
+	for u := uint32(0); u < 50; u++ {
+		want := bfs.Distances(g, u)
+		for v := uint32(0); v < 50; v++ {
+			got := bfs.Sparsified(g, u, v, graph.Inf, nil, du, dv, &touched)
+			if got != want[v] {
+				t.Fatalf("bfs.Sparsified(%d,%d): got %d, want %d", u, v, got, want[v])
+			}
+		}
+	}
+}
+
+func TestSparsifiedScratchRestored(t *testing.T) {
+	g := testutil.RandomConnectedGraph(40, 60, 4)
+	du, dv, touched := newScratch(40)
+	_ = bfs.Sparsified(g, 0, 39, graph.Inf, nil, du, dv, &touched)
+	for i := 0; i < 40; i++ {
+		if du[i] != graph.Inf || dv[i] != graph.Inf {
+			t.Fatalf("scratch not restored at %d: %d/%d", i, du[i], dv[i])
+		}
+	}
+}
+
+func TestSparsifiedAvoidsVertices(t *testing.T) {
+	// 0-1-2 and 0-3-4-2: avoiding vertex 1 must force the long route.
+	g := graph.New(5)
+	for i := 0; i < 5; i++ {
+		g.AddVertex()
+	}
+	for _, e := range [][2]uint32{{0, 1}, {1, 2}, {0, 3}, {3, 4}, {4, 2}} {
+		g.MustAddEdge(e[0], e[1])
+	}
+	du, dv, touched := newScratch(5)
+	avoid := func(v uint32) bool { return v == 1 }
+	if got := bfs.Sparsified(g, 0, 2, graph.Inf, avoid, du, dv, &touched); got != 3 {
+		t.Errorf("avoiding 1: got %d, want 3", got)
+	}
+	avoidBoth := func(v uint32) bool { return v == 1 || v == 3 }
+	if got := bfs.Sparsified(g, 0, 2, graph.Inf, avoidBoth, du, dv, &touched); got != graph.Inf {
+		t.Errorf("avoiding 1 and 3: got %d, want Inf", got)
+	}
+}
+
+func TestSparsifiedEndpointExemptFromAvoid(t *testing.T) {
+	g := graph.New(3)
+	for i := 0; i < 3; i++ {
+		g.AddVertex()
+	}
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	du, dv, touched := newScratch(3)
+	avoid := func(v uint32) bool { return v == 0 || v == 2 }
+	if got := bfs.Sparsified(g, 0, 2, graph.Inf, avoid, du, dv, &touched); got != 2 {
+		t.Errorf("endpoints avoided: got %d, want 2", got)
+	}
+}
+
+func TestSparsifiedRespectsBound(t *testing.T) {
+	g := graph.New(6)
+	for i := 0; i < 6; i++ {
+		g.AddVertex()
+	}
+	for i := 0; i < 5; i++ {
+		g.MustAddEdge(uint32(i), uint32(i+1))
+	}
+	du, dv, touched := newScratch(6)
+	if got := bfs.Sparsified(g, 0, 5, 4, nil, du, dv, &touched); got != graph.Inf {
+		t.Errorf("bound 4 on distance 5: got %d, want Inf", got)
+	}
+	if got := bfs.Sparsified(g, 0, 5, 5, nil, du, dv, &touched); got != 5 {
+		t.Errorf("bound 5 on distance 5: got %d, want 5", got)
+	}
+	if got := bfs.Sparsified(g, 0, 5, 0, nil, du, dv, &touched); got != graph.Inf {
+		t.Errorf("bound 0: got %d, want Inf", got)
+	}
+}
+
+func TestSparsifiedQuickAgainstAvoidedOracle(t *testing.T) {
+	// Property: Sparsified equals a plain BFS on a copy of the graph with
+	// the avoided vertices' edges removed (endpoints exempt).
+	rng := rand.New(rand.NewSource(77))
+	check := func() bool {
+		n := 30
+		g := testutil.RandomGraph(n, 55, rng.Int63())
+		av1 := uint32(rng.Intn(n))
+		av2 := uint32(rng.Intn(n))
+		u := uint32(rng.Intn(n))
+		v := uint32(rng.Intn(n))
+		avoid := func(x uint32) bool { return x == av1 || x == av2 }
+		// Build the pruned graph: drop all edges incident to avoided
+		// vertices except those incident to u or v themselves.
+		pruned := graph.New(n)
+		for i := 0; i < n; i++ {
+			pruned.AddVertex()
+		}
+		g.Edges(func(x, y uint32) {
+			xBad := avoid(x) && x != u && x != v
+			yBad := avoid(y) && y != u && y != v
+			if !xBad && !yBad {
+				pruned.MustAddEdge(x, y)
+			}
+		})
+		want := bfs.Dist(pruned, u, v)
+		du, dv, touched := newScratch(n)
+		got := bfs.Sparsified(g, u, v, graph.Inf, avoid, du, dv, &touched)
+		return got == want
+	}
+	for i := 0; i < 300; i++ {
+		if !check() {
+			t.Fatalf("iteration %d: sparsified search disagrees with pruned-graph oracle", i)
+		}
+	}
+}
+
+func TestSparsifiedQuickBoundNeverLies(t *testing.T) {
+	// Property: with a finite bound, the result is either Inf or a value
+	// within the bound equal to the unbounded result.
+	f := func(seed int64, boundRaw uint8) bool {
+		g := testutil.RandomGraph(25, 40, seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x5ca1e))
+		u := uint32(rng.Intn(25))
+		v := uint32(rng.Intn(25))
+		bound := graph.Dist(boundRaw % 8)
+		du, dv, touched := newScratch(25)
+		free := bfs.Sparsified(g, u, v, graph.Inf, nil, du, dv, &touched)
+		got := bfs.Sparsified(g, u, v, bound, nil, du, dv, &touched)
+		if free <= bound {
+			return got == free
+		}
+		return got == graph.Inf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}

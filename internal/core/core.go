@@ -1,0 +1,33 @@
+// Package core anchors the paper's primary contribution in the canonical
+// repository layout: IncHL+ — online incremental maintenance of a highway
+// cover labelling. The algorithmic code lives in two sibling packages and
+// is re-exported here:
+//
+//   - repro/internal/hcl: the highway cover labelling substrate (static
+//     construction, highway, labels, exact queries — Section 3).
+//   - repro/internal/inchl: the IncHL+ update algorithms (FindAffected /
+//     RepairAffected — Section 4).
+package core
+
+import (
+	"repro/internal/hcl"
+	"repro/internal/inchl"
+)
+
+// Index is the highway cover labelling Γ = (H, L).
+type Index = hcl.Index
+
+// Updater maintains an Index under insertions (IncHL+).
+type Updater = inchl.Updater
+
+// Stats reports per-update instrumentation.
+type Stats = inchl.Stats
+
+// Build constructs the minimal labelling (see hcl.Build).
+var Build = hcl.Build
+
+// BuildParallel is the concurrent builder (see hcl.BuildParallel).
+var BuildParallel = hcl.BuildParallel
+
+// New wraps an Index in an Updater (see inchl.New).
+var New = inchl.New

@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Specs) != 12 {
+		t.Fatalf("want the paper's 12 datasets, have %d", len(Specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range Specs {
+		if seen[s.Name] {
+			t.Errorf("duplicate dataset %s", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Landmarks == 0 {
+			t.Errorf("%s: landmark count unset", s.Name)
+		}
+	}
+	if Specs[11].Name != "Clueweb09" || Specs[11].Landmarks != 150 {
+		t.Error("Clueweb09 must use |R|=150 per Section 6")
+	}
+	if Specs[11].FDFeasible {
+		t.Error("IncFD did not complete on Clueweb09 in the paper")
+	}
+	pll := 0
+	for _, s := range Specs {
+		if s.PLLFeasible {
+			pll++
+		}
+	}
+	if pll != 5 {
+		t.Errorf("IncPLL completed on 5 of 12 datasets in Table 1, registry says %d", pll)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s, err := Lookup("Twitter")
+	if err != nil || s.Name != "Twitter" {
+		t.Fatalf("Lookup(Twitter): %v %v", s, err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+}
+
+func TestGenerateDeterministicAndScaled(t *testing.T) {
+	spec, _ := Lookup("Skitter")
+	a := Generate(spec, 0.1, 7)
+	b := Generate(spec, 0.1, 7)
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same inputs must generate the same graph")
+	}
+	full := Generate(spec, 0.2, 7)
+	if full.NumVertices() <= a.NumVertices() {
+		t.Error("larger scale must give more vertices")
+	}
+	if got := a.NumVertices(); got != 1200 {
+		t.Errorf("scale 0.1 of 12000: got %d vertices", got)
+	}
+}
+
+func TestProxiesMatchPaperRegimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates mid-sized graphs")
+	}
+	// At modest scale the proxies must land in the right degree ballpark
+	// and preserve the social-short vs web-long distance split.
+	for _, name := range []string{"Skitter", "Hollywood", "Indochina", "Clueweb09"} {
+		spec, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := Generate(spec, 0.25, 1)
+		sum := Summarize(spec, g, 12, 1)
+		ratio := sum.AvgDeg / spec.PaperAvgDeg
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("%s: proxy avg degree %.1f vs paper %.1f (ratio %.2f)",
+				name, sum.AvgDeg, spec.PaperAvgDeg, ratio)
+		}
+		if spec.Kind == Web && sum.AvgDist < 4.0 {
+			t.Errorf("%s: web proxy too short: avg dist %.2f", name, sum.AvgDist)
+		}
+		if spec.Kind != Web && sum.AvgDist > 6.0 {
+			t.Errorf("%s: social proxy too long: avg dist %.2f", name, sum.AvgDist)
+		}
+		if graph.LargestComponentSize(g) < g.NumVertices()*9/10 {
+			t.Errorf("%s: proxy is badly disconnected", name)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	spec, _ := Lookup("Flickr")
+	g := Generate(spec, 0.05, 3)
+	s := Summarize(spec, g, 5, 3)
+	if s.V != g.NumVertices() || s.E != g.NumEdges() {
+		t.Error("summary counts wrong")
+	}
+	if math.IsNaN(s.AvgDist) || s.AvgDist <= 0 {
+		t.Errorf("AvgDist: %v", s.AvgDist)
+	}
+}
+
+func TestSortedByName(t *testing.T) {
+	s := SortedByName()
+	for i := 1; i < len(s); i++ {
+		if s[i-1].Name >= s[i].Name {
+			t.Fatal("not sorted")
+		}
+	}
+	if len(Specs) != 12 {
+		t.Fatal("SortedByName must not mutate Specs")
+	}
+}

@@ -1,0 +1,268 @@
+// Package dhcl implements the directed extension of highway cover
+// labelling and IncHL+ sketched in Section 5 of Farhan & Wang (EDBT 2021):
+// every vertex stores a forward label (distances from landmarks, over
+// out-edges) and a backward label (distances to landmarks, over in-edges),
+// the highway holds the directed landmark-to-landmark distance matrix, and
+// an insertion triggers two maintenance passes per landmark — one forward
+// from the edge head, one backward from the edge tail.
+package dhcl
+
+import (
+	"fmt"
+
+	"repro/internal/digraph"
+	"repro/internal/graph"
+	"repro/internal/hcl"
+	"repro/internal/queue"
+)
+
+// noRank marks non-landmark vertices.
+const noRank = ^uint16(0)
+
+// Index is a directed highway cover labelling Γ = (H_f, L_f, L_b).
+// It is not safe for concurrent use.
+type Index struct {
+	G         *digraph.Digraph
+	Landmarks []uint32
+	Lf        []hcl.Label // forward labels: (r, d(r→v))
+	Lb        []hcl.Label // backward labels: (r, d(v→r))
+
+	hf      []graph.Dist // k×k directed highway: hf[i*k+j] = d(ri→rj)
+	k       int
+	rankArr []uint16
+
+	// query scratch
+	distU, distV []graph.Dist
+	touched      []uint32
+}
+
+// Build constructs the minimal directed labelling: per landmark one forward
+// and one backward covered-flag BFS.
+func Build(g *digraph.Digraph, landmarks []uint32) (*Index, error) {
+	if len(landmarks) == 0 {
+		return nil, fmt.Errorf("dhcl: need at least one landmark")
+	}
+	seen := make(map[uint32]bool, len(landmarks))
+	for _, v := range landmarks {
+		if !g.HasVertex(v) {
+			return nil, fmt.Errorf("dhcl: landmark %d is not a vertex of the graph", v)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("dhcl: duplicate landmark %d", v)
+		}
+		seen[v] = true
+	}
+	n := g.NumVertices()
+	k := len(landmarks)
+	idx := &Index{
+		G:         g,
+		Landmarks: append([]uint32(nil), landmarks...),
+		Lf:        make([]hcl.Label, n),
+		Lb:        make([]hcl.Label, n),
+		hf:        make([]graph.Dist, k*k),
+		k:         k,
+		rankArr:   make([]uint16, n),
+	}
+	for i := range idx.hf {
+		idx.hf[i] = graph.Inf
+	}
+	for i := 0; i < k; i++ {
+		idx.hf[i*k+i] = 0
+	}
+	for i := range idx.rankArr {
+		idx.rankArr[i] = noRank
+	}
+	for r, v := range idx.Landmarks {
+		idx.rankArr[v] = uint16(r)
+	}
+	dist := make([]graph.Dist, n)
+	covered := make([]bool, n)
+	for r := range idx.Landmarks {
+		idx.coveredBFS(uint16(r), true, dist, covered)
+		idx.coveredBFS(uint16(r), false, dist, covered)
+	}
+	return idx, nil
+}
+
+// coveredBFS runs the construction BFS of landmark rank r in one direction
+// (forward over out-edges when fwd, else backward over in-edges), emitting
+// label entries for uncovered vertices and highway cells for landmarks.
+func (idx *Index) coveredBFS(r uint16, fwd bool, dist []graph.Dist, covered []bool) {
+	root := idx.Landmarks[r]
+	adj := idx.G.In
+	if fwd {
+		adj = idx.G.Out
+	}
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	order := make([]uint32, 0, 256)
+	dist[root] = 0
+	covered[root] = false
+	q := queue.NewUint32(64)
+	q.Push(root)
+	order = append(order, root)
+	for !q.Empty() {
+		v := q.Pop()
+		dv := dist[v]
+		cv := covered[v]
+		for _, w := range adj(v) {
+			switch {
+			case dist[w] == graph.Inf:
+				dist[w] = dv + 1
+				covered[w] = cv || (idx.rankArr[w] != noRank && w != root)
+				q.Push(w)
+				order = append(order, w)
+			case dist[w] == dv+1 && cv:
+				covered[w] = true
+			}
+		}
+	}
+	for _, v := range order {
+		if v == root {
+			continue
+		}
+		if s := idx.rankArr[v]; s != noRank {
+			if fwd {
+				idx.setHighway(r, s, dist[v]) // d(root→s)
+			} else {
+				idx.setHighway(s, r, dist[v]) // d(s→root)
+			}
+			continue
+		}
+		if !covered[v] {
+			if fwd {
+				idx.Lf[v] = idx.Lf[v].Set(r, dist[v])
+			} else {
+				idx.Lb[v] = idx.Lb[v].Set(r, dist[v])
+			}
+		}
+	}
+}
+
+// Highway returns d(r_i → r_j) between landmark ranks.
+func (idx *Index) Highway(i, j uint16) graph.Dist { return idx.hf[int(i)*idx.k+int(j)] }
+
+func (idx *Index) setHighway(i, j uint16, d graph.Dist) { idx.hf[int(i)*idx.k+int(j)] = d }
+
+// Rank returns the landmark rank of v, if any.
+func (idx *Index) Rank(v uint32) (uint16, bool) {
+	r := idx.rankArr[v]
+	return r, r != noRank
+}
+
+// DistF returns the exact directed distance landmark(r) → v.
+func (idx *Index) DistF(r uint16, v uint32) graph.Dist {
+	if s := idx.rankArr[v]; s != noRank {
+		return idx.Highway(r, s)
+	}
+	best := graph.Inf
+	for _, e := range idx.Lf[v] {
+		if t := graph.AddDist(idx.Highway(r, e.Rank), e.D); t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// DistB returns the exact directed distance v → landmark(r).
+func (idx *Index) DistB(r uint16, v uint32) graph.Dist {
+	if s := idx.rankArr[v]; s != noRank {
+		return idx.Highway(s, r)
+	}
+	best := graph.Inf
+	for _, e := range idx.Lb[v] {
+		if t := graph.AddDist(e.D, idx.Highway(e.Rank, r)); t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// UpperBound returns the best u→v distance through the highway network.
+func (idx *Index) UpperBound(u, v uint32) graph.Dist {
+	if u == v {
+		return 0
+	}
+	ru, uIsL := idx.Rank(u)
+	rv, vIsL := idx.Rank(v)
+	switch {
+	case uIsL && vIsL:
+		return idx.Highway(ru, rv)
+	case uIsL:
+		return idx.DistF(ru, v)
+	case vIsL:
+		return idx.DistB(rv, u)
+	}
+	best := graph.Inf
+	for _, eu := range idx.Lb[u] {
+		for _, ev := range idx.Lf[v] {
+			t := graph.AddDist(eu.D, graph.AddDist(idx.Highway(eu.Rank, ev.Rank), ev.D))
+			if t < best {
+				best = t
+			}
+		}
+	}
+	return best
+}
+
+// Query answers an exact directed distance query u→v: the highway upper
+// bound refined by a bounded bidirectional search on the sparsified graph.
+func (idx *Index) Query(u, v uint32) graph.Dist {
+	if u == v {
+		return 0
+	}
+	top := idx.UpperBound(u, v)
+	if _, isL := idx.Rank(u); isL {
+		return top
+	}
+	if _, isL := idx.Rank(v); isL {
+		return top
+	}
+	if top <= 1 {
+		return top
+	}
+	idx.ensureScratch()
+	avoid := func(x uint32) bool { return idx.rankArr[x] != noRank }
+	sp := idx.G.Sparsified(u, v, top, avoid, idx.distU, idx.distV, &idx.touched)
+	if sp < top {
+		return sp
+	}
+	return top
+}
+
+// NumEntries returns size(L_f) + size(L_b).
+func (idx *Index) NumEntries() int64 {
+	var n int64
+	for v := range idx.Lf {
+		n += int64(len(idx.Lf[v])) + int64(len(idx.Lb[v]))
+	}
+	return n
+}
+
+// Bytes returns the storage charged for both label sets and the highway.
+func (idx *Index) Bytes() int64 {
+	return idx.NumEntries()*hcl.EntryBytes + int64(len(idx.hf))*4
+}
+
+// EnsureVertex grows the label tables to cover vertex v.
+func (idx *Index) EnsureVertex(v uint32) {
+	for uint32(len(idx.Lf)) <= v {
+		idx.Lf = append(idx.Lf, nil)
+		idx.Lb = append(idx.Lb, nil)
+		idx.rankArr = append(idx.rankArr, noRank)
+	}
+}
+
+func (idx *Index) ensureScratch() {
+	n := idx.G.NumVertices()
+	if len(idx.distU) >= n {
+		return
+	}
+	idx.distU = make([]graph.Dist, n)
+	idx.distV = make([]graph.Dist, n)
+	for i := 0; i < n; i++ {
+		idx.distU[i] = graph.Inf
+		idx.distV[i] = graph.Inf
+	}
+}

@@ -1,0 +1,265 @@
+package dhcl
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/queue"
+)
+
+// Stats reports what one directed insertion did.
+type Stats struct {
+	LandmarksTotal  int // |R|
+	PassesSkipped   int // forward/backward passes eliminated (of 2|R|)
+	AffectedForward int // Σ_r |Λ_r| over forward passes
+	AffectedBack    int // Σ_r |Λ_r| over backward passes
+	EntriesAdded    int
+	EntriesRemoved  int
+	HighwayUpdates  int
+}
+
+// findResult carries one pass's affected set from find to repair.
+type findResult struct {
+	rank     uint16
+	fwd      bool                  // forward pass (maintains Lf) or backward (Lb)
+	affected []queue.Pair          // level order, depth = new distance
+	newDist  map[uint32]graph.Dist // affected vertex -> new distance
+	oldDist  map[uint32]graph.Dist // scanned vertex -> old distance
+}
+
+// InsertEdge inserts the directed edge a→b and repairs both label sets:
+// forward distances can only change downstream of b, backward distances
+// only upstream of a (the directed analogue of Lemma 4.3). The find phase
+// for every landmark and direction runs against the pre-update labelling
+// before any repair mutates it.
+func (idx *Index) InsertEdge(a, b uint32) (Stats, error) {
+	var st Stats
+	g := idx.G
+	if !g.HasVertex(a) || !g.HasVertex(b) {
+		return st, fmt.Errorf("dhcl: insert (%d,%d): %w", a, b, graph.ErrVertexUnknown)
+	}
+	if a == b {
+		return st, fmt.Errorf("dhcl: insert (%d,%d): %w", a, b, graph.ErrSelfLoop)
+	}
+	if g.HasEdge(a, b) {
+		return st, fmt.Errorf("dhcl: edge (%d,%d) already exists", a, b)
+	}
+	if _, err := g.AddEdge(a, b); err != nil {
+		return st, err
+	}
+	st.LandmarksTotal = idx.k
+
+	var finds []findResult
+	for r := 0; r < idx.k; r++ {
+		if fr, ok := idx.findAffected(uint16(r), true, a, b); ok {
+			st.AffectedForward += len(fr.affected)
+			finds = append(finds, fr)
+		} else {
+			st.PassesSkipped++
+		}
+		if fr, ok := idx.findAffected(uint16(r), false, a, b); ok {
+			st.AffectedBack += len(fr.affected)
+			finds = append(finds, fr)
+		} else {
+			st.PassesSkipped++
+		}
+	}
+	for i := range finds {
+		idx.repairAffected(&finds[i], &st)
+	}
+	return st, nil
+}
+
+// InsertVertex adds a new vertex with the given initial out- and
+// in-neighbours, applied as sequential edge insertions.
+func (idx *Index) InsertVertex(outTo, inFrom []uint32) (uint32, Stats, error) {
+	var agg Stats
+	for _, w := range outTo {
+		if !idx.G.HasVertex(w) {
+			return 0, agg, fmt.Errorf("dhcl: insert vertex: neighbour %d: %w", w, graph.ErrVertexUnknown)
+		}
+	}
+	for _, w := range inFrom {
+		if !idx.G.HasVertex(w) {
+			return 0, agg, fmt.Errorf("dhcl: insert vertex: neighbour %d: %w", w, graph.ErrVertexUnknown)
+		}
+	}
+	v := idx.G.AddVertex()
+	idx.EnsureVertex(v)
+	agg.LandmarksTotal = idx.k
+	add := func(x, y uint32) error {
+		st, err := idx.InsertEdge(x, y)
+		if err != nil {
+			return err
+		}
+		agg.PassesSkipped += st.PassesSkipped
+		agg.AffectedForward += st.AffectedForward
+		agg.AffectedBack += st.AffectedBack
+		agg.EntriesAdded += st.EntriesAdded
+		agg.EntriesRemoved += st.EntriesRemoved
+		agg.HighwayUpdates += st.HighwayUpdates
+		return nil
+	}
+	for _, w := range outTo {
+		if err := add(v, w); err != nil {
+			return v, agg, err
+		}
+	}
+	for _, w := range inFrom {
+		if err := add(w, v); err != nil {
+			return v, agg, err
+		}
+	}
+	return v, agg, nil
+}
+
+// findAffected runs the jumped BFS of one (landmark, direction) pass. For a
+// forward pass the new path is r→…→a→b, so the search starts at b over
+// out-edges with depth d(r→a)+1; backward passes mirror this from a over
+// in-edges with depth d(b→r)+1. It reports ok=false when the pass is
+// eliminated (the new edge cannot lie on any shortest path to/from r).
+func (idx *Index) findAffected(r uint16, fwd bool, a, b uint32) (findResult, bool) {
+	var dNear, dStart graph.Dist
+	var start uint32
+	var frontier, parents func(uint32) []uint32
+	var oldDist func(uint32) graph.Dist
+	if fwd {
+		dNear = idx.DistF(r, a)  // distance to the edge tail
+		dStart = idx.DistF(r, b) // current distance of the search start
+		start = b                // new paths enter through b
+		frontier = idx.G.Out     // expand along out-edges
+		parents = idx.G.In       // shortest-path parents are in-neighbours
+		oldDist = func(v uint32) graph.Dist { return idx.DistF(r, v) }
+	} else {
+		dNear = idx.DistB(r, b)
+		dStart = idx.DistB(r, a)
+		start = a
+		frontier = idx.G.In
+		parents = idx.G.Out
+		oldDist = func(v uint32) graph.Dist { return idx.DistB(r, v) }
+	}
+	if dNear == graph.Inf {
+		return findResult{}, false // no path reaches the new edge
+	}
+	pi := dNear + 1
+	if dStart < pi {
+		return findResult{}, false // the new edge shortens nothing (Λ = ∅)
+	}
+	fr := findResult{
+		rank:    r,
+		fwd:     fwd,
+		newDist: make(map[uint32]graph.Dist, 16),
+		oldDist: make(map[uint32]graph.Dist, 32),
+	}
+	cache := func(v uint32) graph.Dist {
+		if d, ok := fr.oldDist[v]; ok {
+			return d
+		}
+		d := oldDist(v)
+		fr.oldDist[v] = d
+		return d
+	}
+	if fwd {
+		fr.oldDist[a] = dNear
+	} else {
+		fr.oldDist[b] = dNear
+	}
+	fr.oldDist[start] = dStart
+
+	q := queue.NewPairQueue(16)
+	q.Push(queue.Pair{V: start, D: pi})
+	fr.newDist[start] = pi
+	for !q.Empty() {
+		p := q.Pop()
+		fr.affected = append(fr.affected, p)
+		next := graph.AddDist(p.D, 1)
+		for _, w := range frontier(p.V) {
+			if _, seen := fr.newDist[w]; seen {
+				continue
+			}
+			if cache(w) >= next {
+				fr.newDist[w] = next
+				q.Push(queue.Pair{V: w, D: next})
+			}
+		}
+		// Repair classifies through shortest-path parents, which lie on the
+		// opposite adjacency — cache their old distances now, while the
+		// labelling still reflects the old graph.
+		for _, w := range parents(p.V) {
+			if _, seen := fr.newDist[w]; !seen {
+				cache(w)
+			}
+		}
+	}
+	return fr, true
+}
+
+// repairAffected walks one pass's affected set in level order and applies
+// the covered/uncovered classification of Lemma 4.6 in the pass direction.
+func (idx *Index) repairAffected(fr *findResult, st *Stats) {
+	r := fr.rank
+	root := idx.Landmarks[r]
+	labels := idx.Lb
+	parents := idx.G.Out
+	if fr.fwd {
+		labels = idx.Lf
+		parents = idx.G.In
+	}
+	covered := make(map[uint32]bool, len(fr.affected))
+	for _, p := range fr.affected {
+		w, d := p.V, p.D
+		if s := idx.rankArr[w]; s != noRank {
+			if fr.fwd {
+				idx.setHighway(r, s, d) // d(r→s) decreased
+			} else {
+				idx.setHighway(s, r, d) // d(s→r) decreased
+			}
+			st.HighwayUpdates++
+			covered[w] = true
+			continue
+		}
+		cov := false
+		for _, n := range parents(w) {
+			nd, affected := fr.newDist[n]
+			if !affected {
+				var ok bool
+				nd, ok = fr.oldDist[n]
+				if !ok {
+					continue
+				}
+			}
+			if nd != d-1 {
+				continue
+			}
+			if affected {
+				if covered[n] {
+					cov = true
+					break
+				}
+				continue
+			}
+			if idx.rankArr[n] != noRank {
+				if n != root {
+					cov = true
+					break
+				}
+				continue
+			}
+			if _, has := labels[n].Get(r); !has {
+				cov = true
+				break
+			}
+		}
+		covered[w] = cov
+		if cov {
+			var removed bool
+			labels[w], removed = labels[w].Remove(r)
+			if removed {
+				st.EntriesRemoved++
+			}
+		} else {
+			labels[w] = labels[w].Set(r, d)
+			st.EntriesAdded++
+		}
+	}
+}

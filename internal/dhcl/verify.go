@@ -1,0 +1,59 @@
+package dhcl
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// VerifyCover checks both directions of the directed highway cover property
+// against ground-truth BFS: DistF(r,v) = d(r→v) and DistB(r,v) = d(v→r)
+// for every landmark and vertex. O(|R|·|E|); for tests and audits.
+func (idx *Index) VerifyCover() error {
+	n := idx.G.NumVertices()
+	dist := make([]graph.Dist, n)
+	for r := range idx.Landmarks {
+		idx.G.Forward(idx.Landmarks[r], dist)
+		for v := 0; v < n; v++ {
+			if got := idx.DistF(uint16(r), uint32(v)); got != dist[v] {
+				return fmt.Errorf("dhcl: forward cover violated: landmark %d to %d: label %d, BFS %d",
+					idx.Landmarks[r], v, got, dist[v])
+			}
+		}
+		idx.G.Backward(idx.Landmarks[r], dist)
+		for v := 0; v < n; v++ {
+			if got := idx.DistB(uint16(r), uint32(v)); got != dist[v] {
+				return fmt.Errorf("dhcl: backward cover violated: %d to landmark %d: label %d, BFS %d",
+					v, idx.Landmarks[r], got, dist[v])
+			}
+		}
+	}
+	return nil
+}
+
+// EqualLabels reports whether two indexes hold identical labels and
+// highway, returning a descriptive error on the first difference. Used by
+// tests to assert that incremental maintenance reproduces a fresh build
+// exactly (minimality preservation in both directions).
+func (idx *Index) EqualLabels(o *Index) error {
+	if len(idx.Lf) != len(o.Lf) {
+		return fmt.Errorf("dhcl: label table size differs: %d vs %d", len(idx.Lf), len(o.Lf))
+	}
+	for v := range idx.Lf {
+		if !idx.Lf[v].Equal(o.Lf[v]) {
+			return fmt.Errorf("dhcl: forward label of %d differs: %v vs %v", v, idx.Lf[v], o.Lf[v])
+		}
+		if !idx.Lb[v].Equal(o.Lb[v]) {
+			return fmt.Errorf("dhcl: backward label of %d differs: %v vs %v", v, idx.Lb[v], o.Lb[v])
+		}
+	}
+	if idx.k != o.k {
+		return fmt.Errorf("dhcl: landmark count differs: %d vs %d", idx.k, o.k)
+	}
+	for i := range idx.hf {
+		if idx.hf[i] != o.hf[i] {
+			return fmt.Errorf("dhcl: highway cell %d differs: %d vs %d", i, idx.hf[i], o.hf[i])
+		}
+	}
+	return nil
+}

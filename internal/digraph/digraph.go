@@ -1,0 +1,221 @@
+// Package digraph provides the directed dynamic graph substrate for the
+// directed extension of IncHL+ (Section 5 of Farhan & Wang, EDBT 2021):
+// adjacency in both directions, online edge/vertex insertion, and the
+// forward/backward BFS primitives the directed labelling needs.
+package digraph
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/queue"
+)
+
+// Digraph is a directed, unweighted dynamic graph over vertices
+// 0..NumVertices-1. Both out- and in-adjacency are maintained so backward
+// searches run without transposition. The zero value is ready to use.
+type Digraph struct {
+	out   [][]uint32
+	in    [][]uint32
+	edges uint64
+}
+
+// New returns an empty digraph with capacity hints for n vertices.
+func New(n int) *Digraph {
+	return &Digraph{out: make([][]uint32, 0, n), in: make([][]uint32, 0, n)}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Digraph) NumVertices() int { return len(g.out) }
+
+// NumEdges returns the number of directed edges.
+func (g *Digraph) NumEdges() uint64 { return g.edges }
+
+// AddVertex appends a new isolated vertex and returns its id.
+func (g *Digraph) AddVertex() uint32 {
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return uint32(len(g.out) - 1)
+}
+
+// HasVertex reports whether v exists.
+func (g *Digraph) HasVertex(v uint32) bool { return int(v) < len(g.out) }
+
+// Out returns the out-neighbours of v (owned by the graph; do not modify).
+func (g *Digraph) Out(v uint32) []uint32 { return g.out[v] }
+
+// In returns the in-neighbours of v (owned by the graph; do not modify).
+func (g *Digraph) In(v uint32) []uint32 { return g.in[v] }
+
+// HasEdge reports whether the directed edge u→v exists.
+func (g *Digraph) HasEdge(u, v uint32) bool {
+	if int(u) >= len(g.out) || int(v) >= len(g.out) {
+		return false
+	}
+	for _, w := range g.out[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge inserts the directed edge u→v, reporting whether it was new.
+func (g *Digraph) AddEdge(u, v uint32) (bool, error) {
+	if u == v {
+		return false, graph.ErrSelfLoop
+	}
+	if int(u) >= len(g.out) || int(v) >= len(g.out) {
+		return false, fmt.Errorf("%w: edge (%d,%d) with %d vertices", graph.ErrVertexUnknown, u, v, len(g.out))
+	}
+	if g.HasEdge(u, v) {
+		return false, nil
+	}
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	g.edges++
+	return true, nil
+}
+
+// MustAddEdge inserts u→v, growing the vertex set as needed.
+func (g *Digraph) MustAddEdge(u, v uint32) bool {
+	for uint32(len(g.out)) <= max(u, v) {
+		g.AddVertex()
+	}
+	ok, err := g.AddEdge(u, v)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// Clone returns a deep copy.
+func (g *Digraph) Clone() *Digraph {
+	c := &Digraph{out: make([][]uint32, len(g.out)), in: make([][]uint32, len(g.in)), edges: g.edges}
+	for v := range g.out {
+		if len(g.out[v]) > 0 {
+			c.out[v] = append([]uint32(nil), g.out[v]...)
+		}
+		if len(g.in[v]) > 0 {
+			c.in[v] = append([]uint32(nil), g.in[v]...)
+		}
+	}
+	return c
+}
+
+// OutDegree and InDegree report adjacency sizes.
+func (g *Digraph) OutDegree(v uint32) int { return len(g.out[v]) }
+
+// InDegree reports the number of in-neighbours of v.
+func (g *Digraph) InDegree(v uint32) int { return len(g.in[v]) }
+
+// Forward computes d(src→v) for all v into dist (length NumVertices).
+func (g *Digraph) Forward(src uint32, dist []graph.Dist) {
+	g.bfs(src, dist, g.out)
+}
+
+// Backward computes d(v→src) for all v into dist.
+func (g *Digraph) Backward(src uint32, dist []graph.Dist) {
+	g.bfs(src, dist, g.in)
+}
+
+func (g *Digraph) bfs(src uint32, dist []graph.Dist, adj [][]uint32) {
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	dist[src] = 0
+	q := queue.NewUint32(64)
+	q.Push(src)
+	for !q.Empty() {
+		v := q.Pop()
+		dv := dist[v]
+		for _, w := range adj[v] {
+			if dist[w] == graph.Inf {
+				dist[w] = dv + 1
+				q.Push(w)
+			}
+		}
+	}
+}
+
+// Dist returns the exact directed distance u→v by plain BFS (test oracle).
+func (g *Digraph) Dist(u, v uint32) graph.Dist {
+	if u == v {
+		return 0
+	}
+	dist := make([]graph.Dist, g.NumVertices())
+	g.Forward(u, dist)
+	return dist[v]
+}
+
+// Sparsified runs a bounded bidirectional directed BFS from u (forward) and
+// v (backward) on the subgraph excluding vertices for which avoid reports
+// true (endpoints exempt), returning the u→v distance or graph.Inf if it
+// exceeds bound. Scratch conventions match bfs.Sparsified.
+func (g *Digraph) Sparsified(u, v uint32, bound graph.Dist, avoid func(uint32) bool, distU, distV []graph.Dist, touched *[]uint32) graph.Dist {
+	if u == v {
+		return 0
+	}
+	if bound == 0 {
+		return graph.Inf
+	}
+	*touched = (*touched)[:0]
+	defer func() {
+		for _, x := range *touched {
+			distU[x] = graph.Inf
+			distV[x] = graph.Inf
+		}
+	}()
+	distU[u] = 0
+	distV[v] = 0
+	*touched = append(*touched, u, v)
+	frontU := []uint32{u}
+	frontV := []uint32{v}
+	var du, dv graph.Dist
+	best := graph.Inf
+	if bound != graph.Inf {
+		best = bound + 1
+	}
+	for len(frontU) > 0 && len(frontV) > 0 {
+		if best != graph.Inf && graph.AddDist(graph.AddDist(du, dv), 1) >= best {
+			break
+		}
+		if len(frontU) <= len(frontV) {
+			frontU = g.expand(g.out, u, v, frontU, du, distU, distV, avoid, &best, touched)
+			du++
+		} else {
+			frontV = g.expand(g.in, v, u, frontV, dv, distV, distU, avoid, &best, touched)
+			dv++
+		}
+	}
+	if bound != graph.Inf && best > bound {
+		return graph.Inf
+	}
+	return best
+}
+
+func (g *Digraph) expand(adj [][]uint32, src, dst uint32, front []uint32, depth graph.Dist, dist, other []graph.Dist, avoid func(uint32) bool, best *graph.Dist, touched *[]uint32) []uint32 {
+	var next []uint32
+	for _, x := range front {
+		if avoid != nil && x != src && avoid(x) {
+			continue
+		}
+		for _, w := range adj[x] {
+			if dist[w] != graph.Inf {
+				continue
+			}
+			if avoid != nil && w != dst && w != src && avoid(w) {
+				continue
+			}
+			dist[w] = depth + 1
+			*touched = append(*touched, w)
+			if other[w] != graph.Inf {
+				if t := graph.AddDist(depth+1, other[w]); t < *best {
+					*best = t
+				}
+			}
+			next = append(next, w)
+		}
+	}
+	return next
+}

@@ -1,0 +1,139 @@
+package digraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func cycle(n int) *Digraph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex()
+	}
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(uint32(i), uint32((i+1)%n))
+	}
+	return g
+}
+
+func TestCycleDistances(t *testing.T) {
+	g := cycle(5)
+	if got := g.Dist(0, 4); got != 4 {
+		t.Errorf("Dist(0,4): got %d, want 4 (must go the long way)", got)
+	}
+	if got := g.Dist(4, 0); got != 1 {
+		t.Errorf("Dist(4,0): got %d, want 1", got)
+	}
+}
+
+func TestInOutAdjacency(t *testing.T) {
+	g := New(3)
+	for i := 0; i < 3; i++ {
+		g.AddVertex()
+	}
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 2)
+	if g.OutDegree(2) != 0 || g.InDegree(2) != 2 {
+		t.Errorf("degrees of 2: out %d in %d", g.OutDegree(2), g.InDegree(2))
+	}
+	if len(g.Out(0)) != 1 || g.Out(0)[0] != 2 {
+		t.Errorf("Out(0): %v", g.Out(0))
+	}
+	if len(g.In(2)) != 2 {
+		t.Errorf("In(2): %v", g.In(2))
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges: %d", g.NumEdges())
+	}
+}
+
+func TestSparsifiedDirectedMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for iter := 0; iter < 200; iter++ {
+		n := 25
+		g := New(n)
+		for i := 0; i < n; i++ {
+			g.AddVertex()
+		}
+		for i := 0; i < 60; i++ {
+			u := uint32(rng.Intn(n))
+			v := uint32(rng.Intn(n))
+			if u != v {
+				_, _ = g.AddEdge(u, v)
+			}
+		}
+		av := uint32(rng.Intn(n))
+		u := uint32(rng.Intn(n))
+		v := uint32(rng.Intn(n))
+		avoid := func(x uint32) bool { return x == av }
+		// Oracle: BFS on a copy without the avoided vertex's edges
+		// (endpoints exempt).
+		pruned := New(n)
+		for i := 0; i < n; i++ {
+			pruned.AddVertex()
+		}
+		for x := uint32(0); x < uint32(n); x++ {
+			for _, y := range g.Out(x) {
+				xBad := avoid(x) && x != u && x != v
+				yBad := avoid(y) && y != u && y != v
+				if !xBad && !yBad {
+					pruned.MustAddEdge(x, y)
+				}
+			}
+		}
+		want := pruned.Dist(u, v)
+		distU := make([]graph.Dist, n)
+		distV := make([]graph.Dist, n)
+		for i := 0; i < n; i++ {
+			distU[i] = graph.Inf
+			distV[i] = graph.Inf
+		}
+		var touched []uint32
+		got := g.Sparsified(u, v, graph.Inf, avoid, distU, distV, &touched)
+		if got != want {
+			t.Fatalf("iter %d: Sparsified(%d,%d) avoiding %d: got %d, want %d", iter, u, v, av, got, want)
+		}
+		for i := 0; i < n; i++ {
+			if distU[i] != graph.Inf || distV[i] != graph.Inf {
+				t.Fatal("scratch not restored")
+			}
+		}
+	}
+}
+
+func TestSparsifiedDirectedBound(t *testing.T) {
+	g := cycle(8)
+	distU := make([]graph.Dist, 8)
+	distV := make([]graph.Dist, 8)
+	for i := range distU {
+		distU[i] = graph.Inf
+		distV[i] = graph.Inf
+	}
+	var touched []uint32
+	if got := g.Sparsified(0, 5, 4, nil, distU, distV, &touched); got != graph.Inf {
+		t.Errorf("bound 4 on distance 5: got %d", got)
+	}
+	if got := g.Sparsified(0, 5, 5, nil, distU, distV, &touched); got != 5 {
+		t.Errorf("bound 5 on distance 5: got %d", got)
+	}
+}
+
+func TestCloneAndErrors(t *testing.T) {
+	g := cycle(4)
+	c := g.Clone()
+	c.MustAddEdge(0, 2)
+	if g.HasEdge(0, 2) {
+		t.Error("clone leaked")
+	}
+	if _, err := g.AddEdge(1, 1); err == nil {
+		t.Error("self-loop must fail")
+	}
+	if _, err := g.AddEdge(0, 50); err == nil {
+		t.Error("unknown vertex must fail")
+	}
+	if ok, _ := g.AddEdge(0, 1); ok {
+		t.Error("duplicate must report false")
+	}
+}

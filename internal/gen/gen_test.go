@@ -1,0 +1,145 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	g := BarabasiAlbert(500, 4, 1)
+	if g.NumVertices() != 500 {
+		t.Fatalf("vertices: got %d", g.NumVertices())
+	}
+	// ~ (n - m) * m edges.
+	if e := g.NumEdges(); e < 1800 || e > 2000 {
+		t.Errorf("edges: got %d, want ≈1984", e)
+	}
+	if graph.LargestComponentSize(g) != 500 {
+		t.Error("BA graph must be connected")
+	}
+	// Preferential attachment must produce a hub well above the mean degree.
+	hub := g.MaxDegreeVertex()
+	if g.Degree(hub) < 3*int(graph.AvgDegree(g)) {
+		t.Errorf("max degree %d not hub-like (avg %.1f)", g.Degree(hub), graph.AvgDegree(g))
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a := BarabasiAlbert(200, 3, 42)
+	b := BarabasiAlbert(200, 3, 42)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed must give same graph")
+	}
+	same := true
+	a.Edges(func(u, v uint32) {
+		if !b.HasEdge(u, v) {
+			same = false
+		}
+	})
+	if !same {
+		t.Fatal("edge sets differ for identical seeds")
+	}
+	c := BarabasiAlbert(200, 3, 43)
+	diff := false
+	a.Edges(func(u, v uint32) {
+		if !c.HasEdge(u, v) {
+			diff = true
+		}
+	})
+	if !diff {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(300, 600, 7)
+	if g.NumVertices() != 300 {
+		t.Fatalf("vertices: got %d", g.NumVertices())
+	}
+	if e := g.NumEdges(); e != 600 {
+		t.Errorf("edges: got %d, want 600", e)
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(200, 6, 0.1, 3)
+	if g.NumVertices() != 200 {
+		t.Fatalf("vertices: got %d", g.NumVertices())
+	}
+	// Ring lattice has exactly n*k/2 edges; rewiring preserves the count
+	// except for rare dead rewires.
+	if e := g.NumEdges(); e < 560 || e > 600 {
+		t.Errorf("edges: got %d, want ≈600", e)
+	}
+	// beta=0 must be the pure lattice.
+	lat := WattsStrogatz(50, 4, 0, 1)
+	if !lat.HasEdge(0, 1) || !lat.HasEdge(0, 2) || lat.HasEdge(0, 3) {
+		t.Error("beta=0 lattice edges wrong")
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(9, 2000, 0.57, 0.19, 0.19, 5)
+	if g.NumVertices() != 512 {
+		t.Fatalf("vertices: got %d", g.NumVertices())
+	}
+	if e := g.NumEdges(); e < 1500 {
+		t.Errorf("edges: got %d, want ≈2000", e)
+	}
+	hub := g.MaxDegreeVertex()
+	if g.Degree(hub) < 2*int(graph.AvgDegree(g)) {
+		t.Errorf("R-MAT should be skewed: max %d avg %.1f", g.Degree(hub), graph.AvgDegree(g))
+	}
+}
+
+func TestWebLocalityLongGraph(t *testing.T) {
+	web := WebLocality(4000, 10, 60, 0.02, 9)
+	social := BarabasiAlbert(4000, 5, 9)
+	if graph.LargestComponentSize(web) != 4000 {
+		t.Fatal("web graph must be connected")
+	}
+	dWeb := graph.AvgDistance(web, 30, 1)
+	dSoc := graph.AvgDistance(social, 30, 1)
+	if dWeb < 2*dSoc {
+		t.Errorf("web proxy should be much longer than social: web %.2f vs social %.2f", dWeb, dSoc)
+	}
+}
+
+func TestGeneratorsNoSelfLoopsOrDuplicates(t *testing.T) {
+	// The graph type enforces both; reaching here without panic plus a
+	// consistent edge count is the check.
+	for name, g := range map[string]*graph.Graph{
+		"ba":   BarabasiAlbert(100, 3, 2),
+		"er":   ErdosRenyi(100, 200, 2),
+		"ws":   WattsStrogatz(100, 4, 0.2, 2),
+		"rmat": RMAT(7, 300, 0.57, 0.19, 0.19, 2),
+		"web":  WebLocality(100, 6, 10, 0.05, 2),
+	} {
+		count := uint64(0)
+		g.Edges(func(u, v uint32) {
+			if u == v {
+				t.Errorf("%s: self-loop at %d", name, u)
+			}
+			count++
+		})
+		if count != g.NumEdges() {
+			t.Errorf("%s: edge iteration count %d != NumEdges %d", name, count, g.NumEdges())
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	if g := BarabasiAlbert(0, 3, 1); g.NumVertices() != 0 {
+		t.Error("empty BA")
+	}
+	if g := BarabasiAlbert(1, 3, 1); g.NumVertices() != 1 || g.NumEdges() != 0 {
+		t.Error("singleton BA")
+	}
+	if g := WebLocality(1, 4, 5, 0, 1); g.NumEdges() != 0 {
+		t.Error("singleton web")
+	}
+	if g := WattsStrogatz(5, 10, 0.5, 1); g.NumVertices() != 5 {
+		t.Error("WS with k>n must clamp")
+	}
+}

@@ -1,0 +1,162 @@
+// Package graph implements the dynamic graph substrate for the IncHL+
+// reproduction: an undirected, unweighted graph stored as adjacency lists
+// that supports online vertex and edge insertions, the update model of
+// Farhan & Wang (EDBT 2021).
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Dist is a shortest-path distance in hops. Unreachable pairs have distance
+// Inf; all distance arithmetic in this repository saturates at Inf.
+type Dist = uint32
+
+// Inf is the distance between disconnected vertices.
+const Inf Dist = ^Dist(0)
+
+// AddDist returns a+b, saturating at Inf.
+func AddDist(a, b Dist) Dist {
+	if a == Inf || b == Inf {
+		return Inf
+	}
+	if c := a + b; c >= a { // no wrap
+		return c
+	}
+	return Inf
+}
+
+// Errors reported by mutating operations.
+var (
+	ErrSelfLoop      = errors.New("graph: self-loops are not supported")
+	ErrVertexUnknown = errors.New("graph: vertex does not exist")
+)
+
+// Graph is an undirected, unweighted dynamic graph over vertices
+// 0..NumVertices-1. The zero value is an empty graph ready to use.
+//
+// Parallel edges are rejected (AddEdge reports false), matching the paper's
+// edge-insertion model where (a,b) ∉ E.
+type Graph struct {
+	adj   [][]uint32
+	edges uint64
+}
+
+// New returns an empty graph with capacity hints for n vertices.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]uint32, 0, n)}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of (undirected) edges.
+func (g *Graph) NumEdges() uint64 { return g.edges }
+
+// AddVertex appends a new isolated vertex and returns its id.
+func (g *Graph) AddVertex() uint32 {
+	g.adj = append(g.adj, nil)
+	return uint32(len(g.adj) - 1)
+}
+
+// EnsureVertex grows the graph so that vertex v exists.
+func (g *Graph) EnsureVertex(v uint32) {
+	for uint32(len(g.adj)) <= v {
+		g.adj = append(g.adj, nil)
+	}
+}
+
+// HasVertex reports whether v is a vertex of the graph.
+func (g *Graph) HasVertex(v uint32) bool { return int(v) < len(g.adj) }
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v uint32) int { return len(g.adj[v]) }
+
+// Neighbors returns the adjacency list of v. The returned slice is owned by
+// the graph and must not be modified; it may be invalidated by AddEdge.
+func (g *Graph) Neighbors(v uint32) []uint32 { return g.adj[v] }
+
+// HasEdge reports whether the undirected edge (u,v) exists.
+func (g *Graph) HasEdge(u, v uint32) bool {
+	if int(u) >= len(g.adj) || int(v) >= len(g.adj) {
+		return false
+	}
+	a, b := u, v
+	// Scan the shorter list.
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	for _, w := range g.adj[a] {
+		if w == b {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge inserts the undirected edge (u,v). It reports whether the edge was
+// new. It returns ErrSelfLoop for u == v and ErrVertexUnknown when either
+// endpoint does not exist.
+func (g *Graph) AddEdge(u, v uint32) (bool, error) {
+	if u == v {
+		return false, ErrSelfLoop
+	}
+	if int(u) >= len(g.adj) || int(v) >= len(g.adj) {
+		return false, fmt.Errorf("%w: edge (%d,%d) with %d vertices", ErrVertexUnknown, u, v, len(g.adj))
+	}
+	if g.HasEdge(u, v) {
+		return false, nil
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.edges++
+	return true, nil
+}
+
+// MustAddEdge inserts (u,v), growing the vertex set as needed, and panics on
+// a self-loop. It is a convenience for generators and tests.
+func (g *Graph) MustAddEdge(u, v uint32) bool {
+	g.EnsureVertex(u)
+	g.EnsureVertex(v)
+	ok, err := g.AddEdge(u, v)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]uint32, len(g.adj)), edges: g.edges}
+	for v, ns := range g.adj {
+		if len(ns) == 0 {
+			continue
+		}
+		c.adj[v] = append([]uint32(nil), ns...)
+	}
+	return c
+}
+
+// Edges calls fn for every undirected edge exactly once, with u < v.
+func (g *Graph) Edges(fn func(u, v uint32)) {
+	for u, ns := range g.adj {
+		for _, v := range ns {
+			if uint32(u) < v {
+				fn(uint32(u), v)
+			}
+		}
+	}
+}
+
+// MaxDegreeVertex returns the vertex with the largest degree, breaking ties
+// by smaller id. It returns 0 for an empty graph.
+func (g *Graph) MaxDegreeVertex() uint32 {
+	best, bestDeg := uint32(0), -1
+	for v, ns := range g.adj {
+		if len(ns) > bestDeg {
+			best, bestDeg = uint32(v), len(ns)
+		}
+	}
+	return best
+}

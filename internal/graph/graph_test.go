@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddVertexAndEdge(t *testing.T) {
+	g := New(4)
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatal("new graph must be empty")
+	}
+	a := g.AddVertex()
+	b := g.AddVertex()
+	if a != 0 || b != 1 {
+		t.Fatalf("vertex ids: got %d,%d", a, b)
+	}
+	ok, err := g.AddEdge(a, b)
+	if err != nil || !ok {
+		t.Fatalf("AddEdge: %v %v", ok, err)
+	}
+	if !g.HasEdge(a, b) || !g.HasEdge(b, a) {
+		t.Error("edge must be undirected")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges: got %d, want 1", g.NumEdges())
+	}
+	ok, err = g.AddEdge(a, b)
+	if err != nil || ok {
+		t.Errorf("duplicate AddEdge: got %v,%v want false,nil", ok, err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges after duplicate: got %d", g.NumEdges())
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(2)
+	g.AddVertex()
+	g.AddVertex()
+	if _, err := g.AddEdge(0, 0); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self loop: got %v", err)
+	}
+	if _, err := g.AddEdge(0, 5); !errors.Is(err, ErrVertexUnknown) {
+		t.Errorf("unknown vertex: got %v", err)
+	}
+}
+
+func TestEnsureVertex(t *testing.T) {
+	g := New(0)
+	g.EnsureVertex(4)
+	if g.NumVertices() != 5 {
+		t.Fatalf("NumVertices: got %d, want 5", g.NumVertices())
+	}
+	g.EnsureVertex(2) // no shrink
+	if g.NumVertices() != 5 {
+		t.Fatalf("NumVertices after smaller ensure: got %d", g.NumVertices())
+	}
+	if !g.HasVertex(4) || g.HasVertex(5) {
+		t.Error("HasVertex wrong")
+	}
+}
+
+func TestNeighborsAndDegree(t *testing.T) {
+	g := New(3)
+	for i := 0; i < 3; i++ {
+		g.AddVertex()
+	}
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	if g.Degree(0) != 2 || g.Degree(1) != 1 {
+		t.Errorf("degrees: %d %d", g.Degree(0), g.Degree(1))
+	}
+	ns := g.Neighbors(0)
+	if len(ns) != 2 {
+		t.Fatalf("Neighbors(0): %v", ns)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	for i := 0; i < 3; i++ {
+		g.AddVertex()
+	}
+	g.MustAddEdge(0, 1)
+	c := g.Clone()
+	c.MustAddEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Error("mutating clone leaked into original")
+	}
+	if c.NumEdges() != 2 || g.NumEdges() != 1 {
+		t.Errorf("edge counts: clone %d orig %d", c.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestEdgesIteratesOnce(t *testing.T) {
+	g := New(4)
+	for i := 0; i < 4; i++ {
+		g.AddVertex()
+	}
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 1)
+	g.MustAddEdge(3, 0)
+	seen := map[[2]uint32]int{}
+	g.Edges(func(u, v uint32) {
+		if u >= v {
+			t.Errorf("Edges must yield u < v, got (%d,%d)", u, v)
+		}
+		seen[[2]uint32{u, v}]++
+	})
+	if len(seen) != 3 {
+		t.Fatalf("Edges yielded %d pairs, want 3", len(seen))
+	}
+	for e, c := range seen {
+		if c != 1 {
+			t.Errorf("edge %v yielded %d times", e, c)
+		}
+	}
+}
+
+func TestMaxDegreeVertex(t *testing.T) {
+	g := New(4)
+	for i := 0; i < 4; i++ {
+		g.AddVertex()
+	}
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(2, 1)
+	g.MustAddEdge(2, 3)
+	if got := g.MaxDegreeVertex(); got != 2 {
+		t.Errorf("MaxDegreeVertex: got %d, want 2", got)
+	}
+}
+
+func TestAddDistSaturates(t *testing.T) {
+	cases := []struct{ a, b, want Dist }{
+		{1, 2, 3},
+		{Inf, 1, Inf},
+		{1, Inf, Inf},
+		{Inf, Inf, Inf},
+		{Inf - 1, 2, Inf},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := AddDist(c.a, c.b); got != c.want {
+			t.Errorf("AddDist(%d,%d): got %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHasEdgeQuickMirrorsMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(12)
+		for i := 0; i < 12; i++ {
+			g.AddVertex()
+		}
+		m := map[[2]uint32]bool{}
+		for i := 0; i < 40; i++ {
+			u := uint32(rng.Intn(12))
+			v := uint32(rng.Intn(12))
+			if u == v {
+				continue
+			}
+			_, _ = g.AddEdge(u, v)
+			a, b := min(u, v), max(u, v)
+			m[[2]uint32{a, b}] = true
+		}
+		for u := uint32(0); u < 12; u++ {
+			for v := uint32(0); v < 12; v++ {
+				if u == v {
+					continue
+				}
+				a, b := min(u, v), max(u, v)
+				if g.HasEdge(u, v) != m[[2]uint32{a, b}] {
+					return false
+				}
+			}
+		}
+		return uint64(len(m)) == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

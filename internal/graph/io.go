@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list, one "u v" pair per
+// line. Lines that are empty or start with '#' or '%' are skipped (the
+// comment conventions of SNAP and KONECT dumps). Vertices are created as
+// needed; duplicate edges and self-loops are silently dropped, matching how
+// the paper treats its inputs as simple undirected graphs.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	g := New(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least two fields, got %q", line, text)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %w", line, fields[0], err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %w", line, fields[1], err)
+		}
+		if u == v {
+			continue
+		}
+		g.EnsureVertex(uint32(u))
+		g.EnsureVertex(uint32(v))
+		if _, err := g.AddEdge(uint32(u), uint32(v)); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return g, nil
+}
+
+// WriteEdgeList writes the graph as a "u v" edge list with a header comment,
+// the inverse of ReadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# vertices=%d edges=%d\n", g.NumVertices(), g.NumEdges())
+	var err error
+	g.Edges(func(u, v uint32) {
+		if err == nil {
+			_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("graph: writing edge list: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: writing edge list: %w", err)
+	}
+	return nil
+}

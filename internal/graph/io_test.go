@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# a comment
+% another comment
+
+0 1
+1 2 extra-ignored
+2 0
+2 2
+0 1
+5 1
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.NumVertices() != 6 {
+		t.Errorf("NumVertices: got %d, want 6", g.NumVertices())
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges: got %d, want 4 (self-loop and duplicate dropped)", g.NumEdges())
+	}
+	if !g.HasEdge(5, 1) {
+		t.Error("edge (5,1) missing")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{"0", "x 1", "1 y", "1 99999999999999999999"} {
+		if _, err := ReadEdgeList(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q should fail", bad)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := New(5)
+	for i := 0; i < 5; i++ {
+		g.AddVertex()
+	}
+	g.MustAddEdge(0, 3)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(1, 2)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if back.NumEdges() != g.NumEdges() || back.NumVertices() != g.NumVertices() {
+		t.Fatalf("round trip mismatch: %d/%d vs %d/%d",
+			back.NumVertices(), back.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	g.Edges(func(u, v uint32) {
+		if !back.HasEdge(u, v) {
+			t.Errorf("edge (%d,%d) lost in round trip", u, v)
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func path(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex()
+	}
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(uint32(i), uint32(i+1))
+	}
+	return g
+}
+
+func TestAvgDegree(t *testing.T) {
+	g := path(5) // 4 edges, 5 vertices
+	if got := AvgDegree(g); math.Abs(got-1.6) > 1e-9 {
+		t.Errorf("AvgDegree: got %v, want 1.6", got)
+	}
+	if got := AvgDegree(New(0)); got != 0 {
+		t.Errorf("AvgDegree empty: got %v", got)
+	}
+}
+
+func TestAvgDistancePath(t *testing.T) {
+	// On a path of 5 vertices the all-pairs average distance is 2.0;
+	// sampling every vertex as a source must reproduce it exactly.
+	g := path(5)
+	if got := AvgDistance(g, 5, 1); math.Abs(got-2.0) > 0.35 {
+		t.Errorf("AvgDistance: got %v, want ≈2.0", got)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6)
+	for i := 0; i < 6; i++ {
+		g.AddVertex()
+	}
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(3, 4)
+	comp, n := ConnectedComponents(g)
+	if n != 3 {
+		t.Fatalf("components: got %d, want 3", n)
+	}
+	if comp[0] != comp[2] || comp[3] != comp[4] || comp[0] == comp[3] || comp[5] == comp[0] {
+		t.Errorf("component assignment wrong: %v", comp)
+	}
+	if got := LargestComponentSize(g); got != 3 {
+		t.Errorf("LargestComponentSize: got %d, want 3", got)
+	}
+}

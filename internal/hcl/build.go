@@ -1,0 +1,199 @@
+package hcl
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/queue"
+)
+
+// Build constructs the minimal highway cover labelling of g for the given
+// landmark set.
+//
+// For each landmark r it runs one breadth-first search computing exact
+// distances together with a "covered" flag propagated along shortest-path
+// DAG edges: covered(v) holds iff some shortest r–v path contains a landmark
+// other than r. Vertex v ∉ R receives the entry (r, d_G(r,v)) iff it is not
+// covered — exactly the minimal labelling characterised in the paper
+// (Theorem 5.1/5.2: an entry exists iff the shortest paths P_G(r,v) contain
+// no landmark besides r). Landmark-to-landmark distances feed the highway.
+func Build(g *graph.Graph, landmarks []uint32) (*Index, error) {
+	if err := checkLandmarks(g, landmarks); err != nil {
+		return nil, err
+	}
+	idx := newIndex(g, landmarks)
+	n := g.NumVertices()
+	dist := make([]graph.Dist, n)
+	covered := make([]bool, n)
+	var q queue.Uint32
+	for r := range idx.Landmarks {
+		bfsLandmark(g, idx, uint16(r), dist, covered, &q, func(v uint32, d graph.Dist) {
+			idx.L[v] = append(idx.L[v], Entry{Rank: uint16(r), D: d})
+		})
+	}
+	return idx, nil
+}
+
+// BuildParallel is Build with the per-landmark searches fanned out over
+// workers goroutines (0 means GOMAXPROCS). The resulting index is identical
+// to the serial one: per-landmark entry lists are merged in rank order.
+func BuildParallel(g *graph.Graph, landmarks []uint32, workers int) (*Index, error) {
+	if err := checkLandmarks(g, landmarks); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	idx := newIndex(g, landmarks)
+	k := len(landmarks)
+	if workers > k {
+		workers = k
+	}
+	type entryList struct {
+		v []uint32
+		d []graph.Dist
+	}
+	perRank := make([]entryList, k)
+	ranks := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards the highway writes
+	n := g.NumVertices()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dist := make([]graph.Dist, n)
+			covered := make([]bool, n)
+			var q queue.Uint32
+			for r := range ranks {
+				el := &perRank[r]
+				bfsLandmarkLocked(g, idx, uint16(r), dist, covered, &q, &mu, func(v uint32, d graph.Dist) {
+					el.v = append(el.v, v)
+					el.d = append(el.d, d)
+				})
+			}
+		}()
+	}
+	for r := 0; r < k; r++ {
+		ranks <- r
+	}
+	close(ranks)
+	wg.Wait()
+	for r := 0; r < k; r++ {
+		el := &perRank[r]
+		for i, v := range el.v {
+			idx.L[v] = append(idx.L[v], Entry{Rank: uint16(r), D: el.d[i]})
+		}
+	}
+	return idx, nil
+}
+
+func checkLandmarks(g *graph.Graph, landmarks []uint32) error {
+	if len(landmarks) == 0 {
+		return fmt.Errorf("hcl: need at least one landmark")
+	}
+	if len(landmarks) > 1<<16 {
+		return fmt.Errorf("hcl: at most %d landmarks supported, got %d", 1<<16, len(landmarks))
+	}
+	seen := make(map[uint32]bool, len(landmarks))
+	for _, v := range landmarks {
+		if !g.HasVertex(v) {
+			return fmt.Errorf("hcl: landmark %d is not a vertex of the graph", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("hcl: duplicate landmark %d", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// bfsLandmark runs the covered-flag BFS from landmark rank r, reporting each
+// uncovered non-landmark vertex through emit and recording highway distances.
+func bfsLandmark(g *graph.Graph, idx *Index, r uint16, dist []graph.Dist, covered []bool, q *queue.Uint32, emit func(v uint32, d graph.Dist)) {
+	root := idx.Landmarks[r]
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	order := make([]uint32, 0, 256)
+	dist[root] = 0
+	covered[root] = false
+	q.Reset()
+	q.Push(root)
+	order = append(order, root)
+	for !q.Empty() {
+		v := q.Pop()
+		dv := dist[v]
+		cv := covered[v]
+		for _, w := range g.Neighbors(v) {
+			switch {
+			case dist[w] == graph.Inf:
+				dist[w] = dv + 1
+				covered[w] = cv || (idx.IsLandmark(w) && w != root)
+				q.Push(w)
+				order = append(order, w)
+			case dist[w] == dv+1 && cv:
+				covered[w] = true
+			}
+		}
+	}
+	for _, v := range order {
+		if v == root {
+			continue
+		}
+		if s, isL := idx.Rank(v); isL {
+			idx.H.Set(r, s, dist[v])
+			continue
+		}
+		if !covered[v] {
+			emit(v, dist[v])
+		}
+	}
+}
+
+// bfsLandmarkLocked is bfsLandmark with highway writes serialised by mu, for
+// the parallel builder.
+func bfsLandmarkLocked(g *graph.Graph, idx *Index, r uint16, dist []graph.Dist, covered []bool, q *queue.Uint32, mu *sync.Mutex, emit func(v uint32, d graph.Dist)) {
+	root := idx.Landmarks[r]
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	order := make([]uint32, 0, 256)
+	dist[root] = 0
+	covered[root] = false
+	q.Reset()
+	q.Push(root)
+	order = append(order, root)
+	for !q.Empty() {
+		v := q.Pop()
+		dv := dist[v]
+		cv := covered[v]
+		for _, w := range g.Neighbors(v) {
+			switch {
+			case dist[w] == graph.Inf:
+				dist[w] = dv + 1
+				covered[w] = cv || (idx.IsLandmark(w) && w != root)
+				q.Push(w)
+				order = append(order, w)
+			case dist[w] == dv+1 && cv:
+				covered[w] = true
+			}
+		}
+	}
+	for _, v := range order {
+		if v == root {
+			continue
+		}
+		if s, isL := idx.Rank(v); isL {
+			mu.Lock()
+			idx.H.Set(r, s, dist[v])
+			mu.Unlock()
+			continue
+		}
+		if !covered[v] {
+			emit(v, dist[v])
+		}
+	}
+}

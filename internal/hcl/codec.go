@@ -1,0 +1,134 @@
+package hcl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// Binary index format:
+//
+//	magic "HCL1" | u32 |V| | u32 |R| | landmarks u32×|R| |
+//	highway u32×|R|² | per vertex: u32 count, then (u16 rank, u32 dist)×count
+//
+// All integers little-endian. The graph itself is serialised separately
+// (graph.WriteEdgeList) — an index only makes sense next to its graph, and
+// WriteTo/ReadFrom keep the two artefacts independently inspectable.
+const codecMagic = "HCL1"
+
+// WriteTo serialises the labelling (landmarks, highway, labels) to w.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(codecMagic))
+	if err := write(uint32(len(idx.L))); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(idx.Landmarks))); err != nil {
+		return n, err
+	}
+	if err := write(idx.Landmarks); err != nil {
+		return n, err
+	}
+	if err := write(idx.H.mat); err != nil {
+		return n, err
+	}
+	for _, l := range idx.L {
+		if err := write(uint32(len(l))); err != nil {
+			return n, err
+		}
+		for _, e := range l {
+			if err := write(e.Rank); err != nil {
+				return n, err
+			}
+			if err := write(e.D); err != nil {
+				return n, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadIndex deserialises a labelling written by WriteTo and attaches it to
+// g, which must be the graph the index was built over (vertex count is
+// checked; callers needing a stronger guarantee can run VerifyCover).
+func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(codecMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("hcl: reading index header: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("hcl: bad index magic %q", magic)
+	}
+	var nv, nr uint32
+	if err := binary.Read(br, binary.LittleEndian, &nv); err != nil {
+		return nil, fmt.Errorf("hcl: reading vertex count: %w", err)
+	}
+	if int(nv) != g.NumVertices() {
+		return nil, fmt.Errorf("hcl: index has %d vertices, graph has %d", nv, g.NumVertices())
+	}
+	if err := binary.Read(br, binary.LittleEndian, &nr); err != nil {
+		return nil, fmt.Errorf("hcl: reading landmark count: %w", err)
+	}
+	if nr == 0 || nr > 1<<16 {
+		return nil, fmt.Errorf("hcl: implausible landmark count %d", nr)
+	}
+	landmarks := make([]uint32, nr)
+	if err := binary.Read(br, binary.LittleEndian, landmarks); err != nil {
+		return nil, fmt.Errorf("hcl: reading landmarks: %w", err)
+	}
+	for _, v := range landmarks {
+		if v >= nv {
+			return nil, fmt.Errorf("hcl: landmark %d out of range", v)
+		}
+	}
+	idx := newIndex(g, landmarks)
+	if err := binary.Read(br, binary.LittleEndian, idx.H.mat); err != nil {
+		return nil, fmt.Errorf("hcl: reading highway: %w", err)
+	}
+	for v := uint32(0); v < nv; v++ {
+		var cnt uint32
+		if err := binary.Read(br, binary.LittleEndian, &cnt); err != nil {
+			return nil, fmt.Errorf("hcl: reading label %d: %w", v, err)
+		}
+		if cnt > nr {
+			return nil, fmt.Errorf("hcl: label %d has %d entries for %d landmarks", v, cnt, nr)
+		}
+		if cnt == 0 {
+			continue
+		}
+		l := make(Label, cnt)
+		var prev int32 = -1
+		for i := range l {
+			if err := binary.Read(br, binary.LittleEndian, &l[i].Rank); err != nil {
+				return nil, fmt.Errorf("hcl: reading label %d entry %d: %w", v, i, err)
+			}
+			if err := binary.Read(br, binary.LittleEndian, &l[i].D); err != nil {
+				return nil, fmt.Errorf("hcl: reading label %d entry %d: %w", v, i, err)
+			}
+			if int32(l[i].Rank) <= prev || uint32(l[i].Rank) >= nr {
+				return nil, fmt.Errorf("hcl: label %d entries unsorted or out of range", v)
+			}
+			prev = int32(l[i].Rank)
+		}
+		idx.L[v] = l
+	}
+	return idx, nil
+}

@@ -1,0 +1,48 @@
+package hcl
+
+import "repro/internal/graph"
+
+// Highway stores the exact pairwise distances δ_H between landmarks as a
+// dense symmetric |R|×|R| matrix: δ_H(r1,r2) = d_G(r1,r2) by definition 3.2
+// of the paper.
+type Highway struct {
+	k   int
+	mat []graph.Dist
+}
+
+// NewHighway returns a highway over k landmarks with all distances Inf
+// except the zero diagonal.
+func NewHighway(k int) *Highway {
+	h := &Highway{k: k, mat: make([]graph.Dist, k*k)}
+	for i := range h.mat {
+		h.mat[i] = graph.Inf
+	}
+	for i := 0; i < k; i++ {
+		h.mat[i*k+i] = 0
+	}
+	return h
+}
+
+// K returns the number of landmarks.
+func (h *Highway) K() int { return h.k }
+
+// Dist returns δ_H(i,j).
+func (h *Highway) Dist(i, j uint16) graph.Dist {
+	return h.mat[int(i)*h.k+int(j)]
+}
+
+// Set records δ_H(i,j) = δ_H(j,i) = d.
+func (h *Highway) Set(i, j uint16, d graph.Dist) {
+	h.mat[int(i)*h.k+int(j)] = d
+	h.mat[int(j)*h.k+int(i)] = d
+}
+
+// Clone returns a deep copy.
+func (h *Highway) Clone() *Highway {
+	c := &Highway{k: h.k, mat: make([]graph.Dist, len(h.mat))}
+	copy(c.mat, h.mat)
+	return c
+}
+
+// Bytes is the storage charged for the highway matrix.
+func (h *Highway) Bytes() int64 { return int64(len(h.mat)) * 4 }

@@ -1,0 +1,137 @@
+package hcl
+
+import "repro/internal/graph"
+
+// Index is a highway cover labelling Γ = (H, L) over a graph G: a set of
+// landmarks R, the highway of exact landmark-to-landmark distances, and one
+// distance label per vertex. It answers exact distance queries and is the
+// structure that IncHL+ maintains under insertions.
+//
+// An Index is not safe for concurrent use: queries share scratch buffers.
+type Index struct {
+	G         *graph.Graph
+	Landmarks []uint32 // rank -> vertex id
+	H         *Highway
+	L         []Label // vertex id -> label
+
+	rankOf  map[uint32]uint16 // landmark vertex id -> rank
+	rankArr []uint16          // vertex id -> rank, noRank if not a landmark
+
+	// Scratch reused across queries.
+	distU, distV []graph.Dist
+	touched      []uint32
+}
+
+// noRank marks non-landmark vertices in the rank lookup table.
+const noRank = ^uint16(0)
+
+// newIndex allocates the skeleton of an index over g with the given
+// landmark set (labels empty, highway diagonal only).
+func newIndex(g *graph.Graph, landmarks []uint32) *Index {
+	idx := &Index{
+		G:         g,
+		Landmarks: append([]uint32(nil), landmarks...),
+		H:         NewHighway(len(landmarks)),
+		L:         make([]Label, g.NumVertices()),
+		rankOf:    make(map[uint32]uint16, len(landmarks)),
+	}
+	idx.rankArr = make([]uint16, g.NumVertices())
+	for i := range idx.rankArr {
+		idx.rankArr[i] = noRank
+	}
+	for r, v := range idx.Landmarks {
+		idx.rankOf[v] = uint16(r)
+		idx.rankArr[v] = uint16(r)
+	}
+	return idx
+}
+
+// NumLandmarks returns |R|.
+func (idx *Index) NumLandmarks() int { return len(idx.Landmarks) }
+
+// Rank returns the landmark rank of vertex v, if v is a landmark.
+func (idx *Index) Rank(v uint32) (uint16, bool) {
+	r := idx.rankArr[v]
+	return r, r != noRank
+}
+
+// IsLandmark reports whether v is a landmark.
+func (idx *Index) IsLandmark(v uint32) bool {
+	return idx.rankArr[v] != noRank
+}
+
+// EnsureVertex grows the label table to cover vertex v, for use after the
+// underlying graph gained vertices.
+func (idx *Index) EnsureVertex(v uint32) {
+	for uint32(len(idx.L)) <= v {
+		idx.L = append(idx.L, nil)
+		idx.rankArr = append(idx.rankArr, noRank)
+	}
+}
+
+// EntryDist returns the label entry distance of landmark rank r at vertex v.
+func (idx *Index) EntryDist(v uint32, r uint16) (graph.Dist, bool) {
+	return idx.L[v].Get(r)
+}
+
+// SetEntry adds or modifies the entry of landmark rank r in L(v).
+func (idx *Index) SetEntry(v uint32, r uint16, d graph.Dist) {
+	idx.L[v] = idx.L[v].Set(r, d)
+}
+
+// RemoveEntry removes the entry of landmark rank r from L(v) if present.
+func (idx *Index) RemoveEntry(v uint32, r uint16) bool {
+	l, ok := idx.L[v].Remove(r)
+	idx.L[v] = l
+	return ok
+}
+
+// NumEntries returns size(L), the total number of label entries.
+func (idx *Index) NumEntries() int64 {
+	var n int64
+	for _, l := range idx.L {
+		n += int64(len(l))
+	}
+	return n
+}
+
+// Bytes returns the storage charged for the labelling: EntryBytes per label
+// entry plus the highway matrix.
+func (idx *Index) Bytes() int64 {
+	return idx.NumEntries()*EntryBytes + idx.H.Bytes()
+}
+
+// AvgLabelSize returns size(L)/|V|, the l of the paper's complexity analysis.
+func (idx *Index) AvgLabelSize() float64 {
+	n := idx.G.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return float64(idx.NumEntries()) / float64(n)
+}
+
+// Clone deep-copies the index (sharing the graph pointer), for test oracles
+// that compare incremental maintenance against rebuilds.
+func (idx *Index) Clone() *Index {
+	c := newIndex(idx.G, idx.Landmarks)
+	c.H = idx.H.Clone()
+	for v, l := range idx.L {
+		if len(l) > 0 {
+			c.L[v] = append(Label(nil), l...)
+		}
+	}
+	return c
+}
+
+func (idx *Index) ensureScratch() {
+	n := idx.G.NumVertices()
+	if len(idx.distU) >= n {
+		return
+	}
+	idx.distU = make([]graph.Dist, n)
+	idx.distV = make([]graph.Dist, n)
+	for i := 0; i < n; i++ {
+		idx.distU[i] = graph.Inf
+		idx.distV[i] = graph.Inf
+	}
+}

@@ -1,0 +1,82 @@
+// Package hcl implements highway cover labelling (Farhan et al., EDBT 2019),
+// the distance-labelling substrate that IncHL+ (Farhan & Wang, EDBT 2021)
+// maintains incrementally: per-vertex landmark distance labels, the
+// landmark-to-landmark highway, static construction, and the exact
+// upper-bound + bounded-search query of Section 3 of the paper.
+package hcl
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Entry is one distance entry (r_i, δ_L(r_i, v)) of a vertex label. The
+// landmark is identified by its rank (index into Index.Landmarks), not by
+// vertex id, so entries pack into six meaningful bytes as in compact C++
+// implementations.
+type Entry struct {
+	Rank uint16     // landmark rank in Index.Landmarks
+	D    graph.Dist // exact distance d_G(landmark, v)
+}
+
+// EntryBytes is the storage cost charged per label entry when reporting
+// labelling sizes (2-byte landmark rank + 4-byte distance), mirroring how
+// the paper's implementation accounts for label storage.
+const EntryBytes = 6
+
+// Label is the sorted-by-rank set of distance entries of one vertex.
+type Label []Entry
+
+// Get returns the distance recorded for landmark rank r, if present.
+func (l Label) Get(r uint16) (graph.Dist, bool) {
+	// Labels hold a handful of entries (bounded by |R|); linear scan beats
+	// binary search at these sizes but we exploit sortedness to stop early.
+	for _, e := range l {
+		if e.Rank == r {
+			return e.D, true
+		}
+		if e.Rank > r {
+			break
+		}
+	}
+	return graph.Inf, false
+}
+
+// Set inserts or updates the entry for rank r, keeping the label sorted,
+// returning the updated label (append semantics, like the built-in append).
+func (l Label) Set(r uint16, d graph.Dist) Label {
+	i := sort.Search(len(l), func(i int) bool { return l[i].Rank >= r })
+	if i < len(l) && l[i].Rank == r {
+		l[i].D = d
+		return l
+	}
+	l = append(l, Entry{})
+	copy(l[i+1:], l[i:])
+	l[i] = Entry{Rank: r, D: d}
+	return l
+}
+
+// Remove deletes the entry for rank r if present, reporting whether it was,
+// returning the updated label.
+func (l Label) Remove(r uint16) (Label, bool) {
+	i := sort.Search(len(l), func(i int) bool { return l[i].Rank >= r })
+	if i >= len(l) || l[i].Rank != r {
+		return l, false
+	}
+	copy(l[i:], l[i+1:])
+	return l[:len(l)-1], true
+}
+
+// Equal reports whether two labels hold identical entries.
+func (l Label) Equal(o Label) bool {
+	if len(l) != len(o) {
+		return false
+	}
+	for i := range l {
+		if l[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,88 @@
+package hcl
+
+import (
+	"repro/internal/bfs"
+	"repro/internal/graph"
+)
+
+// UpperBound computes d⊤(u,v), the smallest distance achievable through the
+// highway network (Equation 2 of the paper): the minimum over label entry
+// pairs of δ_L(r_i,u) + δ_H(r_i,r_j) + δ_L(r_j,v). Landmark endpoints are
+// resolved through the highway directly (Equation 1).
+func (idx *Index) UpperBound(u, v uint32) graph.Dist {
+	if u == v {
+		return 0
+	}
+	ru, uIsL := idx.Rank(u)
+	rv, vIsL := idx.Rank(v)
+	switch {
+	case uIsL && vIsL:
+		return idx.H.Dist(ru, rv)
+	case uIsL:
+		return idx.landmarkToVertex(ru, v)
+	case vIsL:
+		return idx.landmarkToVertex(rv, u)
+	}
+	best := graph.Inf
+	for _, eu := range idx.L[u] {
+		for _, ev := range idx.L[v] {
+			t := graph.AddDist(eu.D, graph.AddDist(idx.H.Dist(eu.Rank, ev.Rank), ev.D))
+			if t < best {
+				best = t
+			}
+		}
+	}
+	return best
+}
+
+// landmarkToVertex evaluates Equation 1: d_G(r, v) for landmark rank r and
+// non-landmark v, via v's label and the highway.
+func (idx *Index) landmarkToVertex(r uint16, v uint32) graph.Dist {
+	best := graph.Inf
+	for _, e := range idx.L[v] {
+		t := graph.AddDist(idx.H.Dist(r, e.Rank), e.D)
+		if t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// LandmarkDist returns d_G(r, v) for landmark rank r and any vertex v,
+// exactly, using the highway for landmark v and Equation 1 otherwise. This
+// is the Q(r, ·, Γ) primitive that drives Algorithm 2 of IncHL+.
+func (idx *Index) LandmarkDist(r uint16, v uint32) graph.Dist {
+	if s, ok := idx.Rank(v); ok {
+		return idx.H.Dist(r, s)
+	}
+	return idx.landmarkToVertex(r, v)
+}
+
+// Query answers an exact distance query Q(u,v,Γ): it computes the highway
+// upper bound d⊤ and then runs a d⊤-bounded bidirectional BFS over the
+// landmark-sparsified graph G[V\R]; the smaller of the two is the exact
+// distance (Section 3 of the paper).
+func (idx *Index) Query(u, v uint32) graph.Dist {
+	if u == v {
+		return 0
+	}
+	top := idx.UpperBound(u, v)
+	if top <= 1 {
+		// Either the vertices are adjacent through a landmark path of
+		// length 1 (impossible for distinct non-landmarks, so this is a
+		// landmark endpoint case) — no shorter path can exist.
+		return top
+	}
+	if _, uIsL := idx.Rank(u); uIsL {
+		return top // Equation 1 is already exact for landmark endpoints
+	}
+	if _, vIsL := idx.Rank(v); vIsL {
+		return top
+	}
+	idx.ensureScratch()
+	sp := bfs.Sparsified(idx.G, u, v, top, idx.IsLandmark, idx.distU, idx.distV, &idx.touched)
+	if sp < top {
+		return sp
+	}
+	return top
+}

@@ -1,0 +1,71 @@
+package hcl
+
+import (
+	"fmt"
+
+	"repro/internal/bfs"
+	"repro/internal/graph"
+)
+
+// VerifyCover checks the highway cover property (Definition 3.2) and the
+// exactness of the highway against ground-truth BFS distances: for every
+// landmark r and vertex v, min over entries of δ_L(r_i,v) + δ_H(r,r_i) must
+// equal d_G(r,v), and δ_H must hold exact landmark distances. It is O(|R|·m)
+// and intended for tests and offline validation.
+func (idx *Index) VerifyCover() error {
+	n := idx.G.NumVertices()
+	dist := make([]graph.Dist, n)
+	for r := range idx.Landmarks {
+		bfs.All(idx.G, idx.Landmarks[r], dist)
+		for v := 0; v < n; v++ {
+			got := idx.LandmarkDist(uint16(r), uint32(v))
+			if got != dist[v] {
+				return fmt.Errorf("hcl: cover violated: landmark %d (rank %d) to vertex %d: label says %s, BFS says %s",
+					idx.Landmarks[r], r, v, distString(got), distString(dist[v]))
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyMinimal checks minimality by rebuilding the labelling from scratch
+// and requiring the label sets and highway to be identical: the minimal
+// highway cover labelling of a graph for a fixed landmark set is unique (an
+// entry (r,v) exists iff no shortest r–v path contains another landmark),
+// so equality — not just equal size — must hold.
+func (idx *Index) VerifyMinimal() error {
+	fresh, err := Build(idx.G, idx.Landmarks)
+	if err != nil {
+		return fmt.Errorf("hcl: rebuilding for minimality check: %w", err)
+	}
+	return idx.EqualLabels(fresh)
+}
+
+// EqualLabels reports whether two indexes hold identical labels and highway,
+// returning a descriptive error on the first difference.
+func (idx *Index) EqualLabels(o *Index) error {
+	if len(idx.L) != len(o.L) {
+		return fmt.Errorf("hcl: label table size differs: %d vs %d", len(idx.L), len(o.L))
+	}
+	for v := range idx.L {
+		if !idx.L[v].Equal(o.L[v]) {
+			return fmt.Errorf("hcl: label of vertex %d differs: %v vs %v", v, idx.L[v], o.L[v])
+		}
+	}
+	if idx.H.k != o.H.k {
+		return fmt.Errorf("hcl: highway size differs: %d vs %d", idx.H.k, o.H.k)
+	}
+	for i := range idx.H.mat {
+		if idx.H.mat[i] != o.H.mat[i] {
+			return fmt.Errorf("hcl: highway entry %d differs: %s vs %s", i, distString(idx.H.mat[i]), distString(o.H.mat[i]))
+		}
+	}
+	return nil
+}
+
+func distString(d graph.Dist) string {
+	if d == graph.Inf {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", d)
+}

@@ -1,0 +1,168 @@
+// Package httpapi exposes a dynamic distance index over HTTP with a small
+// JSON API, turning the library into the kind of service the paper's
+// motivating applications (context-aware search, social analysis, network
+// management) would deploy:
+//
+//	GET  /distance?u=U&v=V   exact distance ("inf" when disconnected)
+//	POST /edges              {"u":U,"v":V} — insert an edge, index repaired
+//	POST /vertices           {"neighbors":[..]} — insert a vertex
+//	GET  /stats              index size statistics
+//	GET  /healthz            liveness
+//
+// The index is not safe for concurrent use, so a single mutex serialises
+// queries and updates; queries are microseconds, so the lock is not a
+// practical bottleneck for a demonstration service.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	dynhl "repro"
+)
+
+// Server wraps an index with HTTP handlers.
+type Server struct {
+	mu  sync.Mutex
+	idx *dynhl.Index
+}
+
+// New returns a Server serving idx.
+func New(idx *dynhl.Index) *Server { return &Server{idx: idx} }
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /distance", s.distance)
+	mux.HandleFunc("POST /edges", s.insertEdge)
+	mux.HandleFunc("POST /vertices", s.insertVertex)
+	mux.HandleFunc("GET /stats", s.stats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+// distanceResponse is the JSON shape of GET /distance.
+type distanceResponse struct {
+	U        uint32  `json:"u"`
+	V        uint32  `json:"v"`
+	Distance *uint32 `json:"distance"` // null when disconnected
+}
+
+func (s *Server) distance(w http.ResponseWriter, r *http.Request) {
+	u, err := vertexParam(r, "u")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := vertexParam(r, "v")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	n := s.idx.Graph().NumVertices()
+	if int(u) >= n || int(v) >= n {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, fmt.Errorf("vertex out of range (have %d vertices)", n))
+		return
+	}
+	d := s.idx.Query(u, v)
+	s.mu.Unlock()
+	resp := distanceResponse{U: u, V: v}
+	if d != dynhl.Inf {
+		dd := uint32(d)
+		resp.Distance = &dd
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type edgeRequest struct {
+	U uint32 `json:"u"`
+	V uint32 `json:"v"`
+}
+
+// edgeResponse reports what the insertion did.
+type edgeResponse struct {
+	Affected       int `json:"affected"`
+	EntriesAdded   int `json:"entries_added"`
+	EntriesRemoved int `json:"entries_removed"`
+}
+
+func (s *Server) insertEdge(w http.ResponseWriter, r *http.Request) {
+	var req edgeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	s.mu.Lock()
+	st, err := s.idx.InsertEdge(req.U, req.V)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, edgeResponse{
+		Affected:       st.AffectedUnion,
+		EntriesAdded:   st.EntriesAdded,
+		EntriesRemoved: st.EntriesRemoved,
+	})
+}
+
+type vertexRequest struct {
+	Neighbors []uint32 `json:"neighbors"`
+}
+
+type vertexResponse struct {
+	ID       uint32 `json:"id"`
+	Affected int    `json:"affected"`
+}
+
+func (s *Server) insertVertex(w http.ResponseWriter, r *http.Request) {
+	var req vertexRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	s.mu.Lock()
+	id, st, err := s.idx.InsertVertex(req.Neighbors)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, vertexResponse{ID: id, Affected: st.AffectedUnion})
+}
+
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := s.idx.Stats()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func vertexParam(r *http.Request, name string) (uint32, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad vertex %q: %w", raw, err)
+	}
+	return uint32(v), nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

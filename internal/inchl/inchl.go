@@ -1,0 +1,414 @@
+// Package inchl implements IncHL+, the online incremental algorithm of
+// Farhan & Wang (EDBT 2021) that maintains a highway cover labelling under
+// edge and vertex insertions while preserving labelling minimality.
+//
+// For an inserted edge (a,b) the algorithm runs, per landmark r:
+//
+//   - FindAffected (Algorithm 2): a "jumped" BFS that starts directly at b
+//     with depth Q(r,a,Γ)+1 (Lemma 4.4) and collects exactly the vertices
+//     with a shortest path to r through (a,b) (Lemma 4.3) — the affected set
+//     Λ_r. Landmarks with d_G(r,a) = d_G(r,b) are skipped outright since
+//     Λ_r = ∅ for them.
+//   - RepairAffected (Algorithm 3): a pass over Λ_r in BFS level order that
+//     distinguishes covered vertices (some new shortest path to r passes
+//     through another landmark — their r-entry is removed, Lemma 4.6) from
+//     uncovered ones (their r-entry is set to the new exact distance), and
+//     refreshes the highway rows of affected landmarks.
+//
+// Deviation from the paper's pseudocode, for correctness: Algorithm 1
+// interleaves find and repair per landmark, but a repair mutates label
+// entries and highway cells that later Q(r,·,Γ) calls consult, which can
+// make those queries return mixed old/new-graph distances and miss affected
+// vertices. We therefore run the find phase for all landmarks against the
+// unmodified labelling, caching the old distances of every scanned vertex
+// (the cache the paper alludes to in its complexity analysis), and only then
+// repair. The repair pass classifies each affected vertex by scanning its
+// shortest-path parents — the ∃-covered-parent test of Lemma 4.6 — which is
+// the same classification the paper's two-queue formulation computes.
+//
+// All per-update state lives in epoch-stamped scratch arrays owned by the
+// Updater, so steady-state updates allocate only the small per-landmark
+// result slices.
+package inchl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/hcl"
+	"repro/internal/queue"
+)
+
+// RepairStrategy selects how labels of affected vertices are repaired.
+type RepairStrategy int
+
+const (
+	// RepairPartial is IncHL+'s repair: a pass over the affected vertices
+	// only, using the covered/uncovered distinction of Lemma 4.6.
+	RepairPartial RepairStrategy = iota
+	// RepairRebuild recomputes the full labelling of every landmark with a
+	// non-empty affected set by re-running its construction BFS. It is the
+	// ablation baseline quantifying what the partial repair saves.
+	RepairRebuild
+)
+
+// Updater maintains a highway cover labelling under insertions.
+// It is not safe for concurrent use.
+type Updater struct {
+	Idx *hcl.Index
+
+	// Strategy selects the repair implementation (default RepairPartial).
+	Strategy RepairStrategy
+
+	// Epoch-stamped scratch: a slot is valid only when its stamp equals the
+	// current epoch, so per-landmark resets are O(1).
+	epoch    uint32
+	oldStamp []uint32     // stamps for oldVal
+	oldVal   []graph.Dist // cached pre-update distances d_G(r,·)
+	newStamp []uint32     // stamps for newVal (doubles as the visited set)
+	newVal   []graph.Dist // new distances of affected vertices
+	covStamp []uint32     // stamps for covVal
+	covVal   []bool       // covered classification of processed vertices
+
+	q     queue.PairQueue
+	finds []findResult
+
+	// rebuild-strategy scratch
+	dist   []graph.Dist
+	cover  []bool
+	plainQ queue.Uint32
+}
+
+// findResult carries one landmark's affected set from the find phase to the
+// repair phase.
+type findResult struct {
+	rank     uint16
+	affected []queue.Pair // BFS level order, depth = new distance
+	oldCache []queue.Pair // (vertex, old distance) for every scanned vertex
+}
+
+// Stats reports what a single update did, feeding the paper's Figure 1
+// (affected percentages) and Table 1/Figures 3–4 instrumentation.
+type Stats struct {
+	LandmarksTotal   int // |R|
+	LandmarksSkipped int // d_G(r,a) == d_G(r,b), Λ_r = ∅ (Lemma 4.3)
+	AffectedSum      int // Σ_r |Λ_r|
+	AffectedUnion    int // |Λ| = |∪_r Λ_r|, the paper's affected vertices
+	EntriesAdded     int // label entries added or modified
+	EntriesRemoved   int // label entries removed (outdated/redundant)
+	HighwayUpdates   int // highway cells refreshed
+}
+
+// New returns an Updater maintaining idx.
+func New(idx *hcl.Index) *Updater {
+	return &Updater{Idx: idx}
+}
+
+// InsertEdge inserts the undirected edge (a,b) into the graph and repairs
+// the labelling so that it is again the minimal highway cover labelling of
+// the changed graph. It is Algorithm 1 (IncHL+) of the paper.
+//
+// Inserting an edge that already exists is an error, matching the paper's
+// update model ((a,b) ∉ E); both endpoints must already be vertices (use
+// InsertVertex for vertex additions).
+func (u *Updater) InsertEdge(a, b uint32) (Stats, error) {
+	var st Stats
+	idx := u.Idx
+	g := idx.G
+	if !g.HasVertex(a) || !g.HasVertex(b) {
+		return st, fmt.Errorf("inchl: insert (%d,%d): %w", a, b, graph.ErrVertexUnknown)
+	}
+	if a == b {
+		return st, fmt.Errorf("inchl: insert (%d,%d): %w", a, b, graph.ErrSelfLoop)
+	}
+	if g.HasEdge(a, b) {
+		return st, fmt.Errorf("inchl: edge (%d,%d) already exists", a, b)
+	}
+
+	st.LandmarksTotal = idx.NumLandmarks()
+
+	// Find phase: all landmarks, against the pre-update labelling. The
+	// queries below read the old labelling, so they see d_G even though the
+	// adjacency already contains (a,b) — BFS expansion, not labelled
+	// distances, is what needs the new edge.
+	if _, err := g.AddEdge(a, b); err != nil {
+		return st, fmt.Errorf("inchl: insert (%d,%d): %w", a, b, err)
+	}
+	u.ensureScratch(g.NumVertices())
+	u.finds = u.finds[:0]
+	for r := 0; r < idx.NumLandmarks(); r++ {
+		fr, skipped := u.findAffected(uint16(r), a, b)
+		if skipped {
+			st.LandmarksSkipped++
+			continue
+		}
+		st.AffectedSum += len(fr.affected)
+		u.finds = append(u.finds, fr)
+	}
+	st.AffectedUnion = u.affectedUnion()
+
+	// Repair phase.
+	for i := range u.finds {
+		fr := &u.finds[i]
+		switch u.Strategy {
+		case RepairRebuild:
+			u.rebuildLandmark(fr.rank, &st)
+		default:
+			u.repairAffected(fr, &st)
+		}
+	}
+	return st, nil
+}
+
+// InsertVertex adds a new vertex connected to the given existing neighbours
+// (the paper's node insertion: a new node plus a set of edge insertions,
+// processed as sequential edge insertions). It returns the new vertex id
+// and statistics aggregated over the component insertions.
+func (u *Updater) InsertVertex(neighbors []uint32) (uint32, Stats, error) {
+	var agg Stats
+	g := u.Idx.G
+	for _, w := range neighbors {
+		if !g.HasVertex(w) {
+			return 0, agg, fmt.Errorf("inchl: insert vertex: neighbour %d: %w", w, graph.ErrVertexUnknown)
+		}
+	}
+	v := g.AddVertex()
+	u.Idx.EnsureVertex(v)
+	agg.LandmarksTotal = u.Idx.NumLandmarks()
+	for _, w := range neighbors {
+		st, err := u.InsertEdge(v, w)
+		if err != nil {
+			return v, agg, err
+		}
+		agg.LandmarksSkipped += st.LandmarksSkipped
+		agg.AffectedSum += st.AffectedSum
+		agg.AffectedUnion += st.AffectedUnion
+		agg.EntriesAdded += st.EntriesAdded
+		agg.EntriesRemoved += st.EntriesRemoved
+		agg.HighwayUpdates += st.HighwayUpdates
+	}
+	return v, agg, nil
+}
+
+// ensureScratch sizes the stamped arrays for n vertices.
+func (u *Updater) ensureScratch(n int) {
+	if len(u.oldStamp) >= n {
+		return
+	}
+	u.oldStamp = append(u.oldStamp, make([]uint32, n-len(u.oldStamp))...)
+	u.oldVal = append(u.oldVal, make([]graph.Dist, n-len(u.oldVal))...)
+	u.newStamp = append(u.newStamp, make([]uint32, n-len(u.newStamp))...)
+	u.newVal = append(u.newVal, make([]graph.Dist, n-len(u.newVal))...)
+	u.covStamp = append(u.covStamp, make([]uint32, n-len(u.covStamp))...)
+	u.covVal = append(u.covVal, make([]bool, n-len(u.covVal))...)
+}
+
+// bumpEpoch starts a fresh validity epoch, clearing stamps on wraparound.
+func (u *Updater) bumpEpoch() {
+	if u.epoch == math.MaxUint32 {
+		for i := range u.oldStamp {
+			u.oldStamp[i] = 0
+			u.newStamp[i] = 0
+			u.covStamp[i] = 0
+		}
+		u.epoch = 0
+	}
+	u.epoch++
+}
+
+// affectedUnion counts distinct affected vertices across all landmarks,
+// using a fresh epoch of the covered-stamp array as the seen set.
+func (u *Updater) affectedUnion() int {
+	u.bumpEpoch()
+	count := 0
+	for i := range u.finds {
+		for _, p := range u.finds[i].affected {
+			if u.covStamp[p.V] != u.epoch {
+				u.covStamp[p.V] = u.epoch
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// findAffected is Algorithm 2: the jumped BFS from b collecting Λ_r. It
+// reports skipped=true when the landmark can be eliminated because
+// d_G(r,a) = d_G(r,b).
+func (u *Updater) findAffected(r uint16, a, b uint32) (findResult, bool) {
+	idx := u.Idx
+	da := idx.LandmarkDist(r, a)
+	db := idx.LandmarkDist(r, b)
+	if da == db {
+		return findResult{}, true // Λ_r = ∅ (no shortest path can use (a,b))
+	}
+	if db < da {
+		a, b = b, a
+		da, db = db, da
+	}
+	u.bumpEpoch()
+	e := u.epoch
+	fr := findResult{rank: r}
+	u.oldStamp[a], u.oldVal[a] = e, da
+	u.oldStamp[b], u.oldVal[b] = e, db
+	fr.oldCache = append(fr.oldCache, queue.Pair{V: a, D: da}, queue.Pair{V: b, D: db})
+	pi := graph.AddDist(da, 1) // new depth of b (Lemma 4.4 jump)
+
+	u.q.Reset()
+	u.q.Push(queue.Pair{V: b, D: pi})
+	u.newStamp[b], u.newVal[b] = e, pi
+	for !u.q.Empty() {
+		p := u.q.Pop()
+		fr.affected = append(fr.affected, p)
+		next := graph.AddDist(p.D, 1)
+		for _, w := range idx.G.Neighbors(p.V) {
+			if u.newStamp[w] == e {
+				continue // already affected (visited)
+			}
+			var old graph.Dist
+			if u.oldStamp[w] == e {
+				old = u.oldVal[w]
+			} else {
+				old = idx.LandmarkDist(r, w)
+				u.oldStamp[w], u.oldVal[w] = e, old
+				fr.oldCache = append(fr.oldCache, queue.Pair{V: w, D: old})
+			}
+			if old >= next {
+				u.newStamp[w], u.newVal[w] = e, next
+				u.q.Push(queue.Pair{V: w, D: next})
+			}
+		}
+	}
+	return fr, false
+}
+
+// repairAffected is Algorithm 3: it walks Λ_r in BFS level order and, for
+// each affected vertex, decides coverage by Lemma 4.6 — the vertex is
+// covered iff it is a landmark, or some shortest-path parent (a neighbour
+// at new distance d-1) is a landmark other than r or is itself covered.
+// Covered vertices lose their r-entry; uncovered ones get the exact new
+// distance.
+func (u *Updater) repairAffected(fr *findResult, st *Stats) {
+	idx := u.Idx
+	r := fr.rank
+	root := idx.Landmarks[r]
+	u.bumpEpoch()
+	e := u.epoch
+	// Replay the find phase's knowledge into the current epoch: old
+	// distances of scanned vertices and new distances of affected ones.
+	for _, p := range fr.oldCache {
+		u.oldStamp[p.V], u.oldVal[p.V] = e, p.D
+	}
+	for _, p := range fr.affected {
+		u.newStamp[p.V], u.newVal[p.V] = e, p.D
+	}
+	for _, p := range fr.affected {
+		w, d := p.V, p.D
+		if s, isL := idx.Rank(w); isL {
+			idx.H.Set(r, s, d)
+			st.HighwayUpdates++
+			u.covStamp[w], u.covVal[w] = e, true
+			continue
+		}
+		cov := false
+		for _, n := range idx.G.Neighbors(w) {
+			var nd graph.Dist
+			affected := u.newStamp[n] == e
+			if affected {
+				nd = u.newVal[n]
+			} else if u.oldStamp[n] == e {
+				nd = u.oldVal[n] // unaffected: old distance = new distance
+			} else {
+				continue // never scanned — cannot be a shortest-path parent
+			}
+			if nd != d-1 {
+				continue
+			}
+			if affected {
+				if u.covStamp[n] == e && u.covVal[n] {
+					cov = true
+					break
+				}
+				continue
+			}
+			if idx.IsLandmark(n) {
+				if n != root {
+					cov = true
+					break
+				}
+				continue
+			}
+			if _, hasEntry := idx.EntryDist(n, r); !hasEntry {
+				cov = true // unaffected non-landmark without an r-entry is covered
+				break
+			}
+		}
+		u.covStamp[w], u.covVal[w] = e, cov
+		if cov {
+			if idx.RemoveEntry(w, r) {
+				st.EntriesRemoved++
+			}
+		} else {
+			idx.SetEntry(w, r, d)
+			st.EntriesAdded++
+		}
+	}
+}
+
+// rebuildLandmark is the RepairRebuild ablation: rerun the construction BFS
+// of landmark r over the whole (already updated) graph, replacing every
+// r-entry. It produces the same labelling as repairAffected at full-BFS
+// cost.
+func (u *Updater) rebuildLandmark(r uint16, st *Stats) {
+	idx := u.Idx
+	g := idx.G
+	n := g.NumVertices()
+	if len(u.dist) < n {
+		u.dist = make([]graph.Dist, n)
+		u.cover = make([]bool, n)
+	}
+	dist, cover := u.dist[:n], u.cover[:n]
+	for i := range dist {
+		dist[i] = graph.Inf
+		cover[i] = false
+	}
+	root := idx.Landmarks[r]
+	dist[root] = 0
+	u.plainQ.Reset()
+	u.plainQ.Push(root)
+	for !u.plainQ.Empty() {
+		v := u.plainQ.Pop()
+		dv := dist[v]
+		cv := cover[v]
+		for _, w := range g.Neighbors(v) {
+			switch {
+			case dist[w] == graph.Inf:
+				dist[w] = dv + 1
+				cover[w] = cv || (idx.IsLandmark(w) && w != root)
+				u.plainQ.Push(w)
+			case dist[w] == dv+1 && cv:
+				cover[w] = true
+			}
+		}
+	}
+	// Replace all r-entries: remove everywhere, re-add where uncovered.
+	for v := 0; v < n; v++ {
+		vv := uint32(v)
+		if s, isL := idx.Rank(vv); isL {
+			if dist[v] != graph.Inf || vv == root {
+				idx.H.Set(r, s, dist[v])
+				st.HighwayUpdates++
+			}
+			continue
+		}
+		if dist[v] != graph.Inf && !cover[v] {
+			if old, had := idx.EntryDist(vv, r); !had || old != dist[v] {
+				idx.SetEntry(vv, r, dist[v])
+				st.EntriesAdded++
+			}
+		} else if idx.RemoveEntry(vv, r) {
+			st.EntriesRemoved++
+		}
+	}
+}

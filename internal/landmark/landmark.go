@@ -1,0 +1,103 @@
+// Package landmark implements landmark (root) selection strategies for the
+// highway cover labelling. The paper selects the |R| highest-degree vertices
+// (the standard choice for complex networks, following Farhan et al. EDBT
+// 2019 and Hayashi et al. CIKM 2016); random and degree-weighted strategies
+// are provided for ablations.
+package landmark
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Strategy names accepted by Select.
+const (
+	TopDegree      = "topdegree"
+	Random         = "random"
+	WeightedRandom = "weighted"
+)
+
+// ByDegree returns the k vertices with the highest degree, ties broken by
+// smaller vertex id. If the graph has fewer than k vertices all of them are
+// returned.
+func ByDegree(g *graph.Graph, k int) []uint32 {
+	n := g.NumVertices()
+	if k > n {
+		k = n
+	}
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := g.Degree(ids[i]), g.Degree(ids[j])
+		if di != dj {
+			return di > dj
+		}
+		return ids[i] < ids[j]
+	})
+	out := append([]uint32(nil), ids[:k]...)
+	return out
+}
+
+// ByRandom returns k distinct vertices chosen uniformly at random with the
+// given seed.
+func ByRandom(g *graph.Graph, k int, seed int64) []uint32 {
+	n := g.NumVertices()
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	out := make([]uint32, k)
+	for i := 0; i < k; i++ {
+		out[i] = uint32(perm[i])
+	}
+	return out
+}
+
+// ByWeightedRandom returns k distinct vertices sampled without replacement
+// with probability proportional to degree+1.
+func ByWeightedRandom(g *graph.Graph, k int, seed int64) []uint32 {
+	n := g.NumVertices()
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	chosen := make(map[uint32]bool, k)
+	total := 2*int64(g.NumEdges()) + int64(n)
+	out := make([]uint32, 0, k)
+	for len(out) < k {
+		t := rng.Int63n(total)
+		var acc int64
+		for v := 0; v < n; v++ {
+			acc += int64(g.Degree(uint32(v)) + 1)
+			if acc > t {
+				if !chosen[uint32(v)] {
+					chosen[uint32(v)] = true
+					out = append(out, uint32(v))
+				}
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Select picks k landmarks using the named strategy.
+func Select(g *graph.Graph, k int, strategy string, seed int64) ([]uint32, error) {
+	switch strategy {
+	case TopDegree, "":
+		return ByDegree(g, k), nil
+	case Random:
+		return ByRandom(g, k, seed), nil
+	case WeightedRandom:
+		return ByWeightedRandom(g, k, seed), nil
+	default:
+		return nil, fmt.Errorf("landmark: unknown strategy %q", strategy)
+	}
+}

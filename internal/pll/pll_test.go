@@ -1,0 +1,156 @@
+package pll
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/testutil"
+)
+
+func TestBuildQueryMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := testutil.RandomGraph(50, 90, seed)
+		idx := Build(g)
+		oracle := testutil.AllPairsOracle(g)
+		for u := 0; u < 50; u++ {
+			for v := 0; v < 50; v++ {
+				if got := idx.Query(uint32(u), uint32(v)); got != oracle[u][v] {
+					t.Fatalf("seed %d: Query(%d,%d): got %d, want %d", seed, u, v, got, oracle[u][v])
+				}
+			}
+		}
+	}
+}
+
+func TestBuildSelfEntries(t *testing.T) {
+	g := testutil.RandomConnectedGraph(20, 20, 1)
+	idx := Build(g)
+	for v := uint32(0); v < 20; v++ {
+		if d, ok := entryFor(idx, v, idx.Rank[v]); !ok || d != 0 {
+			t.Errorf("vertex %d lacks its own hub entry: %d,%v", v, d, ok)
+		}
+	}
+}
+
+func entryFor(idx *Index, v uint32, hub uint32) (graph.Dist, bool) {
+	for _, e := range idx.L[v] {
+		if e.Hub == hub {
+			return e.D, true
+		}
+	}
+	return graph.Inf, false
+}
+
+func TestIncrementalInsertKeepsQueriesExact(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := testutil.RandomGraph(40, 70, 50+seed)
+		idx := Build(g)
+		for i, e := range testutil.NonEdges(g, 20, seed*13+1) {
+			if err := idx.InsertEdge(e[0], e[1]); err != nil {
+				t.Fatalf("seed %d insert %d: %v", seed, i, err)
+			}
+			oracle := testutil.AllPairsOracle(g)
+			for u := 0; u < 40; u++ {
+				for v := 0; v < 40; v++ {
+					if got := idx.Query(uint32(u), uint32(v)); got != oracle[u][v] {
+						t.Fatalf("seed %d after insert %d: Query(%d,%d): got %d, want %d",
+							seed, i, u, v, got, oracle[u][v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIncrementalNeverShrinksLabelling(t *testing.T) {
+	// The baseline's defining pathology: entries are never removed, so the
+	// labelling size is monotonically non-decreasing under insertions.
+	g := testutil.RandomConnectedGraph(50, 80, 9)
+	idx := Build(g)
+	prev := idx.NumEntries()
+	for _, e := range testutil.NonEdges(g, 30, 2) {
+		if err := idx.InsertEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+		cur := idx.NumEntries()
+		if cur < prev {
+			t.Fatalf("labelling shrank: %d -> %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestIncrementalGrowsBeyondMinimal(t *testing.T) {
+	// After enough insertions the maintained labelling must be strictly
+	// larger than a fresh rebuild — the redundancy IncHL+ eliminates and
+	// IncPLL keeps (Section 6.1.2 of the IncHL+ paper).
+	g := testutil.RandomConnectedGraph(60, 90, 33)
+	idx := Build(g)
+	for _, e := range testutil.NonEdges(g, 40, 4) {
+		if err := idx.InsertEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := Build(g)
+	if idx.NumEntries() < fresh.NumEntries() {
+		t.Fatalf("incremental %d entries < rebuilt %d", idx.NumEntries(), fresh.NumEntries())
+	}
+	if idx.NumEntries() == fresh.NumEntries() {
+		t.Logf("note: no redundancy accumulated on this instance (%d entries)", idx.NumEntries())
+	}
+}
+
+func TestInsertEdgeErrors(t *testing.T) {
+	g := testutil.RandomConnectedGraph(10, 5, 3)
+	idx := Build(g)
+	if err := idx.InsertEdge(0, 0); err == nil {
+		t.Error("self-loop must be rejected")
+	}
+	if err := idx.InsertEdge(0, 99); err == nil {
+		t.Error("unknown vertex must be rejected")
+	}
+	e := testutil.NonEdges(g, 1, 1)[0]
+	if err := idx.InsertEdge(e[0], e[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.InsertEdge(e[0], e[1]); err == nil {
+		t.Error("duplicate edge must be rejected")
+	}
+}
+
+func TestQuickInsertStreamStaysExact(t *testing.T) {
+	f := func(seed int64) bool {
+		g := testutil.RandomGraph(25, 35, seed)
+		idx := Build(g)
+		for _, e := range testutil.NonEdges(g, 8, seed+5) {
+			if err := idx.InsertEdge(e[0], e[1]); err != nil {
+				return false
+			}
+		}
+		oracle := testutil.AllPairsOracle(g)
+		for u := 0; u < 25; u++ {
+			for v := 0; v < 25; v++ {
+				if idx.Query(uint32(u), uint32(v)) != oracle[u][v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesAndAvg(t *testing.T) {
+	g := testutil.RandomConnectedGraph(20, 30, 2)
+	idx := Build(g)
+	if idx.Bytes() != idx.NumEntries()*EntryBytes {
+		t.Error("Bytes must charge EntryBytes per entry")
+	}
+	if idx.AvgLabelSize() <= 0 {
+		t.Error("AvgLabelSize must be positive")
+	}
+}

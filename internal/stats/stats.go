@@ -1,0 +1,115 @@
+// Package stats provides the small numeric and formatting helpers used by
+// the experiment harness: summary statistics over timing samples and
+// human-readable byte sizes matching the units of the paper's Table 1.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N              int
+	Mean           float64
+	Min, Max       float64
+	Median         float64
+	P90, P99       float64
+	StdDev         float64
+	Total          float64
+	SortedAscCache []float64
+}
+
+// Summarize computes summary statistics of xs (not modified).
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.SortedAscCache = sorted
+	s.Min = sorted[0]
+	s.Max = sorted[s.N-1]
+	for _, x := range sorted {
+		s.Total += x
+	}
+	s.Mean = s.Total / float64(s.N)
+	s.Median = Percentile(sorted, 50)
+	s.P90 = Percentile(sorted, 90)
+	s.P99 = Percentile(sorted, 99)
+	var ss float64
+	for _, x := range sorted {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(s.N))
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of an ascending-sorted
+// sample using nearest-rank interpolation.
+func Percentile(sortedAsc []float64, p float64) float64 {
+	n := len(sortedAsc)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sortedAsc[0]
+	}
+	pos := p / 100 * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sortedAsc[lo]
+	}
+	frac := pos - float64(lo)
+	return sortedAsc[lo]*(1-frac) + sortedAsc[hi]*frac
+}
+
+// DurationsToMillis converts timing samples to float milliseconds.
+func DurationsToMillis(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// FormatBytes renders a byte count the way the paper's Table 1 does
+// (42 MB, 2.44 GB, ...).
+func FormatBytes(b int64) string {
+	const (
+		kb = 1 << 10
+		mb = 1 << 20
+		gb = 1 << 30
+	)
+	switch {
+	case b >= gb:
+		return fmt.Sprintf("%.2f GB", float64(b)/gb)
+	case b >= mb:
+		return fmt.Sprintf("%.1f MB", float64(b)/mb)
+	case b >= kb:
+		return fmt.Sprintf("%.1f KB", float64(b)/kb)
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// FormatMillis renders a duration in milliseconds with sensible precision
+// across the paper's 0.006ms–2018ms range.
+func FormatMillis(ms float64) string {
+	switch {
+	case math.IsNaN(ms):
+		return "-"
+	case ms >= 100:
+		return fmt.Sprintf("%.1f", ms)
+	case ms >= 1:
+		return fmt.Sprintf("%.3f", ms)
+	default:
+		return fmt.Sprintf("%.4f", ms)
+	}
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 || s.Total != 15 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stddev: got %v", s.StdDev)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Error("empty summary")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0: %v", got)
+	}
+	if got := Percentile(xs, 100); got != 10 {
+		t.Errorf("p100: %v", got)
+	}
+	if got := Percentile(xs, 50); math.Abs(got-5.5) > 1e-9 {
+		t.Errorf("p50: %v", got)
+	}
+	if got := Percentile([]float64{7}, 90); got != 7 {
+		t.Errorf("singleton: %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+func TestDurationsToMillis(t *testing.T) {
+	ms := DurationsToMillis([]time.Duration{time.Millisecond, 2500 * time.Microsecond})
+	if ms[0] != 1 || ms[1] != 2.5 {
+		t.Fatalf("got %v", ms)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:             "512 B",
+		2048:            "2.0 KB",
+		44040192:        "42.0 MB",
+		2620130000:      "2.44 GB",
+		175019900000000: "162999.98 GB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d): got %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatMillis(t *testing.T) {
+	cases := map[float64]string{
+		0.006:      "0.0060",
+		0.194:      "0.1940",
+		2.026:      "2.026",
+		95.92:      "95.920",
+		2018:       "2018.0",
+		math.NaN(): "-",
+	}
+	for in, want := range cases {
+		if got := FormatMillis(in); got != want {
+			t.Errorf("FormatMillis(%v): got %q, want %q", in, got, want)
+		}
+	}
+}

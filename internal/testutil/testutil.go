@@ -1,0 +1,88 @@
+// Package testutil provides deterministic random graphs and ground-truth
+// oracles shared by the test suites of the labelling packages.
+package testutil
+
+import (
+	"math/rand"
+
+	"repro/internal/bfs"
+	"repro/internal/graph"
+)
+
+// RandomGraph returns a graph with n vertices and approximately m distinct
+// random edges (self-loops and duplicates are skipped, so fewer edges may
+// result on dense requests). Deterministic for a given seed.
+func RandomGraph(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex()
+	}
+	for i := 0; i < m; i++ {
+		u := uint32(rng.Intn(n))
+		v := uint32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		_, _ = g.AddEdge(u, v)
+	}
+	return g
+}
+
+// RandomConnectedGraph returns a connected graph: a random spanning tree
+// plus extra random edges.
+func RandomConnectedGraph(n, extra int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex()
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u := uint32(perm[i])
+		v := uint32(perm[rng.Intn(i)])
+		_, _ = g.AddEdge(u, v)
+	}
+	for i := 0; i < extra; i++ {
+		u := uint32(rng.Intn(n))
+		v := uint32(rng.Intn(n))
+		if u != v {
+			_, _ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// NonEdges returns up to count vertex pairs that are not edges of g,
+// deterministically for a seed, without duplicates.
+func NonEdges(g *graph.Graph, count int, seed int64) [][2]uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	seen := make(map[[2]uint32]bool)
+	var out [][2]uint32
+	for tries := 0; len(out) < count && tries < count*200; tries++ {
+		u := uint32(rng.Intn(n))
+		v := uint32(rng.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		key := [2]uint32{min(u, v), max(u, v)}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, [2]uint32{u, v})
+	}
+	return out
+}
+
+// AllPairsOracle computes the exact all-pairs distances of g with one BFS
+// per vertex. Quadratic memory: test-sized graphs only.
+func AllPairsOracle(g *graph.Graph) [][]graph.Dist {
+	n := g.NumVertices()
+	d := make([][]graph.Dist, n)
+	for v := 0; v < n; v++ {
+		d[v] = bfs.Distances(g, uint32(v))
+	}
+	return d
+}

@@ -1,0 +1,228 @@
+// Package wgraph provides the positively-weighted undirected graph
+// substrate for the weighted extension of IncHL+ (Section 5 of Farhan &
+// Wang, EDBT 2021), together with the Dijkstra primitives that replace BFS
+// there. Weights are integral and at least 1, which keeps the
+// shortest-path DAG acyclic across equal-distance vertices.
+package wgraph
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Arc is one weighted adjacency entry.
+type Arc struct {
+	To uint32
+	W  graph.Dist // ≥ 1
+}
+
+// Graph is an undirected, positively-weighted dynamic graph.
+type Graph struct {
+	adj   [][]Arc
+	edges uint64
+}
+
+// New returns an empty weighted graph with capacity hints for n vertices.
+func New(n int) *Graph { return &Graph{adj: make([][]Arc, 0, n)} }
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() uint64 { return g.edges }
+
+// AddVertex appends a new isolated vertex and returns its id.
+func (g *Graph) AddVertex() uint32 {
+	g.adj = append(g.adj, nil)
+	return uint32(len(g.adj) - 1)
+}
+
+// HasVertex reports whether v exists.
+func (g *Graph) HasVertex(v uint32) bool { return int(v) < len(g.adj) }
+
+// Neighbors returns the weighted adjacency of v (owned by the graph).
+func (g *Graph) Neighbors(v uint32) []Arc { return g.adj[v] }
+
+// Weight returns the weight of edge (u,v), or 0 if absent.
+func (g *Graph) Weight(u, v uint32) graph.Dist {
+	if int(u) >= len(g.adj) {
+		return 0
+	}
+	for _, a := range g.adj[u] {
+		if a.To == v {
+			return a.W
+		}
+	}
+	return 0
+}
+
+// HasEdge reports whether edge (u,v) exists.
+func (g *Graph) HasEdge(u, v uint32) bool { return g.Weight(u, v) != 0 }
+
+// AddEdge inserts the undirected edge (u,v) with weight w ≥ 1, reporting
+// whether it was new.
+func (g *Graph) AddEdge(u, v uint32, w graph.Dist) (bool, error) {
+	if u == v {
+		return false, graph.ErrSelfLoop
+	}
+	if w < 1 || w == graph.Inf {
+		return false, fmt.Errorf("wgraph: edge (%d,%d): weight %d out of range", u, v, w)
+	}
+	if int(u) >= len(g.adj) || int(v) >= len(g.adj) {
+		return false, fmt.Errorf("%w: edge (%d,%d) with %d vertices", graph.ErrVertexUnknown, u, v, len(g.adj))
+	}
+	if g.HasEdge(u, v) {
+		return false, nil
+	}
+	g.adj[u] = append(g.adj[u], Arc{To: v, W: w})
+	g.adj[v] = append(g.adj[v], Arc{To: u, W: w})
+	g.edges++
+	return true, nil
+}
+
+// MustAddEdge inserts (u,v,w), growing the vertex set as needed.
+func (g *Graph) MustAddEdge(u, v uint32, w graph.Dist) bool {
+	for uint32(len(g.adj)) <= max(u, v) {
+		g.AddVertex()
+	}
+	ok, err := g.AddEdge(u, v, w)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]Arc, len(g.adj)), edges: g.edges}
+	for v, as := range g.adj {
+		if len(as) > 0 {
+			c.adj[v] = append([]Arc(nil), as...)
+		}
+	}
+	return c
+}
+
+// Item is a priority-queue element.
+type Item struct {
+	V uint32
+	D graph.Dist
+}
+
+// PQ is a binary min-heap of Items ordered by distance.
+type PQ []Item
+
+func (p PQ) Len() int           { return len(p) }
+func (p PQ) Less(i, j int) bool { return p[i].D < p[j].D }
+func (p PQ) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *PQ) Push(x any)        { *p = append(*p, x.(Item)) }
+func (p *PQ) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+func (p *PQ) PushItem(it Item)  { heap.Push(p, it) }
+func (p *PQ) PopItem() Item     { return heap.Pop(p).(Item) }
+func (p *PQ) Reset()            { *p = (*p)[:0] }
+
+// Dijkstra computes the distances from src into dist (length NumVertices),
+// returning the vertices it settled in non-decreasing distance order.
+func (g *Graph) Dijkstra(src uint32, dist []graph.Dist) []uint32 {
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	order := make([]uint32, 0, 64)
+	var pq PQ
+	dist[src] = 0
+	pq.PushItem(Item{V: src, D: 0})
+	for pq.Len() > 0 {
+		it := pq.PopItem()
+		if it.D != dist[it.V] {
+			continue // stale entry
+		}
+		order = append(order, it.V)
+		for _, a := range g.adj[it.V] {
+			if nd := graph.AddDist(it.D, a.W); nd < dist[a.To] {
+				dist[a.To] = nd
+				pq.PushItem(Item{V: a.To, D: nd})
+			}
+		}
+	}
+	return order
+}
+
+// Dist returns the exact distance between u and v (test oracle).
+func (g *Graph) Dist(u, v uint32) graph.Dist {
+	dist := make([]graph.Dist, g.NumVertices())
+	g.Dijkstra(u, dist)
+	return dist[v]
+}
+
+// Sparsified runs a bounded bidirectional Dijkstra between u and v on the
+// subgraph excluding vertices for which avoid reports true (endpoints
+// exempt), returning the distance or graph.Inf when it exceeds bound.
+func (g *Graph) Sparsified(u, v uint32, bound graph.Dist, avoid func(uint32) bool) graph.Dist {
+	if u == v {
+		return 0
+	}
+	if bound == 0 {
+		return graph.Inf
+	}
+	n := g.NumVertices()
+	distU := make(map[uint32]graph.Dist, 32)
+	distV := make(map[uint32]graph.Dist, 32)
+	_ = n
+	var pqU, pqV PQ
+	distU[u] = 0
+	distV[v] = 0
+	pqU.PushItem(Item{V: u, D: 0})
+	pqV.PushItem(Item{V: v, D: 0})
+	best := graph.Inf
+	if bound != graph.Inf {
+		best = bound + 1
+	}
+	topU, topV := graph.Dist(0), graph.Dist(0)
+	for pqU.Len() > 0 && pqV.Len() > 0 {
+		if best != graph.Inf && graph.AddDist(topU, topV) >= best {
+			break // settled radii already cover every candidate below best
+		}
+		if topU <= topV {
+			topU = settle(g, &pqU, distU, distV, u, v, avoid, &best)
+		} else {
+			topV = settle(g, &pqV, distV, distU, v, u, avoid, &best)
+		}
+	}
+	if bound != graph.Inf && best > bound {
+		return graph.Inf
+	}
+	return best
+}
+
+// settle pops one vertex from the side rooted at src and relaxes its edges,
+// recording meets with the opposite side.
+func settle(g *Graph, pq *PQ, dist, other map[uint32]graph.Dist, src, dst uint32, avoid func(uint32) bool, best *graph.Dist) graph.Dist {
+	for pq.Len() > 0 {
+		it := pq.PopItem()
+		if d, ok := dist[it.V]; !ok || d != it.D {
+			continue
+		}
+		if avoid != nil && it.V != src && avoid(it.V) {
+			return it.D // settled but not expanded: removed vertex
+		}
+		for _, a := range g.adj[it.V] {
+			if avoid != nil && a.To != dst && a.To != src && avoid(a.To) {
+				continue
+			}
+			nd := graph.AddDist(it.D, a.W)
+			if d, ok := dist[a.To]; !ok || nd < d {
+				dist[a.To] = nd
+				pq.PushItem(Item{V: a.To, D: nd})
+				if od, ok := other[a.To]; ok {
+					if t := graph.AddDist(nd, od); t < *best {
+						*best = t
+					}
+				}
+			}
+		}
+		return it.D
+	}
+	return graph.Inf
+}

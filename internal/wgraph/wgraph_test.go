@@ -1,0 +1,132 @@
+package wgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	for i := 0; i < 3; i++ {
+		g.AddVertex()
+	}
+	if ok, err := g.AddEdge(0, 1, 4); !ok || err != nil {
+		t.Fatalf("AddEdge: %v %v", ok, err)
+	}
+	if _, err := g.AddEdge(0, 0, 1); err == nil {
+		t.Error("self-loop must fail")
+	}
+	if _, err := g.AddEdge(0, 2, 0); err == nil {
+		t.Error("zero weight must fail")
+	}
+	if _, err := g.AddEdge(0, 2, graph.Inf); err == nil {
+		t.Error("infinite weight must fail")
+	}
+	if _, err := g.AddEdge(0, 9, 1); err == nil {
+		t.Error("unknown vertex must fail")
+	}
+	if ok, _ := g.AddEdge(1, 0, 7); ok {
+		t.Error("duplicate must report false")
+	}
+	if g.Weight(0, 1) != 4 {
+		t.Error("duplicate insert must not change the weight")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges: %d", g.NumEdges())
+	}
+}
+
+func TestDijkstraAgainstBellmanFord(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 40; iter++ {
+		n := 20
+		g := New(n)
+		for i := 0; i < n; i++ {
+			g.AddVertex()
+		}
+		for i := 0; i < 45; i++ {
+			u := uint32(rng.Intn(n))
+			v := uint32(rng.Intn(n))
+			if u != v {
+				_, _ = g.AddEdge(u, v, 1+graph.Dist(rng.Intn(9)))
+			}
+		}
+		src := uint32(rng.Intn(n))
+		// Bellman–Ford oracle.
+		want := make([]graph.Dist, n)
+		for i := range want {
+			want[i] = graph.Inf
+		}
+		want[src] = 0
+		for round := 0; round < n; round++ {
+			changed := false
+			for u := uint32(0); u < uint32(n); u++ {
+				if want[u] == graph.Inf {
+					continue
+				}
+				for _, a := range g.Neighbors(u) {
+					if nd := want[u] + a.W; nd < want[a.To] {
+						want[a.To] = nd
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		got := make([]graph.Dist, n)
+		g.Dijkstra(src, got)
+		for v := 0; v < n; v++ {
+			if got[v] != want[v] {
+				t.Fatalf("iter %d: dist[%d]: Dijkstra %d, Bellman-Ford %d", iter, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestPQOrdering(t *testing.T) {
+	var pq PQ
+	for _, d := range []graph.Dist{5, 1, 9, 3, 3, 7} {
+		pq.PushItem(Item{V: uint32(d), D: d})
+	}
+	prev := graph.Dist(0)
+	for pq.Len() > 0 {
+		it := pq.PopItem()
+		if it.D < prev {
+			t.Fatalf("heap order violated: %d after %d", it.D, prev)
+		}
+		prev = it.D
+	}
+	pq.PushItem(Item{V: 1, D: 1})
+	pq.Reset()
+	if pq.Len() != 0 {
+		t.Error("Reset must empty the queue")
+	}
+}
+
+func TestSparsifiedEndpoints(t *testing.T) {
+	// 0 -2- 1 -2- 2, avoiding both endpoints must still find the path.
+	g := New(3)
+	for i := 0; i < 3; i++ {
+		g.AddVertex()
+	}
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 2, 2)
+	avoid := func(v uint32) bool { return v == 0 || v == 2 }
+	if got := g.Sparsified(0, 2, graph.Inf, avoid); got != 4 {
+		t.Errorf("got %d, want 4", got)
+	}
+	avoidMid := func(v uint32) bool { return v == 1 }
+	if got := g.Sparsified(0, 2, graph.Inf, avoidMid); got != graph.Inf {
+		t.Errorf("avoiding the middle: got %d, want Inf", got)
+	}
+	if got := g.Sparsified(0, 2, 3, nil); got != graph.Inf {
+		t.Errorf("bound 3 on distance 4: got %d, want Inf", got)
+	}
+	if got := g.Sparsified(0, 2, 4, nil); got != 4 {
+		t.Errorf("bound 4 on distance 4: got %d", got)
+	}
+}

@@ -1,0 +1,202 @@
+package whcl
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/wgraph"
+)
+
+// Stats reports what one weighted insertion did.
+type Stats struct {
+	LandmarksTotal   int
+	LandmarksSkipped int
+	AffectedSum      int
+	EntriesAdded     int
+	EntriesRemoved   int
+	HighwayUpdates   int
+}
+
+type findResult struct {
+	rank     uint16
+	affected []wgraph.Item         // settle order: non-decreasing new distance
+	newDist  map[uint32]graph.Dist // affected vertex -> new distance
+	oldDist  map[uint32]graph.Dist // scanned vertex -> old distance
+}
+
+// InsertEdge inserts the weighted edge (a,b,w) and repairs the labelling:
+// per landmark a jumped Dijkstra from the far endpoint collects vertices
+// whose shortest path to the landmark now runs through the new edge, then a
+// settle-order pass applies the covered/uncovered classification. The find
+// phase for every landmark runs against the pre-update labelling.
+func (idx *Index) InsertEdge(a, b uint32, w graph.Dist) (Stats, error) {
+	var st Stats
+	g := idx.G
+	if !g.HasVertex(a) || !g.HasVertex(b) {
+		return st, fmt.Errorf("whcl: insert (%d,%d): %w", a, b, graph.ErrVertexUnknown)
+	}
+	if g.HasEdge(a, b) {
+		return st, fmt.Errorf("whcl: edge (%d,%d) already exists", a, b)
+	}
+	if _, err := g.AddEdge(a, b, w); err != nil {
+		return st, err
+	}
+	st.LandmarksTotal = idx.k
+
+	var finds []findResult
+	for r := 0; r < idx.k; r++ {
+		if fr, ok := idx.findAffected(uint16(r), a, b, w); ok {
+			st.AffectedSum += len(fr.affected)
+			finds = append(finds, fr)
+		} else {
+			st.LandmarksSkipped++
+		}
+	}
+	for i := range finds {
+		idx.repairAffected(&finds[i], &st)
+	}
+	return st, nil
+}
+
+// InsertVertex adds a new vertex with the given initial weighted edges.
+func (idx *Index) InsertVertex(arcs []wgraph.Arc) (uint32, Stats, error) {
+	var agg Stats
+	for _, a := range arcs {
+		if !idx.G.HasVertex(a.To) {
+			return 0, agg, fmt.Errorf("whcl: insert vertex: neighbour %d: %w", a.To, graph.ErrVertexUnknown)
+		}
+	}
+	v := idx.G.AddVertex()
+	idx.EnsureVertex(v)
+	agg.LandmarksTotal = idx.k
+	for _, a := range arcs {
+		st, err := idx.InsertEdge(v, a.To, a.W)
+		if err != nil {
+			return v, agg, err
+		}
+		agg.LandmarksSkipped += st.LandmarksSkipped
+		agg.AffectedSum += st.AffectedSum
+		agg.EntriesAdded += st.EntriesAdded
+		agg.EntriesRemoved += st.EntriesRemoved
+		agg.HighwayUpdates += st.HighwayUpdates
+	}
+	return v, agg, nil
+}
+
+// findAffected runs the jumped Dijkstra of one landmark. The new candidate
+// distance of the far endpoint is d(r, near) + w; a vertex is affected iff
+// its old distance is at least its best new through-edge distance.
+func (idx *Index) findAffected(r uint16, a, b uint32, w graph.Dist) (findResult, bool) {
+	da := idx.LandmarkDist(r, a)
+	db := idx.LandmarkDist(r, b)
+	if db < da {
+		a, b = b, a
+		da, db = db, da
+	}
+	if da == graph.Inf {
+		return findResult{}, false // the edge is unreachable from r
+	}
+	cand := graph.AddDist(da, w)
+	if cand > db {
+		return findResult{}, false // Λ_r = ∅: no shortest path can use (a,b)
+	}
+	fr := findResult{
+		rank:    r,
+		newDist: make(map[uint32]graph.Dist, 16),
+		oldDist: make(map[uint32]graph.Dist, 32),
+	}
+	fr.oldDist[a] = da
+	fr.oldDist[b] = db
+	cache := func(v uint32) graph.Dist {
+		if d, ok := fr.oldDist[v]; ok {
+			return d
+		}
+		d := idx.LandmarkDist(r, v)
+		fr.oldDist[v] = d
+		return d
+	}
+	var pq wgraph.PQ
+	fr.newDist[b] = cand
+	pq.PushItem(wgraph.Item{V: b, D: cand})
+	for pq.Len() > 0 {
+		it := pq.PopItem()
+		if fr.newDist[it.V] != it.D {
+			continue // stale queue entry
+		}
+		fr.affected = append(fr.affected, it)
+		for _, arc := range idx.G.Neighbors(it.V) {
+			nd := graph.AddDist(it.D, arc.W)
+			if cur, seen := fr.newDist[arc.To]; seen && cur <= nd {
+				continue
+			}
+			if cache(arc.To) >= nd {
+				fr.newDist[arc.To] = nd
+				pq.PushItem(wgraph.Item{V: arc.To, D: nd})
+			}
+		}
+	}
+	return fr, true
+}
+
+// repairAffected walks Λ_r in settle order and applies Lemma 4.6: a vertex
+// is covered iff it is a landmark or some shortest-path parent (neighbour u
+// with newdist(u) + w(u,v) = newdist(v)) is a landmark other than r or
+// covered itself.
+func (idx *Index) repairAffected(fr *findResult, st *Stats) {
+	r := fr.rank
+	root := idx.Landmarks[r]
+	covered := make(map[uint32]bool, len(fr.affected))
+	for _, it := range fr.affected {
+		v, d := it.V, it.D
+		if s := idx.rankArr[v]; s != noRank {
+			idx.setHighway(r, s, d)
+			st.HighwayUpdates++
+			covered[v] = true
+			continue
+		}
+		cov := false
+		for _, arc := range idx.G.Neighbors(v) {
+			n := arc.To
+			nd, affected := fr.newDist[n]
+			if !affected {
+				var ok bool
+				nd, ok = fr.oldDist[n]
+				if !ok {
+					continue
+				}
+			}
+			if graph.AddDist(nd, arc.W) != d {
+				continue // not a shortest-path parent
+			}
+			if affected {
+				if covered[n] {
+					cov = true
+					break
+				}
+				continue
+			}
+			if idx.rankArr[n] != noRank {
+				if n != root {
+					cov = true
+					break
+				}
+				continue
+			}
+			if _, has := idx.L[n].Get(r); !has {
+				cov = true
+				break
+			}
+		}
+		covered[v] = cov
+		if cov {
+			var removed bool
+			idx.L[v], removed = idx.L[v].Remove(r)
+			if removed {
+				st.EntriesRemoved++
+			}
+		} else {
+			idx.L[v] = idx.L[v].Set(r, d)
+			st.EntriesAdded++
+		}
+	}
+}

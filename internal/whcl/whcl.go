@@ -1,0 +1,235 @@
+// Package whcl implements the weighted extension of highway cover
+// labelling and IncHL+ sketched in Section 5 of Farhan & Wang (EDBT 2021):
+// Dijkstra searches replace BFS throughout. The label semantics, the
+// covered/uncovered classification of Lemma 4.6 and the minimality argument
+// carry over unchanged because edge weights are positive integers: a
+// shortest-path parent always has a strictly smaller distance, so
+// processing vertices in distance order is well-founded.
+package whcl
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/hcl"
+	"repro/internal/wgraph"
+)
+
+// noRank marks non-landmark vertices.
+const noRank = ^uint16(0)
+
+// Index is a weighted highway cover labelling.
+// It is not safe for concurrent use.
+type Index struct {
+	G         *wgraph.Graph
+	Landmarks []uint32
+	L         []hcl.Label
+
+	hw      []graph.Dist // k×k symmetric highway of exact weighted distances
+	k       int
+	rankArr []uint16
+}
+
+// Build constructs the minimal weighted labelling with one covered-flag
+// Dijkstra per landmark.
+func Build(g *wgraph.Graph, landmarks []uint32) (*Index, error) {
+	if len(landmarks) == 0 {
+		return nil, fmt.Errorf("whcl: need at least one landmark")
+	}
+	seen := make(map[uint32]bool, len(landmarks))
+	for _, v := range landmarks {
+		if !g.HasVertex(v) {
+			return nil, fmt.Errorf("whcl: landmark %d is not a vertex of the graph", v)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("whcl: duplicate landmark %d", v)
+		}
+		seen[v] = true
+	}
+	n := g.NumVertices()
+	k := len(landmarks)
+	idx := &Index{
+		G:         g,
+		Landmarks: append([]uint32(nil), landmarks...),
+		L:         make([]hcl.Label, n),
+		hw:        make([]graph.Dist, k*k),
+		k:         k,
+		rankArr:   make([]uint16, n),
+	}
+	for i := range idx.hw {
+		idx.hw[i] = graph.Inf
+	}
+	for i := 0; i < k; i++ {
+		idx.hw[i*k+i] = 0
+	}
+	for i := range idx.rankArr {
+		idx.rankArr[i] = noRank
+	}
+	for r, v := range idx.Landmarks {
+		idx.rankArr[v] = uint16(r)
+	}
+	dist := make([]graph.Dist, n)
+	covered := make([]bool, n)
+	for r := range idx.Landmarks {
+		root := idx.Landmarks[r]
+		order := g.Dijkstra(root, dist)
+		// Covered pass in settle (distance) order: with weights ≥ 1 every
+		// shortest-path parent settles strictly earlier.
+		for _, v := range order {
+			covered[v] = idx.rankArr[v] != noRank && v != root
+			if covered[v] {
+				continue
+			}
+			for _, a := range g.Neighbors(v) {
+				if graph.AddDist(dist[a.To], a.W) == dist[v] && covered[a.To] {
+					covered[v] = true
+					break
+				}
+			}
+		}
+		for _, v := range order {
+			if v == root {
+				continue
+			}
+			if s := idx.rankArr[v]; s != noRank {
+				idx.setHighway(uint16(r), s, dist[v])
+				continue
+			}
+			if !covered[v] {
+				idx.L[v] = idx.L[v].Set(uint16(r), dist[v])
+			}
+		}
+	}
+	return idx, nil
+}
+
+// Highway returns the exact weighted distance between landmark ranks.
+func (idx *Index) Highway(i, j uint16) graph.Dist { return idx.hw[int(i)*idx.k+int(j)] }
+
+func (idx *Index) setHighway(i, j uint16, d graph.Dist) {
+	idx.hw[int(i)*idx.k+int(j)] = d
+	idx.hw[int(j)*idx.k+int(i)] = d
+}
+
+// Rank returns the landmark rank of v, if any.
+func (idx *Index) Rank(v uint32) (uint16, bool) {
+	r := idx.rankArr[v]
+	return r, r != noRank
+}
+
+// LandmarkDist returns the exact weighted distance from landmark rank r to
+// any vertex v (Equation 1 with Dijkstra distances).
+func (idx *Index) LandmarkDist(r uint16, v uint32) graph.Dist {
+	if s := idx.rankArr[v]; s != noRank {
+		return idx.Highway(r, s)
+	}
+	best := graph.Inf
+	for _, e := range idx.L[v] {
+		if t := graph.AddDist(idx.Highway(r, e.Rank), e.D); t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// UpperBound returns the best u–v distance through the highway network.
+func (idx *Index) UpperBound(u, v uint32) graph.Dist {
+	if u == v {
+		return 0
+	}
+	ru, uIsL := idx.Rank(u)
+	rv, vIsL := idx.Rank(v)
+	switch {
+	case uIsL && vIsL:
+		return idx.Highway(ru, rv)
+	case uIsL:
+		return idx.LandmarkDist(ru, v)
+	case vIsL:
+		return idx.LandmarkDist(rv, u)
+	}
+	best := graph.Inf
+	for _, eu := range idx.L[u] {
+		for _, ev := range idx.L[v] {
+			t := graph.AddDist(eu.D, graph.AddDist(idx.Highway(eu.Rank, ev.Rank), ev.D))
+			if t < best {
+				best = t
+			}
+		}
+	}
+	return best
+}
+
+// Query answers an exact weighted distance query: the highway upper bound
+// refined by a bounded bidirectional Dijkstra on the sparsified graph.
+func (idx *Index) Query(u, v uint32) graph.Dist {
+	if u == v {
+		return 0
+	}
+	top := idx.UpperBound(u, v)
+	if _, isL := idx.Rank(u); isL {
+		return top
+	}
+	if _, isL := idx.Rank(v); isL {
+		return top
+	}
+	avoid := func(x uint32) bool { return idx.rankArr[x] != noRank }
+	sp := idx.G.Sparsified(u, v, top, avoid)
+	if sp < top {
+		return sp
+	}
+	return top
+}
+
+// NumEntries returns size(L).
+func (idx *Index) NumEntries() int64 {
+	var n int64
+	for _, l := range idx.L {
+		n += int64(len(l))
+	}
+	return n
+}
+
+// EnsureVertex grows the label table to cover v.
+func (idx *Index) EnsureVertex(v uint32) {
+	for uint32(len(idx.L)) <= v {
+		idx.L = append(idx.L, nil)
+		idx.rankArr = append(idx.rankArr, noRank)
+	}
+}
+
+// VerifyCover checks Equation 1 against ground-truth Dijkstra distances.
+func (idx *Index) VerifyCover() error {
+	n := idx.G.NumVertices()
+	dist := make([]graph.Dist, n)
+	for r := range idx.Landmarks {
+		idx.G.Dijkstra(idx.Landmarks[r], dist)
+		for v := 0; v < n; v++ {
+			if got := idx.LandmarkDist(uint16(r), uint32(v)); got != dist[v] {
+				return fmt.Errorf("whcl: cover violated: landmark %d to %d: label %d, Dijkstra %d",
+					idx.Landmarks[r], v, got, dist[v])
+			}
+		}
+	}
+	return nil
+}
+
+// EqualLabels reports whether two indexes are identical (labels + highway).
+func (idx *Index) EqualLabels(o *Index) error {
+	if len(idx.L) != len(o.L) {
+		return fmt.Errorf("whcl: label table size differs: %d vs %d", len(idx.L), len(o.L))
+	}
+	for v := range idx.L {
+		if !idx.L[v].Equal(o.L[v]) {
+			return fmt.Errorf("whcl: label of %d differs: %v vs %v", v, idx.L[v], o.L[v])
+		}
+	}
+	if idx.k != o.k {
+		return fmt.Errorf("whcl: landmark counts differ")
+	}
+	for i := range idx.hw {
+		if idx.hw[i] != o.hw[i] {
+			return fmt.Errorf("whcl: highway cell %d differs: %d vs %d", i, idx.hw[i], o.hw[i])
+		}
+	}
+	return nil
+}

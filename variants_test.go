@@ -1,0 +1,126 @@
+package dynhl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDirectedAPIRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := NewDigraph(40)
+	for i := 0; i < 40; i++ {
+		g.AddVertex()
+	}
+	for i := 0; i < 120; i++ {
+		u := uint32(rng.Intn(40))
+		v := uint32(rng.Intn(40))
+		if u != v {
+			_, _ = g.AddEdge(u, v)
+		}
+	}
+	idx, err := BuildDirected(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(idx.Landmarks()); got != 4 {
+		t.Fatalf("landmarks: %d", got)
+	}
+	// Insert a directed edge and check asymmetry plus verification.
+	var a, b uint32
+	for {
+		a, b = uint32(rng.Intn(40)), uint32(rng.Intn(40))
+		if a != b && !g.HasEdge(a, b) {
+			break
+		}
+	}
+	if _, err := idx.InsertEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Query(a, b); got != 1 {
+		t.Errorf("Query(a,b) after insert: got %d, want 1", got)
+	}
+	if err := idx.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if idx.LabelEntries() <= 0 {
+		t.Error("expected label entries")
+	}
+	if _, err := BuildDirected(NewDigraph(0), 3); err == nil {
+		t.Error("empty digraph must fail")
+	}
+}
+
+func TestDirectedVertexInsertAPI(t *testing.T) {
+	g := NewDigraph(0)
+	for i := 0; i < 10; i++ {
+		g.AddVertex()
+	}
+	for i := uint32(0); i < 9; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	idx, err := BuildDirected(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := idx.InsertVertex([]uint32{0}, []uint32{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 → v → 0: distance 9→0 becomes 2.
+	if got := idx.Query(9, 0); got != 2 {
+		t.Errorf("Query(9,0): got %d, want 2 via new vertex %d", got, v)
+	}
+	if err := idx.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedAPIRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := NewWeightedGraph(30)
+	for i := 0; i < 30; i++ {
+		g.AddVertex()
+	}
+	for i := 0; i < 70; i++ {
+		u := uint32(rng.Intn(30))
+		v := uint32(rng.Intn(30))
+		if u != v {
+			_, _ = g.AddEdge(u, v, Dist(1+rng.Intn(9)))
+		}
+	}
+	idx, err := BuildWeighted(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// A direct cheap edge must win over any previous route.
+	var a, b uint32
+	for {
+		a, b = uint32(rng.Intn(30)), uint32(rng.Intn(30))
+		if a != b && !g.HasEdge(a, b) {
+			break
+		}
+	}
+	if _, err := idx.InsertEdge(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Query(a, b); got != 1 {
+		t.Errorf("Query after weight-1 insert: got %d, want 1", got)
+	}
+	if err := idx.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	v, _, err := idx.InsertVertex([]WeightedArc{{To: a, W: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Query(v, b); got != 4 {
+		t.Errorf("Query(new,b): got %d, want 4 (3 + the fresh unit edge)", got)
+	}
+	if _, err := BuildWeighted(NewWeightedGraph(0), 2); err == nil {
+		t.Error("empty graph must fail")
+	}
+}

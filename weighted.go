@@ -1,0 +1,97 @@
+package dynhl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/wgraph"
+	"repro/internal/whcl"
+)
+
+// WeightedGraph is an undirected graph with positive integral edge weights
+// (Section 5 of the paper: Dijkstra replaces BFS throughout).
+type WeightedGraph = wgraph.Graph
+
+// WeightedArc is one weighted adjacency entry (neighbour, weight ≥ 1).
+type WeightedArc = wgraph.Arc
+
+// NewWeightedGraph returns an empty weighted graph with capacity hints for
+// n vertices.
+func NewWeightedGraph(n int) *WeightedGraph { return wgraph.New(n) }
+
+// WeightedStats reports what one weighted insertion did.
+type WeightedStats = whcl.Stats
+
+// WeightedIndex is a dynamic exact distance oracle over a weighted graph,
+// maintained incrementally by the Dijkstra variant of IncHL+. Not safe for
+// concurrent use.
+type WeightedIndex struct {
+	idx *whcl.Index
+}
+
+// BuildWeighted constructs the weighted labelling of g, selecting the
+// highest-degree vertices as landmarks.
+func BuildWeighted(g *WeightedGraph, landmarks int) (*WeightedIndex, error) {
+	if landmarks <= 0 {
+		landmarks = 20
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("dynhl: cannot index an empty graph")
+	}
+	if landmarks > n {
+		landmarks = n
+	}
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := len(g.Neighbors(ids[i])), len(g.Neighbors(ids[j]))
+		if di != dj {
+			return di > dj
+		}
+		return ids[i] < ids[j]
+	})
+	idx, err := whcl.Build(g, ids[:landmarks])
+	if err != nil {
+		return nil, err
+	}
+	return &WeightedIndex{idx: idx}, nil
+}
+
+// BuildWeightedWithLandmarks constructs the labelling with an explicit
+// landmark set.
+func BuildWeightedWithLandmarks(g *WeightedGraph, landmarks []uint32) (*WeightedIndex, error) {
+	idx, err := whcl.Build(g, landmarks)
+	if err != nil {
+		return nil, err
+	}
+	return &WeightedIndex{idx: idx}, nil
+}
+
+// Query returns the exact weighted distance between u and v, Inf when
+// disconnected.
+func (x *WeightedIndex) Query(u, v uint32) Dist { return x.idx.Query(u, v) }
+
+// InsertEdge inserts the undirected edge (a,b) with weight w ≥ 1 and
+// repairs the labelling.
+func (x *WeightedIndex) InsertEdge(a, b uint32, w Dist) (WeightedStats, error) {
+	return x.idx.InsertEdge(a, b, w)
+}
+
+// InsertVertex adds a vertex with initial weighted edges.
+func (x *WeightedIndex) InsertVertex(arcs []WeightedArc) (uint32, WeightedStats, error) {
+	return x.idx.InsertVertex(arcs)
+}
+
+// Verify audits the labelling against Dijkstra ground truth.
+func (x *WeightedIndex) Verify() error { return x.idx.VerifyCover() }
+
+// Landmarks returns the landmark vertices in rank order.
+func (x *WeightedIndex) Landmarks() []uint32 {
+	return append([]uint32(nil), x.idx.Landmarks...)
+}
+
+// LabelEntries returns size(L).
+func (x *WeightedIndex) LabelEntries() int64 { return x.idx.NumEntries() }
