@@ -1,19 +1,22 @@
-// Command hlquery builds a dynamic distance index over a graph and serves
+// Command hlquery builds a dynamic distance oracle over a graph and serves
 // interactive queries and updates on stdin — a minimal operational shell
-// around the library.
+// around the library. The REPL works through the dynhl.Oracle interface, so
+// it drives all three index variants (-mode).
 //
 // Load a graph from an edge-list file or generate a dataset proxy:
 //
 //	hlquery -graph web.txt -landmarks 20
+//	hlquery -graph roads.txt -mode weighted
 //	hlquery -dataset Skitter -scale 0.2
 //
 // Commands on stdin:
 //
-//	q <u> <v>        exact distance query
-//	add <u> <v>      insert edge (graph + index updated)
-//	addv <n1,n2,..>  insert vertex connected to existing vertices
-//	stats            index size statistics
-//	verify           O(|R|·|E|) correctness audit of the labelling
+//	q <u> <v>          exact distance query
+//	qb <u> <v> [...]   batch query over any number of pairs
+//	add <u> <v> [w]    insert edge (graph + index updated; weight on -mode weighted)
+//	addv <n1,n2,..>    insert vertex connected to existing vertices
+//	stats              index size statistics
+//	verify             O(|R|·|E|) correctness audit of the labelling
 //	help, quit
 package main
 
@@ -27,65 +30,43 @@ import (
 	"time"
 
 	dynhl "repro"
-	"repro/internal/dataset"
+	"repro/internal/cli"
 )
 
 func main() {
 	var (
 		graphPath = flag.String("graph", "", "edge-list file to load")
+		mode      = flag.String("mode", "undirected", "graph type of -graph: undirected, directed or weighted")
 		ds        = flag.String("dataset", "", "generate a dataset proxy instead (e.g. Skitter)")
 		scale     = flag.Float64("scale", 0.2, "proxy scale when -dataset is used")
 		landmarks = flag.Int("landmarks", 20, "number of landmarks |R|")
-		seed      = flag.Int64("seed", 1, "generator seed")
+		strategy  = flag.String("strategy", "", "landmark selection strategy (topdegree, random, weighted)")
+		seed      = flag.Int64("seed", 1, "generator and selection seed")
 		parallel  = flag.Bool("parallel", false, "parallel index construction")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*graphPath, *ds, *scale, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
-
+	opt := dynhl.Options{Landmarks: *landmarks, Strategy: *strategy, Seed: *seed, Parallel: *parallel}
 	start := time.Now()
-	idx, err := dynhl.Build(g, dynhl.Options{Landmarks: *landmarks, Parallel: *parallel})
+	oracle, err := cli.BuildOracle(*graphPath, *mode, *ds, *scale, opt)
 	if err != nil {
 		fatal(err)
 	}
-	st := idx.Stats()
+	st := oracle.Stats()
+	fmt.Printf("graph: %d vertices, %d edges (%s)\n", st.Vertices, st.Edges, *mode)
 	fmt.Printf("index built in %v: %d landmarks, %d entries (avg %.2f/vertex)\n",
 		time.Since(start).Round(time.Millisecond), st.Landmarks, st.LabelEntries, st.AvgLabelSize)
 
-	repl(idx)
+	repl(oracle)
 }
 
-func loadGraph(path, ds string, scale float64, seed int64) (*dynhl.Graph, error) {
-	switch {
-	case path != "":
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return dynhl.ReadGraph(f)
-	case ds != "":
-		spec, err := dataset.Lookup(ds)
-		if err != nil {
-			return nil, err
-		}
-		return dataset.Generate(spec, scale, seed), nil
-	default:
-		return nil, fmt.Errorf("need -graph FILE or -dataset NAME")
-	}
-}
-
-func repl(idx *dynhl.Index) {
+func repl(o dynhl.Oracle) {
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) > 0 {
-			if quit := execute(idx, fields); quit {
+			if quit := execute(o, fields); quit {
 				return
 			}
 		}
@@ -94,36 +75,75 @@ func repl(idx *dynhl.Index) {
 }
 
 // execute runs one command, reporting whether the REPL should exit.
-func execute(idx *dynhl.Index, fields []string) bool {
+func execute(o dynhl.Oracle, fields []string) bool {
 	switch fields[0] {
 	case "q", "query":
 		u, v, err := twoVertices(fields[1:])
+		if err == nil {
+			err = checkVertices(o, u, v)
+		}
 		if err != nil {
 			fmt.Println("error:", err)
 			return false
 		}
 		start := time.Now()
-		d := idx.Query(u, v)
+		d := o.Query(u, v)
 		el := time.Since(start)
 		if d == dynhl.Inf {
-			fmt.Printf("d(%d,%d) = inf (disconnected)  [%v]\n", u, v, el)
+			fmt.Printf("d(%d,%d) = inf (unreachable)  [%v]\n", u, v, el)
 		} else {
 			fmt.Printf("d(%d,%d) = %d  [%v]\n", u, v, d, el)
 		}
-	case "add":
-		u, v, err := twoVertices(fields[1:])
+	case "qb":
+		pairs, err := parsePairs(fields[1:])
+		for _, p := range pairs {
+			if err != nil {
+				break
+			}
+			err = checkVertices(o, p.U, p.V)
+		}
 		if err != nil {
 			fmt.Println("error:", err)
 			return false
 		}
 		start := time.Now()
-		st, err := idx.InsertEdge(u, v)
+		ds := o.QueryBatch(pairs)
+		el := time.Since(start)
+		for i, d := range ds {
+			if d == dynhl.Inf {
+				fmt.Printf("d(%d,%d) = inf\n", pairs[i].U, pairs[i].V)
+			} else {
+				fmt.Printf("d(%d,%d) = %d\n", pairs[i].U, pairs[i].V, d)
+			}
+		}
+		fmt.Printf("%d pairs  [%v]\n", len(pairs), el)
+	case "add":
+		if len(fields) < 3 || len(fields) > 4 {
+			fmt.Println("error: usage add <u> <v> [w]")
+			return false
+		}
+		u, v, err := twoVertices(fields[1:3])
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		var w dynhl.Dist
+		if len(fields) == 4 {
+			parsed, err := strconv.ParseUint(fields[3], 10, 32)
+			if err != nil {
+				fmt.Println("error:", err)
+				return false
+			}
+			w = dynhl.Dist(parsed)
+		}
+		start := time.Now()
+		st, err := o.InsertEdge(u, v, w)
 		if err != nil {
 			fmt.Println("error:", err)
 			return false
 		}
 		fmt.Printf("inserted (%d,%d): %d affected, +%d/-%d entries  [%v]\n",
-			u, v, st.AffectedUnion, st.EntriesAdded, st.EntriesRemoved, time.Since(start))
+			u, v, st.Affected, st.EntriesAdded, st.EntriesRemoved, time.Since(start))
 	case "addv":
 		if len(fields) != 2 {
 			fmt.Println("error: usage addv n1,n2,...")
@@ -138,31 +158,58 @@ func execute(idx *dynhl.Index, fields []string) bool {
 			}
 			ns = append(ns, uint32(n))
 		}
-		v, st, err := idx.InsertVertex(ns)
+		v, st, err := o.InsertVertex(dynhl.Arcs(ns...))
 		if err != nil {
 			fmt.Println("error:", err)
 			return false
 		}
-		fmt.Printf("inserted vertex %d (%d neighbours, %d affected)\n", v, len(ns), st.AffectedUnion)
+		fmt.Printf("inserted vertex %d (%d neighbours, %d affected)\n", v, len(ns), st.Affected)
 	case "stats":
-		st := idx.Stats()
+		st := o.Stats()
 		fmt.Printf("vertices=%d edges=%d landmarks=%d entries=%d avg=%.2f bytes=%d\n",
 			st.Vertices, st.Edges, st.Landmarks, st.LabelEntries, st.AvgLabelSize, st.Bytes)
 	case "verify":
 		start := time.Now()
-		if err := idx.Verify(); err != nil {
+		if err := o.Verify(); err != nil {
 			fmt.Println("VERIFY FAILED:", err)
 		} else {
 			fmt.Printf("labelling verified exact [%v]\n", time.Since(start))
 		}
 	case "help":
-		fmt.Println("commands: q <u> <v> | add <u> <v> | addv n1,n2,... | stats | verify | quit")
+		fmt.Println("commands: q <u> <v> | qb <u> <v> [<u> <v> ...] | add <u> <v> [w] | addv n1,n2,... | stats | verify | quit")
 	case "quit", "exit":
 		return true
 	default:
 		fmt.Printf("unknown command %q (try help)\n", fields[0])
 	}
 	return false
+}
+
+// checkVertices guards the query paths: Oracle.Query panics on ids the
+// graph has never seen, so the REPL refuses them with an error instead.
+func checkVertices(o dynhl.Oracle, vs ...uint32) error {
+	n := o.NumVertices()
+	for _, v := range vs {
+		if int(v) >= n {
+			return fmt.Errorf("vertex %d out of range (have %d vertices)", v, n)
+		}
+	}
+	return nil
+}
+
+func parsePairs(args []string) ([]dynhl.Pair, error) {
+	if len(args) == 0 || len(args)%2 != 0 {
+		return nil, fmt.Errorf("want an even number of vertex ids")
+	}
+	pairs := make([]dynhl.Pair, 0, len(args)/2)
+	for i := 0; i < len(args); i += 2 {
+		u, v, err := twoVertices(args[i : i+2])
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, dynhl.Pair{U: u, V: v})
+	}
+	return pairs, nil
 }
 
 func twoVertices(args []string) (uint32, uint32, error) {

@@ -1,24 +1,33 @@
 // Command hlserver serves exact distance queries and online updates over
-// HTTP (see internal/httpapi for the JSON API). The graph comes from an
-// edge-list file or a generated dataset proxy.
+// HTTP (see internal/httpapi for the JSON API). One binary serves all three
+// index variants through the dynhl.Oracle interface: the graph comes from
+// an edge-list file (undirected, directed, or weighted by -mode) or a
+// generated dataset proxy.
 //
 //	hlserver -graph web.txt -addr :8080
+//	hlserver -graph roads.txt -mode weighted
 //	hlserver -dataset Flickr -scale 0.2 -landmarks 20
 //
 //	curl 'localhost:8080/distance?u=3&v=97'
+//	curl -X POST localhost:8080/distances -d '{"pairs":[{"u":3,"v":97},{"u":0,"v":5}]}'
 //	curl -X POST localhost:8080/edges -d '{"u":3,"v":97}'
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
-	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	dynhl "repro"
-	"repro/internal/dataset"
+	"repro/internal/cli"
 	"repro/internal/httpapi"
 )
 
@@ -26,55 +35,56 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		graphPath = flag.String("graph", "", "edge-list file to load")
-		ds        = flag.String("dataset", "", "generate a dataset proxy instead")
+		mode      = flag.String("mode", "undirected", "graph type of -graph: undirected, directed or weighted")
+		ds        = flag.String("dataset", "", "generate a dataset proxy instead (undirected)")
 		scale     = flag.Float64("scale", 0.2, "proxy scale when -dataset is used")
 		landmarks = flag.Int("landmarks", 20, "number of landmarks |R|")
-		seed      = flag.Int64("seed", 1, "generator seed")
+		strategy  = flag.String("strategy", "", "landmark selection strategy (topdegree, random, weighted)")
+		seed      = flag.Int64("seed", 1, "generator and selection seed")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*graphPath, *ds, *scale, *seed)
-	if err != nil {
-		log.Fatal("hlserver: ", err)
-	}
-	log.Printf("graph: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
-
+	opt := dynhl.Options{Landmarks: *landmarks, Strategy: *strategy, Seed: *seed, Parallel: true}
 	start := time.Now()
-	idx, err := dynhl.Build(g, dynhl.Options{Landmarks: *landmarks, Parallel: true})
+	oracle, err := cli.BuildOracle(*graphPath, *mode, *ds, *scale, opt)
 	if err != nil {
 		log.Fatal("hlserver: ", err)
 	}
-	st := idx.Stats()
+	st := oracle.Stats()
+	log.Printf("graph: %d vertices, %d edges (%s)", st.Vertices, st.Edges, *mode)
 	log.Printf("index built in %v: %d landmarks, %d entries (%.2f per vertex)",
 		time.Since(start).Round(time.Millisecond), st.Landmarks, st.LabelEntries, st.AvgLabelSize)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(idx).Handler(),
+		Handler:           httpapi.New(oracle).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
 	}
-	log.Printf("serving on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
-		log.Fatal("hlserver: ", err)
-	}
-}
 
-func loadGraph(path, ds string, scale float64, seed int64) (*dynhl.Graph, error) {
-	switch {
-	case path != "":
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal("hlserver: ", err)
+	case <-ctx.Done():
+		stop()
+		log.Print("shutting down, draining in-flight requests")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Fatal("hlserver: shutdown: ", err)
 		}
-		defer f.Close()
-		return dynhl.ReadGraph(f)
-	case ds != "":
-		spec, err := dataset.Lookup(ds)
-		if err != nil {
-			return nil, err
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal("hlserver: ", err)
 		}
-		return dataset.Generate(spec, scale, seed), nil
-	default:
-		return nil, fmt.Errorf("need -graph FILE or -dataset NAME")
+		log.Print("bye")
 	}
 }

@@ -1,0 +1,89 @@
+// Benchmarks for the concurrent read path: the same read-heavy workload
+// served three ways — the old single-mutex serialization (what
+// internal/httpapi did before the Oracle redesign), parallel readers
+// through the Concurrent wrapper's RWMutex, and the worker-fanned
+// QueryBatch. On ≥ 4 cores the parallel variants outperform the serialized
+// baseline by roughly the core count.
+package dynhl_test
+
+import (
+	"sync"
+	"testing"
+
+	dynhl "repro"
+	"repro/internal/dataset"
+	"repro/internal/exper"
+)
+
+var benchSink dynhl.Dist
+
+func benchOracle(b *testing.B) (*dynhl.Index, []dynhl.Pair) {
+	b.Helper()
+	spec, err := dataset.Lookup("Skitter")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := dataset.Generate(spec, benchScale, benchSeed)
+	idx, err := dynhl.Build(g, dynhl.Options{Landmarks: spec.Landmarks, Parallel: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := exper.SampleQueries(g.NumVertices(), 1<<14, benchSeed+3)
+	pairs := make([]dynhl.Pair, len(qs))
+	for i, q := range qs {
+		pairs[i] = dynhl.Pair{U: q[0], V: q[1]}
+	}
+	return idx, pairs
+}
+
+const benchPairMask = 1<<14 - 1
+
+func BenchmarkReadsMutexSerialized(b *testing.B) {
+	idx, pairs := benchOracle(b)
+	var mu sync.Mutex
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var sink dynhl.Dist
+		i := 0
+		for pb.Next() {
+			p := pairs[i&benchPairMask]
+			i++
+			mu.Lock()
+			sink ^= idx.Query(p.U, p.V)
+			mu.Unlock()
+		}
+		benchSink = sink
+	})
+}
+
+func BenchmarkReadsRWMutexParallel(b *testing.B) {
+	idx, pairs := benchOracle(b)
+	co := dynhl.Concurrent(idx)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var sink dynhl.Dist
+		i := 0
+		for pb.Next() {
+			p := pairs[i&benchPairMask]
+			i++
+			sink ^= co.Query(p.U, p.V)
+		}
+		benchSink = sink
+	})
+}
+
+func BenchmarkReadsQueryBatch(b *testing.B) {
+	idx, pairs := benchOracle(b)
+	co := dynhl.Concurrent(idx)
+	const batch = 1 << 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		lo := i & benchPairMask
+		hi := lo + batch
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		ds := co.QueryBatch(pairs[lo:hi])
+		benchSink ^= ds[0]
+	}
+}

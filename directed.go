@@ -2,9 +2,11 @@ package dynhl
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/dhcl"
 	"repro/internal/digraph"
+	"repro/internal/landmark"
 )
 
 // Digraph is a directed, unweighted dynamic graph (Section 5 of the paper:
@@ -15,31 +17,39 @@ type Digraph = digraph.Digraph
 // vertices.
 func NewDigraph(n int) *Digraph { return digraph.New(n) }
 
-// DirectedStats reports what one directed insertion did.
-type DirectedStats = dhcl.Stats
+// ReadDigraph parses a whitespace-separated arc list ("u v" per line, one
+// directed edge u→v, '#' and '%' comments allowed).
+func ReadDigraph(r io.Reader) (*Digraph, error) { return digraph.ReadEdgeList(r) }
 
 // DirectedIndex is a dynamic exact distance oracle over a directed graph,
-// maintained incrementally by the directed IncHL+ variant. Not safe for
-// concurrent use.
+// maintained incrementally by the directed IncHL+ variant.
+//
+// A DirectedIndex implements Oracle. Queries are safe for any number of
+// concurrent readers; readers must not race the Insert methods — wrap with
+// Concurrent for that.
 type DirectedIndex struct {
 	idx *dhcl.Index
 }
 
-// BuildDirected constructs the directed labelling of g with the given
-// landmark count, selecting the highest total-degree vertices as landmarks.
-func BuildDirected(g *Digraph, landmarks int) (*DirectedIndex, error) {
-	if landmarks <= 0 {
-		landmarks = 20
+// BuildDirected constructs the directed labelling of g. Options drives it
+// exactly as Build does the undirected one — landmark count, selection
+// strategy and seed; degree-based strategies use total (in+out) degree.
+// Parallel construction is not implemented for this variant, so the
+// Parallel/Workers knobs are accepted and ignored.
+func BuildDirected(g *Digraph, opt Options) (*DirectedIndex, error) {
+	if opt.Landmarks <= 0 {
+		opt.Landmarks = 20
 	}
-	if g.NumVertices() == 0 {
+	n := g.NumVertices()
+	if n == 0 {
 		return nil, fmt.Errorf("dynhl: cannot index an empty graph")
 	}
-	lms := topDegreeDirected(g, landmarks)
-	idx, err := dhcl.Build(g, lms)
+	degree := func(v uint32) int { return g.OutDegree(v) + g.InDegree(v) }
+	lms, err := landmark.SelectBy(n, degree, g.NumEdges(), opt.Landmarks, opt.Strategy, opt.Seed)
 	if err != nil {
 		return nil, err
 	}
-	return &DirectedIndex{idx: idx}, nil
+	return BuildDirectedWithLandmarks(g, lms)
 }
 
 // BuildDirectedWithLandmarks constructs the labelling with an explicit
@@ -52,17 +62,76 @@ func BuildDirectedWithLandmarks(g *Digraph, landmarks []uint32) (*DirectedIndex,
 	return &DirectedIndex{idx: idx}, nil
 }
 
+// Graph returns the underlying directed graph. Treat it as read-only;
+// mutate through the DirectedIndex methods.
+func (x *DirectedIndex) Graph() *Digraph { return x.idx.G }
+
 // Query returns the exact directed distance u→v, Inf when unreachable.
 func (x *DirectedIndex) Query(u, v uint32) Dist { return x.idx.Query(u, v) }
 
-// InsertEdge inserts the directed edge a→b and repairs both label sets.
-func (x *DirectedIndex) InsertEdge(a, b uint32) (DirectedStats, error) {
-	return x.idx.InsertEdge(a, b)
+// QueryBatch answers many pairs serially; Concurrent fans batches out.
+func (x *DirectedIndex) QueryBatch(pairs []Pair) []Dist { return queryBatch(x, pairs) }
+
+// NumVertices returns the current vertex count.
+func (x *DirectedIndex) NumVertices() int { return x.idx.G.NumVertices() }
+
+// InsertEdge inserts the directed edge u→v and repairs both label sets.
+// The graph is unweighted, so w must be 0 or 1.
+func (x *DirectedIndex) InsertEdge(u, v uint32, w Dist) (UpdateSummary, error) {
+	if w > 1 {
+		return UpdateSummary{}, fmt.Errorf("dynhl: directed oracle is unweighted, got edge weight %d", w)
+	}
+	st, err := x.idx.InsertEdge(u, v)
+	if err != nil {
+		return UpdateSummary{}, err
+	}
+	return directedSummary(st), nil
 }
 
-// InsertVertex adds a vertex with initial out- and in-neighbours.
-func (x *DirectedIndex) InsertVertex(outTo, inFrom []uint32) (uint32, DirectedStats, error) {
-	return x.idx.InsertVertex(outTo, inFrom)
+// InsertVertex adds a vertex with the given initial arcs: Arc.In selects
+// the direction (To→new rather than new→To) and weights must be 0 or 1.
+func (x *DirectedIndex) InsertVertex(arcs []Arc) (uint32, UpdateSummary, error) {
+	var outTo, inFrom []uint32
+	for _, a := range arcs {
+		if a.W > 1 {
+			return 0, UpdateSummary{}, fmt.Errorf("dynhl: directed oracle is unweighted, got arc weight %d", a.W)
+		}
+		if a.In {
+			inFrom = append(inFrom, a.To)
+		} else {
+			outTo = append(outTo, a.To)
+		}
+	}
+	id, st, err := x.idx.InsertVertex(outTo, inFrom)
+	if err != nil {
+		return 0, UpdateSummary{}, err
+	}
+	return id, directedSummary(st), nil
+}
+
+func directedSummary(st dhcl.Stats) UpdateSummary {
+	return UpdateSummary{
+		Landmarks:      st.LandmarksTotal,
+		Skipped:        st.PassesSkipped,
+		Affected:       st.AffectedForward + st.AffectedBack,
+		EntriesAdded:   st.EntriesAdded,
+		EntriesRemoved: st.EntriesRemoved,
+		HighwayUpdates: st.HighwayUpdates,
+	}
+}
+
+// Stats returns current size statistics; LabelEntries counts both the
+// forward and the backward label sets.
+func (x *DirectedIndex) Stats() Stats {
+	entries, bytes := x.idx.Sizes()
+	return Stats{
+		Vertices:     x.idx.G.NumVertices(),
+		Edges:        x.idx.G.NumEdges(),
+		Landmarks:    len(x.idx.Landmarks),
+		LabelEntries: entries,
+		Bytes:        bytes,
+		AvgLabelSize: avgLabelSize(entries, x.idx.G.NumVertices()),
+	}
 }
 
 // Verify audits both label directions against BFS ground truth.
@@ -73,34 +142,9 @@ func (x *DirectedIndex) Landmarks() []uint32 {
 	return append([]uint32(nil), x.idx.Landmarks...)
 }
 
-// LabelEntries returns size(L_f)+size(L_b).
-func (x *DirectedIndex) LabelEntries() int64 { return x.idx.NumEntries() }
-
-func topDegreeDirected(g *Digraph, k int) []uint32 {
-	n := g.NumVertices()
-	if k > n {
-		k = n
+func avgLabelSize(entries int64, n int) float64 {
+	if n == 0 {
+		return 0
 	}
-	type dv struct {
-		v uint32
-		d int
-	}
-	all := make([]dv, n)
-	for i := 0; i < n; i++ {
-		all[i] = dv{uint32(i), g.OutDegree(uint32(i)) + g.InDegree(uint32(i))}
-	}
-	// Partial selection sort of the top k (k is small).
-	out := make([]uint32, 0, k)
-	used := make([]bool, n)
-	for len(out) < k {
-		best, bestD := -1, -1
-		for i, e := range all {
-			if !used[i] && (e.d > bestD || (e.d == bestD && best >= 0 && e.v < all[best].v)) {
-				best, bestD = i, e.d
-			}
-		}
-		used[best] = true
-		out = append(out, all[best].v)
-	}
-	return out
+	return float64(entries) / float64(n)
 }

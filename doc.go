@@ -12,14 +12,45 @@
 // redundant entries are removed, so the index does not grow stale or bloated
 // as the graph evolves.
 //
-// Basic use:
+// # The Oracle interface
+//
+// All three index variants present one API, the Oracle interface: Index
+// over undirected unweighted graphs (the paper's main setting), and the
+// Section 5 extensions DirectedIndex (forward and backward labels per
+// vertex) and WeightedIndex (Dijkstra replaces BFS). Each is built by an
+// Options-driven constructor — Build, BuildDirected, BuildWeighted — with
+// the same landmark-count, selection-strategy and seed knobs. Code written
+// against Oracle, like the HTTP service in internal/httpapi, serves any
+// variant:
 //
 //	g := dynhl.NewGraph(0)
 //	// ... add vertices and edges ...
 //	idx, err := dynhl.Build(g, dynhl.Options{Landmarks: 20})
-//	d := idx.Query(u, v)          // exact distance, Inf if disconnected
-//	idx.InsertEdge(a, b)          // graph + index updated together
-//	idx.InsertVertex([]uint32{a}) // new vertex with initial neighbours
+//	d := idx.Query(u, v)              // exact distance, Inf if disconnected
+//	ds := idx.QueryBatch(pairs)       // many pairs at once
+//	idx.InsertEdge(a, b, 0)           // graph + index updated together
+//	idx.InsertVertex(dynhl.Arcs(a))   // new vertex with initial neighbours
+//
+// The weight argument of InsertEdge and the Arc fields W/In exist for the
+// weighted and directed variants; unweighted oracles reject weights > 1
+// rather than silently dropping them. Capability interfaces cover what not
+// every variant can do: Saver and Loader (labelling serialisation,
+// currently the undirected Index).
+//
+// # Concurrency
+//
+// Queries on every variant are safe for any number of concurrent readers —
+// each in-flight query draws its own scratch from a pool — but readers must
+// not race insertions. The Concurrent wrapper packages that contract for
+// the paper's target workloads (microsecond read-only lookups, rare
+// repairs): an RWMutex lets queries from any number of goroutines run in
+// parallel across cores while IncHL+ writes are serialised, and its
+// QueryBatch fans one batch across workers:
+//
+//	co := dynhl.Concurrent(idx)
+//	go co.InsertEdge(a, b, 0)          // exclusive
+//	d := co.Query(u, v)                // parallel with other readers
+//	ds := co.QueryBatch(pairs)         // fanned across GOMAXPROCS workers
 //
 // The internal packages hold the substrates and baselines used by the
 // reproduction study: internal/hcl (static labelling), internal/inchl (the

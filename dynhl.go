@@ -53,17 +53,14 @@ type Options struct {
 	Workers  int
 }
 
-// UpdateStats reports what one insertion did: how many landmarks were
-// skipped by the equal-distance rule, how many vertices were affected, and
-// how many label entries were added, modified or removed.
-type UpdateStats = inchl.Stats
-
 // Index is a dynamic distance oracle over a Graph: a highway cover
 // labelling maintained incrementally by IncHL+. The Index owns the graph
 // passed to Build — all further mutations must go through InsertEdge /
 // InsertVertex so that graph and labelling stay consistent.
 //
-// An Index is not safe for concurrent use.
+// An Index implements Oracle (and Saver/Loader). Queries are safe for any
+// number of concurrent readers; readers must not race the Insert methods —
+// wrap with Concurrent for that.
 type Index struct {
 	idx *hcl.Index
 	upd *inchl.Updater
@@ -113,17 +110,69 @@ func (x *Index) Landmarks() []uint32 {
 // current graph, or Inf when they are disconnected.
 func (x *Index) Query(u, v uint32) Dist { return x.idx.Query(u, v) }
 
-// InsertEdge inserts the undirected edge (a,b) into the graph and repairs
+// QueryBatch answers many pairs serially; Concurrent fans batches out.
+func (x *Index) QueryBatch(pairs []Pair) []Dist { return queryBatch(x, pairs) }
+
+// NumVertices returns the current vertex count.
+func (x *Index) NumVertices() int { return x.idx.G.NumVertices() }
+
+// InsertEdge inserts the undirected edge (u,v) into the graph and repairs
 // the labelling with IncHL+. The edge must be new and both endpoints must
-// exist.
-func (x *Index) InsertEdge(a, b uint32) (UpdateStats, error) {
-	return x.upd.InsertEdge(a, b)
+// exist; the graph is unweighted, so w must be 0 or 1.
+func (x *Index) InsertEdge(u, v uint32, w Dist) (UpdateSummary, error) {
+	if w > 1 {
+		return UpdateSummary{}, fmt.Errorf("dynhl: undirected oracle is unweighted, got edge weight %d", w)
+	}
+	st, err := x.upd.InsertEdge(u, v)
+	if err != nil {
+		return UpdateSummary{}, err
+	}
+	return UpdateSummary{
+		Landmarks:      st.LandmarksTotal,
+		Skipped:        st.LandmarksSkipped,
+		Affected:       st.AffectedUnion,
+		EntriesAdded:   st.EntriesAdded,
+		EntriesRemoved: st.EntriesRemoved,
+		HighwayUpdates: st.HighwayUpdates,
+	}, nil
 }
 
 // InsertVertex adds a new vertex joined to the given existing neighbours
-// and returns its id.
-func (x *Index) InsertVertex(neighbors []uint32) (uint32, UpdateStats, error) {
-	return x.upd.InsertVertex(neighbors)
+// and returns its id. Arcs must be plain (unit weight, outgoing): the graph
+// is undirected and unweighted.
+func (x *Index) InsertVertex(arcs []Arc) (uint32, UpdateSummary, error) {
+	neighbors, err := plainNeighbors("undirected", arcs)
+	if err != nil {
+		return 0, UpdateSummary{}, err
+	}
+	id, st, err := x.upd.InsertVertex(neighbors)
+	if err != nil {
+		return 0, UpdateSummary{}, err
+	}
+	return id, UpdateSummary{
+		Landmarks:      st.LandmarksTotal,
+		Skipped:        st.LandmarksSkipped,
+		Affected:       st.AffectedUnion,
+		EntriesAdded:   st.EntriesAdded,
+		EntriesRemoved: st.EntriesRemoved,
+		HighwayUpdates: st.HighwayUpdates,
+	}, nil
+}
+
+// plainNeighbors reduces arcs to a neighbour list for the undirected
+// variants, rejecting weights and directions they cannot represent.
+func plainNeighbors(variant string, arcs []Arc) ([]uint32, error) {
+	neighbors := make([]uint32, len(arcs))
+	for i, a := range arcs {
+		if a.W > 1 {
+			return nil, fmt.Errorf("dynhl: %s oracle is unweighted, got arc weight %d", variant, a.W)
+		}
+		if a.In {
+			return nil, fmt.Errorf("dynhl: %s oracle has no incoming arcs", variant)
+		}
+		neighbors[i] = a.To
+	}
+	return neighbors, nil
 }
 
 // Stats describes the index size.
@@ -138,13 +187,14 @@ type Stats struct {
 
 // Stats returns current size statistics.
 func (x *Index) Stats() Stats {
+	entries := x.idx.NumEntries()
 	return Stats{
 		Vertices:     x.idx.G.NumVertices(),
 		Edges:        x.idx.G.NumEdges(),
 		Landmarks:    x.idx.NumLandmarks(),
-		LabelEntries: x.idx.NumEntries(),
-		Bytes:        x.idx.Bytes(),
-		AvgLabelSize: x.idx.AvgLabelSize(),
+		LabelEntries: entries,
+		Bytes:        entries*hcl.EntryBytes + x.idx.H.Bytes(),
+		AvgLabelSize: avgLabelSize(entries, x.idx.G.NumVertices()),
 	}
 }
 
@@ -158,6 +208,18 @@ func (x *Index) Verify() error { return x.idx.VerifyCover() }
 func (x *Index) Save(w io.Writer) error {
 	_, err := x.idx.WriteTo(w)
 	return err
+}
+
+// Load swaps in a labelling saved with Save, replacing the current one. The
+// stream must have been saved over the index's current graph. Use Verify
+// for a full consistency audit after loading from untrusted storage.
+func (x *Index) Load(r io.Reader) error {
+	idx, err := hcl.ReadIndex(r, x.idx.G)
+	if err != nil {
+		return err
+	}
+	x.idx, x.upd = idx, inchl.New(idx)
+	return nil
 }
 
 // LoadIndex restores a labelling saved with Save and attaches it to g,

@@ -23,12 +23,15 @@ func TestBuildQueryInsertRoundTrip(t *testing.T) {
 			t.Errorf("Query%v: got %d, want %d", p, got, want)
 		}
 	}
-	st, err := idx.InsertEdge(0, 79)
+	st, err := idx.InsertEdge(0, 79, 0)
 	if err != nil {
 		t.Fatalf("InsertEdge: %v", err)
 	}
-	if st.LandmarksTotal != 6 {
+	if st.Landmarks != 6 {
 		t.Errorf("stats: %+v", st)
+	}
+	if _, err := idx.InsertEdge(1, 2, 7); err == nil {
+		t.Error("weighted edge into unweighted oracle must fail")
 	}
 	if got := idx.Query(0, 79); got != 1 {
 		t.Errorf("Query after insert: got %d, want 1", got)
@@ -77,9 +80,12 @@ func TestInsertVertexThroughAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, _, err := idx.InsertVertex([]uint32{3, 17})
+	v, _, err := idx.InsertVertex(Arcs(3, 17))
 	if err != nil {
 		t.Fatalf("InsertVertex: %v", err)
+	}
+	if _, _, err := idx.InsertVertex([]Arc{{To: 3, In: true}}); err == nil {
+		t.Error("incoming arc into undirected oracle must fail")
 	}
 	want := bfs.Dist(idx.Graph(), 0, v)
 	if got := idx.Query(0, v); got != want {

@@ -43,12 +43,12 @@ func main() {
 	fmt.Printf("citation graph: %d papers, %d citations\n", g.NumVertices(), g.NumEdges())
 
 	start := time.Now()
-	idx, err := dynhl.BuildDirected(g, 16)
+	idx, err := dynhl.BuildDirected(g, dynhl.Options{Landmarks: 16})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("directed index built in %v (%d forward+backward entries)\n",
-		time.Since(start).Round(time.Millisecond), idx.LabelEntries())
+		time.Since(start).Round(time.Millisecond), idx.Stats().LabelEntries)
 
 	foundational := uint32(0)
 
@@ -68,7 +68,7 @@ func main() {
 			outTo = append(outTo, c)
 		}
 		t0 := time.Now()
-		if _, _, err := idx.InsertVertex(outTo, nil); err != nil {
+		if _, _, err := idx.InsertVertex(dynhl.Arcs(outTo...)); err != nil {
 			log.Fatal(err)
 		}
 		updTotal += time.Since(t0)

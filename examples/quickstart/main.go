@@ -32,16 +32,16 @@ func main() {
 
 	// Insert a shortcut and query again: the index absorbs the change in
 	// microseconds instead of rebuilding.
-	st, err := idx.InsertEdge(1, 6)
+	st, err := idx.InsertEdge(1, 6, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("inserted (1,6): %d vertices affected, %d entries added, %d removed\n",
-		st.AffectedUnion, st.EntriesAdded, st.EntriesRemoved)
+		st.Affected, st.EntriesAdded, st.EntriesRemoved)
 	fmt.Printf("d(1,6) = %d\n", idx.Query(1, 6)) // now 1
 
 	// Insert a brand-new vertex attached to 2 and 5.
-	v, _, err := idx.InsertVertex([]uint32{2, 5})
+	v, _, err := idx.InsertVertex(dynhl.Arcs(2, 5))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -43,12 +43,12 @@ func main() {
 	fmt.Printf("road network: %d intersections, %d segments\n", g.NumVertices(), g.NumEdges())
 
 	start := time.Now()
-	idx, err := dynhl.BuildWeighted(g, 16)
+	idx, err := dynhl.BuildWeighted(g, dynhl.Options{Landmarks: 16})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("weighted index built in %v (%d label entries)\n",
-		time.Since(start).Round(time.Millisecond), idx.LabelEntries())
+		time.Since(start).Round(time.Millisecond), idx.Stats().LabelEntries)
 
 	// Dispatcher queries before the bypass opens.
 	depot := at(0, 0)

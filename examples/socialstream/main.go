@@ -55,7 +55,7 @@ func main() {
 				f := uint32(rng.Intn(idx.Graph().NumVertices()))
 				friends = append(friends, f)
 			}
-			if _, _, err := idx.InsertVertex(dedupe(friends)); err != nil {
+			if _, _, err := idx.InsertVertex(dynhl.Arcs(dedupe(friends)...)); err != nil {
 				log.Fatal(err)
 			}
 			newMembers++
@@ -65,7 +65,7 @@ func main() {
 			if u == v || idx.Graph().HasEdge(u, v) {
 				continue
 			}
-			if _, err := idx.InsertEdge(u, v); err != nil {
+			if _, err := idx.InsertEdge(u, v, 0); err != nil {
 				log.Fatal(err)
 			}
 			newFriendships++

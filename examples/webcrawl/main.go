@@ -59,13 +59,13 @@ func main() {
 		for w := range links {
 			outlinks = append(outlinks, w)
 		}
-		_, st, err := idx.InsertVertex(outlinks)
+		_, st, err := idx.InsertVertex(dynhl.Arcs(outlinks...))
 		if err != nil {
 			log.Fatal(err)
 		}
-		affectedSum += st.AffectedUnion
-		if st.AffectedUnion > affectedMax {
-			affectedMax = st.AffectedUnion
+		affectedSum += st.Affected
+		if st.Affected > affectedMax {
+			affectedMax = st.Affected
 		}
 	}
 	crawlDur := time.Since(t0)

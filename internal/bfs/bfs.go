@@ -6,9 +6,49 @@
 package bfs
 
 import (
+	"sync"
+
 	"repro/internal/graph"
 	"repro/internal/queue"
 )
+
+// QuerySpace is the per-query scratch of the bounded bidirectional searches
+// (Sparsified here and digraph.Sparsified): two distance vectors whose
+// entries are graph.Inf between queries, plus the touched list used to
+// restore them sparsely.
+type QuerySpace struct {
+	DistU, DistV []graph.Dist
+	Touched      []uint32
+}
+
+// SpacePool hands out query scratch sized for at least n vertices. Handing
+// every in-flight query its own QuerySpace — instead of sharing one set of
+// buffers on the index — is what makes the indexed query paths safe for any
+// number of concurrent readers.
+type SpacePool struct {
+	pool sync.Pool
+}
+
+// Get returns a QuerySpace covering n vertices, entries all graph.Inf.
+func (sp *SpacePool) Get(n int) *QuerySpace {
+	s, _ := sp.pool.Get().(*QuerySpace)
+	if s == nil {
+		s = &QuerySpace{}
+	}
+	if len(s.DistU) < n {
+		s.DistU = make([]graph.Dist, n)
+		s.DistV = make([]graph.Dist, n)
+		for i := 0; i < n; i++ {
+			s.DistU[i] = graph.Inf
+			s.DistV[i] = graph.Inf
+		}
+	}
+	return s
+}
+
+// Put returns s to the pool for reuse; s must be restored (all distance
+// entries graph.Inf), which Sparsified guarantees on return.
+func (sp *SpacePool) Put(s *QuerySpace) { sp.pool.Put(s) }
 
 // All computes the distances from src to every vertex, writing them into
 // dist, which must have length g.NumVertices(). Unreached vertices get

@@ -1,0 +1,71 @@
+// Package cli holds the graph-loading logic shared by the command-line
+// front-ends (cmd/hlserver, cmd/hlquery): resolve the -graph/-mode/-dataset
+// flag combination to a built dynhl.Oracle, so both binaries serve all
+// three index variants identically.
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	dynhl "repro"
+	"repro/internal/dataset"
+)
+
+// ModeUndirected is the default -mode; directed and weighted select the
+// Section 5 variants.
+const (
+	ModeUndirected = "undirected"
+	ModeDirected   = "directed"
+	ModeWeighted   = "weighted"
+)
+
+// BuildOracle loads the requested graph and builds the matching variant;
+// everything after this point works through the Oracle interface. Flag
+// combinations that would silently discard a flag — -graph with -dataset,
+// -dataset with a non-default -mode (proxies are undirected) — are errors.
+func BuildOracle(path, mode, ds string, scale float64, opt dynhl.Options) (dynhl.Oracle, error) {
+	if ds != "" {
+		if path != "" {
+			return nil, fmt.Errorf("-graph and -dataset are mutually exclusive")
+		}
+		if mode != ModeUndirected && mode != "" {
+			return nil, fmt.Errorf("-dataset proxies are undirected; drop -mode %s or use -graph", mode)
+		}
+		spec, err := dataset.Lookup(ds)
+		if err != nil {
+			return nil, err
+		}
+		return dynhl.Build(dataset.Generate(spec, scale, opt.Seed), opt)
+	}
+	if path == "" {
+		return nil, fmt.Errorf("need -graph FILE or -dataset NAME")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch mode {
+	case ModeUndirected, "":
+		g, err := dynhl.ReadGraph(f)
+		if err != nil {
+			return nil, err
+		}
+		return dynhl.Build(g, opt)
+	case ModeDirected:
+		g, err := dynhl.ReadDigraph(f)
+		if err != nil {
+			return nil, err
+		}
+		return dynhl.BuildDirected(g, opt)
+	case ModeWeighted:
+		g, err := dynhl.ReadWeightedGraph(f)
+		if err != nil {
+			return nil, err
+		}
+		return dynhl.BuildWeighted(g, opt)
+	default:
+		return nil, fmt.Errorf("unknown -mode %q (want undirected, directed or weighted)", mode)
+	}
+}

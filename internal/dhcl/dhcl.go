@@ -10,6 +10,7 @@ package dhcl
 import (
 	"fmt"
 
+	"repro/internal/bfs"
 	"repro/internal/digraph"
 	"repro/internal/graph"
 	"repro/internal/hcl"
@@ -20,7 +21,8 @@ import (
 const noRank = ^uint16(0)
 
 // Index is a directed highway cover labelling Γ = (H_f, L_f, L_b).
-// It is not safe for concurrent use.
+// Queries are safe for any number of concurrent readers; mutations require
+// exclusive access.
 type Index struct {
 	G         *digraph.Digraph
 	Landmarks []uint32
@@ -31,9 +33,7 @@ type Index struct {
 	k       int
 	rankArr []uint16
 
-	// query scratch
-	distU, distV []graph.Dist
-	touched      []uint32
+	scratch bfs.SpacePool
 }
 
 // Build constructs the minimal directed labelling: per landmark one forward
@@ -222,9 +222,10 @@ func (idx *Index) Query(u, v uint32) graph.Dist {
 	if top <= 1 {
 		return top
 	}
-	idx.ensureScratch()
 	avoid := func(x uint32) bool { return idx.rankArr[x] != noRank }
-	sp := idx.G.Sparsified(u, v, top, avoid, idx.distU, idx.distV, &idx.touched)
+	s := idx.scratch.Get(idx.G.NumVertices())
+	sp := idx.G.Sparsified(u, v, top, avoid, s.DistU, s.DistV, &s.Touched)
+	idx.scratch.Put(s)
 	if sp < top {
 		return sp
 	}
@@ -242,7 +243,14 @@ func (idx *Index) NumEntries() int64 {
 
 // Bytes returns the storage charged for both label sets and the highway.
 func (idx *Index) Bytes() int64 {
-	return idx.NumEntries()*hcl.EntryBytes + int64(len(idx.hf))*4
+	_, bytes := idx.Sizes()
+	return bytes
+}
+
+// Sizes returns NumEntries and Bytes with a single label scan.
+func (idx *Index) Sizes() (entries, bytes int64) {
+	entries = idx.NumEntries()
+	return entries, entries*hcl.EntryBytes + int64(len(idx.hf))*4
 }
 
 // EnsureVertex grows the label tables to cover vertex v.
@@ -251,18 +259,5 @@ func (idx *Index) EnsureVertex(v uint32) {
 		idx.Lf = append(idx.Lf, nil)
 		idx.Lb = append(idx.Lb, nil)
 		idx.rankArr = append(idx.rankArr, noRank)
-	}
-}
-
-func (idx *Index) ensureScratch() {
-	n := idx.G.NumVertices()
-	if len(idx.distU) >= n {
-		return
-	}
-	idx.distU = make([]graph.Dist, n)
-	idx.distV = make([]graph.Dist, n)
-	for i := 0; i < n; i++ {
-		idx.distU[i] = graph.Inf
-		idx.distV[i] = graph.Inf
 	}
 }

@@ -1,0 +1,26 @@
+package digraph
+
+import (
+	"io"
+
+	"repro/internal/graph"
+)
+
+// ReadEdgeList parses a whitespace-separated arc list, one "u v" pair per
+// line meaning the directed edge u→v, in the graph.ForEachEdge format.
+// Vertices are created as needed; duplicate arcs and self-loops are
+// silently dropped.
+func ReadEdgeList(r io.Reader) (*Digraph, error) {
+	g := New(0)
+	err := graph.ForEachEdge(r, "digraph", func(u, v uint32, _ []string) error {
+		for !g.HasVertex(max(u, v)) {
+			g.AddVertex()
+		}
+		_, err := g.AddEdge(u, v)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}

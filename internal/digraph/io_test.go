@@ -1,0 +1,37 @@
+package digraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# comment
+% comment
+
+0 1
+1 2 extra-ignored
+2 0
+2 0
+3 3
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 {
+		t.Errorf("vertices: got %d, want 3 (self-loop line skipped entirely)", g.NumVertices())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("arcs: got %d, want 3 (duplicate and self-loop dropped)", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("direction lost")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("0\n")); err == nil {
+		t.Error("short line must fail")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("0 x\n")); err == nil {
+		t.Error("bad vertex must fail")
+	}
+}

@@ -8,13 +8,14 @@ import (
 	"strings"
 )
 
-// ReadEdgeList parses a whitespace-separated edge list, one "u v" pair per
-// line. Lines that are empty or start with '#' or '%' are skipped (the
-// comment conventions of SNAP and KONECT dumps). Vertices are created as
-// needed; duplicate edges and self-loops are silently dropped, matching how
-// the paper treats its inputs as simple undirected graphs.
-func ReadEdgeList(r io.Reader) (*Graph, error) {
-	g := New(0)
+// ForEachEdge parses the whitespace-separated edge-list format shared by
+// the graph variants: one "u v [extra...]" line per edge, where lines that
+// are empty or start with '#' or '%' are skipped (the comment conventions
+// of SNAP and KONECT dumps) and self-loops are silently dropped. add is
+// called once per remaining line with any extra fields; its errors are
+// wrapped with the line number. name prefixes errors ("graph", "digraph",
+// "wgraph").
+func ForEachEdge(r io.Reader, name string, add func(u, v uint32, extra []string) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	line := 0
@@ -26,27 +27,43 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		fields := strings.Fields(text)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: want at least two fields, got %q", line, text)
+			return fmt.Errorf("%s: line %d: want at least two fields, got %q", name, line, text)
 		}
 		u, err := strconv.ParseUint(fields[0], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %w", line, fields[0], err)
+			return fmt.Errorf("%s: line %d: bad vertex %q: %w", name, line, fields[0], err)
 		}
 		v, err := strconv.ParseUint(fields[1], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %w", line, fields[1], err)
+			return fmt.Errorf("%s: line %d: bad vertex %q: %w", name, line, fields[1], err)
 		}
 		if u == v {
 			continue
 		}
-		g.EnsureVertex(uint32(u))
-		g.EnsureVertex(uint32(v))
-		if _, err := g.AddEdge(uint32(u), uint32(v)); err != nil {
-			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		if err := add(uint32(u), uint32(v), fields[2:]); err != nil {
+			return fmt.Errorf("%s: line %d: %w", name, line, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+		return fmt.Errorf("%s: reading edge list: %w", name, err)
+	}
+	return nil
+}
+
+// ReadEdgeList parses a whitespace-separated edge list, one "u v" pair per
+// line, in the ForEachEdge format. Vertices are created as needed;
+// duplicate edges and self-loops are silently dropped, matching how the
+// paper treats its inputs as simple undirected graphs.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	g := New(0)
+	err := ForEachEdge(r, "graph", func(u, v uint32, _ []string) error {
+		g.EnsureVertex(u)
+		g.EnsureVertex(v)
+		_, err := g.AddEdge(u, v)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return g, nil
 }

@@ -1,13 +1,18 @@
 package hcl
 
-import "repro/internal/graph"
+import (
+	"repro/internal/bfs"
+	"repro/internal/graph"
+)
 
 // Index is a highway cover labelling Γ = (H, L) over a graph G: a set of
 // landmarks R, the highway of exact landmark-to-landmark distances, and one
 // distance label per vertex. It answers exact distance queries and is the
 // structure that IncHL+ maintains under insertions.
 //
-// An Index is not safe for concurrent use: queries share scratch buffers.
+// Queries are safe for any number of concurrent readers (each in-flight
+// query draws its own scratch from a pool); mutations (IncHL+ repairs,
+// EnsureVertex) require exclusive access.
 type Index struct {
 	G         *graph.Graph
 	Landmarks []uint32 // rank -> vertex id
@@ -17,9 +22,7 @@ type Index struct {
 	rankOf  map[uint32]uint16 // landmark vertex id -> rank
 	rankArr []uint16          // vertex id -> rank, noRank if not a landmark
 
-	// Scratch reused across queries.
-	distU, distV []graph.Dist
-	touched      []uint32
+	scratch bfs.SpacePool
 }
 
 // noRank marks non-landmark vertices in the rank lookup table.
@@ -121,17 +124,4 @@ func (idx *Index) Clone() *Index {
 		}
 	}
 	return c
-}
-
-func (idx *Index) ensureScratch() {
-	n := idx.G.NumVertices()
-	if len(idx.distU) >= n {
-		return
-	}
-	idx.distU = make([]graph.Dist, n)
-	idx.distV = make([]graph.Dist, n)
-	for i := 0; i < n; i++ {
-		idx.distU[i] = graph.Inf
-		idx.distV[i] = graph.Inf
-	}
 }

@@ -79,8 +79,9 @@ func (idx *Index) Query(u, v uint32) graph.Dist {
 	if _, vIsL := idx.Rank(v); vIsL {
 		return top
 	}
-	idx.ensureScratch()
-	sp := bfs.Sparsified(idx.G, u, v, top, idx.IsLandmark, idx.distU, idx.distV, &idx.touched)
+	s := idx.scratch.Get(idx.G.NumVertices())
+	sp := bfs.Sparsified(idx.G, u, v, top, idx.IsLandmark, s.DistU, s.DistV, &s.Touched)
+	idx.scratch.Put(s)
 	if sp < top {
 		return sp
 	}

@@ -1,17 +1,25 @@
-// Package httpapi exposes a dynamic distance index over HTTP with a small
+// Package httpapi exposes a dynamic distance oracle over HTTP with a small
 // JSON API, turning the library into the kind of service the paper's
 // motivating applications (context-aware search, social analysis, network
-// management) would deploy:
+// management) would deploy. It is written against the dynhl.Oracle
+// interface, so one handler set serves undirected, directed and weighted
+// graphs alike:
 //
-//	GET  /distance?u=U&v=V   exact distance ("inf" when disconnected)
-//	POST /edges              {"u":U,"v":V} — insert an edge, index repaired
-//	POST /vertices           {"neighbors":[..]} — insert a vertex
+//	GET  /distance?u=U&v=V   exact distance ("distance": null when
+//	                         unreachable)
+//	POST /distances          {"pairs":[{"u":U,"v":V},...]} — batch query,
+//	                         answered by one worker-fanned QueryBatch
+//	POST /edges              {"u":U,"v":V,"w":W} — insert an edge (weight
+//	                         optional, weighted oracles only), index repaired
+//	POST /vertices           {"neighbors":[..]} or {"arcs":[{"to":T,"w":W,
+//	                         "in":B},..]} — insert a vertex
 //	GET  /stats              index size statistics
 //	GET  /healthz            liveness
 //
-// The index is not safe for concurrent use, so a single mutex serialises
-// queries and updates; queries are microseconds, so the lock is not a
-// practical bottleneck for a demonstration service.
+// Queries are microsecond read-only lookups while IncHL+ repairs are rare
+// writes, so the server wraps the oracle with dynhl.Concurrent: an RWMutex
+// lets any number of in-flight reads run in parallel across cores and only
+// updates take the exclusive lock.
 package httpapi
 
 import (
@@ -19,24 +27,24 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"sync"
 
 	dynhl "repro"
 )
 
-// Server wraps an index with HTTP handlers.
+// Server wraps an oracle with HTTP handlers.
 type Server struct {
-	mu  sync.Mutex
-	idx *dynhl.Index
+	o *dynhl.ConcurrentOracle
 }
 
-// New returns a Server serving idx.
-func New(idx *dynhl.Index) *Server { return &Server{idx: idx} }
+// New returns a Server serving o, wrapping it with dynhl.Concurrent (a
+// no-op when o already is one).
+func New(o dynhl.Oracle) *Server { return &Server{o: dynhl.Concurrent(o)} }
 
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /distance", s.distance)
+	mux.HandleFunc("POST /distances", s.distances)
 	mux.HandleFunc("POST /edges", s.insertEdge)
 	mux.HandleFunc("POST /vertices", s.insertVertex)
 	mux.HandleFunc("GET /stats", s.stats)
@@ -50,7 +58,7 @@ func (s *Server) Handler() http.Handler {
 type distanceResponse struct {
 	U        uint32  `json:"u"`
 	V        uint32  `json:"v"`
-	Distance *uint32 `json:"distance"` // null when disconnected
+	Distance *uint32 `json:"distance"` // null when unreachable
 }
 
 func (s *Server) distance(w http.ResponseWriter, r *http.Request) {
@@ -64,26 +72,51 @@ func (s *Server) distance(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	n := s.idx.Graph().NumVertices()
+	n := s.o.NumVertices()
 	if int(u) >= n || int(v) >= n {
-		s.mu.Unlock()
 		httpError(w, http.StatusNotFound, fmt.Errorf("vertex out of range (have %d vertices)", n))
 		return
 	}
-	d := s.idx.Query(u, v)
-	s.mu.Unlock()
-	resp := distanceResponse{U: u, V: v}
-	if d != dynhl.Inf {
-		dd := uint32(d)
-		resp.Distance = &dd
+	d := s.o.Query(u, v)
+	writeJSON(w, http.StatusOK, distanceResponse{U: u, V: v, Distance: jsonDist(d)})
+}
+
+// distancesRequest is the JSON shape of POST /distances.
+type distancesRequest struct {
+	Pairs []dynhl.Pair `json:"pairs"`
+}
+
+// distancesResponse answers pairs positionally; null marks unreachable.
+type distancesResponse struct {
+	Distances []*uint32 `json:"distances"`
+}
+
+func (s *Server) distances(w http.ResponseWriter, r *http.Request) {
+	var req distancesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	n := s.o.NumVertices()
+	for i, p := range req.Pairs {
+		if int(p.U) >= n || int(p.V) >= n {
+			httpError(w, http.StatusNotFound,
+				fmt.Errorf("pair %d: vertex out of range (have %d vertices)", i, n))
+			return
+		}
+	}
+	ds := s.o.QueryBatch(req.Pairs)
+	resp := distancesResponse{Distances: make([]*uint32, len(ds))}
+	for i, d := range ds {
+		resp.Distances[i] = jsonDist(d)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 type edgeRequest struct {
-	U uint32 `json:"u"`
-	V uint32 `json:"v"`
+	U uint32     `json:"u"`
+	V uint32     `json:"v"`
+	W dynhl.Dist `json:"w"` // optional; 0 means 1, >1 only on weighted oracles
 }
 
 // edgeResponse reports what the insertion did.
@@ -99,22 +132,23 @@ func (s *Server) insertEdge(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
 		return
 	}
-	s.mu.Lock()
-	st, err := s.idx.InsertEdge(req.U, req.V)
-	s.mu.Unlock()
+	st, err := s.o.InsertEdge(req.U, req.V, req.W)
 	if err != nil {
 		httpError(w, http.StatusConflict, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, edgeResponse{
-		Affected:       st.AffectedUnion,
+		Affected:       st.Affected,
 		EntriesAdded:   st.EntriesAdded,
 		EntriesRemoved: st.EntriesRemoved,
 	})
 }
 
 type vertexRequest struct {
+	// Neighbors is the plain form: outgoing unit-weight arcs.
 	Neighbors []uint32 `json:"neighbors"`
+	// Arcs is the full form for weighted/directed oracles.
+	Arcs []dynhl.Arc `json:"arcs"`
 }
 
 type vertexResponse struct {
@@ -128,21 +162,25 @@ func (s *Server) insertVertex(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
 		return
 	}
-	s.mu.Lock()
-	id, st, err := s.idx.InsertVertex(req.Neighbors)
-	s.mu.Unlock()
+	arcs := append(dynhl.Arcs(req.Neighbors...), req.Arcs...)
+	id, st, err := s.o.InsertVertex(arcs)
 	if err != nil {
 		httpError(w, http.StatusConflict, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, vertexResponse{ID: id, Affected: st.AffectedUnion})
+	writeJSON(w, http.StatusOK, vertexResponse{ID: id, Affected: st.Affected})
 }
 
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	st := s.idx.Stats()
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, st)
+	writeJSON(w, http.StatusOK, s.o.Stats())
+}
+
+func jsonDist(d dynhl.Dist) *uint32 {
+	if d == dynhl.Inf {
+		return nil
+	}
+	dd := uint32(d)
+	return &dd
 }
 
 func vertexParam(r *http.Request, name string) (uint32, error) {

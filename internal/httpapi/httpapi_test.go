@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -104,6 +105,116 @@ func TestInsertVertexEndpoint(t *testing.T) {
 	}
 	postJSON(t, ts.URL+"/vertices", `{"neighbors":[4444]}`, http.StatusConflict, nil)
 	postJSON(t, ts.URL+"/vertices", `not json`, http.StatusBadRequest, nil)
+}
+
+func TestBatchDistancesEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var resp distancesResponse
+	postJSON(t, ts.URL+"/distances", `{"pairs":[{"u":0,"v":1},{"u":3,"v":3},{"u":7,"v":40}]}`, http.StatusOK, &resp)
+	if len(resp.Distances) != 3 {
+		t.Fatalf("distances: %+v", resp)
+	}
+	for i, d := range resp.Distances {
+		if d == nil {
+			t.Fatalf("connected graph: distance %d must not be null", i)
+		}
+	}
+	if *resp.Distances[1] != 0 {
+		t.Errorf("d(3,3): got %d, want 0", *resp.Distances[1])
+	}
+	// Batch answers must agree with the single-pair endpoint.
+	var single distanceResponse
+	getJSON(t, ts.URL+"/distance?u=7&v=40", http.StatusOK, &single)
+	if *single.Distance != *resp.Distances[2] {
+		t.Errorf("batch %d vs single %d", *resp.Distances[2], *single.Distance)
+	}
+	postJSON(t, ts.URL+"/distances", `{"pairs":[{"u":0,"v":9999}]}`, http.StatusNotFound, nil)
+	postJSON(t, ts.URL+"/distances", `{"pairs":`, http.StatusBadRequest, nil)
+	// An empty batch is fine.
+	postJSON(t, ts.URL+"/distances", `{"pairs":[]}`, http.StatusOK, &resp)
+	if len(resp.Distances) != 0 {
+		t.Errorf("empty batch: %+v", resp)
+	}
+}
+
+// TestDirectedServer pins that the same handler set serves the directed
+// variant through the Oracle interface.
+func TestDirectedServer(t *testing.T) {
+	g := dynhl.NewDigraph(0)
+	for i := 0; i < 10; i++ {
+		g.AddVertex()
+	}
+	for i := uint32(0); i < 9; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	idx, err := dynhl.BuildDirected(g, dynhl.Options{Landmarks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(idx).Handler())
+	t.Cleanup(ts.Close)
+
+	var d distanceResponse
+	getJSON(t, ts.URL+"/distance?u=0&v=9", http.StatusOK, &d)
+	if d.Distance == nil || *d.Distance != 9 {
+		t.Fatalf("d(0,9): %+v", d)
+	}
+	// The reverse direction is unreachable on a directed path.
+	getJSON(t, ts.URL+"/distance?u=9&v=0", http.StatusOK, &d)
+	if d.Distance != nil {
+		t.Fatalf("d(9,0) must be null: %+v", d)
+	}
+	// A weighted edge must be rejected by the unweighted oracle.
+	postJSON(t, ts.URL+"/edges", `{"u":0,"v":5,"w":3}`, http.StatusConflict, nil)
+	// Close the cycle and re-query through a batch.
+	postJSON(t, ts.URL+"/edges", `{"u":9,"v":0}`, http.StatusOK, nil)
+	var resp distancesResponse
+	postJSON(t, ts.URL+"/distances", `{"pairs":[{"u":9,"v":0},{"u":5,"v":2}]}`, http.StatusOK, &resp)
+	if *resp.Distances[0] != 1 || *resp.Distances[1] != 7 {
+		t.Fatalf("batch after cycle close: %+v", resp)
+	}
+	// Incoming arcs via the full vertex form.
+	var vr vertexResponse
+	postJSON(t, ts.URL+"/vertices", `{"arcs":[{"to":0},{"to":9,"in":true}]}`, http.StatusOK, &vr)
+	getJSON(t, ts.URL+"/distance?u=9&v="+strconv.Itoa(int(vr.ID)), http.StatusOK, &d)
+	if d.Distance == nil || *d.Distance != 1 {
+		t.Fatalf("d(9,new): %+v", d)
+	}
+}
+
+// TestWeightedServer pins the weighted variant behind the same handlers.
+func TestWeightedServer(t *testing.T) {
+	g := dynhl.NewWeightedGraph(0)
+	for i := 0; i < 6; i++ {
+		g.AddVertex()
+	}
+	for i := uint32(0); i < 5; i++ {
+		g.MustAddEdge(i, i+1, 10)
+	}
+	idx, err := dynhl.BuildWeighted(g, dynhl.Options{Landmarks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(idx).Handler())
+	t.Cleanup(ts.Close)
+
+	var d distanceResponse
+	getJSON(t, ts.URL+"/distance?u=0&v=5", http.StatusOK, &d)
+	if d.Distance == nil || *d.Distance != 50 {
+		t.Fatalf("d(0,5): %+v", d)
+	}
+	// A weight-2 shortcut across the whole path.
+	postJSON(t, ts.URL+"/edges", `{"u":0,"v":5,"w":2}`, http.StatusOK, nil)
+	getJSON(t, ts.URL+"/distance?u=0&v=5", http.StatusOK, &d)
+	if d.Distance == nil || *d.Distance != 2 {
+		t.Fatalf("d(0,5) after shortcut: %+v", d)
+	}
+	var vr vertexResponse
+	postJSON(t, ts.URL+"/vertices", `{"arcs":[{"to":5,"w":4}]}`, http.StatusOK, &vr)
+	getJSON(t, ts.URL+"/distance?u=0&v="+strconv.Itoa(int(vr.ID)), http.StatusOK, &d)
+	if d.Distance == nil || *d.Distance != 6 {
+		t.Fatalf("d(0,new): %+v", d)
+	}
 }
 
 func TestStatsAndHealth(t *testing.T) {

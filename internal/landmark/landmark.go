@@ -2,7 +2,9 @@
 // highway cover labelling. The paper selects the |R| highest-degree vertices
 // (the standard choice for complex networks, following Farhan et al. EDBT
 // 2019 and Hayashi et al. CIKM 2016); random and degree-weighted strategies
-// are provided for ablations.
+// are provided for ablations. The strategies are defined over an abstract
+// degree function so the undirected, directed and weighted variants all
+// share them (SelectBy).
 package landmark
 
 import (
@@ -13,7 +15,7 @@ import (
 	"repro/internal/graph"
 )
 
-// Strategy names accepted by Select.
+// Strategy names accepted by Select and SelectBy.
 const (
 	TopDegree      = "topdegree"
 	Random         = "random"
@@ -24,7 +26,10 @@ const (
 // smaller vertex id. If the graph has fewer than k vertices all of them are
 // returned.
 func ByDegree(g *graph.Graph, k int) []uint32 {
-	n := g.NumVertices()
+	return byDegreeFunc(g.NumVertices(), g.Degree, k)
+}
+
+func byDegreeFunc(n int, degree func(uint32) int, k int) []uint32 {
 	if k > n {
 		k = n
 	}
@@ -33,7 +38,7 @@ func ByDegree(g *graph.Graph, k int) []uint32 {
 		ids[i] = uint32(i)
 	}
 	sort.Slice(ids, func(i, j int) bool {
-		di, dj := g.Degree(ids[i]), g.Degree(ids[j])
+		di, dj := degree(ids[i]), degree(ids[j])
 		if di != dj {
 			return di > dj
 		}
@@ -46,7 +51,10 @@ func ByDegree(g *graph.Graph, k int) []uint32 {
 // ByRandom returns k distinct vertices chosen uniformly at random with the
 // given seed.
 func ByRandom(g *graph.Graph, k int, seed int64) []uint32 {
-	n := g.NumVertices()
+	return byRandomN(g.NumVertices(), k, seed)
+}
+
+func byRandomN(n, k int, seed int64) []uint32 {
 	if k > n {
 		k = n
 	}
@@ -62,19 +70,22 @@ func ByRandom(g *graph.Graph, k int, seed int64) []uint32 {
 // ByWeightedRandom returns k distinct vertices sampled without replacement
 // with probability proportional to degree+1.
 func ByWeightedRandom(g *graph.Graph, k int, seed int64) []uint32 {
-	n := g.NumVertices()
+	return byWeightedRandomFunc(g.NumVertices(), g.Degree, g.NumEdges(), k, seed)
+}
+
+func byWeightedRandomFunc(n int, degree func(uint32) int, edges uint64, k int, seed int64) []uint32 {
 	if k > n {
 		k = n
 	}
 	rng := rand.New(rand.NewSource(seed))
 	chosen := make(map[uint32]bool, k)
-	total := 2*int64(g.NumEdges()) + int64(n)
+	total := 2*int64(edges) + int64(n)
 	out := make([]uint32, 0, k)
 	for len(out) < k {
 		t := rng.Int63n(total)
 		var acc int64
 		for v := 0; v < n; v++ {
-			acc += int64(g.Degree(uint32(v)) + 1)
+			acc += int64(degree(uint32(v)) + 1)
 			if acc > t {
 				if !chosen[uint32(v)] {
 					chosen[uint32(v)] = true
@@ -88,15 +99,24 @@ func ByWeightedRandom(g *graph.Graph, k int, seed int64) []uint32 {
 	return out
 }
 
-// Select picks k landmarks using the named strategy.
+// Select picks k landmarks from g using the named strategy.
 func Select(g *graph.Graph, k int, strategy string, seed int64) ([]uint32, error) {
+	return SelectBy(g.NumVertices(), g.Degree, g.NumEdges(), k, strategy, seed)
+}
+
+// SelectBy picks k landmarks among vertices 0..n-1 using the named strategy
+// over an arbitrary degree function. edges is the graph's edge count with
+// Σ_v degree(v) = 2·edges (which holds for undirected degree, weighted
+// degree, and directed in+out degree alike); it only weights the
+// degree-proportional sampling of WeightedRandom.
+func SelectBy(n int, degree func(uint32) int, edges uint64, k int, strategy string, seed int64) ([]uint32, error) {
 	switch strategy {
 	case TopDegree, "":
-		return ByDegree(g, k), nil
+		return byDegreeFunc(n, degree, k), nil
 	case Random:
-		return ByRandom(g, k, seed), nil
+		return byRandomN(n, k, seed), nil
 	case WeightedRandom:
-		return ByWeightedRandom(g, k, seed), nil
+		return byWeightedRandomFunc(n, degree, edges, k, seed), nil
 	default:
 		return nil, fmt.Errorf("landmark: unknown strategy %q", strategy)
 	}

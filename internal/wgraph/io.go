@@ -1,0 +1,37 @@
+package wgraph
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/graph"
+)
+
+// ReadEdgeList parses a whitespace-separated weighted edge list in the
+// graph.ForEachEdge format: one "u v w" triple per line with weight w ≥ 1;
+// a missing third field means weight 1, so plain unweighted edge lists
+// load too. Vertices are created as needed; duplicate edges and self-loops
+// are silently dropped.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	g := New(0)
+	err := graph.ForEachEdge(r, "wgraph", func(u, v uint32, extra []string) error {
+		w := graph.Dist(1)
+		if len(extra) > 0 {
+			parsed, err := strconv.ParseUint(extra[0], 10, 32)
+			if err != nil || parsed == 0 {
+				return fmt.Errorf("bad weight %q", extra[0])
+			}
+			w = graph.Dist(parsed)
+		}
+		for !g.HasVertex(max(u, v)) {
+			g.AddVertex()
+		}
+		_, err := g.AddEdge(u, v, w)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,37 @@
+package wgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# comment
+0 1 5
+1 2
+2 0 3
+2 0 9
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if w := g.Weight(0, 1); w != 5 {
+		t.Errorf("w(0,1): got %d, want 5", w)
+	}
+	if w := g.Weight(1, 2); w != 1 {
+		t.Errorf("w(1,2): got %d, want 1 (missing weight defaults)", w)
+	}
+	if w := g.Weight(2, 0); w != 3 {
+		t.Errorf("w(2,0): got %d, want 3 (duplicate dropped)", w)
+	}
+	if _, err := ReadEdgeList(strings.NewReader("0 1 0\n")); err == nil {
+		t.Error("zero weight must fail")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("0 1 x\n")); err == nil {
+		t.Error("bad weight must fail")
+	}
+}

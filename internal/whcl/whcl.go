@@ -19,7 +19,9 @@ import (
 const noRank = ^uint16(0)
 
 // Index is a weighted highway cover labelling.
-// It is not safe for concurrent use.
+// Queries are safe for any number of concurrent readers (the bidirectional
+// Dijkstra allocates its frontier per call); mutations require exclusive
+// access.
 type Index struct {
 	G         *wgraph.Graph
 	Landmarks []uint32
@@ -187,6 +189,18 @@ func (idx *Index) NumEntries() int64 {
 		n += int64(len(l))
 	}
 	return n
+}
+
+// Bytes returns the storage charged for the labelling and the highway.
+func (idx *Index) Bytes() int64 {
+	_, bytes := idx.Sizes()
+	return bytes
+}
+
+// Sizes returns NumEntries and Bytes with a single label scan.
+func (idx *Index) Sizes() (entries, bytes int64) {
+	entries = idx.NumEntries()
+	return entries, entries*hcl.EntryBytes + int64(len(idx.hw))*4
 }
 
 // EnsureVertex grows the label table to cover v.

@@ -1,0 +1,116 @@
+package dynhl
+
+import "io"
+
+// Pair is one (source, target) vertex pair of a batch query.
+type Pair struct {
+	U uint32 `json:"u"`
+	V uint32 `json:"v"`
+}
+
+// Arc describes one initial connection of a vertex inserted through
+// Oracle.InsertVertex. The zero value of the optional fields means "plain
+// neighbour": an outgoing unit-weight edge, which every variant accepts.
+type Arc struct {
+	// To is the existing endpoint of the new edge.
+	To uint32 `json:"to"`
+	// W is the edge weight; 0 means 1. Unweighted oracles reject W > 1
+	// rather than silently dropping the weight.
+	W Dist `json:"w,omitempty"`
+	// In asks for the edge To→new instead of new→To. Only directed oracles
+	// distinguish the two; undirected ones reject In.
+	In bool `json:"in,omitempty"`
+}
+
+// Arcs converts a plain neighbour list into outgoing unit-weight arcs, the
+// common case of InsertVertex on unweighted graphs.
+func Arcs(neighbors ...uint32) []Arc {
+	out := make([]Arc, len(neighbors))
+	for i, v := range neighbors {
+		out[i] = Arc{To: v}
+	}
+	return out
+}
+
+// UpdateSummary is the variant-independent account of what one IncHL+
+// insertion did. The per-variant meanings line up: Skipped counts the
+// landmark searches eliminated by the equal-distance rule (Lemma 4.3; passes
+// for the directed variant, which runs two per landmark), Affected the label
+// repairs performed (the paper's |Λ| for the undirected variant, the summed
+// per-search counts for the directed and weighted ones).
+type UpdateSummary struct {
+	Landmarks      int `json:"landmarks"`
+	Skipped        int `json:"skipped"`
+	Affected       int `json:"affected"`
+	EntriesAdded   int `json:"entries_added"`
+	EntriesRemoved int `json:"entries_removed"`
+	HighwayUpdates int `json:"highway_updates"`
+}
+
+// Oracle is the unified dynamic exact-distance oracle implemented by all
+// three index variants — Index (undirected), DirectedIndex and
+// WeightedIndex — and by the Concurrent wrapper. Code written against
+// Oracle (the HTTP service, the REPL, benchmarks) serves any variant.
+//
+// Queries on the package's implementations are safe for any number of
+// concurrent readers, but readers must not race InsertEdge/InsertVertex;
+// wrap with Concurrent to get that coordination.
+type Oracle interface {
+	// Query returns the exact distance from u to v in the current graph
+	// (hops, or weighted distance), Inf when unreachable.
+	Query(u, v uint32) Dist
+	// QueryBatch answers many pairs at once, out[i] answering pairs[i].
+	// The Concurrent wrapper fans a batch across workers; plain variants
+	// answer serially.
+	QueryBatch(pairs []Pair) []Dist
+	// InsertEdge inserts the edge (u,v) — directed u→v on directed oracles
+	// — with weight w (0 means 1; unweighted oracles reject w > 1) and
+	// repairs the labelling with IncHL+.
+	InsertEdge(u, v uint32, w Dist) (UpdateSummary, error)
+	// InsertVertex adds a new vertex with the given initial arcs and
+	// returns its id.
+	InsertVertex(arcs []Arc) (uint32, UpdateSummary, error)
+	// NumVertices returns the current vertex count; valid vertex ids are
+	// 0..NumVertices-1.
+	NumVertices() int
+	// Stats returns current index size statistics.
+	Stats() Stats
+	// Verify audits the labelling against ground-truth searches; it is
+	// O(|R|·|E|) and intended for tests and debugging.
+	Verify() error
+}
+
+// Saver is the capability interface of oracles whose labelling can be
+// serialised (currently the undirected Index; the Concurrent wrapper
+// forwards it under the read lock).
+type Saver interface {
+	Save(w io.Writer) error
+}
+
+// Loader is the capability interface of oracles that can swap in a
+// labelling previously written by Save, replacing their current one. The
+// stream must have been saved over the same graph.
+type Loader interface {
+	Load(r io.Reader) error
+}
+
+var (
+	_ Oracle = (*Index)(nil)
+	_ Oracle = (*DirectedIndex)(nil)
+	_ Oracle = (*WeightedIndex)(nil)
+	_ Oracle = (*ConcurrentOracle)(nil)
+
+	_ Saver  = (*Index)(nil)
+	_ Loader = (*Index)(nil)
+	_ Saver  = (*ConcurrentOracle)(nil)
+	_ Loader = (*ConcurrentOracle)(nil)
+)
+
+// queryBatch is the serial QueryBatch shared by the plain variants.
+func queryBatch(o Oracle, pairs []Pair) []Dist {
+	out := make([]Dist, len(pairs))
+	for i, p := range pairs {
+		out[i] = o.Query(p.U, p.V)
+	}
+	return out
+}

@@ -35,7 +35,7 @@ func TestSoakMixedUpdateStream(t *testing.T) {
 			for v := range ns {
 				list = append(list, v)
 			}
-			if _, _, err := idx.InsertVertex(list); err != nil {
+			if _, _, err := idx.InsertVertex(Arcs(list...)); err != nil {
 				t.Fatalf("step %d: InsertVertex: %v", step, err)
 			}
 		} else {
@@ -44,7 +44,7 @@ func TestSoakMixedUpdateStream(t *testing.T) {
 			if u == v || idx.Graph().HasEdge(u, v) {
 				continue
 			}
-			if _, err := idx.InsertEdge(u, v); err != nil {
+			if _, err := idx.InsertEdge(u, v, 0); err != nil {
 				t.Fatalf("step %d: InsertEdge(%d,%d): %v", step, u, v, err)
 			}
 		}
@@ -90,7 +90,7 @@ func TestSaveLoadThenUpdate(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range testutil.NonEdges(g2, 15, 3) {
-		if _, err := restored.InsertEdge(e[0], e[1]); err != nil {
+		if _, err := restored.InsertEdge(e[0], e[1], 0); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -18,7 +18,7 @@ func TestDirectedAPIRoundTrip(t *testing.T) {
 			_, _ = g.AddEdge(u, v)
 		}
 	}
-	idx, err := BuildDirected(g, 4)
+	idx, err := BuildDirected(g, Options{Landmarks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,19 +33,22 @@ func TestDirectedAPIRoundTrip(t *testing.T) {
 			break
 		}
 	}
-	if _, err := idx.InsertEdge(a, b); err != nil {
+	if _, err := idx.InsertEdge(a, b, 0); err != nil {
 		t.Fatal(err)
 	}
 	if got := idx.Query(a, b); got != 1 {
 		t.Errorf("Query(a,b) after insert: got %d, want 1", got)
 	}
+	if _, err := idx.InsertEdge(a, b, 3); err == nil {
+		t.Error("weighted edge into directed oracle must fail")
+	}
 	if err := idx.Verify(); err != nil {
 		t.Fatal(err)
 	}
-	if idx.LabelEntries() <= 0 {
-		t.Error("expected label entries")
+	if st := idx.Stats(); st.LabelEntries <= 0 || st.Vertices != 40 || st.Landmarks != 4 {
+		t.Errorf("stats: %+v", st)
 	}
-	if _, err := BuildDirected(NewDigraph(0), 3); err == nil {
+	if _, err := BuildDirected(NewDigraph(0), Options{Landmarks: 3}); err == nil {
 		t.Error("empty digraph must fail")
 	}
 }
@@ -58,11 +61,11 @@ func TestDirectedVertexInsertAPI(t *testing.T) {
 	for i := uint32(0); i < 9; i++ {
 		g.MustAddEdge(i, i+1)
 	}
-	idx, err := BuildDirected(g, 2)
+	idx, err := BuildDirected(g, Options{Landmarks: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, _, err := idx.InsertVertex([]uint32{0}, []uint32{9})
+	v, _, err := idx.InsertVertex([]Arc{{To: 0}, {To: 9, In: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +91,7 @@ func TestWeightedAPIRoundTrip(t *testing.T) {
 			_, _ = g.AddEdge(u, v, Dist(1+rng.Intn(9)))
 		}
 	}
-	idx, err := BuildWeighted(g, 4)
+	idx, err := BuildWeighted(g, Options{Landmarks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,14 +116,14 @@ func TestWeightedAPIRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	v, _, err := idx.InsertVertex([]WeightedArc{{To: a, W: 3}})
+	v, _, err := idx.InsertVertex([]Arc{{To: a, W: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := idx.Query(v, b); got != 4 {
 		t.Errorf("Query(new,b): got %d, want 4 (3 + the fresh unit edge)", got)
 	}
-	if _, err := BuildWeighted(NewWeightedGraph(0), 2); err == nil {
+	if _, err := BuildWeighted(NewWeightedGraph(0), Options{Landmarks: 2}); err == nil {
 		t.Error("empty graph must fail")
 	}
 }

@@ -2,8 +2,9 @@ package dynhl
 
 import (
 	"fmt"
-	"sort"
+	"io"
 
+	"repro/internal/landmark"
 	"repro/internal/wgraph"
 	"repro/internal/whcl"
 )
@@ -19,45 +20,39 @@ type WeightedArc = wgraph.Arc
 // n vertices.
 func NewWeightedGraph(n int) *WeightedGraph { return wgraph.New(n) }
 
-// WeightedStats reports what one weighted insertion did.
-type WeightedStats = whcl.Stats
+// ReadWeightedGraph parses a whitespace-separated weighted edge list
+// ("u v w" per line with w ≥ 1, '#' and '%' comments allowed).
+func ReadWeightedGraph(r io.Reader) (*WeightedGraph, error) { return wgraph.ReadEdgeList(r) }
 
 // WeightedIndex is a dynamic exact distance oracle over a weighted graph,
-// maintained incrementally by the Dijkstra variant of IncHL+. Not safe for
-// concurrent use.
+// maintained incrementally by the Dijkstra variant of IncHL+.
+//
+// A WeightedIndex implements Oracle. Queries are safe for any number of
+// concurrent readers; readers must not race the Insert methods — wrap with
+// Concurrent for that.
 type WeightedIndex struct {
 	idx *whcl.Index
 }
 
-// BuildWeighted constructs the weighted labelling of g, selecting the
-// highest-degree vertices as landmarks.
-func BuildWeighted(g *WeightedGraph, landmarks int) (*WeightedIndex, error) {
-	if landmarks <= 0 {
-		landmarks = 20
+// BuildWeighted constructs the weighted labelling of g. Options drives it
+// exactly as Build does the unweighted one — landmark count, selection
+// strategy and seed; degree-based strategies count neighbours, not weights.
+// Parallel construction is not implemented for this variant, so the
+// Parallel/Workers knobs are accepted and ignored.
+func BuildWeighted(g *WeightedGraph, opt Options) (*WeightedIndex, error) {
+	if opt.Landmarks <= 0 {
+		opt.Landmarks = 20
 	}
 	n := g.NumVertices()
 	if n == 0 {
 		return nil, fmt.Errorf("dynhl: cannot index an empty graph")
 	}
-	if landmarks > n {
-		landmarks = n
-	}
-	ids := make([]uint32, n)
-	for i := range ids {
-		ids[i] = uint32(i)
-	}
-	sort.Slice(ids, func(i, j int) bool {
-		di, dj := len(g.Neighbors(ids[i])), len(g.Neighbors(ids[j]))
-		if di != dj {
-			return di > dj
-		}
-		return ids[i] < ids[j]
-	})
-	idx, err := whcl.Build(g, ids[:landmarks])
+	degree := func(v uint32) int { return len(g.Neighbors(v)) }
+	lms, err := landmark.SelectBy(n, degree, g.NumEdges(), opt.Landmarks, opt.Strategy, opt.Seed)
 	if err != nil {
 		return nil, err
 	}
-	return &WeightedIndex{idx: idx}, nil
+	return BuildWeightedWithLandmarks(g, lms)
 }
 
 // BuildWeightedWithLandmarks constructs the labelling with an explicit
@@ -70,19 +65,76 @@ func BuildWeightedWithLandmarks(g *WeightedGraph, landmarks []uint32) (*Weighted
 	return &WeightedIndex{idx: idx}, nil
 }
 
+// Graph returns the underlying weighted graph. Treat it as read-only;
+// mutate through the WeightedIndex methods.
+func (x *WeightedIndex) Graph() *WeightedGraph { return x.idx.G }
+
 // Query returns the exact weighted distance between u and v, Inf when
 // disconnected.
 func (x *WeightedIndex) Query(u, v uint32) Dist { return x.idx.Query(u, v) }
 
-// InsertEdge inserts the undirected edge (a,b) with weight w ≥ 1 and
-// repairs the labelling.
-func (x *WeightedIndex) InsertEdge(a, b uint32, w Dist) (WeightedStats, error) {
-	return x.idx.InsertEdge(a, b, w)
+// QueryBatch answers many pairs serially; Concurrent fans batches out.
+func (x *WeightedIndex) QueryBatch(pairs []Pair) []Dist { return queryBatch(x, pairs) }
+
+// NumVertices returns the current vertex count.
+func (x *WeightedIndex) NumVertices() int { return x.idx.G.NumVertices() }
+
+// InsertEdge inserts the undirected edge (u,v) with weight w (0 means 1)
+// and repairs the labelling.
+func (x *WeightedIndex) InsertEdge(u, v uint32, w Dist) (UpdateSummary, error) {
+	if w == 0 {
+		w = 1
+	}
+	st, err := x.idx.InsertEdge(u, v, w)
+	if err != nil {
+		return UpdateSummary{}, err
+	}
+	return weightedSummary(st), nil
 }
 
-// InsertVertex adds a vertex with initial weighted edges.
-func (x *WeightedIndex) InsertVertex(arcs []WeightedArc) (uint32, WeightedStats, error) {
-	return x.idx.InsertVertex(arcs)
+// InsertVertex adds a vertex with initial weighted edges (Arc.W of 0 means
+// 1; Arc.In is rejected — the graph is undirected).
+func (x *WeightedIndex) InsertVertex(arcs []Arc) (uint32, UpdateSummary, error) {
+	ws := make([]WeightedArc, len(arcs))
+	for i, a := range arcs {
+		if a.In {
+			return 0, UpdateSummary{}, fmt.Errorf("dynhl: weighted oracle has no incoming arcs")
+		}
+		w := a.W
+		if w == 0 {
+			w = 1
+		}
+		ws[i] = WeightedArc{To: a.To, W: w}
+	}
+	id, st, err := x.idx.InsertVertex(ws)
+	if err != nil {
+		return 0, UpdateSummary{}, err
+	}
+	return id, weightedSummary(st), nil
+}
+
+func weightedSummary(st whcl.Stats) UpdateSummary {
+	return UpdateSummary{
+		Landmarks:      st.LandmarksTotal,
+		Skipped:        st.LandmarksSkipped,
+		Affected:       st.AffectedSum,
+		EntriesAdded:   st.EntriesAdded,
+		EntriesRemoved: st.EntriesRemoved,
+		HighwayUpdates: st.HighwayUpdates,
+	}
+}
+
+// Stats returns current size statistics.
+func (x *WeightedIndex) Stats() Stats {
+	entries, bytes := x.idx.Sizes()
+	return Stats{
+		Vertices:     x.idx.G.NumVertices(),
+		Edges:        x.idx.G.NumEdges(),
+		Landmarks:    len(x.idx.Landmarks),
+		LabelEntries: entries,
+		Bytes:        bytes,
+		AvgLabelSize: avgLabelSize(entries, x.idx.G.NumVertices()),
+	}
 }
 
 // Verify audits the labelling against Dijkstra ground truth.
@@ -92,6 +144,3 @@ func (x *WeightedIndex) Verify() error { return x.idx.VerifyCover() }
 func (x *WeightedIndex) Landmarks() []uint32 {
 	return append([]uint32(nil), x.idx.Landmarks...)
 }
-
-// LabelEntries returns size(L).
-func (x *WeightedIndex) LabelEntries() int64 { return x.idx.NumEntries() }
