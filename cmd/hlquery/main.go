@@ -15,6 +15,8 @@
 //	qb <u> <v> [...]   batch query over any number of pairs
 //	add <u> <v> [w]    insert edge (graph + index updated; weight on -mode weighted)
 //	addv <n1,n2,..>    insert vertex connected to existing vertices
+//	de <u> <v>         delete edge (DecHL repair; disconnections answer inf)
+//	dv <v>             delete vertex (all incident edges; id stays, isolated)
 //	stats              index size statistics
 //	verify             O(|R|·|E|) correctness audit of the labelling
 //	help, quit
@@ -164,6 +166,42 @@ func execute(o dynhl.Oracle, fields []string) bool {
 			return false
 		}
 		fmt.Printf("inserted vertex %d (%d neighbours, %d affected)\n", v, len(ns), st.Affected)
+	case "de", "del":
+		if len(fields) != 3 {
+			fmt.Println("error: usage de <u> <v>")
+			return false
+		}
+		u, v, err := twoVertices(fields[1:3])
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		start := time.Now()
+		st, err := o.DeleteEdge(u, v)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("deleted (%d,%d): %d affected, +%d/-%d entries  [%v]\n",
+			u, v, st.Affected, st.EntriesAdded, st.EntriesRemoved, time.Since(start))
+	case "dv", "delv":
+		if len(fields) != 2 {
+			fmt.Println("error: usage dv <v>")
+			return false
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		start := time.Now()
+		st, err := o.DeleteVertex(uint32(v))
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("isolated vertex %d: +%d/-%d entries  [%v]\n",
+			v, st.EntriesAdded, st.EntriesRemoved, time.Since(start))
 	case "stats":
 		st := o.Stats()
 		fmt.Printf("vertices=%d edges=%d landmarks=%d entries=%d avg=%.2f bytes=%d\n",
@@ -176,7 +214,7 @@ func execute(o dynhl.Oracle, fields []string) bool {
 			fmt.Printf("labelling verified exact [%v]\n", time.Since(start))
 		}
 	case "help":
-		fmt.Println("commands: q <u> <v> | qb <u> <v> [<u> <v> ...] | add <u> <v> [w] | addv n1,n2,... | stats | verify | quit")
+		fmt.Println("commands: q <u> <v> | qb <u> <v> [<u> <v> ...] | add <u> <v> [w] | addv n1,n2,... | de <u> <v> | dv <v> | stats | verify | quit")
 	case "quit", "exit":
 		return true
 	default:

@@ -11,6 +11,7 @@
 //	curl 'localhost:8080/distance?u=3&v=97'
 //	curl -X POST localhost:8080/distances -d '{"pairs":[{"u":3,"v":97},{"u":0,"v":5}]}'
 //	curl -X POST localhost:8080/edges -d '{"u":3,"v":97}'
+//	curl -X DELETE 'localhost:8080/edges?u=3&v=97'
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests.

@@ -93,6 +93,21 @@ func (c *ConcurrentOracle) InsertVertex(arcs []Arc) (uint32, UpdateSummary, erro
 	return c.o.InsertVertex(arcs)
 }
 
+// DeleteEdge removes an edge under the write lock: the DecHL repair is
+// serialised with all other mutations while in-flight readers drain first.
+func (c *ConcurrentOracle) DeleteEdge(u, v uint32) (UpdateSummary, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.o.DeleteEdge(u, v)
+}
+
+// DeleteVertex disconnects a vertex under the write lock.
+func (c *ConcurrentOracle) DeleteVertex(v uint32) (UpdateSummary, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.o.DeleteVertex(v)
+}
+
 // NumVertices returns the current vertex count under the read lock.
 func (c *ConcurrentOracle) NumVertices() int {
 	c.mu.RLock()

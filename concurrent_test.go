@@ -117,6 +117,109 @@ func TestConcurrentHammer(t *testing.T) {
 	}
 }
 
+// TestConcurrentHammerFullyDynamic races parallel readers against a writer
+// issuing a mixed insert/delete stream — the fully dynamic workload. With
+// deletions in play distances move both ways, so readers only assert cheap
+// invariants (d(u,u) = 0, and d(u,v) ≥ 1 for u ≠ v); the real check is the
+// race detector during the stream plus the full BFS audit once quiesced,
+// which also covers disconnections (Inf answers) the deletions caused.
+func TestConcurrentHammerFullyDynamic(t *testing.T) {
+	const n = 120
+	g := testutil.RandomConnectedGraph(n, 260, 33)
+	idx, err := Build(g, Options{Landmarks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := Concurrent(idx)
+
+	readers := runtime.GOMAXPROCS(0)
+	if readers < 4 {
+		readers = 4
+	}
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+
+	// Writer: inserts and deletes interleaved, including delete-then-
+	// reinsert round trips and deletions of long-standing (bridge-capable)
+	// edges that can disconnect regions.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		rng := rand.New(rand.NewSource(55))
+		for step := 0; step < 150; step++ {
+			u := uint32(rng.Intn(n))
+			v := uint32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if co.Unwrap().(*Index).Graph().HasEdge(u, v) {
+				if _, err := co.DeleteEdge(u, v); err != nil {
+					errs <- err
+					return
+				}
+				if step%3 == 0 { // reinsert a third of the deletions
+					if _, err := co.InsertEdge(u, v, 0); err != nil {
+						errs <- err
+						return
+					}
+				}
+			} else {
+				if _, err := co.InsertEdge(u, v, 0); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !done.Load() {
+				u := uint32(rng.Intn(n))
+				if d := co.Query(u, u); d != 0 {
+					errs <- fmt.Errorf("d(%d,%d) = %d, want 0", u, u, d)
+					return
+				}
+				pairs := make([]Pair, 48)
+				for i := range pairs {
+					pairs[i] = Pair{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))}
+				}
+				for i, d := range co.QueryBatch(pairs) {
+					if pairs[i].U != pairs[i].V && d == 0 {
+						errs <- fmt.Errorf("d(%d,%d) = 0 for distinct vertices", pairs[i].U, pairs[i].V)
+						return
+					}
+				}
+			}
+		}(int64(200 + r))
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	if err := co.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	final := idx.Graph()
+	rng := rand.New(rand.NewSource(88))
+	for i := 0; i < 300; i++ {
+		u := uint32(rng.Intn(final.NumVertices()))
+		v := uint32(rng.Intn(final.NumVertices()))
+		want := bfs.Dist(final, u, v) // Inf for pairs the deletions disconnected
+		if got := co.Query(u, v); got != want {
+			t.Fatalf("Query(%d,%d): got %d, want %d", u, v, got, want)
+		}
+	}
+}
+
 // TestConcurrentAllVariants drives the three variants through the same
 // Oracle-typed harness, pinning that the wrapper works for each.
 func TestConcurrentAllVariants(t *testing.T) {
@@ -183,10 +286,15 @@ func TestConcurrentAllVariants(t *testing.T) {
 			go func() {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(9))
-				for i := 0; i < 10; i++ {
+				for i := 0; i < 20; i++ {
 					u, v := uint32(rng.Intn(40)), uint32(rng.Intn(40))
-					if u != v {
+					if u == v {
+						continue
+					}
+					if i%2 == 0 {
 						_, _ = co.InsertEdge(u, v, 0) // duplicates just error
+					} else {
+						_, _ = co.DeleteEdge(u, v) // missing edges just error
 					}
 				}
 			}()

@@ -1,6 +1,7 @@
 package dynhl
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/exper"
@@ -67,6 +68,77 @@ func TestDifferentialThreeOracles(t *testing.T) {
 					}
 				}
 			}
+		}
+	}
+}
+
+// TestDifferentialFullyDynamic drives the same mixed insert/delete stream
+// through IncHL+/DecHL and the fully dynamic IncFD baseline — the system
+// the paper compares against, reproduced here complete with its deletion
+// path — and requires both to agree with the all-pairs BFS oracle on every
+// query, including Inf for pairs the deletions disconnected. IncPLL is
+// append-only and sits this one out.
+func TestDifferentialFullyDynamic(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed*19 + 7))
+		base := testutil.RandomGraph(55, 100, 700+seed)
+		lm := landmark.ByDegree(base, 5)
+
+		gHL := base.Clone()
+		idxHL, err := hcl.Build(gHL, lm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		updHL := inchl.New(idxHL)
+
+		gFD := base.Clone()
+		idxFD, err := fulldyn.Build(gFD, lm)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for step := 0; step < 60; step++ {
+			u := uint32(rng.Intn(55))
+			v := uint32(rng.Intn(55))
+			if u == v {
+				continue
+			}
+			if gHL.HasEdge(u, v) {
+				if _, err := updHL.DeleteEdge(u, v); err != nil {
+					t.Fatalf("seed %d step %d: DecHL delete: %v", seed, step, err)
+				}
+				if err := idxFD.DeleteEdge(u, v); err != nil {
+					t.Fatalf("seed %d step %d: IncFD delete: %v", seed, step, err)
+				}
+			} else {
+				if _, err := updHL.InsertEdge(u, v); err != nil {
+					t.Fatalf("seed %d step %d: IncHL+ insert: %v", seed, step, err)
+				}
+				if err := idxFD.InsertEdge(u, v); err != nil {
+					t.Fatalf("seed %d step %d: IncFD insert: %v", seed, step, err)
+				}
+			}
+			if step%6 != 5 {
+				continue
+			}
+			oracle := testutil.AllPairsOracle(gHL)
+			for a := uint32(0); a < 55; a++ {
+				for b := uint32(0); b < 55; b++ {
+					want := oracle[a][b]
+					if got := idxHL.Query(a, b); got != want {
+						t.Fatalf("seed %d step %d: IncHL+(%d,%d)=%d want %d", seed, step, a, b, got, want)
+					}
+					if got := idxFD.Query(a, b); got != want {
+						t.Fatalf("seed %d step %d: IncFD(%d,%d)=%d want %d", seed, step, a, b, got, want)
+					}
+				}
+			}
+		}
+		if err := idxHL.VerifyCover(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := idxFD.VerifyTrees(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
 		}
 	}
 }

@@ -109,6 +109,27 @@ func (x *DirectedIndex) InsertVertex(arcs []Arc) (uint32, UpdateSummary, error) 
 	return id, directedSummary(st), nil
 }
 
+// DeleteEdge removes the directed edge u→v and repairs both label sets
+// with DecHL (see Oracle.DeleteEdge).
+func (x *DirectedIndex) DeleteEdge(u, v uint32) (UpdateSummary, error) {
+	st, err := x.idx.DeleteEdge(u, v)
+	if err != nil {
+		return UpdateSummary{}, err
+	}
+	return directedSummary(st), nil
+}
+
+// DeleteVertex disconnects vertex v by deleting all of its outgoing and
+// incoming edges; the id survives as an isolated vertex. Deleting a
+// landmark is an error.
+func (x *DirectedIndex) DeleteVertex(v uint32) (UpdateSummary, error) {
+	st, err := x.idx.DeleteVertex(v)
+	if err != nil {
+		return UpdateSummary{}, err
+	}
+	return directedSummary(st), nil
+}
+
 func directedSummary(st dhcl.Stats) UpdateSummary {
 	return UpdateSummary{
 		Landmarks:      st.LandmarksTotal,

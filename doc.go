@@ -1,7 +1,8 @@
 // Package dynhl answers exact shortest-path distance queries on large
 // dynamic graphs and keeps its index up to date under edge and vertex
-// insertions, implementing "Efficient Maintenance of Distance Labelling for
-// Incremental Updates in Large Dynamic Graphs" (Farhan & Wang, EDBT 2021).
+// insertions and deletions, implementing "Efficient Maintenance of Distance
+// Labelling for Incremental Updates in Large Dynamic Graphs" (Farhan &
+// Wang, EDBT 2021) and extending it to the fully dynamic setting.
 //
 // The index is a highway cover labelling: a small set of landmark vertices,
 // the exact landmark-to-landmark distance matrix (the highway), and one
@@ -11,6 +12,15 @@
 // their labels while preserving labelling minimality — outdated and
 // redundant entries are removed, so the index does not grow stale or bloated
 // as the graph evolves.
+//
+// Deletions — which the paper leaves to its IncFD baseline — are absorbed
+// by the decremental counterpart DecHL: the removed edge is tested against
+// each landmark's labelled distances (it lies on a landmark's shortest-path
+// DAG iff the endpoint distances differ by exactly the edge weight), and
+// only the affected landmarks re-run their covered search to patch labels
+// and highway entries, resetting to Inf whatever the deletion disconnected.
+// The repaired labelling is identical to a fresh build, so minimality is
+// preserved in both directions of churn.
 //
 // # The Oracle interface
 //
@@ -30,12 +40,16 @@
 //	ds := idx.QueryBatch(pairs)       // many pairs at once
 //	idx.InsertEdge(a, b, 0)           // graph + index updated together
 //	idx.InsertVertex(dynhl.Arcs(a))   // new vertex with initial neighbours
+//	idx.DeleteEdge(a, b)              // DecHL repair; ErrNoSuchEdge if absent
+//	idx.DeleteVertex(v)               // isolate v (id survives, queries Inf)
 //
 // The weight argument of InsertEdge and the Arc fields W/In exist for the
 // weighted and directed variants; unweighted oracles reject weights > 1
-// rather than silently dropping them. Capability interfaces cover what not
-// every variant can do: Saver and Loader (labelling serialisation,
-// currently the undirected Index).
+// rather than silently dropping them. Mutations report failures through the
+// sentinel errors ErrNoSuchVertex, ErrNoSuchEdge and ErrEdgeExists, which
+// wrap through every layer up to the HTTP service. Capability interfaces
+// cover what not every variant can do: Saver and Loader (labelling
+// serialisation, currently the undirected Index).
 //
 // # Concurrency
 //

@@ -127,14 +127,7 @@ func (x *Index) InsertEdge(u, v uint32, w Dist) (UpdateSummary, error) {
 	if err != nil {
 		return UpdateSummary{}, err
 	}
-	return UpdateSummary{
-		Landmarks:      st.LandmarksTotal,
-		Skipped:        st.LandmarksSkipped,
-		Affected:       st.AffectedUnion,
-		EntriesAdded:   st.EntriesAdded,
-		EntriesRemoved: st.EntriesRemoved,
-		HighwayUpdates: st.HighwayUpdates,
-	}, nil
+	return undirectedSummary(st), nil
 }
 
 // InsertVertex adds a new vertex joined to the given existing neighbours
@@ -149,14 +142,39 @@ func (x *Index) InsertVertex(arcs []Arc) (uint32, UpdateSummary, error) {
 	if err != nil {
 		return 0, UpdateSummary{}, err
 	}
-	return id, UpdateSummary{
+	return id, undirectedSummary(st), nil
+}
+
+// DeleteEdge removes the undirected edge (u,v) from the graph and repairs
+// the labelling with DecHL (see Oracle.DeleteEdge). Deleting an edge that
+// is not present returns ErrNoSuchEdge.
+func (x *Index) DeleteEdge(u, v uint32) (UpdateSummary, error) {
+	st, err := x.upd.DeleteEdge(u, v)
+	if err != nil {
+		return UpdateSummary{}, err
+	}
+	return undirectedSummary(st), nil
+}
+
+// DeleteVertex disconnects vertex v by deleting all of its incident edges;
+// the id survives as an isolated vertex. Deleting a landmark is an error.
+func (x *Index) DeleteVertex(v uint32) (UpdateSummary, error) {
+	st, err := x.upd.DeleteVertex(v)
+	if err != nil {
+		return UpdateSummary{}, err
+	}
+	return undirectedSummary(st), nil
+}
+
+func undirectedSummary(st inchl.Stats) UpdateSummary {
+	return UpdateSummary{
 		Landmarks:      st.LandmarksTotal,
 		Skipped:        st.LandmarksSkipped,
 		Affected:       st.AffectedUnion,
 		EntriesAdded:   st.EntriesAdded,
 		EntriesRemoved: st.EntriesRemoved,
 		HighwayUpdates: st.HighwayUpdates,
-	}, nil
+	}
 }
 
 // plainNeighbors reduces arcs to a neighbour list for the undirected

@@ -1,11 +1,14 @@
 // Netmon models the paper's computer-network motivation (resource
 // management): an ISP-style topology where operators keep provisioning new
-// links, and monitoring needs hop distances between routers — e.g. to pick
-// the closest replica or to bound failover path lengths.
+// links — and where links fail — while monitoring needs hop distances
+// between routers, e.g. to pick the closest replica or to bound failover
+// path lengths.
 //
 // The example contrasts IncHL+'s per-link update cost with the cost of
 // rebuilding the index from scratch after every change (what a static
-// labelling would require), reproducing Figure 4's message at toy scale.
+// labelling would require), reproducing Figure 4's message at toy scale,
+// then takes a burst of provisioned links back down again (DecHL repairs)
+// the way a real network sheds capacity during maintenance windows.
 package main
 
 import (
@@ -65,6 +68,25 @@ func main() {
 		(buildCost * time.Duration(newLinks)).Round(time.Second), newLinks)
 	fmt.Printf("incremental maintenance advantage: %.0fx\n",
 		float64(buildCost.Nanoseconds()*int64(newLinks))/float64(incCost.Nanoseconds()))
+
+	// Maintenance window: a third of the new links fail again (link-down
+	// events). DecHL repairs only the landmarks whose shortest-path DAGs
+	// carried the failed link.
+	failures := newLinks / 3
+	delStart := time.Now()
+	repaired := 0
+	for _, l := range links[:failures] {
+		st, err := idx.DeleteEdge(l[0], l[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		repaired += st.Landmarks - st.Skipped
+	}
+	delCost := time.Since(delStart)
+	fmt.Printf("took down %d links in %v (%.3f ms/link, %.1f landmarks repaired per failure)\n",
+		failures, delCost.Round(time.Millisecond),
+		float64(delCost.Microseconds())/1000/float64(failures),
+		float64(repaired)/float64(failures))
 
 	// Monitoring queries: hop distance from the management station (a hub)
 	// to random routers. A monitoring sweep is the batch-lookup case, so it

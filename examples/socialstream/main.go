@@ -1,11 +1,13 @@
 // Socialstream simulates the paper's social-network motivation: a
-// friendship graph absorbing a stream of new friendships (edge insertions)
-// and new members (vertex insertions) while serving degrees-of-separation
+// friendship graph absorbing a stream of new friendships (edge
+// insertions), new members (vertex insertions) and unfollows (edge
+// deletions, repaired by DecHL) while serving degrees-of-separation
 // queries in real time.
 //
 // It prints the update latency distribution and shows that the labelling
 // size stays flat — the minimality preservation that separates IncHL+ from
-// the append-only IncPLL baseline.
+// the append-only IncPLL baseline, and that DecHL extends to churn in both
+// directions.
 package main
 
 import (
@@ -41,14 +43,25 @@ func main() {
 		time.Since(start).Round(time.Millisecond), idx.Stats().LabelEntries, idx.Stats().AvgLabelSize)
 	entriesBefore := idx.Stats().LabelEntries
 
-	// Live event stream: 90% new friendships, 10% new members who join and
-	// immediately befriend a few existing members.
+	// Live event stream: 80% new friendships, 10% unfollows, 10% new
+	// members who join and immediately befriend a few existing members.
+	// Unfollows target recent friendships — the churny end of a real
+	// follower graph — so the deletion path sees realistic edges.
 	var updateTotal time.Duration
 	var worst time.Duration
-	newMembers, newFriendships := 0, 0
+	var recent [][2]uint32
+	newMembers, newFriendships, unfollows := 0, 0, 0
 	for i := 0; i < events; i++ {
 		t0 := time.Now()
-		if rng.Float64() < 0.10 {
+		if p := rng.Float64(); p < 0.10 && len(recent) > 0 {
+			k := rng.Intn(len(recent))
+			e := recent[k]
+			recent = append(recent[:k], recent[k+1:]...)
+			if _, err := idx.DeleteEdge(e[0], e[1]); err != nil {
+				log.Fatal(err)
+			}
+			unfollows++
+		} else if p < 0.20 {
 			k := 1 + rng.Intn(3)
 			friends := make([]uint32, 0, k)
 			for len(friends) < k {
@@ -68,6 +81,7 @@ func main() {
 			if _, err := idx.InsertEdge(u, v, 0); err != nil {
 				log.Fatal(err)
 			}
+			recent = append(recent, [2]uint32{u, v})
 			newFriendships++
 		}
 		d := time.Since(t0)
@@ -87,8 +101,9 @@ func main() {
 		}
 	}
 
-	n := newMembers + newFriendships
-	fmt.Printf("\nprocessed %d events (%d friendships, %d new members)\n", n, newFriendships, newMembers)
+	n := newMembers + newFriendships + unfollows
+	fmt.Printf("\nprocessed %d events (%d friendships, %d unfollows, %d new members)\n",
+		n, newFriendships, unfollows, newMembers)
 	fmt.Printf("mean update latency %v, worst %v\n", (updateTotal / time.Duration(n)).Round(time.Microsecond), worst.Round(time.Microsecond))
 	after := idx.Stats()
 	fmt.Printf("label entries %d -> %d (%.1f%% change): minimality keeps the index lean\n",

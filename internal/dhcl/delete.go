@@ -1,0 +1,104 @@
+// Decremental repair (DecHL) for the directed variant. A directed edge a→b
+// affects landmark r's forward labels only when it lies on the forward
+// shortest-path DAG (d(r→a) + 1 = d(r→b)) and its backward labels only when
+// it lies on the backward DAG (d(b→r) + 1 = d(a→r)), so the affected test
+// is four labelled lookups per landmark. Each affected (landmark,
+// direction) pair is repaired by rebuildPass, the same covered-flag BFS
+// used at construction, which also drops entries and resets highway cells
+// of vertices that the deletion made unreachable.
+
+package dhcl
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// DeleteEdge removes the directed edge a→b and repairs both label sets.
+// Deleting an edge that does not exist is an error (graph.ErrEdgeUnknown).
+func (idx *Index) DeleteEdge(a, b uint32) (Stats, error) {
+	var st Stats
+	g := idx.G
+	if !g.HasVertex(a) || !g.HasVertex(b) {
+		return st, fmt.Errorf("dhcl: delete (%d,%d): %w", a, b, graph.ErrVertexUnknown)
+	}
+	if a == b {
+		return st, fmt.Errorf("dhcl: delete (%d,%d): %w", a, b, graph.ErrSelfLoop)
+	}
+	if !g.HasEdge(a, b) {
+		return st, fmt.Errorf("dhcl: delete (%d,%d): %w", a, b, graph.ErrEdgeUnknown)
+	}
+	st.LandmarksTotal = idx.k
+
+	var fwdAffected, backAffected []uint16
+	for r := 0; r < idx.k; r++ {
+		if da := idx.DistF(uint16(r), a); da != graph.Inf && graph.AddDist(da, 1) == idx.DistF(uint16(r), b) {
+			fwdAffected = append(fwdAffected, uint16(r))
+		} else {
+			st.PassesSkipped++
+		}
+		if db := idx.DistB(uint16(r), b); db != graph.Inf && graph.AddDist(db, 1) == idx.DistB(uint16(r), a) {
+			backAffected = append(backAffected, uint16(r))
+		} else {
+			st.PassesSkipped++
+		}
+	}
+
+	if err := g.RemoveEdge(a, b); err != nil {
+		return st, fmt.Errorf("dhcl: delete (%d,%d): %w", a, b, err)
+	}
+	if len(fwdAffected)+len(backAffected) > 0 {
+		dist, covered := idx.rebuildScratch(g.NumVertices())
+		for _, r := range fwdAffected {
+			before := st.EntriesAdded + st.EntriesRemoved + st.HighwayUpdates
+			idx.rebuildPass(r, true, dist, covered, &st)
+			st.AffectedForward += st.EntriesAdded + st.EntriesRemoved + st.HighwayUpdates - before
+		}
+		for _, r := range backAffected {
+			before := st.EntriesAdded + st.EntriesRemoved + st.HighwayUpdates
+			idx.rebuildPass(r, false, dist, covered, &st)
+			st.AffectedBack += st.EntriesAdded + st.EntriesRemoved + st.HighwayUpdates - before
+		}
+	}
+	return st, nil
+}
+
+// DeleteVertex disconnects vertex v by deleting all of its outgoing and
+// incoming edges. The id survives as an isolated vertex; deleting a
+// landmark is rejected.
+func (idx *Index) DeleteVertex(v uint32) (Stats, error) {
+	var agg Stats
+	g := idx.G
+	if !g.HasVertex(v) {
+		return agg, fmt.Errorf("dhcl: delete vertex %d: %w", v, graph.ErrVertexUnknown)
+	}
+	if idx.rankArr[v] != noRank {
+		return agg, fmt.Errorf("dhcl: delete vertex %d: cannot delete a landmark", v)
+	}
+	agg.LandmarksTotal = idx.k
+	del := func(x, y uint32) error {
+		st, err := idx.DeleteEdge(x, y)
+		if err != nil {
+			return err
+		}
+		agg.PassesSkipped += st.PassesSkipped
+		agg.AffectedForward += st.AffectedForward
+		agg.AffectedBack += st.AffectedBack
+		agg.EntriesAdded += st.EntriesAdded
+		agg.EntriesRemoved += st.EntriesRemoved
+		agg.HighwayUpdates += st.HighwayUpdates
+		return nil
+	}
+	for _, w := range append([]uint32(nil), g.Out(v)...) {
+		if err := del(v, w); err != nil {
+			return agg, err
+		}
+	}
+	for _, w := range append([]uint32(nil), g.In(v)...) {
+		if err := del(w, v); err != nil {
+			return agg, err
+		}
+	}
+	return agg, nil
+}

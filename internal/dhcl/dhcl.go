@@ -34,6 +34,20 @@ type Index struct {
 	rankArr []uint16
 
 	scratch bfs.SpacePool
+
+	// rebuild scratch for the deletion path, reused across DeleteEdge calls
+	// (mutations hold exclusive access, so one set suffices).
+	delDist  []graph.Dist
+	delCover []bool
+}
+
+// rebuildScratch returns dist/covered scratch sized for n vertices.
+func (idx *Index) rebuildScratch(n int) ([]graph.Dist, []bool) {
+	if len(idx.delDist) < n {
+		idx.delDist = make([]graph.Dist, n)
+		idx.delCover = make([]bool, n)
+	}
+	return idx.delDist[:n], idx.delCover[:n]
 }
 
 // Build constructs the minimal directed labelling: per landmark one forward
@@ -77,17 +91,25 @@ func Build(g *digraph.Digraph, landmarks []uint32) (*Index, error) {
 	}
 	dist := make([]graph.Dist, n)
 	covered := make([]bool, n)
+	var st Stats
 	for r := range idx.Landmarks {
-		idx.coveredBFS(uint16(r), true, dist, covered)
-		idx.coveredBFS(uint16(r), false, dist, covered)
+		// rebuildPass on an empty labelling is exactly the construction
+		// pass; it is shared with the decremental repair path.
+		idx.rebuildPass(uint16(r), true, dist, covered, &st)
+		idx.rebuildPass(uint16(r), false, dist, covered, &st)
 	}
 	return idx, nil
 }
 
-// coveredBFS runs the construction BFS of landmark rank r in one direction
-// (forward over out-edges when fwd, else backward over in-edges), emitting
-// label entries for uncovered vertices and highway cells for landmarks.
-func (idx *Index) coveredBFS(r uint16, fwd bool, dist []graph.Dist, covered []bool) {
+// rebuildPass runs the covered-flag BFS of landmark rank r in one direction
+// (forward over out-edges when fwd, else backward over in-edges) over the
+// current graph and replaces that direction's entries and highway cells in
+// place — setting label entries for uncovered reachable vertices, removing
+// stale ones, and resetting cells of vertices that became unreachable to
+// Inf. On an empty labelling this is the construction pass; after an edge
+// deletion it is the decremental repair of one affected (landmark,
+// direction) pair.
+func (idx *Index) rebuildPass(r uint16, fwd bool, dist []graph.Dist, covered []bool, st *Stats) {
 	root := idx.Landmarks[r]
 	adj := idx.G.In
 	if fwd {
@@ -96,12 +118,10 @@ func (idx *Index) coveredBFS(r uint16, fwd bool, dist []graph.Dist, covered []bo
 	for i := range dist {
 		dist[i] = graph.Inf
 	}
-	order := make([]uint32, 0, 256)
 	dist[root] = 0
 	covered[root] = false
 	q := queue.NewUint32(64)
 	q.Push(root)
-	order = append(order, root)
 	for !q.Empty() {
 		v := q.Pop()
 		dv := dist[v]
@@ -112,29 +132,41 @@ func (idx *Index) coveredBFS(r uint16, fwd bool, dist []graph.Dist, covered []bo
 				dist[w] = dv + 1
 				covered[w] = cv || (idx.rankArr[w] != noRank && w != root)
 				q.Push(w)
-				order = append(order, w)
 			case dist[w] == dv+1 && cv:
 				covered[w] = true
 			}
 		}
 	}
-	for _, v := range order {
-		if v == root {
+	labels := idx.Lb
+	if fwd {
+		labels = idx.Lf
+	}
+	for v := 0; v < len(labels); v++ {
+		vv := uint32(v)
+		if vv == root {
 			continue
 		}
-		if s := idx.rankArr[v]; s != noRank {
-			if fwd {
-				idx.setHighway(r, s, dist[v]) // d(root→s)
-			} else {
-				idx.setHighway(s, r, dist[v]) // d(s→root)
+		if s := idx.rankArr[vv]; s != noRank {
+			i, j := r, s // d(root→s)
+			if !fwd {
+				i, j = s, r // d(s→root)
+			}
+			if idx.Highway(i, j) != dist[v] {
+				idx.setHighway(i, j, dist[v])
+				st.HighwayUpdates++
 			}
 			continue
 		}
-		if !covered[v] {
-			if fwd {
-				idx.Lf[v] = idx.Lf[v].Set(r, dist[v])
-			} else {
-				idx.Lb[v] = idx.Lb[v].Set(r, dist[v])
+		if dist[v] != graph.Inf && !covered[vv] {
+			if old, had := labels[vv].Get(r); !had || old != dist[v] {
+				labels[vv] = labels[vv].Set(r, dist[v])
+				st.EntriesAdded++
+			}
+		} else {
+			var removed bool
+			labels[vv], removed = labels[vv].Remove(r)
+			if removed {
+				st.EntriesRemoved++
 			}
 		}
 	}

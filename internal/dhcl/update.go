@@ -42,7 +42,7 @@ func (idx *Index) InsertEdge(a, b uint32) (Stats, error) {
 		return st, fmt.Errorf("dhcl: insert (%d,%d): %w", a, b, graph.ErrSelfLoop)
 	}
 	if g.HasEdge(a, b) {
-		return st, fmt.Errorf("dhcl: edge (%d,%d) already exists", a, b)
+		return st, fmt.Errorf("dhcl: insert (%d,%d): %w", a, b, graph.ErrEdgeExists)
 	}
 	if _, err := g.AddEdge(a, b); err != nil {
 		return st, err

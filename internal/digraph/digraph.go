@@ -77,6 +77,24 @@ func (g *Digraph) AddEdge(u, v uint32) (bool, error) {
 	return true, nil
 }
 
+// RemoveEdge deletes the directed edge u→v. It returns graph.ErrSelfLoop
+// for u == v, graph.ErrVertexUnknown when either endpoint does not exist and
+// graph.ErrEdgeUnknown when the edge is not present.
+func (g *Digraph) RemoveEdge(u, v uint32) error {
+	if u == v {
+		return graph.ErrSelfLoop
+	}
+	if int(u) >= len(g.out) || int(v) >= len(g.out) {
+		return fmt.Errorf("%w: edge (%d,%d) with %d vertices", graph.ErrVertexUnknown, u, v, len(g.out))
+	}
+	if !graph.RemoveFromList(&g.out[u], v) {
+		return fmt.Errorf("%w: (%d,%d)", graph.ErrEdgeUnknown, u, v)
+	}
+	graph.RemoveFromList(&g.in[v], u)
+	g.edges--
+	return nil
+}
+
 // MustAddEdge inserts u→v, growing the vertex set as needed.
 func (g *Digraph) MustAddEdge(u, v uint32) bool {
 	for uint32(len(g.out)) <= max(u, v) {

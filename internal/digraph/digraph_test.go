@@ -1,6 +1,7 @@
 package digraph
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -135,5 +136,35 @@ func TestCloneAndErrors(t *testing.T) {
 	}
 	if ok, _ := g.AddEdge(0, 1); ok {
 		t.Error("duplicate must report false")
+	}
+}
+
+func TestRemoveEdgeDirected(t *testing.T) {
+	g := cycle(4)
+	if err := g.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(1, 2) {
+		t.Error("edge survived removal")
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("edges: got %d, want 3", g.NumEdges())
+	}
+	for _, w := range g.In(2) {
+		if w == 1 {
+			t.Error("in-adjacency not cleaned")
+		}
+	}
+	if err := g.RemoveEdge(2, 1); !errors.Is(err, graph.ErrEdgeUnknown) {
+		t.Errorf("reverse direction was never inserted: got %v, want ErrEdgeUnknown", err)
+	}
+	if err := g.RemoveEdge(0, 9); !errors.Is(err, graph.ErrVertexUnknown) {
+		t.Errorf("unknown vertex: got %v, want ErrVertexUnknown", err)
+	}
+	if err := g.RemoveEdge(3, 3); !errors.Is(err, graph.ErrSelfLoop) {
+		t.Errorf("self-loop: got %v, want ErrSelfLoop", err)
+	}
+	if ok, err := g.AddEdge(1, 2); !ok || err != nil {
+		t.Fatalf("reinsert after delete: %v %v", ok, err)
 	}
 }

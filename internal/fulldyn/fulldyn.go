@@ -125,7 +125,7 @@ func (idx *Index) InsertEdge(a, b uint32) error {
 		return fmt.Errorf("fulldyn: insert (%d,%d): %w", a, b, graph.ErrSelfLoop)
 	}
 	if g.HasEdge(a, b) {
-		return fmt.Errorf("fulldyn: edge (%d,%d) already exists", a, b)
+		return fmt.Errorf("fulldyn: insert (%d,%d): %w", a, b, graph.ErrEdgeExists)
 	}
 	if _, err := g.AddEdge(a, b); err != nil {
 		return err
@@ -184,6 +184,65 @@ func (idx *Index) updateTree(r int, a, b uint32) {
 				idx.rebuildParents(r, z)
 			}
 		}
+	}
+}
+
+// DeleteEdge removes (a,b) and maintains every landmark tree — the
+// deletion support the parent-DAG machinery exists for. Per tree: an edge
+// whose endpoints sit at equal depth is not in the shortest-path DAG and
+// changes nothing; otherwise the deeper endpoint loses the shallower one
+// from its parent list, and only when that list empties (the vertex lost
+// its last shortest path) do distances actually change, in which case the
+// tree below is recomputed from the landmark.
+func (idx *Index) DeleteEdge(a, b uint32) error {
+	g := idx.G
+	if !g.HasVertex(a) || !g.HasVertex(b) {
+		return fmt.Errorf("fulldyn: delete (%d,%d): %w", a, b, graph.ErrVertexUnknown)
+	}
+	if a == b {
+		return fmt.Errorf("fulldyn: delete (%d,%d): %w", a, b, graph.ErrSelfLoop)
+	}
+	if !g.HasEdge(a, b) {
+		return fmt.Errorf("fulldyn: delete (%d,%d): %w", a, b, graph.ErrEdgeUnknown)
+	}
+	if err := g.RemoveEdge(a, b); err != nil {
+		return err
+	}
+	for r := range idx.Landmarks {
+		idx.deleteFromTree(r, a, b)
+	}
+	return nil
+}
+
+// deleteFromTree repairs tree r after the edge (a,b) was already removed
+// from the graph; distances in idx.Dist[r] are still the pre-delete ones.
+func (idx *Index) deleteFromTree(r int, a, b uint32) {
+	dist := idx.Dist[r]
+	x, y := a, b // x the shallower endpoint, y the deeper
+	if dist[y] < dist[x] {
+		x, y = y, x
+	}
+	if dist[x] == graph.Inf || dist[x] == dist[y] {
+		return // unreachable edge, or not on the shortest-path DAG
+	}
+	// y loses x as a shortest-path parent.
+	ps := idx.Parents[r][y]
+	for i, p := range ps {
+		if p == x {
+			ps[i] = ps[len(ps)-1]
+			idx.Parents[r][y] = ps[:len(ps)-1]
+			break
+		}
+	}
+	if len(idx.Parents[r][y]) > 0 {
+		return // another shortest path survives; no distance changed
+	}
+	// y lost its last shortest path: recompute the tree. (Distance increases
+	// cascade arbitrarily far and can disconnect whole regions, so the
+	// decremental repair is a fresh BFS from the landmark.)
+	idx.Dist[r] = bfs.Distances(idx.G, idx.Landmarks[r])
+	for w := 0; w < idx.G.NumVertices(); w++ {
+		idx.rebuildParents(r, uint32(w))
 	}
 }
 

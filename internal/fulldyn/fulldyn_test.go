@@ -1,6 +1,7 @@
 package fulldyn
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -166,6 +167,90 @@ func TestQuickComponentMerge(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteEdgeTreesStayExact(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(40, 80, 60+seed)
+		lm := landmark.ByDegree(g, 4)
+		idx, err := Build(g, lm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			var edges [][2]uint32
+			g.Edges(func(a, b uint32) { edges = append(edges, [2]uint32{a, b}) })
+			if len(edges) == 0 {
+				break
+			}
+			e := edges[rng.Intn(len(edges))]
+			if err := idx.DeleteEdge(e[0], e[1]); err != nil {
+				t.Fatalf("seed %d delete %d (%d,%d): %v", seed, i, e[0], e[1], err)
+			}
+			if err := idx.VerifyTrees(); err != nil {
+				t.Fatalf("seed %d after delete %d (%d,%d): %v", seed, i, e[0], e[1], err)
+			}
+		}
+	}
+}
+
+func TestDeleteEdgeErrors(t *testing.T) {
+	g := testutil.RandomConnectedGraph(15, 25, 2)
+	idx, err := Build(g, landmark.ByDegree(g, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.DeleteEdge(0, 0); !errors.Is(err, graph.ErrSelfLoop) {
+		t.Errorf("self-loop: got %v", err)
+	}
+	if err := idx.DeleteEdge(0, 99); !errors.Is(err, graph.ErrVertexUnknown) {
+		t.Errorf("unknown vertex: got %v", err)
+	}
+	var a, b uint32
+	rng := rand.New(rand.NewSource(1))
+	for {
+		a, b = uint32(rng.Intn(15)), uint32(rng.Intn(15))
+		if a != b && !g.HasEdge(a, b) {
+			break
+		}
+	}
+	if err := idx.DeleteEdge(a, b); !errors.Is(err, graph.ErrEdgeUnknown) {
+		t.Errorf("missing edge: got %v", err)
+	}
+}
+
+func TestMixedInsertDeleteQueriesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := testutil.RandomGraph(40, 70, 90)
+	lm := landmark.ByDegree(g, 4)
+	idx, err := Build(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 120; step++ {
+		u := uint32(rng.Intn(40))
+		v := uint32(rng.Intn(40))
+		if u == v {
+			continue
+		}
+		if g.HasEdge(u, v) {
+			if err := idx.DeleteEdge(u, v); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+		} else {
+			if err := idx.InsertEdge(u, v); err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+		}
+		a, b := uint32(rng.Intn(40)), uint32(rng.Intn(40))
+		if got, want := idx.Query(a, b), bfs.Dist(g, a, b); got != want {
+			t.Fatalf("step %d: Query(%d,%d)=%d want %d", step, a, b, got, want)
+		}
+	}
+	if err := idx.VerifyTrees(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -27,10 +27,14 @@ func AddDist(a, b Dist) Dist {
 	return Inf
 }
 
-// Errors reported by mutating operations.
+// Errors reported by mutating operations. They are shared as sentinels by
+// the directed and weighted substrates too, so every layer up to the HTTP
+// service can classify failures with errors.Is instead of string matching.
 var (
 	ErrSelfLoop      = errors.New("graph: self-loops are not supported")
 	ErrVertexUnknown = errors.New("graph: vertex does not exist")
+	ErrEdgeUnknown   = errors.New("graph: edge does not exist")
+	ErrEdgeExists    = errors.New("graph: edge already exists")
 )
 
 // Graph is an undirected, unweighted dynamic graph over vertices
@@ -112,6 +116,39 @@ func (g *Graph) AddEdge(u, v uint32) (bool, error) {
 	g.adj[v] = append(g.adj[v], u)
 	g.edges++
 	return true, nil
+}
+
+// RemoveEdge deletes the undirected edge (u,v). It returns ErrSelfLoop for
+// u == v, ErrVertexUnknown when either endpoint does not exist and
+// ErrEdgeUnknown when the edge is not present.
+func (g *Graph) RemoveEdge(u, v uint32) error {
+	if u == v {
+		return ErrSelfLoop
+	}
+	if int(u) >= len(g.adj) || int(v) >= len(g.adj) {
+		return fmt.Errorf("%w: edge (%d,%d) with %d vertices", ErrVertexUnknown, u, v, len(g.adj))
+	}
+	if !RemoveFromList(&g.adj[u], v) {
+		return fmt.Errorf("%w: (%d,%d)", ErrEdgeUnknown, u, v)
+	}
+	RemoveFromList(&g.adj[v], u)
+	g.edges--
+	return nil
+}
+
+// RemoveFromList deletes the first occurrence of x from *list, reporting
+// whether it was present. Order is not preserved (swap-with-last), which is
+// fine: adjacency order is unspecified. Shared with the directed substrate.
+func RemoveFromList(list *[]uint32, x uint32) bool {
+	l := *list
+	for i, w := range l {
+		if w == x {
+			l[i] = l[len(l)-1]
+			*list = l[:len(l)-1]
+			return true
+		}
+	}
+	return false
 }
 
 // MustAddEdge inserts (u,v), growing the vertex set as needed, and panics on

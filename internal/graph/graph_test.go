@@ -184,3 +184,78 @@ func TestHasEdgeQuickMirrorsMap(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(4)
+	for i := 0; i < 4; i++ {
+		g.AddVertex()
+	}
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	if err := g.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(1, 2) || g.HasEdge(2, 1) {
+		t.Error("edge survived removal")
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("edges: got %d, want 2", g.NumEdges())
+	}
+	if err := g.RemoveEdge(1, 2); !errors.Is(err, ErrEdgeUnknown) {
+		t.Errorf("double delete: got %v, want ErrEdgeUnknown", err)
+	}
+	if err := g.RemoveEdge(0, 9); !errors.Is(err, ErrVertexUnknown) {
+		t.Errorf("unknown vertex: got %v, want ErrVertexUnknown", err)
+	}
+	if err := g.RemoveEdge(1, 1); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self-loop: got %v, want ErrSelfLoop", err)
+	}
+	// Removed edges can be reinserted.
+	if ok, err := g.AddEdge(1, 2); !ok || err != nil {
+		t.Fatalf("reinsert after delete: %v %v", ok, err)
+	}
+}
+
+func TestRemoveEdgeRandomised(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		g := New(10)
+		for i := 0; i < 10; i++ {
+			g.AddVertex()
+		}
+		m := map[[2]uint32]bool{}
+		for i := 0; i < 60; i++ {
+			u := uint32(rng.Intn(10))
+			v := uint32(rng.Intn(10))
+			if u == v {
+				continue
+			}
+			a, b := min(u, v), max(u, v)
+			if rng.Float64() < 0.4 && m[[2]uint32{a, b}] {
+				if err := g.RemoveEdge(u, v); err != nil {
+					return false
+				}
+				delete(m, [2]uint32{a, b})
+			} else {
+				_, _ = g.AddEdge(u, v)
+				m[[2]uint32{a, b}] = true
+			}
+		}
+		for u := uint32(0); u < 10; u++ {
+			for v := uint32(0); v < 10; v++ {
+				if u == v {
+					continue
+				}
+				a, b := min(u, v), max(u, v)
+				if g.HasEdge(u, v) != m[[2]uint32{a, b}] {
+					return false
+				}
+			}
+		}
+		return uint64(len(m)) == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

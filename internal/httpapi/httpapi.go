@@ -5,25 +5,35 @@
 // interface, so one handler set serves undirected, directed and weighted
 // graphs alike:
 //
-//	GET  /distance?u=U&v=V   exact distance ("distance": null when
-//	                         unreachable)
-//	POST /distances          {"pairs":[{"u":U,"v":V},...]} — batch query,
-//	                         answered by one worker-fanned QueryBatch
-//	POST /edges              {"u":U,"v":V,"w":W} — insert an edge (weight
-//	                         optional, weighted oracles only), index repaired
-//	POST /vertices           {"neighbors":[..]} or {"arcs":[{"to":T,"w":W,
-//	                         "in":B},..]} — insert a vertex
-//	GET  /stats              index size statistics
-//	GET  /healthz            liveness
+//	GET    /distance?u=U&v=V   exact distance ("distance": null when
+//	                           unreachable)
+//	POST   /distances          {"pairs":[{"u":U,"v":V},...]} — batch query,
+//	                           answered by one worker-fanned QueryBatch
+//	POST   /edges              {"u":U,"v":V,"w":W} — insert an edge (weight
+//	                           optional, weighted oracles only), index
+//	                           repaired with IncHL+
+//	DELETE /edges?u=U&v=V      delete an edge, index repaired with DecHL
+//	POST   /vertices           {"neighbors":[..]} or {"arcs":[{"to":T,"w":W,
+//	                           "in":B},..]} — insert a vertex
+//	DELETE /vertices?v=V       disconnect a vertex (all incident edges)
+//	GET    /stats              index size statistics
+//	GET    /healthz            liveness
 //
-// Queries are microsecond read-only lookups while IncHL+ repairs are rare
-// writes, so the server wraps the oracle with dynhl.Concurrent: an RWMutex
-// lets any number of in-flight reads run in parallel across cores and only
-// updates take the exclusive lock.
+// Mutation failures map onto status codes through the dynhl sentinel
+// errors: unknown vertices and edges are 404, inserting an edge that
+// already exists is 409, anything else the oracle rejects is 400. Untrusted
+// input is bounded: request bodies beyond MaxBodyBytes and batches beyond
+// MaxBatchPairs are rejected with 413 before any result allocation.
+//
+// Queries are microsecond read-only lookups while the IncHL+/DecHL repairs
+// are rare writes, so the server wraps the oracle with dynhl.Concurrent: an
+// RWMutex lets any number of in-flight reads run in parallel across cores
+// and only updates take the exclusive lock.
 package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -31,14 +41,58 @@ import (
 	dynhl "repro"
 )
 
+// Limits on untrusted input, overridable per Server through Options.
+const (
+	// DefaultMaxBatchPairs bounds the number of pairs one POST /distances
+	// may ask for; each pair costs a query and eight bytes of result.
+	DefaultMaxBatchPairs = 10000
+	// DefaultMaxBodyBytes bounds the size of any JSON request body.
+	DefaultMaxBodyBytes = 1 << 20
+)
+
+// Option customises a Server.
+type Option func(*Server)
+
+// WithMaxBatchPairs caps the pair count of POST /distances (0 or negative
+// restores the default).
+func WithMaxBatchPairs(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBatchPairs = n
+		}
+	}
+}
+
+// WithMaxBodyBytes caps JSON request body sizes (0 or negative restores the
+// default).
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBodyBytes = n
+		}
+	}
+}
+
 // Server wraps an oracle with HTTP handlers.
 type Server struct {
-	o *dynhl.ConcurrentOracle
+	o             *dynhl.ConcurrentOracle
+	maxBatchPairs int
+	maxBodyBytes  int64
 }
 
 // New returns a Server serving o, wrapping it with dynhl.Concurrent (a
 // no-op when o already is one).
-func New(o dynhl.Oracle) *Server { return &Server{o: dynhl.Concurrent(o)} }
+func New(o dynhl.Oracle, opts ...Option) *Server {
+	s := &Server{
+		o:             dynhl.Concurrent(o),
+		maxBatchPairs: DefaultMaxBatchPairs,
+		maxBodyBytes:  DefaultMaxBodyBytes,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
 
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
@@ -46,7 +100,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /distance", s.distance)
 	mux.HandleFunc("POST /distances", s.distances)
 	mux.HandleFunc("POST /edges", s.insertEdge)
+	mux.HandleFunc("DELETE /edges", s.deleteEdge)
 	mux.HandleFunc("POST /vertices", s.insertVertex)
+	mux.HandleFunc("DELETE /vertices", s.deleteVertex)
 	mux.HandleFunc("GET /stats", s.stats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -93,8 +149,12 @@ type distancesResponse struct {
 
 func (s *Server) distances(w http.ResponseWriter, r *http.Request) {
 	var req distancesRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Pairs) > s.maxBatchPairs {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d pairs exceeds the %d-pair cap", len(req.Pairs), s.maxBatchPairs))
 		return
 	}
 	n := s.o.NumVertices()
@@ -128,13 +188,57 @@ type edgeResponse struct {
 
 func (s *Server) insertEdge(w http.ResponseWriter, r *http.Request) {
 	var req edgeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	st, err := s.o.InsertEdge(req.U, req.V, req.W)
 	if err != nil {
-		httpError(w, http.StatusConflict, err)
+		updateError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, edgeResponse{
+		Affected:       st.Affected,
+		EntriesAdded:   st.EntriesAdded,
+		EntriesRemoved: st.EntriesRemoved,
+	})
+}
+
+// deleteEdge serves DELETE /edges?u=U&v=V: the edge is removed and the
+// labelling repaired with DecHL.
+func (s *Server) deleteEdge(w http.ResponseWriter, r *http.Request) {
+	u, err := vertexParam(r, "u")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := vertexParam(r, "v")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.o.DeleteEdge(u, v)
+	if err != nil {
+		updateError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, edgeResponse{
+		Affected:       st.Affected,
+		EntriesAdded:   st.EntriesAdded,
+		EntriesRemoved: st.EntriesRemoved,
+	})
+}
+
+// deleteVertex serves DELETE /vertices?v=V: every incident edge of v is
+// deleted, leaving the id behind as an isolated vertex.
+func (s *Server) deleteVertex(w http.ResponseWriter, r *http.Request) {
+	v, err := vertexParam(r, "v")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.o.DeleteVertex(v)
+	if err != nil {
+		updateError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, edgeResponse{
@@ -158,14 +262,13 @@ type vertexResponse struct {
 
 func (s *Server) insertVertex(w http.ResponseWriter, r *http.Request) {
 	var req vertexRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	arcs := append(dynhl.Arcs(req.Neighbors...), req.Arcs...)
 	id, st, err := s.o.InsertVertex(arcs)
 	if err != nil {
-		httpError(w, http.StatusConflict, err)
+		updateError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, vertexResponse{ID: id, Affected: st.Affected})
@@ -193,6 +296,37 @@ func vertexParam(r *http.Request, name string) (uint32, error) {
 		return 0, fmt.Errorf("bad vertex %q: %w", raw, err)
 	}
 	return uint32(v), nil
+}
+
+// decodeJSON decodes a request body capped at maxBodyBytes, answering 413
+// for oversized payloads and 400 for malformed ones. It reports whether the
+// handler should proceed.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte cap", tooLarge.Limit))
+			return false
+		}
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return false
+	}
+	return true
+}
+
+// updateError maps a mutation failure onto a status code through the dynhl
+// sentinel errors.
+func updateError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, dynhl.ErrNoSuchVertex), errors.Is(err, dynhl.ErrNoSuchEdge):
+		httpError(w, http.StatusNotFound, err)
+	case errors.Is(err, dynhl.ErrEdgeExists):
+		httpError(w, http.StatusConflict, err)
+	default:
+		httpError(w, http.StatusBadRequest, err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

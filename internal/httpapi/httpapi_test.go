@@ -85,10 +85,12 @@ func TestInsertEdgeEndpoint(t *testing.T) {
 	if d1.Distance == nil || *d1.Distance != 1 {
 		t.Fatalf("distance after insert: %+v", d1)
 	}
-	// Duplicate insert conflicts.
+	// Duplicate insert conflicts; self-loops and bad JSON are 400; unknown
+	// vertices are 404 via the typed sentinels.
 	postJSON(t, ts.URL+"/edges", `{"u":0,"v":30}`, http.StatusConflict, nil)
 	postJSON(t, ts.URL+"/edges", `{"u":0`, http.StatusBadRequest, nil)
-	postJSON(t, ts.URL+"/edges", `{"u":0,"v":0}`, http.StatusConflict, nil)
+	postJSON(t, ts.URL+"/edges", `{"u":0,"v":0}`, http.StatusBadRequest, nil)
+	postJSON(t, ts.URL+"/edges", `{"u":0,"v":9999}`, http.StatusNotFound, nil)
 }
 
 func TestInsertVertexEndpoint(t *testing.T) {
@@ -103,7 +105,7 @@ func TestInsertVertexEndpoint(t *testing.T) {
 	if d.Distance == nil || *d.Distance != 1 {
 		t.Fatalf("distance to new vertex: %+v", d)
 	}
-	postJSON(t, ts.URL+"/vertices", `{"neighbors":[4444]}`, http.StatusConflict, nil)
+	postJSON(t, ts.URL+"/vertices", `{"neighbors":[4444]}`, http.StatusNotFound, nil)
 	postJSON(t, ts.URL+"/vertices", `not json`, http.StatusBadRequest, nil)
 }
 
@@ -165,7 +167,7 @@ func TestDirectedServer(t *testing.T) {
 		t.Fatalf("d(9,0) must be null: %+v", d)
 	}
 	// A weighted edge must be rejected by the unweighted oracle.
-	postJSON(t, ts.URL+"/edges", `{"u":0,"v":5,"w":3}`, http.StatusConflict, nil)
+	postJSON(t, ts.URL+"/edges", `{"u":0,"v":5,"w":3}`, http.StatusBadRequest, nil)
 	// Close the cycle and re-query through a batch.
 	postJSON(t, ts.URL+"/edges", `{"u":9,"v":0}`, http.StatusOK, nil)
 	var resp distancesResponse
@@ -215,6 +217,91 @@ func TestWeightedServer(t *testing.T) {
 	if d.Distance == nil || *d.Distance != 6 {
 		t.Fatalf("d(0,new): %+v", d)
 	}
+}
+
+func doDelete(t *testing.T, url string, wantCode int, out any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("DELETE %s: status %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDeleteEdgeEndpoint drives a full insert → delete → reinsert cycle
+// over HTTP, including the 404 mappings of the typed sentinels.
+func TestDeleteEdgeEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	postJSON(t, ts.URL+"/edges", `{"u":0,"v":30}`, http.StatusOK, nil)
+	var d distanceResponse
+	getJSON(t, ts.URL+"/distance?u=0&v=30", http.StatusOK, &d)
+	if d.Distance == nil || *d.Distance != 1 {
+		t.Fatalf("distance after insert: %+v", d)
+	}
+	var er edgeResponse
+	doDelete(t, ts.URL+"/edges?u=0&v=30", http.StatusOK, &er)
+	getJSON(t, ts.URL+"/distance?u=0&v=30", http.StatusOK, &d)
+	if d.Distance != nil && *d.Distance == 1 {
+		t.Fatalf("edge still answers distance 1 after delete: %+v", d)
+	}
+	// Deleting again: the edge is gone → 404. Unknown vertices → 404.
+	doDelete(t, ts.URL+"/edges?u=0&v=30", http.StatusNotFound, nil)
+	doDelete(t, ts.URL+"/edges?u=0&v=9999", http.StatusNotFound, nil)
+	doDelete(t, ts.URL+"/edges?u=0", http.StatusBadRequest, nil)
+	// Reinsert restores the distance.
+	postJSON(t, ts.URL+"/edges", `{"u":0,"v":30}`, http.StatusOK, nil)
+	getJSON(t, ts.URL+"/distance?u=0&v=30", http.StatusOK, &d)
+	if d.Distance == nil || *d.Distance != 1 {
+		t.Fatalf("distance after reinsert: %+v", d)
+	}
+}
+
+// TestDeleteVertexEndpoint isolates a vertex over HTTP: its distances all
+// go null (Inf) while its id stays valid.
+func TestDeleteVertexEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var vr vertexResponse
+	postJSON(t, ts.URL+"/vertices", `{"neighbors":[0,5]}`, http.StatusOK, &vr)
+	id := strconv.Itoa(int(vr.ID))
+	doDelete(t, ts.URL+"/vertices?v="+id, http.StatusOK, nil)
+	var d distanceResponse
+	getJSON(t, ts.URL+"/distance?u="+id+"&v=0", http.StatusOK, &d)
+	if d.Distance != nil {
+		t.Fatalf("isolated vertex still reachable: %+v", d)
+	}
+	doDelete(t, ts.URL+"/vertices?v=9999", http.StatusNotFound, nil)
+}
+
+// TestPayloadCaps pins the 413 defence for oversized batch requests and
+// bodies.
+func TestPayloadCaps(t *testing.T) {
+	g := testutil.RandomConnectedGraph(20, 30, 4)
+	idx, err := dynhl.Build(g, dynhl.Options{Landmarks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(idx, WithMaxBatchPairs(2), WithMaxBodyBytes(256)).Handler())
+	t.Cleanup(ts.Close)
+
+	postJSON(t, ts.URL+"/distances", `{"pairs":[{"u":0,"v":1},{"u":1,"v":2}]}`, http.StatusOK, nil)
+	postJSON(t, ts.URL+"/distances", `{"pairs":[{"u":0,"v":1},{"u":1,"v":2},{"u":2,"v":3}]}`,
+		http.StatusRequestEntityTooLarge, nil)
+	big := `{"pairs":[` + strings.Repeat(`{"u":0,"v":1},`, 100) + `{"u":0,"v":1}]}`
+	postJSON(t, ts.URL+"/distances", big, http.StatusRequestEntityTooLarge, nil)
+	postJSON(t, ts.URL+"/vertices", `{"neighbors":[`+strings.Repeat("0,", 200)+`0]}`,
+		http.StatusRequestEntityTooLarge, nil)
 }
 
 func TestStatsAndHealth(t *testing.T) {

@@ -1,0 +1,182 @@
+// DecHL: the decremental counterpart of IncHL+. The paper covers only
+// insertions; deletions are repaired here with the observation that removing
+// an edge (a,b) can change the labelling of landmark r — its distances OR
+// the covered/uncovered classification of its shortest-path DAG — only when
+// (a,b) lies on that DAG, i.e. when the pre-delete endpoint distances differ
+// by exactly one (|d_G(r,a) − d_G(r,b)| = 1). The affected test therefore
+// costs two labelled lookups per landmark and no search at all; unaffected
+// landmarks (the common case: an edge sits on the shortest-path DAGs of few
+// landmarks) keep their entries untouched. Each affected landmark is then
+// patched by re-running its construction BFS over the updated graph and
+// replacing its entries and highway row in place.
+//
+// Unlike the insertion-side rebuildLandmark, the decremental rebuild must
+// handle vertices that became unreachable — their entries are dropped and
+// their highway cells reset to Inf — because deletions are the only updates
+// that can disconnect the graph.
+//
+// The resulting labelling is identical to a fresh build (minimality is
+// preserved): rebuilt landmarks get exactly their fresh entries, and for a
+// landmark whose shortest-path DAG did not contain (a,b), neither its
+// distances nor its shortest-path structure changed, so its fresh entries
+// equal its old ones.
+
+package inchl
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// DeleteEdge removes the undirected edge (a,b) from the graph and repairs
+// the labelling so that it is again the minimal highway cover labelling of
+// the changed graph. Deleting an edge that does not exist is an error
+// (graph.ErrEdgeUnknown), mirroring InsertEdge's update model.
+func (u *Updater) DeleteEdge(a, b uint32) (Stats, error) {
+	var st Stats
+	idx := u.Idx
+	g := idx.G
+	if !g.HasVertex(a) || !g.HasVertex(b) {
+		return st, fmt.Errorf("inchl: delete (%d,%d): %w", a, b, graph.ErrVertexUnknown)
+	}
+	if a == b {
+		return st, fmt.Errorf("inchl: delete (%d,%d): %w", a, b, graph.ErrSelfLoop)
+	}
+	if !g.HasEdge(a, b) {
+		return st, fmt.Errorf("inchl: delete (%d,%d): %w", a, b, graph.ErrEdgeUnknown)
+	}
+	st.LandmarksTotal = idx.NumLandmarks()
+
+	// Affected test against the pre-delete labelling (still exact here).
+	var affected []uint16
+	for r := 0; r < idx.NumLandmarks(); r++ {
+		if edgeOnDAG(idx.LandmarkDist(uint16(r), a), idx.LandmarkDist(uint16(r), b), 1) {
+			affected = append(affected, uint16(r))
+		} else {
+			st.LandmarksSkipped++
+		}
+	}
+
+	if err := g.RemoveEdge(a, b); err != nil {
+		return st, fmt.Errorf("inchl: delete (%d,%d): %w", a, b, err)
+	}
+	u.ensureScratch(g.NumVertices())
+	u.bumpEpoch()
+	for _, r := range affected {
+		u.rebuildLandmarkDec(r, &st)
+	}
+	return st, nil
+}
+
+// edgeOnDAG reports whether an edge of weight w whose endpoints sit at
+// distances da and db from a landmark lies on that landmark's shortest-path
+// DAG. Inf-saturated arithmetic makes the test false when either endpoint is
+// unreachable (adjacent vertices are either both reachable or both not).
+func edgeOnDAG(da, db, w graph.Dist) bool {
+	return (da != graph.Inf && graph.AddDist(da, w) == db) ||
+		(db != graph.Inf && graph.AddDist(db, w) == da)
+}
+
+// rebuildLandmarkDec re-runs the construction BFS of landmark r over the
+// already-updated graph and replaces every r-entry and the full highway row
+// r, including resets to Inf for vertices the deletion disconnected. The
+// current epoch's covStamp doubles as the per-update union set feeding
+// Stats.AffectedUnion; callers bump the epoch once per DeleteEdge.
+func (u *Updater) rebuildLandmarkDec(r uint16, st *Stats) {
+	idx := u.Idx
+	g := idx.G
+	n := g.NumVertices()
+	if len(u.dist) < n {
+		u.dist = make([]graph.Dist, n)
+		u.cover = make([]bool, n)
+	}
+	dist, cover := u.dist[:n], u.cover[:n]
+	for i := range dist {
+		dist[i] = graph.Inf
+		cover[i] = false
+	}
+	root := idx.Landmarks[r]
+	dist[root] = 0
+	u.plainQ.Reset()
+	u.plainQ.Push(root)
+	for !u.plainQ.Empty() {
+		v := u.plainQ.Pop()
+		dv := dist[v]
+		cv := cover[v]
+		for _, w := range g.Neighbors(v) {
+			switch {
+			case dist[w] == graph.Inf:
+				dist[w] = dv + 1
+				cover[w] = cv || (idx.IsLandmark(w) && w != root)
+				u.plainQ.Push(w)
+			case dist[w] == dv+1 && cv:
+				cover[w] = true
+			}
+		}
+	}
+	e := u.epoch
+	touch := func(v uint32) {
+		st.AffectedSum++
+		if u.covStamp[v] != e {
+			u.covStamp[v] = e
+			st.AffectedUnion++
+		}
+	}
+	for v := 0; v < n; v++ {
+		vv := uint32(v)
+		if vv == root {
+			continue
+		}
+		if s, isL := idx.Rank(vv); isL {
+			if idx.H.Dist(r, s) != dist[v] {
+				idx.H.Set(r, s, dist[v]) // Inf when the deletion disconnected s
+				st.HighwayUpdates++
+				touch(vv)
+			}
+			continue
+		}
+		if dist[v] != graph.Inf && !cover[v] {
+			if old, had := idx.EntryDist(vv, r); !had || old != dist[v] {
+				idx.SetEntry(vv, r, dist[v])
+				st.EntriesAdded++
+				touch(vv)
+			}
+		} else if idx.RemoveEntry(vv, r) {
+			st.EntriesRemoved++
+			touch(vv)
+		}
+	}
+}
+
+// DeleteVertex disconnects vertex v by deleting all of its incident edges,
+// one DecHL repair per edge. The vertex itself keeps its id (the paper's
+// contiguous 0..n-1 vertex universe does not renumber); once isolated it is
+// unreachable from everything and queries against it answer Inf. Deleting a
+// landmark is rejected: landmarks anchor the labelling.
+func (u *Updater) DeleteVertex(v uint32) (Stats, error) {
+	var agg Stats
+	idx := u.Idx
+	g := idx.G
+	if !g.HasVertex(v) {
+		return agg, fmt.Errorf("inchl: delete vertex %d: %w", v, graph.ErrVertexUnknown)
+	}
+	if idx.IsLandmark(v) {
+		return agg, fmt.Errorf("inchl: delete vertex %d: cannot delete a landmark", v)
+	}
+	agg.LandmarksTotal = idx.NumLandmarks()
+	neighbors := append([]uint32(nil), g.Neighbors(v)...)
+	for _, w := range neighbors {
+		st, err := u.DeleteEdge(v, w)
+		if err != nil {
+			return agg, err
+		}
+		agg.LandmarksSkipped += st.LandmarksSkipped
+		agg.AffectedSum += st.AffectedSum
+		agg.AffectedUnion += st.AffectedUnion
+		agg.EntriesAdded += st.EntriesAdded
+		agg.EntriesRemoved += st.EntriesRemoved
+		agg.HighwayUpdates += st.HighwayUpdates
+	}
+	return agg, nil
+}

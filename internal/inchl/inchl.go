@@ -123,7 +123,7 @@ func (u *Updater) InsertEdge(a, b uint32) (Stats, error) {
 		return st, fmt.Errorf("inchl: insert (%d,%d): %w", a, b, graph.ErrSelfLoop)
 	}
 	if g.HasEdge(a, b) {
-		return st, fmt.Errorf("inchl: edge (%d,%d) already exists", a, b)
+		return st, fmt.Errorf("inchl: insert (%d,%d): %w", a, b, graph.ErrEdgeExists)
 	}
 
 	st.LandmarksTotal = idx.NumLandmarks()

@@ -82,6 +82,41 @@ func (g *Graph) AddEdge(u, v uint32, w graph.Dist) (bool, error) {
 	return true, nil
 }
 
+// RemoveEdge deletes the undirected edge (u,v), returning its weight. It
+// returns graph.ErrSelfLoop for u == v, graph.ErrVertexUnknown when either
+// endpoint does not exist and graph.ErrEdgeUnknown when the edge is not
+// present.
+func (g *Graph) RemoveEdge(u, v uint32) (graph.Dist, error) {
+	if u == v {
+		return 0, graph.ErrSelfLoop
+	}
+	if int(u) >= len(g.adj) || int(v) >= len(g.adj) {
+		return 0, fmt.Errorf("%w: edge (%d,%d) with %d vertices", graph.ErrVertexUnknown, u, v, len(g.adj))
+	}
+	w, ok := removeArc(&g.adj[u], v)
+	if !ok {
+		return 0, fmt.Errorf("%w: (%d,%d)", graph.ErrEdgeUnknown, u, v)
+	}
+	removeArc(&g.adj[v], u)
+	g.edges--
+	return w, nil
+}
+
+// removeArc deletes the arc to x from *list (swap with last; adjacency
+// order is unspecified), returning its weight and whether it was present.
+func removeArc(list *[]Arc, x uint32) (graph.Dist, bool) {
+	l := *list
+	for i, a := range l {
+		if a.To == x {
+			w := a.W
+			l[i] = l[len(l)-1]
+			*list = l[:len(l)-1]
+			return w, true
+		}
+	}
+	return 0, false
+}
+
 // MustAddEdge inserts (u,v,w), growing the vertex set as needed.
 func (g *Graph) MustAddEdge(u, v uint32, w graph.Dist) bool {
 	for uint32(len(g.adj)) <= max(u, v) {

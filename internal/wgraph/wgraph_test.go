@@ -1,6 +1,7 @@
 package wgraph
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -128,5 +129,36 @@ func TestSparsifiedEndpoints(t *testing.T) {
 	}
 	if got := g.Sparsified(0, 2, 4, nil); got != 4 {
 		t.Errorf("bound 4 on distance 4: got %d", got)
+	}
+}
+
+func TestRemoveEdgeWeighted(t *testing.T) {
+	g := New(4)
+	for i := 0; i < 4; i++ {
+		g.AddVertex()
+	}
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(1, 2, 7)
+	w, err := g.RemoveEdge(2, 1)
+	if err != nil || w != 7 {
+		t.Fatalf("RemoveEdge: weight %d, err %v (want 7, nil)", w, err)
+	}
+	if g.HasEdge(1, 2) || g.NumEdges() != 1 {
+		t.Error("edge survived removal")
+	}
+	if _, err := g.RemoveEdge(1, 2); !errors.Is(err, graph.ErrEdgeUnknown) {
+		t.Errorf("double delete: got %v, want ErrEdgeUnknown", err)
+	}
+	if _, err := g.RemoveEdge(0, 9); !errors.Is(err, graph.ErrVertexUnknown) {
+		t.Errorf("unknown vertex: got %v, want ErrVertexUnknown", err)
+	}
+	if _, err := g.RemoveEdge(2, 2); !errors.Is(err, graph.ErrSelfLoop) {
+		t.Errorf("self-loop: got %v, want ErrSelfLoop", err)
+	}
+	if ok, err := g.AddEdge(1, 2, 9); !ok || err != nil {
+		t.Fatalf("reinsert after delete: %v %v", ok, err)
+	}
+	if g.Weight(1, 2) != 9 {
+		t.Error("reinserted weight lost")
 	}
 }

@@ -1,0 +1,139 @@
+// Decremental repair (DecHL) for the weighted variant: an edge (a,b,w) lies
+// on the shortest-path DAG of landmark r iff the pre-delete endpoint
+// distances satisfy d(r,a) + w = d(r,b) or the mirror image, so the affected
+// test costs two labelled lookups per landmark. Only affected landmarks are
+// repaired, by re-running their covered-flag Dijkstra over the updated
+// graph; the pass replaces every r-entry and the highway row r, dropping
+// entries and resetting highway cells to Inf for vertices the deletion
+// disconnected. Unaffected landmarks keep exact distances and an unchanged
+// shortest-path DAG, so their entries are already the fresh-build ones.
+
+package whcl
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/wgraph"
+)
+
+// DeleteEdge removes the undirected weighted edge (a,b) and repairs the
+// labelling. Deleting an edge that does not exist is an error
+// (graph.ErrEdgeUnknown).
+func (idx *Index) DeleteEdge(a, b uint32) (Stats, error) {
+	var st Stats
+	g := idx.G
+	if !g.HasVertex(a) || !g.HasVertex(b) {
+		return st, fmt.Errorf("whcl: delete (%d,%d): %w", a, b, graph.ErrVertexUnknown)
+	}
+	if a == b {
+		return st, fmt.Errorf("whcl: delete (%d,%d): %w", a, b, graph.ErrSelfLoop)
+	}
+	w := g.Weight(a, b)
+	if w == 0 {
+		return st, fmt.Errorf("whcl: delete (%d,%d): %w", a, b, graph.ErrEdgeUnknown)
+	}
+	st.LandmarksTotal = idx.k
+
+	var affected []uint16
+	for r := 0; r < idx.k; r++ {
+		da := idx.LandmarkDist(uint16(r), a)
+		db := idx.LandmarkDist(uint16(r), b)
+		onDAG := (da != graph.Inf && graph.AddDist(da, w) == db) ||
+			(db != graph.Inf && graph.AddDist(db, w) == da)
+		if onDAG {
+			affected = append(affected, uint16(r))
+		} else {
+			st.LandmarksSkipped++
+		}
+	}
+
+	if _, err := g.RemoveEdge(a, b); err != nil {
+		return st, fmt.Errorf("whcl: delete (%d,%d): %w", a, b, err)
+	}
+	if len(affected) > 0 {
+		dist, covered := idx.rebuildScratch(g.NumVertices())
+		for _, r := range affected {
+			idx.rebuildLandmark(r, dist, covered, &st)
+		}
+	}
+	return st, nil
+}
+
+// rebuildLandmark re-runs landmark r's covered-flag Dijkstra over the
+// current graph and replaces its entries and highway row in place,
+// including Inf resets for disconnected vertices.
+func (idx *Index) rebuildLandmark(r uint16, dist []graph.Dist, covered []bool, st *Stats) {
+	g := idx.G
+	root := idx.Landmarks[r]
+	order := g.Dijkstra(root, dist)
+	// Covered pass in settle order: weights ≥ 1 settle every shortest-path
+	// parent strictly earlier.
+	for _, v := range order {
+		covered[v] = idx.rankArr[v] != noRank && v != root
+		if covered[v] {
+			continue
+		}
+		for _, a := range g.Neighbors(v) {
+			if graph.AddDist(dist[a.To], a.W) == dist[v] && covered[a.To] {
+				covered[v] = true
+				break
+			}
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		vv := uint32(v)
+		if vv == root {
+			continue
+		}
+		if s := idx.rankArr[vv]; s != noRank {
+			if idx.Highway(r, s) != dist[v] {
+				idx.setHighway(r, s, dist[v]) // Inf when disconnected
+				st.HighwayUpdates++
+				st.AffectedSum++
+			}
+			continue
+		}
+		if dist[v] != graph.Inf && !covered[v] {
+			if old, had := idx.L[vv].Get(r); !had || old != dist[v] {
+				idx.L[vv] = idx.L[vv].Set(r, dist[v])
+				st.EntriesAdded++
+				st.AffectedSum++
+			}
+		} else {
+			var removed bool
+			idx.L[vv], removed = idx.L[vv].Remove(r)
+			if removed {
+				st.EntriesRemoved++
+				st.AffectedSum++
+			}
+		}
+	}
+}
+
+// DeleteVertex disconnects vertex v by deleting all of its incident edges.
+// The id survives as an isolated vertex; deleting a landmark is rejected.
+func (idx *Index) DeleteVertex(v uint32) (Stats, error) {
+	var agg Stats
+	g := idx.G
+	if !g.HasVertex(v) {
+		return agg, fmt.Errorf("whcl: delete vertex %d: %w", v, graph.ErrVertexUnknown)
+	}
+	if idx.rankArr[v] != noRank {
+		return agg, fmt.Errorf("whcl: delete vertex %d: cannot delete a landmark", v)
+	}
+	agg.LandmarksTotal = idx.k
+	arcs := append([]wgraph.Arc(nil), g.Neighbors(v)...)
+	for _, a := range arcs {
+		st, err := idx.DeleteEdge(v, a.To)
+		if err != nil {
+			return agg, err
+		}
+		agg.LandmarksSkipped += st.LandmarksSkipped
+		agg.AffectedSum += st.AffectedSum
+		agg.EntriesAdded += st.EntriesAdded
+		agg.EntriesRemoved += st.EntriesRemoved
+		agg.HighwayUpdates += st.HighwayUpdates
+	}
+	return agg, nil
+}

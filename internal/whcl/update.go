@@ -36,7 +36,7 @@ func (idx *Index) InsertEdge(a, b uint32, w graph.Dist) (Stats, error) {
 		return st, fmt.Errorf("whcl: insert (%d,%d): %w", a, b, graph.ErrVertexUnknown)
 	}
 	if g.HasEdge(a, b) {
-		return st, fmt.Errorf("whcl: edge (%d,%d) already exists", a, b)
+		return st, fmt.Errorf("whcl: insert (%d,%d): %w", a, b, graph.ErrEdgeExists)
 	}
 	if _, err := g.AddEdge(a, b, w); err != nil {
 		return st, err

@@ -30,6 +30,20 @@ type Index struct {
 	hw      []graph.Dist // k×k symmetric highway of exact weighted distances
 	k       int
 	rankArr []uint16
+
+	// rebuild scratch for the deletion path, reused across DeleteEdge calls
+	// (mutations hold exclusive access, so one set suffices).
+	delDist  []graph.Dist
+	delCover []bool
+}
+
+// rebuildScratch returns dist/covered scratch sized for n vertices.
+func (idx *Index) rebuildScratch(n int) ([]graph.Dist, []bool) {
+	if len(idx.delDist) < n {
+		idx.delDist = make([]graph.Dist, n)
+		idx.delCover = make([]bool, n)
+	}
+	return idx.delDist[:n], idx.delCover[:n]
 }
 
 // Build constructs the minimal weighted labelling with one covered-flag
@@ -72,35 +86,11 @@ func Build(g *wgraph.Graph, landmarks []uint32) (*Index, error) {
 	}
 	dist := make([]graph.Dist, n)
 	covered := make([]bool, n)
+	var st Stats
 	for r := range idx.Landmarks {
-		root := idx.Landmarks[r]
-		order := g.Dijkstra(root, dist)
-		// Covered pass in settle (distance) order: with weights ≥ 1 every
-		// shortest-path parent settles strictly earlier.
-		for _, v := range order {
-			covered[v] = idx.rankArr[v] != noRank && v != root
-			if covered[v] {
-				continue
-			}
-			for _, a := range g.Neighbors(v) {
-				if graph.AddDist(dist[a.To], a.W) == dist[v] && covered[a.To] {
-					covered[v] = true
-					break
-				}
-			}
-		}
-		for _, v := range order {
-			if v == root {
-				continue
-			}
-			if s := idx.rankArr[v]; s != noRank {
-				idx.setHighway(uint16(r), s, dist[v])
-				continue
-			}
-			if !covered[v] {
-				idx.L[v] = idx.L[v].Set(uint16(r), dist[v])
-			}
-		}
+		// rebuildLandmark on an empty labelling is exactly the construction
+		// pass; it is shared with the decremental repair path.
+		idx.rebuildLandmark(uint16(r), dist, covered, &st)
 	}
 	return idx, nil
 }

@@ -1,6 +1,24 @@
 package dynhl
 
-import "io"
+import (
+	"io"
+
+	"repro/internal/graph"
+)
+
+// Sentinel errors shared by every variant's mutating operations. They wrap
+// through all layers, so callers (and the HTTP service) classify failures
+// with errors.Is instead of string matching.
+var (
+	// ErrNoSuchVertex reports an operation naming a vertex id outside
+	// 0..NumVertices-1.
+	ErrNoSuchVertex = graph.ErrVertexUnknown
+	// ErrNoSuchEdge reports a DeleteEdge on an edge that is not present.
+	ErrNoSuchEdge = graph.ErrEdgeUnknown
+	// ErrEdgeExists reports an InsertEdge of an edge that is already
+	// present, the paper's (a,b) ∉ E update model.
+	ErrEdgeExists = graph.ErrEdgeExists
+)
 
 // Pair is one (source, target) vertex pair of a batch query.
 type Pair struct {
@@ -47,14 +65,17 @@ type UpdateSummary struct {
 	HighwayUpdates int `json:"highway_updates"`
 }
 
-// Oracle is the unified dynamic exact-distance oracle implemented by all
-// three index variants — Index (undirected), DirectedIndex and
+// Oracle is the unified fully dynamic exact-distance oracle implemented by
+// all three index variants — Index (undirected), DirectedIndex and
 // WeightedIndex — and by the Concurrent wrapper. Code written against
 // Oracle (the HTTP service, the REPL, benchmarks) serves any variant.
 //
-// Queries on the package's implementations are safe for any number of
-// concurrent readers, but readers must not race InsertEdge/InsertVertex;
-// wrap with Concurrent to get that coordination.
+// The update model is fully dynamic: insertions are absorbed by IncHL+
+// (the paper's algorithm) and deletions by its decremental counterpart
+// DecHL (see DeleteEdge). Queries on the package's implementations are safe
+// for any number of concurrent readers, but readers must not race the
+// mutating methods (InsertEdge/InsertVertex/DeleteEdge/DeleteVertex); wrap
+// with Concurrent to get that coordination.
 type Oracle interface {
 	// Query returns the exact distance from u to v in the current graph
 	// (hops, or weighted distance), Inf when unreachable.
@@ -70,6 +91,20 @@ type Oracle interface {
 	// InsertVertex adds a new vertex with the given initial arcs and
 	// returns its id.
 	InsertVertex(arcs []Arc) (uint32, UpdateSummary, error)
+	// DeleteEdge removes the edge (u,v) — directed u→v on directed oracles
+	// — and repairs the labelling with DecHL: the removed edge is tested
+	// against each landmark's labelled distances (it lies on a landmark's
+	// shortest-path DAG iff the endpoint distances differ by exactly the
+	// edge weight) and only the affected landmarks re-run their pruned
+	// search to patch labels and highway entries, including resets to Inf
+	// when the deletion disconnects vertices. ErrNoSuchEdge when absent.
+	DeleteEdge(u, v uint32) (UpdateSummary, error)
+	// DeleteVertex disconnects vertex v by deleting all of its incident
+	// edges, one DecHL repair per edge. Vertex ids are a contiguous
+	// 0..NumVertices-1 universe, so the id itself survives as an isolated
+	// vertex; queries against it answer Inf. Deleting a landmark is an
+	// error — landmarks anchor the labelling.
+	DeleteVertex(v uint32) (UpdateSummary, error)
 	// NumVertices returns the current vertex count; valid vertex ids are
 	// 0..NumVertices-1.
 	NumVertices() int

@@ -10,9 +10,12 @@ import (
 	"repro/internal/testutil"
 )
 
-// TestSoakMixedUpdateStream drives a long interleaved stream of edge and
-// vertex insertions through the public API, auditing the full labelling
-// periodically and spot-checking queries against BFS throughout.
+// TestSoakMixedUpdateStream drives a long interleaved stream of edge
+// insertions, edge deletions (including delete-then-reinsert round trips
+// and bridge cuts that disconnect components) and vertex insertions through
+// the public API, auditing the full labelling periodically and
+// spot-checking queries against BFS throughout — unreachable pairs must
+// answer Inf.
 func TestSoakMixedUpdateStream(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test")
@@ -25,7 +28,8 @@ func TestSoakMixedUpdateStream(t *testing.T) {
 	}
 	for step := 0; step < 400; step++ {
 		n := idx.Graph().NumVertices()
-		if rng.Float64() < 0.15 {
+		switch p := rng.Float64(); {
+		case p < 0.15:
 			k := 1 + rng.Intn(3)
 			ns := map[uint32]bool{}
 			for len(ns) < k {
@@ -38,7 +42,24 @@ func TestSoakMixedUpdateStream(t *testing.T) {
 			if _, _, err := idx.InsertVertex(Arcs(list...)); err != nil {
 				t.Fatalf("step %d: InsertVertex: %v", step, err)
 			}
-		} else {
+		case p < 0.40:
+			// Delete a random existing edge; a third of the time put it
+			// straight back (churny workloads flap).
+			u := uint32(rng.Intn(n))
+			if idx.Graph().Degree(u) == 0 {
+				continue
+			}
+			ns := idx.Graph().Neighbors(u)
+			v := ns[rng.Intn(len(ns))]
+			if _, err := idx.DeleteEdge(u, v); err != nil {
+				t.Fatalf("step %d: DeleteEdge(%d,%d): %v", step, u, v, err)
+			}
+			if rng.Float64() < 0.33 {
+				if _, err := idx.InsertEdge(u, v, 0); err != nil {
+					t.Fatalf("step %d: reinsert (%d,%d): %v", step, u, v, err)
+				}
+			}
+		default:
 			u := uint32(rng.Intn(n))
 			v := uint32(rng.Intn(n))
 			if u == v || idx.Graph().HasEdge(u, v) {

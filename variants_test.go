@@ -1,8 +1,11 @@
 package dynhl
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
+
+	"repro/internal/testutil"
 )
 
 func TestDirectedAPIRoundTrip(t *testing.T) {
@@ -75,6 +78,266 @@ func TestDirectedVertexInsertAPI(t *testing.T) {
 	}
 	if err := idx.Verify(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDeleteEdgeAcrossVariants drives the same delete → Inf → reinsert
+// story through every variant behind the Oracle interface: cutting the only
+// bridge on a path graph disconnects it (queries answer Inf), reinserting
+// restores the exact original distances.
+func TestDeleteEdgeAcrossVariants(t *testing.T) {
+	build := map[string]func(t *testing.T) Oracle{
+		"undirected": func(t *testing.T) Oracle {
+			g := NewGraph(10)
+			for i := 0; i < 10; i++ {
+				g.AddVertex()
+			}
+			for i := uint32(0); i < 9; i++ {
+				g.MustAddEdge(i, i+1)
+			}
+			idx, err := Build(g, Options{Landmarks: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return idx
+		},
+		"directed": func(t *testing.T) Oracle {
+			g := NewDigraph(10)
+			for i := 0; i < 10; i++ {
+				g.AddVertex()
+			}
+			for i := uint32(0); i < 9; i++ {
+				g.MustAddEdge(i, i+1)
+			}
+			idx, err := BuildDirected(g, Options{Landmarks: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return idx
+		},
+		"weighted": func(t *testing.T) Oracle {
+			g := NewWeightedGraph(10)
+			for i := 0; i < 10; i++ {
+				g.AddVertex()
+			}
+			for i := uint32(0); i < 9; i++ {
+				g.MustAddEdge(i, i+1, 1)
+			}
+			idx, err := BuildWeighted(g, Options{Landmarks: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return idx
+		},
+	}
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			o := mk(t)
+			if got := o.Query(0, 9); got != 9 {
+				t.Fatalf("d(0,9) before: got %d, want 9", got)
+			}
+			st, err := o.DeleteEdge(4, 5)
+			if err != nil {
+				t.Fatalf("DeleteEdge: %v", err)
+			}
+			if st.Affected == 0 {
+				t.Error("bridge deletion must repair labels somewhere")
+			}
+			if got := o.Query(0, 9); got != Inf {
+				t.Fatalf("d(0,9) after bridge cut: got %d, want Inf", got)
+			}
+			if err := o.Verify(); err != nil {
+				t.Fatalf("Verify after disconnect: %v", err)
+			}
+			// Typed sentinels across all variants.
+			if _, err := o.DeleteEdge(4, 5); !errors.Is(err, ErrNoSuchEdge) {
+				t.Errorf("double delete: got %v, want ErrNoSuchEdge", err)
+			}
+			if _, err := o.DeleteEdge(0, 99); !errors.Is(err, ErrNoSuchVertex) {
+				t.Errorf("unknown vertex: got %v, want ErrNoSuchVertex", err)
+			}
+			if _, err := o.InsertEdge(3, 4, 0); !errors.Is(err, ErrEdgeExists) {
+				t.Errorf("duplicate insert: got %v, want ErrEdgeExists", err)
+			}
+			// Reinsert heals the cut exactly.
+			if _, err := o.InsertEdge(4, 5, 0); err != nil {
+				t.Fatalf("reinsert: %v", err)
+			}
+			if got := o.Query(0, 9); got != 9 {
+				t.Fatalf("d(0,9) after reinsert: got %d, want 9", got)
+			}
+			if err := o.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDirectedMixedStreamMatchesBFS hammers the directed oracle with an
+// interleaved insert/delete stream, checking every step against the
+// directed BFS oracle.
+func TestDirectedMixedStreamMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	g := NewDigraph(35)
+	for i := 0; i < 35; i++ {
+		g.AddVertex()
+	}
+	for i := 0; i < 120; i++ {
+		u, v := uint32(rng.Intn(35)), uint32(rng.Intn(35))
+		if u != v {
+			g.MustAddEdge(u, v)
+		}
+	}
+	idx, err := BuildDirected(g, Options{Landmarks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 120; step++ {
+		u, v := uint32(rng.Intn(35)), uint32(rng.Intn(35))
+		if u == v {
+			continue
+		}
+		if g.HasEdge(u, v) {
+			if _, err := idx.DeleteEdge(u, v); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+		} else {
+			if _, err := idx.InsertEdge(u, v, 0); err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+		}
+		a, b := uint32(rng.Intn(35)), uint32(rng.Intn(35))
+		if got, want := idx.Query(a, b), g.Dist(a, b); got != want {
+			t.Fatalf("step %d: Query(%d,%d)=%d want %d", step, a, b, got, want)
+		}
+	}
+	if err := idx.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeightedMixedStreamMatchesDijkstra mirrors the directed stream test
+// for the weighted oracle against the Dijkstra oracle.
+func TestWeightedMixedStreamMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	g := NewWeightedGraph(30)
+	for i := 0; i < 30; i++ {
+		g.AddVertex()
+	}
+	for i := 0; i < 90; i++ {
+		u, v := uint32(rng.Intn(30)), uint32(rng.Intn(30))
+		if u != v {
+			g.MustAddEdge(u, v, Dist(1+rng.Intn(8)))
+		}
+	}
+	idx, err := BuildWeighted(g, Options{Landmarks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 100; step++ {
+		u, v := uint32(rng.Intn(30)), uint32(rng.Intn(30))
+		if u == v {
+			continue
+		}
+		if g.HasEdge(u, v) {
+			if _, err := idx.DeleteEdge(u, v); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+		} else {
+			if _, err := idx.InsertEdge(u, v, Dist(1+rng.Intn(8))); err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+		}
+		a, b := uint32(rng.Intn(30)), uint32(rng.Intn(30))
+		if got, want := idx.Query(a, b), g.Dist(a, b); got != want {
+			t.Fatalf("step %d: Query(%d,%d)=%d want %d", step, a, b, got, want)
+		}
+	}
+	if err := idx.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeleteVertexAcrossVariants isolates a vertex through the Oracle
+// interface on each variant and checks it answers Inf afterwards.
+func TestDeleteVertexAcrossVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	build := map[string]func(t *testing.T) Oracle{
+		"undirected": func(t *testing.T) Oracle {
+			idx, err := Build(testutil.RandomConnectedGraph(30, 70, 12), Options{Landmarks: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return idx
+		},
+		"directed": func(t *testing.T) Oracle {
+			g := NewDigraph(30)
+			for i := 0; i < 30; i++ {
+				g.AddVertex()
+			}
+			for i := 0; i < 110; i++ {
+				u, v := uint32(rng.Intn(30)), uint32(rng.Intn(30))
+				if u != v {
+					g.MustAddEdge(u, v)
+				}
+			}
+			idx, err := BuildDirected(g, Options{Landmarks: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return idx
+		},
+		"weighted": func(t *testing.T) Oracle {
+			g := NewWeightedGraph(30)
+			for i := 0; i < 30; i++ {
+				g.AddVertex()
+			}
+			for i := 0; i < 110; i++ {
+				u, v := uint32(rng.Intn(30)), uint32(rng.Intn(30))
+				if u != v {
+					g.MustAddEdge(u, v, Dist(1+rng.Intn(5)))
+				}
+			}
+			idx, err := BuildWeighted(g, Options{Landmarks: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return idx
+		},
+	}
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			o := mk(t)
+			// Find a non-landmark vertex (landmark deletion is rejected, which
+			// we also pin).
+			type landmarker interface{ Landmarks() []uint32 }
+			lms := map[uint32]bool{}
+			for _, l := range o.(landmarker).Landmarks() {
+				lms[l] = true
+			}
+			var v uint32
+			for v = 0; lms[v]; v++ {
+			}
+			if _, err := o.DeleteVertex(v); err != nil {
+				t.Fatalf("DeleteVertex(%d): %v", v, err)
+			}
+			for i := 0; i < 5; i++ {
+				w := uint32(rng.Intn(30))
+				if w == v {
+					continue
+				}
+				if got := o.Query(v, w); got != Inf {
+					t.Fatalf("isolated vertex: d(%d,%d)=%d, want Inf", v, w, got)
+				}
+			}
+			if err := o.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			lm := o.(landmarker).Landmarks()[0]
+			if _, err := o.DeleteVertex(lm); err == nil {
+				t.Error("deleting a landmark must fail")
+			}
+		})
 	}
 }
 

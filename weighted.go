@@ -113,6 +113,26 @@ func (x *WeightedIndex) InsertVertex(arcs []Arc) (uint32, UpdateSummary, error) 
 	return id, weightedSummary(st), nil
 }
 
+// DeleteEdge removes the undirected weighted edge (u,v) and repairs the
+// labelling with DecHL (see Oracle.DeleteEdge).
+func (x *WeightedIndex) DeleteEdge(u, v uint32) (UpdateSummary, error) {
+	st, err := x.idx.DeleteEdge(u, v)
+	if err != nil {
+		return UpdateSummary{}, err
+	}
+	return weightedSummary(st), nil
+}
+
+// DeleteVertex disconnects vertex v by deleting all of its incident edges;
+// the id survives as an isolated vertex. Deleting a landmark is an error.
+func (x *WeightedIndex) DeleteVertex(v uint32) (UpdateSummary, error) {
+	st, err := x.idx.DeleteVertex(v)
+	if err != nil {
+		return UpdateSummary{}, err
+	}
+	return weightedSummary(st), nil
+}
+
 func weightedSummary(st whcl.Stats) UpdateSummary {
 	return UpdateSummary{
 		Landmarks:      st.LandmarksTotal,
