@@ -9,6 +9,11 @@
 //	hlquery -graph roads.txt -mode weighted
 //	hlquery -dataset Skitter -scale 0.2
 //
+// The oracle sits behind a versioned snapshot store: queries read the
+// current published epoch lock-free, single updates publish one epoch each,
+// and apply batches any number of updates into ONE atomic publish — all ops
+// land together or (if any fails) not at all.
+//
 // Commands on stdin:
 //
 //	q <u> <v>          exact distance query
@@ -17,6 +22,9 @@
 //	addv <n1,n2,..>    insert vertex connected to existing vertices
 //	de <u> <v>         delete edge (DecHL repair; disconnections answer inf)
 //	dv <v>             delete vertex (all incident edges; id stays, isolated)
+//	apply <op> ; <op>  batch of add/addv/de/dv ops, one atomic epoch, e.g.
+//	                   apply add 1 2 ; de 3 4 ; dv 9
+//	epoch              current published epoch
 //	stats              index size statistics
 //	verify             O(|R|·|E|) correctness audit of the labelling
 //	help, quit
@@ -54,15 +62,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	st := oracle.Stats()
+	store := dynhl.NewStore(oracle)
+	st := store.Stats()
 	fmt.Printf("graph: %d vertices, %d edges (%s)\n", st.Vertices, st.Edges, *mode)
 	fmt.Printf("index built in %v: %d landmarks, %d entries (avg %.2f/vertex)\n",
 		time.Since(start).Round(time.Millisecond), st.Landmarks, st.LabelEntries, st.AvgLabelSize)
 
-	repl(oracle)
+	repl(store)
 }
 
-func repl(o dynhl.Oracle) {
+func repl(o *dynhl.Store) {
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for sc.Scan() {
@@ -77,7 +86,7 @@ func repl(o dynhl.Oracle) {
 }
 
 // execute runs one command, reporting whether the REPL should exit.
-func execute(o dynhl.Oracle, fields []string) bool {
+func execute(o *dynhl.Store, fields []string) bool {
 	switch fields[0] {
 	case "q", "query":
 		u, v, err := twoVertices(fields[1:])
@@ -202,10 +211,36 @@ func execute(o dynhl.Oracle, fields []string) bool {
 		}
 		fmt.Printf("isolated vertex %d: +%d/-%d entries  [%v]\n",
 			v, st.EntriesAdded, st.EntriesRemoved, time.Since(start))
+	case "apply":
+		ops, err := parseOps(fields[1:])
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		start := time.Now()
+		sums, err := o.Apply(ops)
+		if err != nil {
+			fmt.Println("error (batch discarded, epoch unchanged):", err)
+			return false
+		}
+		added, removed := 0, 0
+		for _, s := range sums {
+			added += s.EntriesAdded
+			removed += s.EntriesRemoved
+		}
+		fmt.Printf("applied %d ops as epoch %d: +%d/-%d entries  [%v]\n",
+			len(sums), o.Epoch(), added, removed, time.Since(start))
+		for i, s := range sums {
+			if s.NewVertex != nil {
+				fmt.Printf("  op %d inserted vertex %d\n", i, *s.NewVertex)
+			}
+		}
+	case "epoch":
+		fmt.Printf("epoch %d\n", o.Epoch())
 	case "stats":
 		st := o.Stats()
-		fmt.Printf("vertices=%d edges=%d landmarks=%d entries=%d avg=%.2f bytes=%d\n",
-			st.Vertices, st.Edges, st.Landmarks, st.LabelEntries, st.AvgLabelSize, st.Bytes)
+		fmt.Printf("vertices=%d edges=%d landmarks=%d entries=%d avg=%.2f bytes=%d epoch=%d\n",
+			st.Vertices, st.Edges, st.Landmarks, st.LabelEntries, st.AvgLabelSize, st.Bytes, o.Epoch())
 	case "verify":
 		start := time.Now()
 		if err := o.Verify(); err != nil {
@@ -214,13 +249,81 @@ func execute(o dynhl.Oracle, fields []string) bool {
 			fmt.Printf("labelling verified exact [%v]\n", time.Since(start))
 		}
 	case "help":
-		fmt.Println("commands: q <u> <v> | qb <u> <v> [<u> <v> ...] | add <u> <v> [w] | addv n1,n2,... | de <u> <v> | dv <v> | stats | verify | quit")
+		fmt.Println("commands: q <u> <v> | qb <u> <v> [<u> <v> ...] | add <u> <v> [w] | addv n1,n2,... | de <u> <v> | dv <v> | apply <op> ; <op> ... | epoch | stats | verify | quit")
 	case "quit", "exit":
 		return true
 	default:
 		fmt.Printf("unknown command %q (try help)\n", fields[0])
 	}
 	return false
+}
+
+// parseOps parses an apply command's tail: semicolon-separated
+// add/addv/de/dv sub-commands sharing the single-update syntax.
+func parseOps(args []string) ([]dynhl.Op, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("usage: apply <op> [; <op> ...] with ops add <u> <v> [w] | addv n1,n2,... | de <u> <v> | dv <v>")
+	}
+	var ops []dynhl.Op
+	for _, clause := range strings.Split(strings.Join(args, " "), ";") {
+		fields := strings.Fields(clause)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "add":
+			if len(fields) < 3 || len(fields) > 4 {
+				return nil, fmt.Errorf("add: usage add <u> <v> [w]")
+			}
+			u, v, err := twoVertices(fields[1:3])
+			if err != nil {
+				return nil, err
+			}
+			var w dynhl.Dist
+			if len(fields) == 4 {
+				parsed, err := strconv.ParseUint(fields[3], 10, 32)
+				if err != nil {
+					return nil, err
+				}
+				w = dynhl.Dist(parsed)
+			}
+			ops = append(ops, dynhl.InsertEdgeOp(u, v, w))
+		case "addv":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("addv: usage addv n1,n2,...")
+			}
+			var arcs []dynhl.Arc
+			for _, s := range strings.Split(fields[1], ",") {
+				n, err := strconv.ParseUint(s, 10, 32)
+				if err != nil {
+					return nil, err
+				}
+				arcs = append(arcs, dynhl.Arc{To: uint32(n)})
+			}
+			ops = append(ops, dynhl.InsertVertexOp(arcs...))
+		case "de", "del":
+			u, v, err := twoVertices(fields[1:])
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, dynhl.DeleteEdgeOp(u, v))
+		case "dv", "delv":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("dv: usage dv <v>")
+			}
+			n, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, dynhl.DeleteVertexOp(uint32(n)))
+		default:
+			return nil, fmt.Errorf("unknown op %q (want add, addv, de or dv)", fields[0])
+		}
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("empty op batch")
+	}
+	return ops, nil
 }
 
 // checkVertices guards the query paths: Oracle.Query panics on ids the

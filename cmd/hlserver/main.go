@@ -12,9 +12,13 @@
 //	curl -X POST localhost:8080/distances -d '{"pairs":[{"u":3,"v":97},{"u":0,"v":5}]}'
 //	curl -X POST localhost:8080/edges -d '{"u":3,"v":97}'
 //	curl -X DELETE 'localhost:8080/edges?u=3&v=97'
+//	curl -X POST localhost:8080/updates -d '{"ops":[{"op":"insert_edge","u":3,"v":97},{"op":"delete_edge","u":0,"v":5}]}'
 //
-// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests.
+// The oracle is served through a versioned snapshot store: reads run
+// lock-free against the current published snapshot (tagged with an
+// X-Oracle-Epoch response header) and update batches posted to /updates
+// publish atomically as one new epoch. The server shuts down gracefully on
+// SIGINT/SIGTERM, draining in-flight requests.
 package main
 
 import (
@@ -51,14 +55,16 @@ func main() {
 	if err != nil {
 		log.Fatal("hlserver: ", err)
 	}
-	st := oracle.Stats()
+	store := dynhl.NewStore(oracle)
+	st := store.Stats()
 	log.Printf("graph: %d vertices, %d edges (%s)", st.Vertices, st.Edges, *mode)
-	log.Printf("index built in %v: %d landmarks, %d entries (%.2f per vertex)",
-		time.Since(start).Round(time.Millisecond), st.Landmarks, st.LabelEntries, st.AvgLabelSize)
+	log.Printf("index built in %v: %d landmarks, %d entries (%.2f per vertex), serving epoch %d",
+		time.Since(start).Round(time.Millisecond), st.Landmarks, st.LabelEntries, st.AvgLabelSize,
+		store.Epoch())
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(oracle).Handler(),
+		Handler:           httpapi.New(store).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,

@@ -1,152 +1,23 @@
 package dynhl
 
-import (
-	"errors"
-	"io"
-	"runtime"
-	"sync"
-)
-
-// batchChunk is the smallest per-worker share of a fanned QueryBatch; below
-// it the goroutine hand-off costs more than the queries save.
-const batchChunk = 32
-
-// ConcurrentOracle coordinates concurrent access to an Oracle with a
-// readers-writer lock, matching the workload shape of the paper's target
-// applications: queries are microsecond read-only lookups and run in
-// parallel on all cores, while the rare IncHL+ repairs take the write lock
-// and are serialised. QueryBatch additionally fans one batch across
-// worker goroutines, amortising many-pair lookups.
+// ConcurrentOracle is the pre-snapshot name of the concurrency wrapper,
+// kept as a thin compatibility shim over Store. It no longer holds a
+// readers-writer lock: queries load the current published snapshot with one
+// atomic pointer load and run lock-free, while mutations fork, repair and
+// publish the next epoch (see Store). All methods — including Snapshot,
+// Apply, Epoch, QueryBatchCtx, Save and Load — come from the embedded
+// Store.
 //
-// A ConcurrentOracle is safe for concurrent use by any number of
-// goroutines. It relies on the wrapped variant's queries being safe for
-// parallel readers, which holds for all oracles in this package.
+// New code should use NewStore directly.
 type ConcurrentOracle struct {
-	mu sync.RWMutex
-	o  Oracle
+	*Store
 }
 
 // Concurrent wraps o for concurrent use. Wrapping an oracle that is already
-// a ConcurrentOracle returns it unchanged.
+// a ConcurrentOracle returns it unchanged; wrapping a Store shares it.
 func Concurrent(o Oracle) *ConcurrentOracle {
 	if c, ok := o.(*ConcurrentOracle); ok {
 		return c
 	}
-	return &ConcurrentOracle{o: o}
-}
-
-// Unwrap returns the wrapped oracle. Callers touching it directly take over
-// responsibility for excluding writers.
-func (c *ConcurrentOracle) Unwrap() Oracle { return c.o }
-
-// Query answers one exact distance query under the read lock.
-func (c *ConcurrentOracle) Query(u, v uint32) Dist {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.o.Query(u, v)
-}
-
-// QueryBatch answers many pairs at once, fanning the batch across up to
-// GOMAXPROCS workers under a single read-lock acquisition.
-func (c *ConcurrentOracle) QueryBatch(pairs []Pair) []Dist {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]Dist, len(pairs))
-	workers := runtime.GOMAXPROCS(0)
-	if max := (len(pairs) + batchChunk - 1) / batchChunk; workers > max {
-		workers = max
-	}
-	if workers <= 1 {
-		for i, p := range pairs {
-			out[i] = c.o.Query(p.U, p.V)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	stride := (len(pairs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * stride
-		hi := min(lo+stride, len(pairs))
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = c.o.Query(pairs[i].U, pairs[i].V)
-			}
-		}()
-	}
-	wg.Wait()
-	return out
-}
-
-// InsertEdge inserts an edge under the write lock.
-func (c *ConcurrentOracle) InsertEdge(u, v uint32, w Dist) (UpdateSummary, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.o.InsertEdge(u, v, w)
-}
-
-// InsertVertex inserts a vertex under the write lock.
-func (c *ConcurrentOracle) InsertVertex(arcs []Arc) (uint32, UpdateSummary, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.o.InsertVertex(arcs)
-}
-
-// DeleteEdge removes an edge under the write lock: the DecHL repair is
-// serialised with all other mutations while in-flight readers drain first.
-func (c *ConcurrentOracle) DeleteEdge(u, v uint32) (UpdateSummary, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.o.DeleteEdge(u, v)
-}
-
-// DeleteVertex disconnects a vertex under the write lock.
-func (c *ConcurrentOracle) DeleteVertex(v uint32) (UpdateSummary, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.o.DeleteVertex(v)
-}
-
-// NumVertices returns the current vertex count under the read lock.
-func (c *ConcurrentOracle) NumVertices() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.o.NumVertices()
-}
-
-// Stats reports index statistics under the read lock.
-func (c *ConcurrentOracle) Stats() Stats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.o.Stats()
-}
-
-// Verify audits the labelling under the read lock.
-func (c *ConcurrentOracle) Verify() error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.o.Verify()
-}
-
-// Save forwards to the wrapped oracle's Saver under the read lock;
-// errors.ErrUnsupported when the variant cannot serialise its labelling.
-func (c *ConcurrentOracle) Save(w io.Writer) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if s, ok := c.o.(Saver); ok {
-		return s.Save(w)
-	}
-	return errors.ErrUnsupported
-}
-
-// Load forwards to the wrapped oracle's Loader under the write lock;
-// errors.ErrUnsupported when the variant cannot load a labelling.
-func (c *ConcurrentOracle) Load(r io.Reader) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if l, ok := c.o.(Loader); ok {
-		return l.Load(r)
-	}
-	return errors.ErrUnsupported
+	return &ConcurrentOracle{Store: NewStore(o)}
 }

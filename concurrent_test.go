@@ -99,11 +99,13 @@ func TestConcurrentHammer(t *testing.T) {
 	default:
 	}
 
-	// Quiesced: audit the labelling and spot-check against BFS.
+	// Quiesced: audit the labelling and spot-check against BFS. The
+	// original idx is frozen at epoch 0 — the published snapshot holds the
+	// post-update state.
 	if err := co.Verify(); err != nil {
 		t.Fatal(err)
 	}
-	final := idx.Graph()
+	final := co.Unwrap().(*Index).Graph()
 	rng := rand.New(rand.NewSource(77))
 	pairs := make([]Pair, 200)
 	for i := range pairs {
@@ -208,7 +210,7 @@ func TestConcurrentHammerFullyDynamic(t *testing.T) {
 	if err := co.Verify(); err != nil {
 		t.Fatal(err)
 	}
-	final := idx.Graph()
+	final := co.Unwrap().(*Index).Graph()
 	rng := rand.New(rand.NewSource(88))
 	for i := 0; i < 300; i++ {
 		u := uint32(rng.Intn(final.NumVertices()))

@@ -109,6 +109,15 @@ func (x *DirectedIndex) InsertVertex(arcs []Arc) (uint32, UpdateSummary, error) 
 	return id, directedSummary(st), nil
 }
 
+// Apply applies ops in order, stopping at the first failure (see
+// Oracle.Apply); wrap with NewStore for all-or-nothing batches.
+func (x *DirectedIndex) Apply(ops []Op) ([]UpdateSummary, error) { return applyOps(x, ops) }
+
+// fork returns the copy-on-write working copy backing Store publishes.
+func (x *DirectedIndex) fork() Oracle {
+	return &DirectedIndex{idx: x.idx.Fork(x.idx.G.Fork())}
+}
+
 // DeleteEdge removes the directed edge u→v and repairs both label sets
 // with DecHL (see Oracle.DeleteEdge).
 func (x *DirectedIndex) DeleteEdge(u, v uint32) (UpdateSummary, error) {

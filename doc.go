@@ -49,22 +49,45 @@
 // sentinel errors ErrNoSuchVertex, ErrNoSuchEdge and ErrEdgeExists, which
 // wrap through every layer up to the HTTP service. Capability interfaces
 // cover what not every variant can do: Saver and Loader (labelling
-// serialisation, currently the undirected Index).
+// serialisation, currently the undirected Index). Batches of mutations are
+// expressed as []Op (InsertEdgeOp, DeleteEdgeOp, InsertVertexOp,
+// DeleteVertexOp) and applied with Oracle.Apply.
 //
-// # Concurrency
+// # Concurrency: versioned snapshots
 //
 // Queries on every variant are safe for any number of concurrent readers —
 // each in-flight query draws its own scratch from a pool — but readers must
-// not race insertions. The Concurrent wrapper packages that contract for
-// the paper's target workloads (microsecond read-only lookups, rare
-// repairs): an RWMutex lets queries from any number of goroutines run in
-// parallel across cores while IncHL+ writes are serialised, and its
-// QueryBatch fans one batch across workers:
+// not race mutations. The Store packages that contract for the paper's
+// target workloads (microsecond read-only lookups, rare repairs) around
+// immutable published snapshots instead of locks:
 //
-//	co := dynhl.Concurrent(idx)
-//	go co.InsertEdge(a, b, 0)          // exclusive
-//	d := co.Query(u, v)                // parallel with other readers
-//	ds := co.QueryBatch(pairs)         // fanned across GOMAXPROCS workers
+//   - Readers load the current snapshot with one atomic pointer load and
+//     run entirely lock-free. No repair — however long — ever stalls a
+//     query, and a batch of queries is always answered by a single version.
+//
+//   - The writer applies a batch of ops to a private copy-on-write fork of
+//     the index (only the adjacency lists and per-vertex label slices the
+//     repairs actually touch are copied; everything else is shared
+//     structurally with the published snapshot) and then publishes the fork
+//     atomically as the next epoch. One fork amortises across the batch.
+//
+//   - A batch that fails mid-way is discarded whole: the epoch does not
+//     advance and readers never observe a half-applied batch.
+//
+// In code:
+//
+//	st := dynhl.NewStore(idx)
+//	go st.Apply(ops)                   // batched repair on a private fork
+//	d := st.Query(u, v)                // lock-free, current epoch
+//	v := st.Snapshot()                 // pin one immutable version
+//	ds := v.QueryBatch(pairs)          // all answers from v.Epoch()
+//	ds, err := v.QueryBatchCtx(ctx, pairs) // honours cancellation mid-batch
+//
+// A View stays valid indefinitely — holding one only pins the memory it
+// shares with newer snapshots — and Epoch names the version it serves, the
+// same number the HTTP service returns in its X-Oracle-Epoch header. The
+// ConcurrentOracle type and the Concurrent constructor remain as a thin
+// compatibility shim over Store.
 //
 // The internal packages hold the substrates and baselines used by the
 // reproduction study: internal/hcl (static labelling), internal/inchl (the

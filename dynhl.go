@@ -145,6 +145,19 @@ func (x *Index) InsertVertex(arcs []Arc) (uint32, UpdateSummary, error) {
 	return id, undirectedSummary(st), nil
 }
 
+// Apply applies ops in order, stopping at the first failure (see
+// Oracle.Apply); wrap with NewStore for all-or-nothing batches.
+func (x *Index) Apply(ops []Op) ([]UpdateSummary, error) { return applyOps(x, ops) }
+
+// fork returns the copy-on-write working copy backing Store publishes: the
+// graph and label store share everything an update does not touch.
+func (x *Index) fork() Oracle {
+	idx := x.idx.Fork(x.idx.G.Fork())
+	upd := inchl.New(idx)
+	upd.Strategy = x.upd.Strategy
+	return &Index{idx: idx, upd: upd}
+}
+
 // DeleteEdge removes the undirected edge (u,v) from the graph and repairs
 // the labelling with DecHL (see Oracle.DeleteEdge). Deleting an edge that
 // is not present returns ErrNoSuchEdge.

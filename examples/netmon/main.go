@@ -8,7 +8,9 @@
 // rebuilding the index from scratch after every change (what a static
 // labelling would require), reproducing Figure 4's message at toy scale,
 // then takes a burst of provisioned links back down again (DecHL repairs)
-// the way a real network sheds capacity during maintenance windows.
+// the way a real network sheds capacity during maintenance windows — as a
+// single atomic update batch published at one epoch, with the monitoring
+// sweep reading an immutable snapshot that repairs can never stall.
 package main
 
 import (
@@ -69,37 +71,50 @@ func main() {
 	fmt.Printf("incremental maintenance advantage: %.0fx\n",
 		float64(buildCost.Nanoseconds()*int64(newLinks))/float64(incCost.Nanoseconds()))
 
+	// From here the index serves live monitoring traffic, so it goes behind
+	// the versioned snapshot store: monitoring reads load the current
+	// published snapshot lock-free and are never stalled by repairs.
+	store := dynhl.NewStore(idx)
+
 	// Maintenance window: a third of the new links fail again (link-down
-	// events). DecHL repairs only the landmarks whose shortest-path DAGs
-	// carried the failed link.
+	// events), shed as ONE batched update — DecHL repairs only the
+	// landmarks whose shortest-path DAGs carried a failed link, one
+	// copy-on-write fork is amortised across the whole burst, and monitors
+	// flip from the before-state to the after-state atomically at a single
+	// epoch (no monitor ever sees a half-applied window).
 	failures := newLinks / 3
-	delStart := time.Now()
-	repaired := 0
+	ops := make([]dynhl.Op, 0, failures)
 	for _, l := range links[:failures] {
-		st, err := idx.DeleteEdge(l[0], l[1])
-		if err != nil {
-			log.Fatal(err)
-		}
-		repaired += st.Landmarks - st.Skipped
+		ops = append(ops, dynhl.DeleteEdgeOp(l[0], l[1]))
+	}
+	delStart := time.Now()
+	sums, err := store.Apply(ops)
+	if err != nil {
+		log.Fatal(err)
 	}
 	delCost := time.Since(delStart)
-	fmt.Printf("took down %d links in %v (%.3f ms/link, %.1f landmarks repaired per failure)\n",
-		failures, delCost.Round(time.Millisecond),
+	repaired := 0
+	for _, st := range sums {
+		repaired += st.Landmarks - st.Skipped
+	}
+	fmt.Printf("took down %d links as one batch (epoch %d) in %v (%.3f ms/link, %.1f landmarks repaired per failure)\n",
+		failures, store.Epoch(), delCost.Round(time.Millisecond),
 		float64(delCost.Microseconds())/1000/float64(failures),
 		float64(repaired)/float64(failures))
 
 	// Monitoring queries: hop distance from the management station (a hub)
-	// to random routers. A monitoring sweep is the batch-lookup case, so it
-	// goes through the concurrent oracle's worker-fanned QueryBatch.
-	co := dynhl.Concurrent(idx)
+	// to random routers. A monitoring sweep grabs one immutable snapshot —
+	// every lookup in the sweep answers the same epoch, however many link
+	// events land meanwhile — and large batches fan across workers.
+	view := store.Snapshot()
 	station := idx.Landmarks()[0]
 	const qCount = 1000
 	pairs := make([]dynhl.Pair, qCount)
 	for i := range pairs {
-		pairs[i] = dynhl.Pair{U: station, V: uint32(rng.Intn(co.NumVertices()))}
+		pairs[i] = dynhl.Pair{U: station, V: uint32(rng.Intn(view.NumVertices()))}
 	}
 	q0 := time.Now()
-	dists := co.QueryBatch(pairs)
+	dists := view.QueryBatch(pairs)
 	qTotal := time.Since(q0)
 	reachable := 0
 	for _, d := range dists {
@@ -107,10 +122,10 @@ func main() {
 			reachable++
 		}
 	}
-	fmt.Printf("monitoring sweep: %d lookups in %v (%v amortised, %d reachable)\n",
-		qCount, qTotal.Round(time.Microsecond), (qTotal / qCount).Round(time.Nanosecond), reachable)
+	fmt.Printf("monitoring sweep over epoch %d: %d lookups in %v (%v amortised, %d reachable)\n",
+		view.Epoch(), qCount, qTotal.Round(time.Microsecond), (qTotal / qCount).Round(time.Nanosecond), reachable)
 
-	if err := idx.Verify(); err != nil {
+	if err := store.Verify(); err != nil {
 		log.Fatal("index inconsistent: ", err)
 	}
 	fmt.Println("index verified exact after provisioning")

@@ -54,4 +54,18 @@ func main() {
 	s := idx.Stats()
 	fmt.Printf("index: %d entries over %d vertices (%.2f per vertex), %d bytes\n",
 		s.LabelEntries, s.Vertices, s.AvgLabelSize, s.Bytes)
+
+	// Serving concurrent traffic? Put the index behind the snapshot store:
+	// readers hold immutable Views that updates can never stall, and a
+	// batch of updates publishes atomically as one new epoch.
+	store := dynhl.NewStore(idx)
+	before := store.Snapshot()
+	if _, err := store.Apply([]dynhl.Op{
+		dynhl.DeleteEdgeOp(1, 6),
+		dynhl.InsertEdgeOp(2, 5, 0),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("epoch %d: d(1,6) = %d; epoch %d still answers d(1,6) = %d\n",
+		store.Epoch(), store.Query(1, 6), before.Epoch(), before.Query(1, 6))
 }

@@ -109,6 +109,39 @@ func main() {
 	fmt.Printf("label entries %d -> %d (%.1f%% change): minimality keeps the index lean\n",
 		entriesBefore, after.LabelEntries,
 		100*float64(after.LabelEntries-entriesBefore)/float64(entriesBefore))
+
+	// Burst mode: the backfill case. Friendship events arrive in batches
+	// (an import job, a partner feed) and are applied through the snapshot
+	// store — each batch is one copy-on-write publish, so queries keep
+	// reading the previous epoch until the whole batch lands atomically.
+	store := dynhl.NewStore(idx)
+	const bursts, perBatch = 6, 32
+	epoch0 := store.Epoch()
+	burstStart := time.Now()
+	for b := 0; b < bursts; b++ {
+		g := store.Unwrap().(*dynhl.Index).Graph()
+		seen := map[[2]uint32]bool{}
+		ops := make([]dynhl.Op, 0, perBatch)
+		for len(ops) < perBatch {
+			u := uint32(rng.Intn(g.NumVertices()))
+			v := uint32(rng.Intn(g.NumVertices()))
+			if u > v {
+				u, v = v, u
+			}
+			if u == v || g.HasEdge(u, v) || seen[[2]uint32{u, v}] {
+				continue
+			}
+			seen[[2]uint32{u, v}] = true
+			ops = append(ops, dynhl.InsertEdgeOp(u, v, 0))
+		}
+		if _, err := store.Apply(ops); err != nil {
+			log.Fatal(err)
+		}
+	}
+	burstCost := time.Since(burstStart)
+	fmt.Printf("burst mode: %d batched friendships in %d epochs (%d..%d), %v total (%v/event amortised)\n",
+		bursts*perBatch, store.Epoch()-epoch0, epoch0+1, store.Epoch(),
+		burstCost.Round(time.Millisecond), (burstCost / (bursts * perBatch)).Round(time.Microsecond))
 }
 
 func dedupe(xs []uint32) []uint32 {

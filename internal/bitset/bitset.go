@@ -39,6 +39,24 @@ func (s *Set) Set(i uint32) {
 	s.words[i>>6] |= 1 << (i & 63)
 }
 
+// SetAll sets every bit in 0..Len()-1.
+func (s *Set) SetAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if tail := s.size & 63; tail != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] = (1 << tail) - 1
+	}
+}
+
+// NewAllSet returns a Set of n bits, all set — the fork-time "everything is
+// shared with the parent" state of the copy-on-write structures.
+func NewAllSet(n int) *Set {
+	s := New(n)
+	s.SetAll()
+	return s
+}
+
 // Clear clears bit i.
 func (s *Set) Clear(i uint32) {
 	s.words[i>>6] &^= 1 << (i & 63)

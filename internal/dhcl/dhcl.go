@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/bfs"
+	"repro/internal/bitset"
 	"repro/internal/digraph"
 	"repro/internal/graph"
 	"repro/internal/hcl"
@@ -32,6 +33,12 @@ type Index struct {
 	hf      []graph.Dist // k×k directed highway: hf[i*k+j] = d(ri→rj)
 	k       int
 	rankArr []uint16
+
+	// sharedF/sharedB are non-nil only on forks: a set bit means that
+	// direction's label backing array still belongs to the parent and is
+	// copied before the first write (see Fork).
+	sharedF *bitset.Set
+	sharedB *bitset.Set
 
 	scratch bfs.SpacePool
 
@@ -159,15 +166,14 @@ func (idx *Index) rebuildPass(r uint16, fwd bool, dist []graph.Dist, covered []b
 		}
 		if dist[v] != graph.Inf && !covered[vv] {
 			if old, had := labels[vv].Get(r); !had || old != dist[v] {
+				idx.ownLabel(fwd, vv)
 				labels[vv] = labels[vv].Set(r, dist[v])
 				st.EntriesAdded++
 			}
-		} else {
-			var removed bool
-			labels[vv], removed = labels[vv].Remove(r)
-			if removed {
-				st.EntriesRemoved++
-			}
+		} else if _, had := labels[vv].Get(r); had {
+			idx.ownLabel(fwd, vv)
+			labels[vv], _ = labels[vv].Remove(r)
+			st.EntriesRemoved++
 		}
 	}
 }
@@ -292,4 +298,43 @@ func (idx *Index) EnsureVertex(v uint32) {
 		idx.Lb = append(idx.Lb, nil)
 		idx.rankArr = append(idx.rankArr, noRank)
 	}
+	if idx.sharedF != nil {
+		idx.sharedF.Grow(len(idx.Lf)) // new bits are clear: the fork owns new labels
+		idx.sharedB.Grow(len(idx.Lb))
+	}
+}
+
+// Fork returns a copy-on-write copy of the index bound to g, which must be
+// a fork of idx.G taken at the same moment. Label-table headers, the rank
+// array and the small highway matrix are copied (O(|V| + k²)), but every
+// per-vertex label's backing array stays shared with idx until the fork
+// first writes to it. Snapshot discipline: idx is frozen once forked.
+func (idx *Index) Fork(g *digraph.Digraph) *Index {
+	return &Index{
+		G:         g,
+		Landmarks: idx.Landmarks, // immutable after construction
+		Lf:        append([]hcl.Label(nil), idx.Lf...),
+		Lb:        append([]hcl.Label(nil), idx.Lb...),
+		hf:        append([]graph.Dist(nil), idx.hf...),
+		k:         idx.k,
+		rankArr:   append([]uint16(nil), idx.rankArr...),
+		sharedF:   bitset.NewAllSet(len(idx.Lf)),
+		sharedB:   bitset.NewAllSet(len(idx.Lb)),
+	}
+}
+
+// ownLabel makes the fwd-direction label of v writable on a fork, copying
+// the shared backing array on first touch. The returned write-through is
+// idx.Lf/idx.Lb itself, so callers holding an alias of the label table see
+// the owned copy immediately (slice headers share the backing array).
+func (idx *Index) ownLabel(fwd bool, v uint32) {
+	labels, shared := idx.Lb, idx.sharedB
+	if fwd {
+		labels, shared = idx.Lf, idx.sharedF
+	}
+	if shared == nil || !shared.Get(v) {
+		return
+	}
+	labels[v] = append(make(hcl.Label, 0, len(labels[v])+1), labels[v]...)
+	shared.Clear(v)
 }

@@ -252,12 +252,13 @@ func (idx *Index) repairAffected(fr *findResult, st *Stats) {
 		}
 		covered[w] = cov
 		if cov {
-			var removed bool
-			labels[w], removed = labels[w].Remove(r)
-			if removed {
+			if _, had := labels[w].Get(r); had {
+				idx.ownLabel(fr.fwd, w)
+				labels[w], _ = labels[w].Remove(r)
 				st.EntriesRemoved++
 			}
 		} else {
+			idx.ownLabel(fr.fwd, w)
 			labels[w] = labels[w].Set(r, d)
 			st.EntriesAdded++
 		}

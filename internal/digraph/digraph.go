@@ -7,6 +7,7 @@ package digraph
 import (
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/graph"
 	"repro/internal/queue"
 )
@@ -18,6 +19,12 @@ type Digraph struct {
 	out   [][]uint32
 	in    [][]uint32
 	edges uint64
+
+	// sharedOut/sharedIn are non-nil only on forks: a set bit means that
+	// adjacency list's backing array still belongs to the parent and is
+	// copied before the first mutation (see Fork).
+	sharedOut *bitset.Set
+	sharedIn  *bitset.Set
 }
 
 // New returns an empty digraph with capacity hints for n vertices.
@@ -35,6 +42,10 @@ func (g *Digraph) NumEdges() uint64 { return g.edges }
 func (g *Digraph) AddVertex() uint32 {
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	if g.sharedOut != nil {
+		g.sharedOut.Grow(len(g.out)) // new bits are clear: the fork owns new vertices
+		g.sharedIn.Grow(len(g.in))
+	}
 	return uint32(len(g.out) - 1)
 }
 
@@ -71,6 +82,8 @@ func (g *Digraph) AddEdge(u, v uint32) (bool, error) {
 	if g.HasEdge(u, v) {
 		return false, nil
 	}
+	g.ownOut(u)
+	g.ownIn(v)
 	g.out[u] = append(g.out[u], v)
 	g.in[v] = append(g.in[v], u)
 	g.edges++
@@ -87,12 +100,47 @@ func (g *Digraph) RemoveEdge(u, v uint32) error {
 	if int(u) >= len(g.out) || int(v) >= len(g.out) {
 		return fmt.Errorf("%w: edge (%d,%d) with %d vertices", graph.ErrVertexUnknown, u, v, len(g.out))
 	}
-	if !graph.RemoveFromList(&g.out[u], v) {
+	if !g.HasEdge(u, v) {
 		return fmt.Errorf("%w: (%d,%d)", graph.ErrEdgeUnknown, u, v)
 	}
+	g.ownOut(u)
+	g.ownIn(v)
+	graph.RemoveFromList(&g.out[u], v)
 	graph.RemoveFromList(&g.in[v], u)
 	g.edges--
 	return nil
+}
+
+// Fork returns a copy-on-write copy: adjacency headers are copied (O(|V|))
+// while every neighbour list's backing array stays shared with g until the
+// fork first mutates it. Mutating the fork never writes to memory reachable
+// from g; g must be treated as frozen afterwards (snapshot discipline).
+func (g *Digraph) Fork() *Digraph {
+	return &Digraph{
+		out:       append([][]uint32(nil), g.out...),
+		in:        append([][]uint32(nil), g.in...),
+		edges:     g.edges,
+		sharedOut: bitset.NewAllSet(len(g.out)),
+		sharedIn:  bitset.NewAllSet(len(g.in)),
+	}
+}
+
+// ownOut makes out[v] writable on a fork, copying the shared backing array
+// on first touch; ownIn mirrors it for in[v].
+func (g *Digraph) ownOut(v uint32) {
+	if g.sharedOut == nil || !g.sharedOut.Get(v) {
+		return
+	}
+	g.out[v] = append(make([]uint32, 0, len(g.out[v])+1), g.out[v]...)
+	g.sharedOut.Clear(v)
+}
+
+func (g *Digraph) ownIn(v uint32) {
+	if g.sharedIn == nil || !g.sharedIn.Get(v) {
+		return
+	}
+	g.in[v] = append(make([]uint32, 0, len(g.in[v])+1), g.in[v]...)
+	g.sharedIn.Clear(v)
 }
 
 // MustAddEdge inserts u→v, growing the vertex set as needed.

@@ -1,0 +1,62 @@
+package digraph
+
+import "testing"
+
+// TestForkIsolation pins the copy-on-write contract for both adjacency
+// directions: fork mutations never change the parent's out- or in-lists.
+func TestForkIsolation(t *testing.T) {
+	g := New(5)
+	for i := 0; i < 5; i++ {
+		g.AddVertex()
+	}
+	for i := uint32(0); i < 4; i++ {
+		if _, err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantOut := make([][]uint32, 5)
+	wantIn := make([][]uint32, 5)
+	for v := uint32(0); v < 5; v++ {
+		wantOut[v] = append([]uint32(nil), g.Out(v)...)
+		wantIn[v] = append([]uint32(nil), g.In(v)...)
+	}
+
+	f := g.Fork()
+	if _, err := f.AddEdge(4, 0); err != nil { // close the cycle on the fork
+		t.Fatal(err)
+	}
+	if err := f.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	nv := f.AddVertex()
+	if _, err := f.AddEdge(2, nv); err != nil {
+		t.Fatal(err)
+	}
+
+	for v := uint32(0); v < 5; v++ {
+		if !equalU32(g.Out(v), wantOut[v]) || !equalU32(g.In(v), wantIn[v]) {
+			t.Fatalf("parent adjacency of %d changed: out %v in %v", v, g.Out(v), g.In(v))
+		}
+	}
+	if g.HasEdge(4, 0) || !f.HasEdge(4, 0) {
+		t.Fatal("insert leaked into parent or missed the fork")
+	}
+	if !g.HasEdge(0, 1) || f.HasEdge(0, 1) {
+		t.Fatal("delete leaked into parent or missed the fork")
+	}
+	if g.NumVertices() != 5 || f.NumVertices() != 6 {
+		t.Fatalf("vertex counts: parent %d fork %d", g.NumVertices(), f.NumVertices())
+	}
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

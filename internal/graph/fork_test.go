@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"testing"
+)
+
+// TestForkIsolation pins the copy-on-write contract: mutations on a fork
+// never change the parent's adjacency, edge count, or any neighbour list
+// the fork and parent still share.
+func TestForkIsolation(t *testing.T) {
+	g := New(6)
+	for i := 0; i < 6; i++ {
+		g.AddVertex()
+	}
+	edges := [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 5}}
+	for _, e := range edges {
+		if _, err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantAdj := make(map[uint32][]uint32)
+	for v := uint32(0); v < 6; v++ {
+		wantAdj[v] = append([]uint32(nil), g.Neighbors(v)...)
+	}
+	wantEdges := g.NumEdges()
+
+	f := g.Fork()
+	if _, err := f.AddEdge(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	nv := f.AddVertex()
+	if _, err := f.AddEdge(nv, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("parent edge count changed: %d != %d", g.NumEdges(), wantEdges)
+	}
+	if g.NumVertices() != 6 {
+		t.Fatalf("parent vertex count changed: %d", g.NumVertices())
+	}
+	for v := uint32(0); v < 6; v++ {
+		got := g.Neighbors(v)
+		want := wantAdj[v]
+		if len(got) != len(want) {
+			t.Fatalf("parent adjacency of %d changed: %v != %v", v, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("parent adjacency of %d changed: %v != %v", v, got, want)
+			}
+		}
+	}
+	if g.HasEdge(1, 4) || !f.HasEdge(1, 4) {
+		t.Fatal("insert leaked into parent or missed the fork")
+	}
+	if !g.HasEdge(0, 1) || f.HasEdge(0, 1) {
+		t.Fatal("delete leaked into parent or missed the fork")
+	}
+	if f.NumEdges() != wantEdges+1 { // +2 inserts, -1 delete
+		t.Fatalf("fork edge count: %d", f.NumEdges())
+	}
+}
+
+// TestForkOfFork pins that chained forks stay independent: each generation
+// only sees its own mutations plus those of its ancestors at fork time.
+func TestForkOfFork(t *testing.T) {
+	g := New(4)
+	for i := 0; i < 4; i++ {
+		g.AddVertex()
+	}
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+
+	f1 := g.Fork()
+	f1.MustAddEdge(2, 3)
+	f2 := f1.Fork()
+	if err := f2.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	if !f1.HasEdge(0, 1) {
+		t.Fatal("grandchild delete leaked into child")
+	}
+	if !f1.HasEdge(2, 3) || !f2.HasEdge(2, 3) {
+		t.Fatal("child insert lost")
+	}
+	if g.HasEdge(2, 3) {
+		t.Fatal("child insert leaked into parent")
+	}
+}

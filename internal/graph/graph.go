@@ -7,6 +7,8 @@ package graph
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/bitset"
 )
 
 // Dist is a shortest-path distance in hops. Unreachable pairs have distance
@@ -45,6 +47,11 @@ var (
 type Graph struct {
 	adj   [][]uint32
 	edges uint64
+
+	// shared is non-nil only on forks: bit v set means adj[v]'s backing
+	// array still belongs to the parent and must be copied before the first
+	// mutation (see Fork). Plain graphs skip the check entirely.
+	shared *bitset.Set
 }
 
 // New returns an empty graph with capacity hints for n vertices.
@@ -61,6 +68,9 @@ func (g *Graph) NumEdges() uint64 { return g.edges }
 // AddVertex appends a new isolated vertex and returns its id.
 func (g *Graph) AddVertex() uint32 {
 	g.adj = append(g.adj, nil)
+	if g.shared != nil {
+		g.shared.Grow(len(g.adj)) // new bits are clear: the fork owns new vertices
+	}
 	return uint32(len(g.adj) - 1)
 }
 
@@ -68,6 +78,9 @@ func (g *Graph) AddVertex() uint32 {
 func (g *Graph) EnsureVertex(v uint32) {
 	for uint32(len(g.adj)) <= v {
 		g.adj = append(g.adj, nil)
+	}
+	if g.shared != nil {
+		g.shared.Grow(len(g.adj))
 	}
 }
 
@@ -112,6 +125,8 @@ func (g *Graph) AddEdge(u, v uint32) (bool, error) {
 	if g.HasEdge(u, v) {
 		return false, nil
 	}
+	g.own(u)
+	g.own(v)
 	g.adj[u] = append(g.adj[u], v)
 	g.adj[v] = append(g.adj[v], u)
 	g.edges++
@@ -128,9 +143,12 @@ func (g *Graph) RemoveEdge(u, v uint32) error {
 	if int(u) >= len(g.adj) || int(v) >= len(g.adj) {
 		return fmt.Errorf("%w: edge (%d,%d) with %d vertices", ErrVertexUnknown, u, v, len(g.adj))
 	}
-	if !RemoveFromList(&g.adj[u], v) {
+	if !g.HasEdge(u, v) {
 		return fmt.Errorf("%w: (%d,%d)", ErrEdgeUnknown, u, v)
 	}
+	g.own(u)
+	g.own(v)
+	RemoveFromList(&g.adj[u], v)
 	RemoveFromList(&g.adj[v], u)
 	g.edges--
 	return nil
@@ -161,6 +179,34 @@ func (g *Graph) MustAddEdge(u, v uint32) bool {
 		panic(err)
 	}
 	return ok
+}
+
+// Fork returns a copy-on-write copy of the graph: the per-vertex adjacency
+// headers are copied (O(|V|)) but every neighbour list's backing array stays
+// shared with g until the fork first mutates it, at which point only that
+// one list is copied. Mutating the fork therefore never writes to memory
+// reachable from g, which is what lets an immutable published snapshot keep
+// answering queries while its fork absorbs a batch of updates.
+//
+// The fork assumes g itself is frozen from the moment of the fork: callers
+// must not mutate g afterwards (snapshot discipline — only the newest fork
+// is ever written).
+func (g *Graph) Fork() *Graph {
+	return &Graph{
+		adj:    append([][]uint32(nil), g.adj...),
+		edges:  g.edges,
+		shared: bitset.NewAllSet(len(g.adj)),
+	}
+}
+
+// own makes adj[v] writable on a fork, copying the shared backing array on
+// first touch. A no-op on plain graphs and already-owned lists.
+func (g *Graph) own(v uint32) {
+	if g.shared == nil || !g.shared.Get(v) {
+		return
+	}
+	g.adj[v] = append(make([]uint32, 0, len(g.adj[v])+1), g.adj[v]...)
+	g.shared.Clear(v)
 }
 
 // Clone returns a deep copy of the graph.

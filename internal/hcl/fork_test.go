@@ -1,0 +1,100 @@
+package hcl
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// forkFixture builds a small labelled index to fork.
+func forkFixture(t *testing.T) *Index {
+	t.Helper()
+	g := graph.New(8)
+	for i := 0; i < 8; i++ {
+		g.AddVertex()
+	}
+	for i := uint32(0); i < 7; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	g.MustAddEdge(0, 4)
+	idx, err := Build(g, []uint32{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+// snapshotLabels captures a deep copy of the labelling for later comparison.
+func snapshotLabels(idx *Index) []Label {
+	out := make([]Label, len(idx.L))
+	for v, l := range idx.L {
+		out[v] = append(Label(nil), l...)
+	}
+	return out
+}
+
+// TestForkLabelIsolation pins that label writes on a fork copy-on-write the
+// touched label only and never change the parent's labelling or highway.
+func TestForkLabelIsolation(t *testing.T) {
+	idx := forkFixture(t)
+	before := snapshotLabels(idx)
+	hBefore := idx.H.Clone()
+
+	f := idx.Fork(idx.G.Fork())
+	f.SetEntry(6, 0, 1) // overwrite an entry in place (the dangerous path)
+	f.SetEntry(7, 1, 9) // insert a fresh entry
+	f.RemoveEntry(5, 0) // drop an entry
+	f.H.Set(0, 1, 99)   // highway write
+	f.EnsureVertex(9)   // grow the fork's tables
+	f.SetEntry(9, 0, 3)
+
+	for v := range before {
+		if !idx.L[v].Equal(before[v]) {
+			t.Fatalf("parent label of %d changed: %v != %v", v, idx.L[v], before[v])
+		}
+	}
+	for i := uint16(0); i < 2; i++ {
+		for j := uint16(0); j < 2; j++ {
+			if idx.H.Dist(i, j) != hBefore.Dist(i, j) {
+				t.Fatalf("parent highway (%d,%d) changed", i, j)
+			}
+		}
+	}
+	if len(idx.L) != 8 {
+		t.Fatalf("parent label table grew to %d", len(idx.L))
+	}
+	if d, ok := f.EntryDist(9, 0); !ok || d != 3 {
+		t.Fatalf("fork entry (9,0): %d %v", d, ok)
+	}
+	if d, ok := f.EntryDist(6, 0); !ok || d != 1 {
+		t.Fatalf("fork overwrite (6,0): %d %v", d, ok)
+	}
+	if f.H.Dist(0, 1) != 99 {
+		t.Fatalf("fork highway write lost: %d", f.H.Dist(0, 1))
+	}
+}
+
+// TestForkSharesUntouchedLabels pins the economy of the fork: labels the
+// fork never writes share their backing array with the parent.
+func TestForkSharesUntouchedLabels(t *testing.T) {
+	idx := forkFixture(t)
+	f := idx.Fork(idx.G.Fork())
+	f.SetEntry(6, 0, 1)
+	touched, shared := 0, 0
+	for v := range idx.L {
+		if len(idx.L[v]) == 0 {
+			continue
+		}
+		if &idx.L[v][0] == &f.L[v][0] {
+			shared++
+		} else {
+			touched++
+		}
+	}
+	if touched != 1 {
+		t.Fatalf("expected exactly one copied label, got %d (shared %d)", touched, shared)
+	}
+	if shared == 0 {
+		t.Fatal("no labels shared with the parent — copy-on-write is not sharing")
+	}
+}

@@ -2,6 +2,7 @@ package hcl
 
 import (
 	"repro/internal/bfs"
+	"repro/internal/bitset"
 	"repro/internal/graph"
 )
 
@@ -21,6 +22,11 @@ type Index struct {
 
 	rankOf  map[uint32]uint16 // landmark vertex id -> rank
 	rankArr []uint16          // vertex id -> rank, noRank if not a landmark
+
+	// shared is non-nil only on forks: a set bit means L[v]'s backing array
+	// still belongs to the parent index and is copied before the first
+	// label write (see Fork).
+	shared *bitset.Set
 
 	scratch bfs.SpacePool
 }
@@ -70,6 +76,9 @@ func (idx *Index) EnsureVertex(v uint32) {
 		idx.L = append(idx.L, nil)
 		idx.rankArr = append(idx.rankArr, noRank)
 	}
+	if idx.shared != nil {
+		idx.shared.Grow(len(idx.L)) // new bits are clear: the fork owns new labels
+	}
 }
 
 // EntryDist returns the label entry distance of landmark rank r at vertex v.
@@ -79,14 +88,29 @@ func (idx *Index) EntryDist(v uint32, r uint16) (graph.Dist, bool) {
 
 // SetEntry adds or modifies the entry of landmark rank r in L(v).
 func (idx *Index) SetEntry(v uint32, r uint16, d graph.Dist) {
+	idx.ownLabel(v)
 	idx.L[v] = idx.L[v].Set(r, d)
 }
 
 // RemoveEntry removes the entry of landmark rank r from L(v) if present.
 func (idx *Index) RemoveEntry(v uint32, r uint16) bool {
+	if _, present := idx.L[v].Get(r); !present {
+		return false
+	}
+	idx.ownLabel(v)
 	l, ok := idx.L[v].Remove(r)
 	idx.L[v] = l
 	return ok
+}
+
+// ownLabel makes L[v] writable on a fork, copying the shared backing array
+// on first touch. A no-op on plain indexes and already-owned labels.
+func (idx *Index) ownLabel(v uint32) {
+	if idx.shared == nil || !idx.shared.Get(v) {
+		return
+	}
+	idx.L[v] = append(make(Label, 0, len(idx.L[v])+1), idx.L[v]...)
+	idx.shared.Clear(v)
 }
 
 // NumEntries returns size(L), the total number of label entries.
@@ -111,6 +135,26 @@ func (idx *Index) AvgLabelSize() float64 {
 		return 0
 	}
 	return float64(idx.NumEntries()) / float64(n)
+}
+
+// Fork returns a copy-on-write copy of the index bound to g, which must be
+// a fork of idx.G taken at the same moment. The label-table header and rank
+// array are copied (O(|V|)) and the small highway matrix is cloned, but
+// every per-vertex label's backing array stays shared with idx until the
+// fork first writes to it — an update batch therefore copies only the
+// labels it actually touches, while idx keeps serving queries unchanged.
+//
+// Snapshot discipline applies: idx must be treated as frozen once forked.
+func (idx *Index) Fork(g *graph.Graph) *Index {
+	return &Index{
+		G:         g,
+		Landmarks: idx.Landmarks, // immutable after construction
+		H:         idx.H.Clone(),
+		L:         append([]Label(nil), idx.L...),
+		rankOf:    idx.rankOf, // immutable after construction
+		rankArr:   append([]uint16(nil), idx.rankArr...),
+		shared:    bitset.NewAllSet(len(idx.L)),
+	}
 }
 
 // Clone deep-copies the index (sharing the graph pointer), for test oracles

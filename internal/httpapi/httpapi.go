@@ -8,7 +8,13 @@
 //	GET    /distance?u=U&v=V   exact distance ("distance": null when
 //	                           unreachable)
 //	POST   /distances          {"pairs":[{"u":U,"v":V},...]} — batch query,
-//	                           answered by one worker-fanned QueryBatch
+//	                           answered against one snapshot and honouring
+//	                           request cancellation mid-batch
+//	POST   /updates            {"ops":[{"op":"insert_edge","u":U,"v":V},
+//	                           {"op":"delete_edge",...},...]} — apply a
+//	                           batch of mutations as ONE atomic publish:
+//	                           readers see all of it or none of it, and the
+//	                           epoch advances by exactly one
 //	POST   /edges              {"u":U,"v":V,"w":W} — insert an edge (weight
 //	                           optional, weighted oracles only), index
 //	                           repaired with IncHL+
@@ -16,19 +22,26 @@
 //	POST   /vertices           {"neighbors":[..]} or {"arcs":[{"to":T,"w":W,
 //	                           "in":B},..]} — insert a vertex
 //	DELETE /vertices?v=V       disconnect a vertex (all incident edges)
+//	GET    /labels             download the labelling (binary stream; 501
+//	                           when the variant cannot serialise)
+//	PUT    /labels             replace the labelling from a stream saved
+//	                           over the same graph (501 when unsupported)
 //	GET    /stats              index size statistics
 //	GET    /healthz            liveness
 //
+// Every response carries an X-Oracle-Epoch header naming the published
+// version it was served from (reads) or produced (writes). Reads are served
+// lock-free from one immutable snapshot per request — a request never
+// observes a half-applied update batch and never waits on a writer, however
+// long its repair runs.
+//
 // Mutation failures map onto status codes through the dynhl sentinel
 // errors: unknown vertices and edges are 404, inserting an edge that
-// already exists is 409, anything else the oracle rejects is 400. Untrusted
-// input is bounded: request bodies beyond MaxBodyBytes and batches beyond
-// MaxBatchPairs are rejected with 413 before any result allocation.
-//
-// Queries are microsecond read-only lookups while the IncHL+/DecHL repairs
-// are rare writes, so the server wraps the oracle with dynhl.Concurrent: an
-// RWMutex lets any number of in-flight reads run in parallel across cores
-// and only updates take the exclusive lock.
+// already exists is 409, capability gaps (errors.ErrUnsupported from
+// Save/Load) are 501, anything else the oracle rejects is 400. Untrusted
+// input is bounded: request bodies beyond MaxBodyBytes, batches beyond
+// MaxBatchPairs and update batches beyond MaxBatchOps are rejected with 413
+// before any result allocation.
 package httpapi
 
 import (
@@ -48,6 +61,14 @@ const (
 	DefaultMaxBatchPairs = 10000
 	// DefaultMaxBodyBytes bounds the size of any JSON request body.
 	DefaultMaxBodyBytes = 1 << 20
+	// DefaultMaxBatchOps bounds the number of ops one POST /updates may
+	// carry; each op costs an IncHL+/DecHL repair on the working copy.
+	DefaultMaxBatchOps = 1000
+	// DefaultMaxLabelBytes bounds the binary labelling stream of PUT
+	// /labels. Labellings are ~6 bytes per entry, so real indexes run to
+	// many megabytes — the JSON body cap would break the GET → PUT round
+	// trip.
+	DefaultMaxLabelBytes = 1 << 30
 )
 
 // Option customises a Server.
@@ -73,20 +94,46 @@ func WithMaxBodyBytes(n int64) Option {
 	}
 }
 
-// Server wraps an oracle with HTTP handlers.
-type Server struct {
-	o             *dynhl.ConcurrentOracle
-	maxBatchPairs int
-	maxBodyBytes  int64
+// WithMaxBatchOps caps the op count of POST /updates (0 or negative
+// restores the default).
+func WithMaxBatchOps(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBatchOps = n
+		}
+	}
 }
 
-// New returns a Server serving o, wrapping it with dynhl.Concurrent (a
-// no-op when o already is one).
+// WithMaxLabelBytes caps the labelling stream size of PUT /labels (0 or
+// negative restores the default).
+func WithMaxLabelBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxLabelBytes = n
+		}
+	}
+}
+
+// Server wraps an oracle with HTTP handlers over a versioned snapshot
+// store: reads load one immutable snapshot per request, writes publish new
+// epochs.
+type Server struct {
+	store         *dynhl.Store
+	maxBatchPairs int
+	maxBodyBytes  int64
+	maxBatchOps   int
+	maxLabelBytes int64
+}
+
+// New returns a Server serving o through a dynhl.Store (reusing it when o
+// already is one, or a ConcurrentOracle's).
 func New(o dynhl.Oracle, opts ...Option) *Server {
 	s := &Server{
-		o:             dynhl.Concurrent(o),
+		store:         dynhl.NewStore(o),
 		maxBatchPairs: DefaultMaxBatchPairs,
 		maxBodyBytes:  DefaultMaxBodyBytes,
+		maxBatchOps:   DefaultMaxBatchOps,
+		maxLabelBytes: DefaultMaxLabelBytes,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -94,15 +141,26 @@ func New(o dynhl.Oracle, opts ...Option) *Server {
 	return s
 }
 
+// epochHeader is the response header naming the snapshot version served or
+// produced.
+const epochHeader = "X-Oracle-Epoch"
+
+func tagEpoch(w http.ResponseWriter, epoch uint64) {
+	w.Header().Set(epochHeader, strconv.FormatUint(epoch, 10))
+}
+
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /distance", s.distance)
 	mux.HandleFunc("POST /distances", s.distances)
+	mux.HandleFunc("POST /updates", s.updates)
 	mux.HandleFunc("POST /edges", s.insertEdge)
 	mux.HandleFunc("DELETE /edges", s.deleteEdge)
 	mux.HandleFunc("POST /vertices", s.insertVertex)
 	mux.HandleFunc("DELETE /vertices", s.deleteVertex)
+	mux.HandleFunc("GET /labels", s.saveLabels)
+	mux.HandleFunc("PUT /labels", s.loadLabels)
 	mux.HandleFunc("GET /stats", s.stats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -128,12 +186,16 @@ func (s *Server) distance(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	n := s.o.NumVertices()
+	// One snapshot serves validation and query: the answer is guaranteed
+	// consistent with the single epoch named in the response header.
+	view := s.store.Snapshot()
+	tagEpoch(w, view.Epoch())
+	n := view.NumVertices()
 	if int(u) >= n || int(v) >= n {
 		httpError(w, http.StatusNotFound, fmt.Errorf("vertex out of range (have %d vertices)", n))
 		return
 	}
-	d := s.o.Query(u, v)
+	d := view.Query(u, v)
 	writeJSON(w, http.StatusOK, distanceResponse{U: u, V: v, Distance: jsonDist(d)})
 }
 
@@ -157,7 +219,9 @@ func (s *Server) distances(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch of %d pairs exceeds the %d-pair cap", len(req.Pairs), s.maxBatchPairs))
 		return
 	}
-	n := s.o.NumVertices()
+	view := s.store.Snapshot()
+	tagEpoch(w, view.Epoch())
+	n := view.NumVertices()
 	for i, p := range req.Pairs {
 		if int(p.U) >= n || int(p.V) >= n {
 			httpError(w, http.StatusNotFound,
@@ -165,12 +229,55 @@ func (s *Server) distances(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ds := s.o.QueryBatch(req.Pairs)
+	ds, err := view.QueryBatchCtx(r.Context(), req.Pairs)
+	if err != nil {
+		// The client went away mid-batch; stop burning cycles. 499 is the
+		// de-facto "client closed request" status.
+		httpError(w, 499, err)
+		return
+	}
 	resp := distancesResponse{Distances: make([]*uint32, len(ds))}
 	for i, d := range ds {
 		resp.Distances[i] = jsonDist(d)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// updatesRequest is the JSON shape of POST /updates: a batch of ops applied
+// as one atomic publish.
+type updatesRequest struct {
+	Ops []dynhl.Op `json:"ops"`
+}
+
+// updatesResponse reports the epoch the batch published and one summary per
+// op (insert_vertex summaries carry the new vertex id).
+type updatesResponse struct {
+	Epoch   uint64                `json:"epoch"`
+	Results []dynhl.UpdateSummary `json:"results"`
+}
+
+func (s *Server) updates(w http.ResponseWriter, r *http.Request) {
+	var req updatesRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Ops) > s.maxBatchOps {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d ops exceeds the %d-op cap", len(req.Ops), s.maxBatchOps))
+		return
+	}
+	// ApplyEpoch reports the exact epoch this batch published, so the
+	// attribution stays right even with concurrent writers.
+	sums, epoch, err := s.store.ApplyEpoch(req.Ops)
+	tagEpoch(w, epoch)
+	if err != nil {
+		updateError(w, err)
+		return
+	}
+	if sums == nil {
+		sums = []dynhl.UpdateSummary{}
+	}
+	writeJSON(w, http.StatusOK, updatesResponse{Epoch: epoch, Results: sums})
 }
 
 type edgeRequest struct {
@@ -191,15 +298,16 @@ func (s *Server) insertEdge(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	st, err := s.o.InsertEdge(req.U, req.V, req.W)
+	sums, epoch, err := s.store.ApplyEpoch([]dynhl.Op{dynhl.InsertEdgeOp(req.U, req.V, req.W)})
+	tagEpoch(w, epoch)
 	if err != nil {
 		updateError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, edgeResponse{
-		Affected:       st.Affected,
-		EntriesAdded:   st.EntriesAdded,
-		EntriesRemoved: st.EntriesRemoved,
+		Affected:       sums[0].Affected,
+		EntriesAdded:   sums[0].EntriesAdded,
+		EntriesRemoved: sums[0].EntriesRemoved,
 	})
 }
 
@@ -216,15 +324,16 @@ func (s *Server) deleteEdge(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	st, err := s.o.DeleteEdge(u, v)
+	sums, epoch, err := s.store.ApplyEpoch([]dynhl.Op{dynhl.DeleteEdgeOp(u, v)})
+	tagEpoch(w, epoch)
 	if err != nil {
 		updateError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, edgeResponse{
-		Affected:       st.Affected,
-		EntriesAdded:   st.EntriesAdded,
-		EntriesRemoved: st.EntriesRemoved,
+		Affected:       sums[0].Affected,
+		EntriesAdded:   sums[0].EntriesAdded,
+		EntriesRemoved: sums[0].EntriesRemoved,
 	})
 }
 
@@ -236,15 +345,16 @@ func (s *Server) deleteVertex(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	st, err := s.o.DeleteVertex(v)
+	sums, epoch, err := s.store.ApplyEpoch([]dynhl.Op{dynhl.DeleteVertexOp(v)})
+	tagEpoch(w, epoch)
 	if err != nil {
 		updateError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, edgeResponse{
-		Affected:       st.Affected,
-		EntriesAdded:   st.EntriesAdded,
-		EntriesRemoved: st.EntriesRemoved,
+		Affected:       sums[0].Affected,
+		EntriesAdded:   sums[0].EntriesAdded,
+		EntriesRemoved: sums[0].EntriesRemoved,
 	})
 }
 
@@ -266,16 +376,68 @@ func (s *Server) insertVertex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	arcs := append(dynhl.Arcs(req.Neighbors...), req.Arcs...)
-	id, st, err := s.o.InsertVertex(arcs)
+	sums, epoch, err := s.store.ApplyEpoch([]dynhl.Op{dynhl.InsertVertexOp(arcs...)})
+	tagEpoch(w, epoch)
 	if err != nil {
 		updateError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, vertexResponse{ID: id, Affected: st.Affected})
+	writeJSON(w, http.StatusOK, vertexResponse{ID: *sums[0].NewVertex, Affected: sums[0].Affected})
+}
+
+// saveLabels serves GET /labels: one snapshot's labelling as a binary
+// stream. Snapshot and epoch header come from the same View, so the tag
+// names exactly the version streamed — and because snapshots are immutable
+// the download never blocks writers and stays internally consistent
+// however long it takes, whatever publishes meanwhile.
+func (s *Server) saveLabels(w http.ResponseWriter, r *http.Request) {
+	view := s.store.Snapshot()
+	tagEpoch(w, view.Epoch())
+	sv, ok := view.(dynhl.Saver)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, errors.ErrUnsupported)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := sv.Save(w); err != nil {
+		if errors.Is(err, errors.ErrUnsupported) {
+			httpError(w, http.StatusNotImplemented,
+				fmt.Errorf("this oracle variant cannot serialise its labelling: %w", err))
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// loadLabels serves PUT /labels: replace the labelling from a stream saved
+// over the same graph, published as a new epoch. The stream is bounded by
+// MaxLabelBytes, not the JSON body cap — labellings of real indexes run to
+// many megabytes.
+func (s *Server) loadLabels(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.maxLabelBytes)
+	epoch, err := s.store.LoadEpoch(body)
+	tagEpoch(w, epoch)
+	switch {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, errors.ErrUnsupported):
+		httpError(w, http.StatusNotImplemented,
+			fmt.Errorf("this oracle variant cannot load a labelling: %w", err))
+	default:
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("labelling stream exceeds the %d-byte cap", tooLarge.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, err)
+	}
 }
 
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.o.Stats())
+	view := s.store.Snapshot()
+	tagEpoch(w, view.Epoch())
+	writeJSON(w, http.StatusOK, view.Stats())
 }
 
 func jsonDist(d dynhl.Dist) *uint32 {
@@ -324,6 +486,8 @@ func updateError(w http.ResponseWriter, err error) {
 		httpError(w, http.StatusNotFound, err)
 	case errors.Is(err, dynhl.ErrEdgeExists):
 		httpError(w, http.StatusConflict, err)
+	case errors.Is(err, errors.ErrUnsupported):
+		httpError(w, http.StatusNotImplemented, err)
 	default:
 		httpError(w, http.StatusBadRequest, err)
 	}

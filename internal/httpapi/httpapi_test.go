@@ -1,7 +1,9 @@
 package httpapi
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -302,6 +304,240 @@ func TestPayloadCaps(t *testing.T) {
 	postJSON(t, ts.URL+"/distances", big, http.StatusRequestEntityTooLarge, nil)
 	postJSON(t, ts.URL+"/vertices", `{"neighbors":[`+strings.Repeat("0,", 200)+`0]}`,
 		http.StatusRequestEntityTooLarge, nil)
+}
+
+// TestEpochHeader pins the versioned serving contract: every response
+// names its snapshot epoch, reads do not advance it, successful updates
+// advance it by exactly one, failed updates leave it unchanged.
+func TestEpochHeader(t *testing.T) {
+	ts := newTestServer(t)
+	epoch := func(resp *http.Response) uint64 {
+		t.Helper()
+		raw := resp.Header.Get("X-Oracle-Epoch")
+		if raw == "" {
+			t.Fatal("missing X-Oracle-Epoch header")
+		}
+		e, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	resp, err := http.Get(ts.URL + "/distance?u=0&v=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if e := epoch(resp); e != 0 {
+		t.Fatalf("fresh server epoch: %d", e)
+	}
+	resp, err = http.Post(ts.URL+"/edges", "application/json", strings.NewReader(`{"u":0,"v":30}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if e := epoch(resp); e != 1 {
+		t.Fatalf("epoch after insert: %d", e)
+	}
+	// A failed mutation (duplicate edge) must not advance the epoch.
+	resp, err = http.Post(ts.URL+"/edges", "application/json", strings.NewReader(`{"u":0,"v":30}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate insert: status %d", resp.StatusCode)
+	}
+	if e := epoch(resp); e != 1 {
+		t.Fatalf("epoch after failed insert: %d", e)
+	}
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if e := epoch(resp); e != 1 {
+		t.Fatalf("stats epoch: %d", e)
+	}
+}
+
+// TestUpdatesEndpoint drives POST /updates: a mixed batch lands atomically
+// as one epoch, a batch failing mid-way changes nothing, and the op cap
+// answers 413.
+func TestUpdatesEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var ur updatesResponse
+	postJSON(t, ts.URL+"/updates",
+		`{"ops":[{"op":"insert_edge","u":0,"v":30},{"op":"insert_vertex","neighbors":null,"arcs":[{"to":5}]},{"op":"delete_edge","u":0,"v":30}]}`,
+		http.StatusOK, &ur)
+	if ur.Epoch != 1 {
+		t.Fatalf("batch epoch: %d", ur.Epoch)
+	}
+	if len(ur.Results) != 3 {
+		t.Fatalf("results: %d", len(ur.Results))
+	}
+	if ur.Results[1].NewVertex == nil || *ur.Results[1].NewVertex != 60 {
+		t.Fatalf("insert_vertex result: %+v", ur.Results[1])
+	}
+	// The batch inserted then deleted (0,30): the published snapshot must
+	// not have it.
+	var d distanceResponse
+	getJSON(t, ts.URL+"/distance?u=0&v=30", http.StatusOK, &d)
+	if d.Distance != nil && *d.Distance == 1 {
+		t.Fatal("delete inside the batch was lost")
+	}
+
+	// Mid-batch failure: op 0 would apply, op 1 deletes a missing edge.
+	// All-or-nothing: the eventual distance must be unchanged.
+	postJSON(t, ts.URL+"/updates",
+		`{"ops":[{"op":"insert_edge","u":0,"v":30},{"op":"delete_edge","u":0,"v":31}]}`,
+		http.StatusNotFound, nil)
+	getJSON(t, ts.URL+"/distance?u=0&v=30", http.StatusOK, &d)
+	if d.Distance != nil && *d.Distance == 1 {
+		t.Fatal("half-applied batch is visible")
+	}
+
+	// Unknown op kinds are 400, oversized batches 413.
+	postJSON(t, ts.URL+"/updates", `{"ops":[{"op":"explode"}]}`, http.StatusBadRequest, nil)
+	ts2 := httptest.NewServer(New(mustBuild(t), WithMaxBatchOps(1)).Handler())
+	t.Cleanup(ts2.Close)
+	postJSON(t, ts2.URL+"/updates",
+		`{"ops":[{"op":"insert_edge","u":0,"v":9},{"op":"delete_edge","u":0,"v":9}]}`,
+		http.StatusRequestEntityTooLarge, nil)
+}
+
+func mustBuild(t *testing.T) dynhl.Oracle {
+	t.Helper()
+	g := testutil.RandomConnectedGraph(20, 30, 4)
+	idx, err := dynhl.Build(g, dynhl.Options{Landmarks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+// TestLabelsEndpoints pins labelling download/upload round trips on the
+// undirected variant and the 501 mapping of errors.ErrUnsupported for
+// variants without the capability.
+func TestLabelsEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/labels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /labels: status %d", resp.StatusCode)
+	}
+	if len(blob) == 0 {
+		t.Fatal("empty labelling stream")
+	}
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/labels", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT /labels: status %d", resp.StatusCode)
+	}
+	if e := resp.Header.Get("X-Oracle-Epoch"); e != "1" {
+		t.Fatalf("PUT /labels must publish a new epoch, got %q", e)
+	}
+
+	// The directed variant cannot serialise: both directions answer 501
+	// with a JSON error body.
+	g := dynhl.NewDigraph(0)
+	for i := 0; i < 6; i++ {
+		g.AddVertex()
+	}
+	for i := uint32(0); i < 5; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	dir, err := dynhl.BuildDirected(g, dynhl.Options{Landmarks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsDir := httptest.NewServer(New(dir).Handler())
+	t.Cleanup(tsDir.Close)
+	var body map[string]string
+	getJSON(t, tsDir.URL+"/labels", http.StatusNotImplemented, &body)
+	if body["error"] == "" {
+		t.Fatal("501 must carry a JSON error body")
+	}
+	req, err = http.NewRequest(http.MethodPut, tsDir.URL+"/labels", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("PUT /labels on directed: status %d", resp.StatusCode)
+	}
+	var putBody map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&putBody); err != nil || putBody["error"] == "" {
+		t.Fatalf("501 must carry a JSON error body: %v %v", putBody, err)
+	}
+}
+
+// TestLabelsCaps pins that PUT /labels is bounded by the dedicated label
+// cap, not the (much smaller) JSON body cap — the GET → PUT round trip must
+// survive labellings bigger than a JSON request — and that the label cap
+// itself still answers 413.
+func TestLabelsCaps(t *testing.T) {
+	g := testutil.RandomConnectedGraph(60, 110, 4)
+	idx, err := dynhl.Build(g, dynhl.Options{Landmarks: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(idx, WithMaxBodyBytes(64)).Handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/labels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) <= 64 {
+		t.Fatalf("fixture labelling too small (%d bytes) to exercise the cap split", len(blob))
+	}
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/labels", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT /labels larger than the JSON cap: status %d, want 204", resp.StatusCode)
+	}
+
+	tsSmall := httptest.NewServer(New(idx, WithMaxLabelBytes(16)).Handler())
+	t.Cleanup(tsSmall.Close)
+	req, err = http.NewRequest(http.MethodPut, tsSmall.URL+"/labels", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("PUT /labels over the label cap: status %d, want 413", resp.StatusCode)
+	}
 }
 
 func TestStatsAndHealth(t *testing.T) {

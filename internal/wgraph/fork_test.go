@@ -1,0 +1,51 @@
+package wgraph
+
+import "testing"
+
+// TestForkIsolation pins the copy-on-write contract on the weighted
+// substrate: fork mutations never change the parent's weighted adjacency.
+func TestForkIsolation(t *testing.T) {
+	g := New(5)
+	for i := 0; i < 5; i++ {
+		g.AddVertex()
+	}
+	for i := uint32(0); i < 4; i++ {
+		if _, err := g.AddEdge(i, i+1, 2+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := make([][]Arc, 5)
+	for v := uint32(0); v < 5; v++ {
+		want[v] = append([]Arc(nil), g.Neighbors(v)...)
+	}
+	wantEdges := g.NumEdges()
+
+	f := g.Fork()
+	if _, err := f.AddEdge(0, 4, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	for v := uint32(0); v < 5; v++ {
+		got := g.Neighbors(v)
+		if len(got) != len(want[v]) {
+			t.Fatalf("parent adjacency of %d changed: %v != %v", v, got, want[v])
+		}
+		for i := range got {
+			if got[i] != want[v][i] {
+				t.Fatalf("parent adjacency of %d changed: %v != %v", v, got, want[v])
+			}
+		}
+	}
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("parent edge count changed: %d", g.NumEdges())
+	}
+	if g.Weight(0, 4) != 0 || f.Weight(0, 4) != 7 {
+		t.Fatal("insert leaked into parent or missed the fork")
+	}
+	if g.Weight(1, 2) == 0 || f.Weight(1, 2) != 0 {
+		t.Fatal("delete leaked into parent or missed the fork")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/graph"
 )
 
@@ -22,6 +23,11 @@ type Arc struct {
 type Graph struct {
 	adj   [][]Arc
 	edges uint64
+
+	// shared is non-nil only on forks: a set bit means that adjacency
+	// list's backing array still belongs to the parent and is copied before
+	// the first mutation (see Fork).
+	shared *bitset.Set
 }
 
 // New returns an empty weighted graph with capacity hints for n vertices.
@@ -36,6 +42,9 @@ func (g *Graph) NumEdges() uint64 { return g.edges }
 // AddVertex appends a new isolated vertex and returns its id.
 func (g *Graph) AddVertex() uint32 {
 	g.adj = append(g.adj, nil)
+	if g.shared != nil {
+		g.shared.Grow(len(g.adj)) // new bits are clear: the fork owns new vertices
+	}
 	return uint32(len(g.adj) - 1)
 }
 
@@ -76,6 +85,8 @@ func (g *Graph) AddEdge(u, v uint32, w graph.Dist) (bool, error) {
 	if g.HasEdge(u, v) {
 		return false, nil
 	}
+	g.own(u)
+	g.own(v)
 	g.adj[u] = append(g.adj[u], Arc{To: v, W: w})
 	g.adj[v] = append(g.adj[v], Arc{To: u, W: w})
 	g.edges++
@@ -93,13 +104,37 @@ func (g *Graph) RemoveEdge(u, v uint32) (graph.Dist, error) {
 	if int(u) >= len(g.adj) || int(v) >= len(g.adj) {
 		return 0, fmt.Errorf("%w: edge (%d,%d) with %d vertices", graph.ErrVertexUnknown, u, v, len(g.adj))
 	}
-	w, ok := removeArc(&g.adj[u], v)
-	if !ok {
+	if !g.HasEdge(u, v) {
 		return 0, fmt.Errorf("%w: (%d,%d)", graph.ErrEdgeUnknown, u, v)
 	}
+	g.own(u)
+	g.own(v)
+	w, _ := removeArc(&g.adj[u], v)
 	removeArc(&g.adj[v], u)
 	g.edges--
 	return w, nil
+}
+
+// Fork returns a copy-on-write copy: adjacency headers are copied (O(|V|))
+// while every neighbour list's backing array stays shared with g until the
+// fork first mutates it. Mutating the fork never writes to memory reachable
+// from g; g must be treated as frozen afterwards (snapshot discipline).
+func (g *Graph) Fork() *Graph {
+	return &Graph{
+		adj:    append([][]Arc(nil), g.adj...),
+		edges:  g.edges,
+		shared: bitset.NewAllSet(len(g.adj)),
+	}
+}
+
+// own makes adj[v] writable on a fork, copying the shared backing array on
+// first touch.
+func (g *Graph) own(v uint32) {
+	if g.shared == nil || !g.shared.Get(v) {
+		return
+	}
+	g.adj[v] = append(make([]Arc, 0, len(g.adj[v])+1), g.adj[v]...)
+	g.shared.Clear(v)
 }
 
 // removeArc deletes the arc to x from *list (swap with last; adjacency

@@ -96,17 +96,16 @@ func (idx *Index) rebuildLandmark(r uint16, dist []graph.Dist, covered []bool, s
 		}
 		if dist[v] != graph.Inf && !covered[v] {
 			if old, had := idx.L[vv].Get(r); !had || old != dist[v] {
+				idx.ownLabel(vv)
 				idx.L[vv] = idx.L[vv].Set(r, dist[v])
 				st.EntriesAdded++
 				st.AffectedSum++
 			}
-		} else {
-			var removed bool
-			idx.L[vv], removed = idx.L[vv].Remove(r)
-			if removed {
-				st.EntriesRemoved++
-				st.AffectedSum++
-			}
+		} else if _, had := idx.L[vv].Get(r); had {
+			idx.ownLabel(vv)
+			idx.L[vv], _ = idx.L[vv].Remove(r)
+			st.EntriesRemoved++
+			st.AffectedSum++
 		}
 	}
 }

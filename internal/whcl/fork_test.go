@@ -1,0 +1,63 @@
+package whcl
+
+import (
+	"testing"
+
+	"repro/internal/hcl"
+	"repro/internal/wgraph"
+)
+
+// TestForkUpdateIsolation runs full weighted IncHL+/DecHL repairs on a fork
+// and pins that the parent's labels, highway and graph stay untouched while
+// the fork remains exact.
+func TestForkUpdateIsolation(t *testing.T) {
+	g := wgraph.New(8)
+	for i := 0; i < 8; i++ {
+		g.AddVertex()
+	}
+	for i := uint32(0); i < 7; i++ {
+		g.MustAddEdge(i, i+1, 2)
+	}
+	g.MustAddEdge(0, 4, 5)
+	idx, err := Build(g, []uint32{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]hcl.Label, len(idx.L))
+	for v, l := range idx.L {
+		labels[v] = append(hcl.Label(nil), l...)
+	}
+	hw := append([]uint32(nil), idx.hw...)
+	edges := g.NumEdges()
+
+	f := idx.Fork(idx.G.Fork())
+	if _, err := f.InsertEdge(1, 6, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DeleteEdge(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.InsertVertex([]wgraph.Arc{{To: 2, W: 3}}); err != nil {
+		t.Fatal(err)
+	}
+
+	for v := range labels {
+		if !idx.L[v].Equal(labels[v]) {
+			t.Fatalf("parent label of %d changed: %v != %v", v, idx.L[v], labels[v])
+		}
+	}
+	for i := range hw {
+		if idx.hw[i] != hw[i] {
+			t.Fatalf("parent highway cell %d changed", i)
+		}
+	}
+	if idx.G.NumEdges() != edges || idx.G.NumVertices() != 8 {
+		t.Fatalf("parent graph changed: %d edges, %d vertices", idx.G.NumEdges(), idx.G.NumVertices())
+	}
+	if err := idx.VerifyCover(); err != nil {
+		t.Fatalf("parent no longer verifies: %v", err)
+	}
+	if err := f.VerifyCover(); err != nil {
+		t.Fatalf("fork does not verify: %v", err)
+	}
+}

@@ -189,12 +189,13 @@ func (idx *Index) repairAffected(fr *findResult, st *Stats) {
 		}
 		covered[v] = cov
 		if cov {
-			var removed bool
-			idx.L[v], removed = idx.L[v].Remove(r)
-			if removed {
+			if _, has := idx.L[v].Get(r); has {
+				idx.ownLabel(v)
+				idx.L[v], _ = idx.L[v].Remove(r)
 				st.EntriesRemoved++
 			}
 		} else {
+			idx.ownLabel(v)
 			idx.L[v] = idx.L[v].Set(r, d)
 			st.EntriesAdded++
 		}

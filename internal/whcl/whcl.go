@@ -10,6 +10,7 @@ package whcl
 import (
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/graph"
 	"repro/internal/hcl"
 	"repro/internal/wgraph"
@@ -30,6 +31,10 @@ type Index struct {
 	hw      []graph.Dist // k×k symmetric highway of exact weighted distances
 	k       int
 	rankArr []uint16
+
+	// shared is non-nil only on forks: a set bit means L[v]'s backing array
+	// still belongs to the parent and is copied before the first write.
+	shared *bitset.Set
 
 	// rebuild scratch for the deletion path, reused across DeleteEdge calls
 	// (mutations hold exclusive access, so one set suffices).
@@ -199,6 +204,36 @@ func (idx *Index) EnsureVertex(v uint32) {
 		idx.L = append(idx.L, nil)
 		idx.rankArr = append(idx.rankArr, noRank)
 	}
+	if idx.shared != nil {
+		idx.shared.Grow(len(idx.L)) // new bits are clear: the fork owns new labels
+	}
+}
+
+// Fork returns a copy-on-write copy of the index bound to g, which must be
+// a fork of idx.G taken at the same moment. The label-table header, rank
+// array and small highway matrix are copied (O(|V| + k²)), but every
+// per-vertex label's backing array stays shared with idx until the fork
+// first writes to it. Snapshot discipline: idx is frozen once forked.
+func (idx *Index) Fork(g *wgraph.Graph) *Index {
+	return &Index{
+		G:         g,
+		Landmarks: idx.Landmarks, // immutable after construction
+		L:         append([]hcl.Label(nil), idx.L...),
+		hw:        append([]graph.Dist(nil), idx.hw...),
+		k:         idx.k,
+		rankArr:   append([]uint16(nil), idx.rankArr...),
+		shared:    bitset.NewAllSet(len(idx.L)),
+	}
+}
+
+// ownLabel makes L[v] writable on a fork, copying the shared backing array
+// on first touch.
+func (idx *Index) ownLabel(v uint32) {
+	if idx.shared == nil || !idx.shared.Get(v) {
+		return
+	}
+	idx.L[v] = append(make(hcl.Label, 0, len(idx.L[v])+1), idx.L[v]...)
+	idx.shared.Clear(v)
 }
 
 // VerifyCover checks Equation 1 against ground-truth Dijkstra distances.

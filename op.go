@@ -1,0 +1,125 @@
+package dynhl
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// OpKind identifies one kind of graph mutation in an Op. The JSON encoding
+// is the snake_case name ("insert_edge", …), so op batches round-trip
+// through the HTTP API without a translation layer.
+type OpKind uint8
+
+const (
+	// OpInsertEdge inserts edge (U,V) with weight W (0 means 1).
+	OpInsertEdge OpKind = iota + 1
+	// OpDeleteEdge deletes edge (U,V).
+	OpDeleteEdge
+	// OpInsertVertex adds a new vertex with the initial Arcs.
+	OpInsertVertex
+	// OpDeleteVertex disconnects vertex V (all incident edges).
+	OpDeleteVertex
+)
+
+var opKindNames = map[OpKind]string{
+	OpInsertEdge:   "insert_edge",
+	OpDeleteEdge:   "delete_edge",
+	OpInsertVertex: "insert_vertex",
+	OpDeleteVertex: "delete_vertex",
+}
+
+// String returns the snake_case operation name.
+func (k OpKind) String() string {
+	if s, ok := opKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// MarshalJSON encodes the kind as its snake_case name.
+func (k OpKind) MarshalJSON() ([]byte, error) {
+	s, ok := opKindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("dynhl: cannot encode unknown op kind %d", uint8(k))
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalJSON decodes a snake_case operation name.
+func (k *OpKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for kind, name := range opKindNames {
+		if name == s {
+			*k = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("dynhl: unknown op kind %q", s)
+}
+
+// Op is one graph mutation of a batched update. A batch of ops is applied
+// by Oracle.Apply; through a Store the whole batch becomes visible to
+// readers atomically, as a single new epoch. Construct ops with the
+// InsertEdgeOp/DeleteEdgeOp/InsertVertexOp/DeleteVertexOp helpers.
+type Op struct {
+	Kind OpKind `json:"op"`
+	// U, V are the edge endpoints (Kind Insert/DeleteEdge) or V the vertex
+	// (Kind DeleteVertex).
+	U uint32 `json:"u,omitempty"`
+	V uint32 `json:"v,omitempty"`
+	// W is the edge weight for OpInsertEdge; 0 means 1.
+	W Dist `json:"w,omitempty"`
+	// Arcs are the initial connections for OpInsertVertex.
+	Arcs []Arc `json:"arcs,omitempty"`
+}
+
+// InsertEdgeOp returns the op inserting edge (u,v) with weight w (0 = 1).
+func InsertEdgeOp(u, v uint32, w Dist) Op { return Op{Kind: OpInsertEdge, U: u, V: v, W: w} }
+
+// DeleteEdgeOp returns the op deleting edge (u,v).
+func DeleteEdgeOp(u, v uint32) Op { return Op{Kind: OpDeleteEdge, U: u, V: v} }
+
+// InsertVertexOp returns the op adding a new vertex with the given arcs.
+func InsertVertexOp(arcs ...Arc) Op { return Op{Kind: OpInsertVertex, Arcs: arcs} }
+
+// DeleteVertexOp returns the op disconnecting vertex v.
+func DeleteVertexOp(v uint32) Op { return Op{Kind: OpDeleteVertex, V: v} }
+
+// applyOps applies ops to o in order, stopping at the first failure. The
+// returned summaries cover the ops that succeeded; the error wraps the op
+// index and kind around the oracle's sentinel. Plain variants expose this
+// directly (a mid-batch failure leaves the earlier ops applied); the Store
+// turns it into an all-or-nothing publish by applying to a discardable
+// fork.
+func applyOps(o Oracle, ops []Op) ([]UpdateSummary, error) {
+	out := make([]UpdateSummary, 0, len(ops))
+	for i, op := range ops {
+		var s UpdateSummary
+		var err error
+		switch op.Kind {
+		case OpInsertEdge:
+			s, err = o.InsertEdge(op.U, op.V, op.W)
+		case OpDeleteEdge:
+			s, err = o.DeleteEdge(op.U, op.V)
+		case OpInsertVertex:
+			var id uint32
+			id, s, err = o.InsertVertex(op.Arcs)
+			if err == nil {
+				v := id
+				s.NewVertex = &v
+			}
+		case OpDeleteVertex:
+			s, err = o.DeleteVertex(op.V)
+		default:
+			err = fmt.Errorf("dynhl: unknown op kind %d", uint8(op.Kind))
+		}
+		if err != nil {
+			return out, fmt.Errorf("dynhl: op %d (%s): %w", i, op.Kind, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -63,6 +63,9 @@ type UpdateSummary struct {
 	EntriesAdded   int `json:"entries_added"`
 	EntriesRemoved int `json:"entries_removed"`
 	HighwayUpdates int `json:"highway_updates"`
+	// NewVertex is the id the graph gained when this summary answers an
+	// OpInsertVertex; nil for every other operation.
+	NewVertex *uint32 `json:"new_vertex,omitempty"`
 }
 
 // Oracle is the unified fully dynamic exact-distance oracle implemented by
@@ -105,6 +108,12 @@ type Oracle interface {
 	// vertex; queries against it answer Inf. Deleting a landmark is an
 	// error — landmarks anchor the labelling.
 	DeleteVertex(v uint32) (UpdateSummary, error)
+	// Apply applies a batch of mutations in order. On the plain variants it
+	// stops at the first failing op, returning the summaries of the ops
+	// that succeeded alongside the error (the earlier ops stay applied);
+	// through a Store the batch is all-or-nothing and becomes visible to
+	// readers as one new epoch.
+	Apply(ops []Op) ([]UpdateSummary, error)
 	// NumVertices returns the current vertex count; valid vertex ids are
 	// 0..NumVertices-1.
 	NumVertices() int
@@ -133,10 +142,17 @@ var (
 	_ Oracle = (*Index)(nil)
 	_ Oracle = (*DirectedIndex)(nil)
 	_ Oracle = (*WeightedIndex)(nil)
+	_ Oracle = (*Store)(nil)
 	_ Oracle = (*ConcurrentOracle)(nil)
+
+	_ forkable = (*Index)(nil)
+	_ forkable = (*DirectedIndex)(nil)
+	_ forkable = (*WeightedIndex)(nil)
 
 	_ Saver  = (*Index)(nil)
 	_ Loader = (*Index)(nil)
+	_ Saver  = (*Store)(nil)
+	_ Loader = (*Store)(nil)
 	_ Saver  = (*ConcurrentOracle)(nil)
 	_ Loader = (*ConcurrentOracle)(nil)
 )

@@ -1,0 +1,490 @@
+package dynhl
+
+import (
+	"context"
+	"errors"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// batchChunk is the smallest per-worker share of a fanned QueryBatch; below
+// it the goroutine hand-off costs more than the queries save.
+const batchChunk = 32
+
+// serialBatchMax is the batch size up to which QueryBatch stays on the
+// serial path: with at most two chunks' worth of pairs the fan-out spawns
+// goroutines that each do less work than their own hand-off costs (see
+// BenchmarkQueryBatchCrossover).
+const serialBatchMax = 2 * batchChunk
+
+// batchWorkers caches the worker ceiling for fanned batches once; the
+// per-call GOMAXPROCS read of the old wrapper bought nothing since batch
+// fan-out is already bounded by batch size.
+var batchWorkers = sync.OnceValue(func() int { return runtime.GOMAXPROCS(0) })
+
+// View is a read-only, immutable snapshot of an Oracle at one epoch. Every
+// method answers against exactly the state published at Epoch(): a batch
+// never mixes distances from different versions, and no mutation — however
+// long its repair runs — ever blocks or changes a View already handed out.
+// Views are safe for concurrent use and stay valid indefinitely; holding
+// one only pins memory shared structurally with newer snapshots. (The one
+// exception is the compatibility fallback for oracles the package cannot
+// fork, where Snapshot returns a live window instead — see Store.Snapshot.)
+type View interface {
+	// Query returns the exact distance from u to v in this snapshot.
+	Query(u, v uint32) Dist
+	// QueryBatch answers many pairs against this one snapshot, fanning
+	// large batches across workers.
+	QueryBatch(pairs []Pair) []Dist
+	// QueryBatchCtx is QueryBatch honouring cancellation between chunks of
+	// batchChunk pairs; it returns ctx.Err() when cancelled mid-batch.
+	QueryBatchCtx(ctx context.Context, pairs []Pair) ([]Dist, error)
+	// NumVertices returns the snapshot's vertex count.
+	NumVertices() int
+	// Stats returns the snapshot's index size statistics.
+	Stats() Stats
+	// Epoch returns the version this snapshot was published as. Epochs
+	// start at 0 for the freshly wrapped oracle and increase by exactly one
+	// per published batch (Apply, single mutation, or Load).
+	Epoch() uint64
+}
+
+// forkable is implemented by the in-package variants: fork returns a
+// copy-on-write working copy whose mutations never touch the receiver.
+type forkable interface {
+	Oracle
+	fork() Oracle
+}
+
+// snapshot is one published version: an oracle frozen at an epoch.
+type snapshot struct {
+	o     Oracle
+	epoch uint64
+}
+
+// Store is the versioned snapshot coordinator of an Oracle — the
+// concurrency layer matching the paper's workload: queries are microsecond
+// read-only lookups that must never wait, IncHL+/DecHL repairs are rare and
+// may be batched. Readers load the current immutable snapshot with a single
+// atomic pointer load and run entirely lock-free; the writer applies a
+// batch of ops to a private copy-on-write fork (copying only the label
+// slices and adjacency lists the repairs actually touch) and publishes it
+// atomically as the next epoch. A failed batch is discarded whole: readers
+// never observe a half-applied batch, and the epoch does not advance.
+//
+// A Store is safe for any number of concurrent readers and writers; writers
+// are serialised among themselves. It implements Oracle (single mutations
+// are one-op batches), so it drops into any code written against the
+// interface, and Saver/Loader. Wrapping an oracle whose concrete type the
+// package does not know (no copy-on-write fork) falls back to an RWMutex:
+// reads still see consistent epochs but take a read lock, and a failed
+// batch is not rolled back.
+type Store struct {
+	wmu sync.Mutex // serialises writers (Apply, Load)
+	cur atomic.Pointer[snapshot]
+
+	// rmu is non-nil only in the compatibility fallback for oracles the
+	// package cannot fork; it degrades reads to RLock and writes to Lock.
+	rmu *sync.RWMutex
+}
+
+// NewStore wraps o for versioned snapshot access at epoch 0. Wrapping a
+// Store returns it unchanged; wrapping a ConcurrentOracle returns its
+// underlying Store.
+func NewStore(o Oracle) *Store {
+	switch t := o.(type) {
+	case *Store:
+		return t
+	case *ConcurrentOracle:
+		return t.Store
+	}
+	s := &Store{}
+	if _, ok := o.(forkable); !ok {
+		s.rmu = new(sync.RWMutex)
+	}
+	s.cur.Store(&snapshot{o: o})
+	return s
+}
+
+// Snapshot returns the current published version as an immutable View.
+// This is the one atomic load on the read path: everything reachable from
+// the View was fully written before it was published, and nothing will ever
+// write to it again.
+//
+// In the non-forkable fallback mode the Store cannot pin versions — the
+// wrapped oracle mutates in place — so the returned View is live instead:
+// each call answers from (and Epoch names) the store's current version at
+// that moment, under the fallback read lock.
+func (s *Store) Snapshot() View {
+	if s.rmu != nil {
+		return &view{live: s}
+	}
+	return &view{sn: s.cur.Load()}
+}
+
+// Epoch returns the current published version number.
+func (s *Store) Epoch() uint64 { return s.cur.Load().epoch }
+
+// Unwrap returns the oracle of the current snapshot. Callers touching it
+// directly must treat it as frozen — mutate through the Store.
+func (s *Store) Unwrap() Oracle { return s.cur.Load().o }
+
+// Apply applies a batch of ops as one atomic publish: the whole batch
+// becomes visible to readers at a single new epoch, with one copy-on-write
+// fork amortised across all ops. On failure no snapshot is published — the
+// epoch is unchanged and readers keep seeing the pre-batch labelling
+// (except in the non-forkable fallback, where earlier ops stay applied).
+// An empty batch is a no-op and does not bump the epoch.
+func (s *Store) Apply(ops []Op) ([]UpdateSummary, error) {
+	sums, _, err := s.ApplyEpoch(ops)
+	return sums, err
+}
+
+// ApplyEpoch is Apply also reporting which epoch the batch published — the
+// number to attribute the batch to even when other writers publish
+// concurrently. On failure (or an empty batch) it reports the epoch that
+// was current while the batch held the writer lock, unchanged by the call.
+func (s *Store) ApplyEpoch(ops []Op) ([]UpdateSummary, uint64, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	cur := s.cur.Load()
+	if len(ops) == 0 {
+		return nil, cur.epoch, nil
+	}
+	if s.rmu != nil {
+		s.rmu.Lock()
+		defer s.rmu.Unlock()
+		sums, err := applyOps(cur.o, ops)
+		if err != nil {
+			return sums, cur.epoch, err
+		}
+		s.cur.Store(&snapshot{o: cur.o, epoch: cur.epoch + 1})
+		return sums, cur.epoch + 1, nil
+	}
+	work := cur.o.(forkable).fork()
+	sums, err := applyOps(work, ops)
+	if err != nil {
+		return nil, cur.epoch, err // discard the fork: all-or-nothing
+	}
+	s.cur.Store(&snapshot{o: work, epoch: cur.epoch + 1})
+	return sums, cur.epoch + 1, nil
+}
+
+// Query answers one query against the current snapshot, lock-free.
+func (s *Store) Query(u, v uint32) Dist {
+	sn := s.cur.Load()
+	if s.rmu != nil {
+		s.rmu.RLock()
+		defer s.rmu.RUnlock()
+	}
+	return sn.o.Query(u, v)
+}
+
+// QueryBatch answers many pairs against one snapshot — the whole batch is
+// consistent with a single epoch — fanning large batches across workers.
+func (s *Store) QueryBatch(pairs []Pair) []Dist {
+	sn := s.cur.Load()
+	if s.rmu != nil {
+		s.rmu.RLock()
+		defer s.rmu.RUnlock()
+	}
+	return fanQueryBatch(sn.o, pairs)
+}
+
+// QueryBatchCtx is QueryBatch honouring cancellation between chunks.
+func (s *Store) QueryBatchCtx(ctx context.Context, pairs []Pair) ([]Dist, error) {
+	sn := s.cur.Load()
+	if s.rmu != nil {
+		s.rmu.RLock()
+		defer s.rmu.RUnlock()
+	}
+	return queryBatchCtx(ctx, sn.o, pairs)
+}
+
+// InsertEdge publishes a one-op batch (see Apply).
+func (s *Store) InsertEdge(u, v uint32, w Dist) (UpdateSummary, error) {
+	sums, err := s.Apply([]Op{InsertEdgeOp(u, v, w)})
+	if err != nil {
+		return UpdateSummary{}, err
+	}
+	return sums[0], nil
+}
+
+// InsertVertex publishes a one-op batch (see Apply) and returns the id of
+// the vertex the published snapshot gained.
+func (s *Store) InsertVertex(arcs []Arc) (uint32, UpdateSummary, error) {
+	sums, err := s.Apply([]Op{InsertVertexOp(arcs...)})
+	if err != nil {
+		return 0, UpdateSummary{}, err
+	}
+	return *sums[0].NewVertex, sums[0], nil
+}
+
+// DeleteEdge publishes a one-op batch (see Apply).
+func (s *Store) DeleteEdge(u, v uint32) (UpdateSummary, error) {
+	sums, err := s.Apply([]Op{DeleteEdgeOp(u, v)})
+	if err != nil {
+		return UpdateSummary{}, err
+	}
+	return sums[0], nil
+}
+
+// DeleteVertex publishes a one-op batch (see Apply).
+func (s *Store) DeleteVertex(v uint32) (UpdateSummary, error) {
+	sums, err := s.Apply([]Op{DeleteVertexOp(v)})
+	if err != nil {
+		return UpdateSummary{}, err
+	}
+	return sums[0], nil
+}
+
+// NumVertices returns the current snapshot's vertex count.
+func (s *Store) NumVertices() int {
+	sn := s.cur.Load()
+	if s.rmu != nil {
+		s.rmu.RLock()
+		defer s.rmu.RUnlock()
+	}
+	return sn.o.NumVertices()
+}
+
+// Stats returns the current snapshot's index statistics.
+func (s *Store) Stats() Stats {
+	sn := s.cur.Load()
+	if s.rmu != nil {
+		s.rmu.RLock()
+		defer s.rmu.RUnlock()
+	}
+	return sn.o.Stats()
+}
+
+// Verify audits the current snapshot's labelling.
+func (s *Store) Verify() error {
+	sn := s.cur.Load()
+	if s.rmu != nil {
+		s.rmu.RLock()
+		defer s.rmu.RUnlock()
+	}
+	return sn.o.Verify()
+}
+
+// Save serialises the current snapshot's labelling; errors.ErrUnsupported
+// when the wrapped variant cannot serialise. Snapshots are immutable, so
+// Save runs without blocking writers (a publish during Save simply means
+// Save wrote the epoch it started from).
+func (s *Store) Save(w io.Writer) error {
+	sn := s.cur.Load()
+	if s.rmu != nil {
+		s.rmu.RLock()
+		defer s.rmu.RUnlock()
+	}
+	if sv, ok := sn.o.(Saver); ok {
+		return sv.Save(w)
+	}
+	return errors.ErrUnsupported
+}
+
+// Load publishes a snapshot whose labelling was read from r, bumping the
+// epoch; errors.ErrUnsupported when the wrapped variant cannot load. The
+// stream must have been saved over the snapshot's current graph.
+func (s *Store) Load(r io.Reader) error {
+	_, err := s.LoadEpoch(r)
+	return err
+}
+
+// LoadEpoch is Load also reporting the epoch the loaded labelling was
+// published as (unchanged on failure).
+func (s *Store) LoadEpoch(r io.Reader) (uint64, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	cur := s.cur.Load()
+	if s.rmu != nil {
+		s.rmu.Lock()
+		defer s.rmu.Unlock()
+		l, ok := cur.o.(Loader)
+		if !ok {
+			return cur.epoch, errors.ErrUnsupported
+		}
+		if err := l.Load(r); err != nil {
+			return cur.epoch, err
+		}
+		s.cur.Store(&snapshot{o: cur.o, epoch: cur.epoch + 1})
+		return cur.epoch + 1, nil
+	}
+	work := cur.o.(forkable).fork()
+	l, ok := work.(Loader)
+	if !ok {
+		return cur.epoch, errors.ErrUnsupported
+	}
+	if err := l.Load(r); err != nil {
+		return cur.epoch, err // discard the fork
+	}
+	s.cur.Store(&snapshot{o: work, epoch: cur.epoch + 1})
+	return cur.epoch + 1, nil
+}
+
+// view implements View over one published snapshot (sn), or — in the
+// non-forkable fallback mode — as a live window onto the store (live), so
+// Epoch always names the version the answers come from.
+type view struct {
+	sn   *snapshot
+	live *Store // fallback mode only: resolve the current version per call
+}
+
+// cur resolves the snapshot this call answers from. Fallback-mode callers
+// must hold the store's read lock across cur() and the use of its result.
+func (v *view) cur() *snapshot {
+	if v.live != nil {
+		return v.live.cur.Load()
+	}
+	return v.sn
+}
+
+func (v *view) rlock() func() {
+	if v.live == nil {
+		return func() {}
+	}
+	v.live.rmu.RLock()
+	return v.live.rmu.RUnlock
+}
+
+func (v *view) Epoch() uint64 { return v.cur().epoch }
+
+func (v *view) Query(u, w uint32) Dist {
+	defer v.rlock()()
+	return v.cur().o.Query(u, w)
+}
+
+func (v *view) QueryBatch(pairs []Pair) []Dist {
+	defer v.rlock()()
+	return fanQueryBatch(v.cur().o, pairs)
+}
+
+func (v *view) QueryBatchCtx(ctx context.Context, pairs []Pair) ([]Dist, error) {
+	defer v.rlock()()
+	return queryBatchCtx(ctx, v.cur().o, pairs)
+}
+
+func (v *view) NumVertices() int {
+	defer v.rlock()()
+	return v.cur().o.NumVertices()
+}
+
+func (v *view) Stats() Stats {
+	defer v.rlock()()
+	return v.cur().o.Stats()
+}
+
+// Save serialises the view's labelling — for a pinned snapshot, exactly the
+// version Epoch names, however many epochs the store publishes meanwhile.
+// errors.ErrUnsupported when the variant cannot serialise. Views therefore
+// satisfy Saver, which the HTTP service uses to stream an epoch-consistent
+// labelling download.
+func (v *view) Save(w io.Writer) error {
+	defer v.rlock()()
+	if sv, ok := v.cur().o.(Saver); ok {
+		return sv.Save(w)
+	}
+	return errors.ErrUnsupported
+}
+
+// fanQueryBatch answers pairs against o, serially for small batches (up to
+// serialBatchMax pairs the goroutine hand-off dominates) and across up to
+// batchWorkers() workers beyond that.
+func fanQueryBatch(o Oracle, pairs []Pair) []Dist {
+	workers := batchWorkers()
+	if len(pairs) <= serialBatchMax || workers <= 1 {
+		return serialQueryBatch(o, pairs)
+	}
+	return fannedQueryBatch(o, pairs, workers)
+}
+
+// serialQueryBatch answers pairs one by one on the calling goroutine.
+func serialQueryBatch(o Oracle, pairs []Pair) []Dist {
+	out := make([]Dist, len(pairs))
+	for i, p := range pairs {
+		out[i] = o.Query(p.U, p.V)
+	}
+	return out
+}
+
+// fannedQueryBatch splits pairs across up to workers goroutines.
+func fannedQueryBatch(o Oracle, pairs []Pair, workers int) []Dist {
+	out := make([]Dist, len(pairs))
+	if max := (len(pairs) + batchChunk - 1) / batchChunk; workers > max {
+		workers = max
+	}
+	var wg sync.WaitGroup
+	stride := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * stride
+		hi := min(lo+stride, len(pairs))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = o.Query(pairs[i].U, pairs[i].V)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// queryBatchCtx answers pairs with the same serial/fanned split as
+// fanQueryBatch, checking for cancellation between chunks of batchChunk
+// pairs (on every worker when fanned). A cancelled batch returns ctx.Err()
+// as soon as all workers notice.
+func queryBatchCtx(ctx context.Context, o Oracle, pairs []Pair) ([]Dist, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	workers := batchWorkers()
+	out := make([]Dist, len(pairs))
+	if len(pairs) <= serialBatchMax || workers <= 1 {
+		for lo := 0; lo < len(pairs); lo += batchChunk {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			hi := min(lo+batchChunk, len(pairs))
+			for i := lo; i < hi; i++ {
+				out[i] = o.Query(pairs[i].U, pairs[i].V)
+			}
+		}
+		return out, nil
+	}
+	if max := (len(pairs) + batchChunk - 1) / batchChunk; workers > max {
+		workers = max
+	}
+	var wg sync.WaitGroup
+	var cancelled atomic.Bool
+	stride := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * stride
+		hi := min(lo+stride, len(pairs))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := lo; c < hi; c += batchChunk {
+				if cancelled.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				ce := min(c+batchChunk, hi)
+				for i := c; i < ce; i++ {
+					out[i] = o.Query(pairs[i].U, pairs[i].V)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,44 @@
+package dynhl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// BenchmarkQueryBatchCrossover compares the serial and worker-fanned batch
+// paths across sizes around the serialBatchMax threshold (2·batchChunk).
+// It demonstrates the crossover motivating the serial fast path: at and
+// below ~2 chunks the goroutine hand-off costs more than the queries save,
+// while large batches win by roughly the core count.
+func BenchmarkQueryBatchCrossover(b *testing.B) {
+	g := testutil.RandomConnectedGraph(2000, 6000, 19)
+	idx, err := Build(g, Options{Landmarks: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	all := make([]Pair, 1<<12)
+	for i := range all {
+		all[i] = Pair{U: uint32(rng.Intn(2000)), V: uint32(rng.Intn(2000))}
+	}
+	var sink Dist
+	for _, size := range []int{batchChunk, serialBatchMax, 2 * serialBatchMax, 8 * serialBatchMax, 32 * serialBatchMax} {
+		pairs := all[:size]
+		b.Run(fmt.Sprintf("serial/size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sink ^= serialQueryBatch(idx, pairs)[0]
+			}
+		})
+		b.Run(fmt.Sprintf("fanned/size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sink ^= fannedQueryBatch(idx, pairs, batchWorkers())[0]
+			}
+		})
+	}
+	benchCrossoverSink = sink
+}
+
+var benchCrossoverSink Dist

@@ -113,6 +113,15 @@ func (x *WeightedIndex) InsertVertex(arcs []Arc) (uint32, UpdateSummary, error) 
 	return id, weightedSummary(st), nil
 }
 
+// Apply applies ops in order, stopping at the first failure (see
+// Oracle.Apply); wrap with NewStore for all-or-nothing batches.
+func (x *WeightedIndex) Apply(ops []Op) ([]UpdateSummary, error) { return applyOps(x, ops) }
+
+// fork returns the copy-on-write working copy backing Store publishes.
+func (x *WeightedIndex) fork() Oracle {
+	return &WeightedIndex{idx: x.idx.Fork(x.idx.G.Fork())}
+}
+
 // DeleteEdge removes the undirected weighted edge (u,v) and repairs the
 // labelling with DecHL (see Oracle.DeleteEdge).
 func (x *WeightedIndex) DeleteEdge(u, v uint32) (UpdateSummary, error) {
