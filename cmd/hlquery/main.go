@@ -25,9 +25,14 @@
 //	apply <op> ; <op>  batch of add/addv/de/dv ops, one atomic epoch, e.g.
 //	                   apply add 1 2 ; de 3 4 ; dv 9
 //	epoch              current published epoch
-//	stats              index size statistics
+//	stats              index size statistics (and WAL counters when durable)
+//	checkpoint         write a durability checkpoint (-data-dir only)
 //	verify             O(|R|·|E|) correctness audit of the labelling
 //	help, quit
+//
+// With -data-dir the session is durable: updates are logged to a WAL
+// before publishing, recovery on start restores the last durable epoch
+// (no -graph needed on later runs), and quit takes a final checkpoint.
 package main
 
 import (
@@ -41,6 +46,7 @@ import (
 
 	dynhl "repro"
 	"repro/internal/cli"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -53,31 +59,61 @@ func main() {
 		strategy  = flag.String("strategy", "", "landmark selection strategy (topdegree, random, weighted)")
 		seed      = flag.Int64("seed", 1, "generator and selection seed")
 		parallel  = flag.Bool("parallel", false, "parallel index construction")
+		dataDir   = flag.String("data-dir", "", "durability directory: recover on start, WAL every update, checkpoint on quit")
 	)
 	flag.Parse()
 
 	opt := dynhl.Options{Landmarks: *landmarks, Strategy: *strategy, Seed: *seed, Parallel: *parallel}
 	start := time.Now()
-	oracle, err := cli.BuildOracle(*graphPath, *mode, *ds, *scale, opt)
-	if err != nil {
-		fatal(err)
+	var store *dynhl.Store
+	var durable *wal.Durable
+	if *dataDir != "" {
+		recovering := wal.HasState(*dataDir)
+		var err error
+		durable, err = wal.Open(*dataDir, func() (dynhl.Oracle, error) {
+			return cli.BuildOracle(*graphPath, *mode, *ds, *scale, opt)
+		}, wal.Options{Logf: replWarnf})
+		if err != nil {
+			fatal(err)
+		}
+		store = durable.Store()
+		if recovering {
+			fmt.Printf("recovered epoch %d from %s in %v (replayed %d log records)\n",
+				store.Epoch(), *dataDir, time.Since(start).Round(time.Millisecond), durable.Replayed())
+		}
+	} else {
+		oracle, err := cli.BuildOracle(*graphPath, *mode, *ds, *scale, opt)
+		if err != nil {
+			fatal(err)
+		}
+		store = dynhl.NewStore(oracle)
 	}
-	store := dynhl.NewStore(oracle)
 	st := store.Stats()
 	fmt.Printf("graph: %d vertices, %d edges (%s)\n", st.Vertices, st.Edges, *mode)
-	fmt.Printf("index built in %v: %d landmarks, %d entries (avg %.2f/vertex)\n",
+	fmt.Printf("index ready in %v: %d landmarks, %d entries (avg %.2f/vertex)\n",
 		time.Since(start).Round(time.Millisecond), st.Landmarks, st.LabelEntries, st.AvgLabelSize)
 
-	repl(store)
+	repl(store, durable)
+	if durable != nil {
+		if err := durable.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpointed epoch %d\n", store.Epoch())
+	}
 }
 
-func repl(o *dynhl.Store) {
+// replWarnf surfaces WAL warnings without tearing the prompt apart.
+func replWarnf(format string, args ...any) {
+	fmt.Printf("wal: "+format+"\n", args...)
+}
+
+func repl(o *dynhl.Store, durable *wal.Durable) {
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) > 0 {
-			if quit := execute(o, fields); quit {
+			if quit := execute(o, durable, fields); quit {
 				return
 			}
 		}
@@ -86,7 +122,7 @@ func repl(o *dynhl.Store) {
 }
 
 // execute runs one command, reporting whether the REPL should exit.
-func execute(o *dynhl.Store, fields []string) bool {
+func execute(o *dynhl.Store, durable *wal.Durable, fields []string) bool {
 	switch fields[0] {
 	case "q", "query":
 		u, v, err := twoVertices(fields[1:])
@@ -240,7 +276,23 @@ func execute(o *dynhl.Store, fields []string) bool {
 	case "stats":
 		st := o.Stats()
 		fmt.Printf("vertices=%d edges=%d landmarks=%d entries=%d avg=%.2f bytes=%d epoch=%d\n",
-			st.Vertices, st.Edges, st.Landmarks, st.LabelEntries, st.AvgLabelSize, st.Bytes, o.Epoch())
+			st.Vertices, st.Edges, st.Landmarks, st.LabelEntries, st.AvgLabelSize, st.Bytes, st.Epoch)
+		if d := st.Durability; d != nil {
+			fmt.Printf("wal: records=%d bytes=%d syncs=%d durable_epoch=%d checkpoint_epoch=%d segments=%d replayed=%d\n",
+				d.Records, d.Bytes, d.Syncs, d.DurableEpoch, d.CheckpointEpoch, d.Segments, d.Replayed)
+		}
+	case "checkpoint":
+		if durable == nil {
+			fmt.Println("error: not a durable session (start with -data-dir)")
+			return false
+		}
+		start := time.Now()
+		epoch, err := durable.Checkpoint()
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("checkpointed epoch %d  [%v]\n", epoch, time.Since(start))
 	case "verify":
 		start := time.Now()
 		if err := o.Verify(); err != nil {
@@ -249,7 +301,7 @@ func execute(o *dynhl.Store, fields []string) bool {
 			fmt.Printf("labelling verified exact [%v]\n", time.Since(start))
 		}
 	case "help":
-		fmt.Println("commands: q <u> <v> | qb <u> <v> [<u> <v> ...] | add <u> <v> [w] | addv n1,n2,... | de <u> <v> | dv <v> | apply <op> ; <op> ... | epoch | stats | verify | quit")
+		fmt.Println("commands: q <u> <v> | qb <u> <v> [<u> <v> ...] | add <u> <v> [w] | addv n1,n2,... | de <u> <v> | dv <v> | apply <op> ; <op> ... | epoch | stats | checkpoint | verify | quit")
 	case "quit", "exit":
 		return true
 	default:

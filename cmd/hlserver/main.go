@@ -19,6 +19,24 @@
 // X-Oracle-Epoch response header) and update batches posted to /updates
 // publish atomically as one new epoch. The server shuts down gracefully on
 // SIGINT/SIGTERM, draining in-flight requests.
+//
+// With -data-dir the server is durable (undirected oracles): every update
+// batch is appended to a write-ahead log before its epoch is published, a
+// checkpoint of graph plus labelling is written every -checkpoint-every
+// records (and on graceful shutdown), and a restart recovers the exact
+// last durable epoch from checkpoint plus log tail instead of rebuilding
+// the index from scratch — on an initialised data directory -graph is not
+// needed. -fsync trades append latency for crash durability. The admin
+// endpoints POST /checkpoint and GET /wal/stats come alive, and /stats
+// carries the WAL counters.
+//
+//	hlserver -graph web.txt -data-dir /var/lib/hlserver   # first boot
+//	hlserver -data-dir /var/lib/hlserver                  # every later boot
+//
+// Without -data-dir, -load-labels seeds the server from a prebuilt
+// labelling file (the Save/GET /labels format, written over the same
+// graph) instead of constructing labels at boot, and -save-labels writes
+// the final labelling on graceful shutdown for the next boot to load.
 package main
 
 import (
@@ -27,6 +45,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -34,6 +53,7 @@ import (
 	dynhl "repro"
 	"repro/internal/cli"
 	"repro/internal/httpapi"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -46,25 +66,75 @@ func main() {
 		landmarks = flag.Int("landmarks", 20, "number of landmarks |R|")
 		strategy  = flag.String("strategy", "", "landmark selection strategy (topdegree, random, weighted)")
 		seed      = flag.Int64("seed", 1, "generator and selection seed")
+
+		dataDir    = flag.String("data-dir", "", "durability directory (WAL + checkpoints): recover on boot, log every update, checkpoint on shutdown")
+		fsyncMode  = flag.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval or off")
+		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync cadence with -fsync interval")
+		ckptEvery  = flag.Int("checkpoint-every", 10000, "WAL records between automatic checkpoints with -data-dir (0 = manual and shutdown only)")
+		loadLabels = flag.String("load-labels", "", "labelling file to load at boot instead of constructing labels (undirected; saved over the same -graph)")
+		saveLabels = flag.String("save-labels", "", "labelling file to write on graceful shutdown")
 	)
 	flag.Parse()
 
 	opt := dynhl.Options{Landmarks: *landmarks, Strategy: *strategy, Seed: *seed, Parallel: true}
-	start := time.Now()
-	oracle, err := cli.BuildOracle(*graphPath, *mode, *ds, *scale, opt)
-	if err != nil {
-		log.Fatal("hlserver: ", err)
+	build := func() (dynhl.Oracle, error) {
+		return cli.BuildOracle(*graphPath, *mode, *ds, *scale, opt)
 	}
-	store := dynhl.NewStore(oracle)
+
+	start := time.Now()
+	var store *dynhl.Store
+	var durable *wal.Durable
+	if *dataDir != "" {
+		policy, err := wal.ParsePolicy(*fsyncMode)
+		if err != nil {
+			log.Fatal("hlserver: ", err)
+		}
+		recovering := wal.HasState(*dataDir)
+		durable, err = wal.Open(*dataDir, build, wal.Options{
+			Fsync:           policy,
+			FsyncInterval:   *fsyncEvery,
+			CheckpointEvery: *ckptEvery,
+			Logf:            log.Printf,
+		})
+		if err != nil {
+			log.Fatal("hlserver: ", err)
+		}
+		store = durable.Store()
+		if recovering {
+			if *graphPath != "" || *ds != "" {
+				log.Printf("note: %s already holds state; -graph/-dataset ignored in favour of recovery", *dataDir)
+			}
+			log.Printf("recovered epoch %d from %s in %v (replayed %d log records)",
+				store.Epoch(), *dataDir, time.Since(start).Round(time.Millisecond), durable.Replayed())
+		} else {
+			log.Printf("initialised durable state in %s (fsync %s)", *dataDir, policy)
+		}
+	} else {
+		oracle, err := build()
+		if err != nil {
+			log.Fatal("hlserver: ", err)
+		}
+		store = dynhl.NewStore(oracle)
+	}
+	if *loadLabels != "" {
+		if err := loadLabelFile(store, *loadLabels); err != nil {
+			log.Fatal("hlserver: ", err)
+		}
+		log.Printf("loaded labelling from %s (epoch %d)", *loadLabels, store.Epoch())
+	}
 	st := store.Stats()
 	log.Printf("graph: %d vertices, %d edges (%s)", st.Vertices, st.Edges, *mode)
-	log.Printf("index built in %v: %d landmarks, %d entries (%.2f per vertex), serving epoch %d",
+	log.Printf("index ready in %v: %d landmarks, %d entries (%.2f per vertex), serving epoch %d",
 		time.Since(start).Round(time.Millisecond), st.Landmarks, st.LabelEntries, st.AvgLabelSize,
 		store.Epoch())
 
+	opts := []httpapi.Option{}
+	if durable != nil {
+		opts = append(opts, httpapi.WithDurability(durable))
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(store).Handler(),
+		Handler:           httpapi.New(store, opts...).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -92,6 +162,43 @@ func main() {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal("hlserver: ", err)
 		}
+		if durable != nil {
+			// The final checkpoint: the next boot recovers instantly.
+			if err := durable.Close(); err != nil {
+				log.Fatal("hlserver: closing durable store: ", err)
+			}
+			log.Printf("checkpointed epoch %d", store.Epoch())
+		}
+		if *saveLabels != "" {
+			if err := saveLabelFile(store, *saveLabels); err != nil {
+				log.Fatal("hlserver: ", err)
+			}
+			log.Printf("saved labelling to %s (epoch %d)", *saveLabels, store.Epoch())
+		}
 		log.Print("bye")
 	}
+}
+
+// loadLabelFile publishes the labelling stored in path (Save format over
+// the server's current graph) as a new epoch.
+func loadLabelFile(store *dynhl.Store, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return store.Load(f)
+}
+
+// saveLabelFile writes the current snapshot's labelling to path.
+func saveLabelFile(store *dynhl.Store, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := store.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -89,6 +89,35 @@
 // ConcurrentOracle type and the Concurrent constructor remain as a thin
 // compatibility shim over Store.
 //
+// # Durability: write-ahead log and checkpoints
+//
+// The whole point of maintaining a labelling incrementally is not paying
+// the full construction cost again — yet an in-memory index pays exactly
+// that on every process restart. The durability subsystem (internal/wal)
+// closes the gap: a Store with a durability layer attached appends every
+// applied op batch to a write-ahead log, tagged with the epoch it
+// publishes, before readers can see that epoch. Versioned snapshots make
+// the epoch a natural log sequence number: the record for epoch N is
+// durable first, then N becomes visible, so under the fsync=always policy
+// a kill -9 at any moment loses nothing that was ever served. Periodic
+// checkpoints write the full graph and labelling of one immutable snapshot
+// (never blocking writers) and truncate the log segments they supersede;
+// recovery loads the newest valid checkpoint and replays the log tail —
+// restart cost proportional to the churn since the last checkpoint, not to
+// a rebuild. A torn final record (a crash mid-append) is truncated with a
+// warning; corruption anywhere else refuses recovery rather than serving
+// wrong distances.
+//
+// The Store side of the contract is the Durability interface and
+// AttachDurability; Stats carries the epoch and the WAL counters
+// (DurabilityStats). Ops encode to a compact binary form for the log
+// (Op.AppendBinary, AppendOps, DecodeOps) while their JSON kinds stay the
+// HTTP wire format. cmd/hlserver exposes the subsystem as -data-dir,
+// -fsync and -checkpoint-every flags with recovery on boot and a clean
+// checkpoint on graceful shutdown; the HTTP service adds POST /checkpoint
+// and GET /wal/stats. Durability requires an oracle whose labelling and
+// graph both serialise — currently the undirected Index.
+//
 // The internal packages hold the substrates and baselines used by the
 // reproduction study: internal/hcl (static labelling), internal/inchl (the
 // IncHL+ algorithm), internal/pll and internal/fulldyn (the IncPLL and

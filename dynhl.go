@@ -206,7 +206,10 @@ func plainNeighbors(variant string, arcs []Arc) ([]uint32, error) {
 	return neighbors, nil
 }
 
-// Stats describes the index size.
+// Stats describes the index size. Epoch and Durability are filled by the
+// Store layer (plain variants leave them zero): Epoch names the published
+// version the stats describe, Durability carries the attached write-ahead
+// log's counters when the store is durable.
 type Stats struct {
 	Vertices     int
 	Edges        uint64
@@ -214,6 +217,8 @@ type Stats struct {
 	LabelEntries int64   // size(L), total distance entries
 	Bytes        int64   // labels + highway storage
 	AvgLabelSize float64 // entries per vertex (the paper's l)
+	Epoch        uint64
+	Durability   *DurabilityStats `json:",omitempty"`
 }
 
 // Stats returns current size statistics.

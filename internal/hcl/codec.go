@@ -46,17 +46,24 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 	if err := write(idx.H.mat); err != nil {
 		return n, err
 	}
+	// The per-entry loop is the hot path — serialisation time bounds both
+	// labelling downloads and durability checkpoints — so entries are
+	// packed by hand instead of through binary.Write's per-call reflection.
+	var scratch [6]byte
+	le := binary.LittleEndian
 	for _, l := range idx.L {
-		if err := write(uint32(len(l))); err != nil {
+		le.PutUint32(scratch[:4], uint32(len(l)))
+		if _, err := bw.Write(scratch[:4]); err != nil {
 			return n, err
 		}
+		n += 4
 		for _, e := range l {
-			if err := write(e.Rank); err != nil {
+			le.PutUint16(scratch[0:2], e.Rank)
+			le.PutUint32(scratch[2:6], uint32(e.D))
+			if _, err := bw.Write(scratch[:6]); err != nil {
 				return n, err
 			}
-			if err := write(e.D); err != nil {
-				return n, err
-			}
+			n += 6
 		}
 	}
 	if err := bw.Flush(); err != nil {
@@ -103,11 +110,15 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 	if err := binary.Read(br, binary.LittleEndian, idx.H.mat); err != nil {
 		return nil, fmt.Errorf("hcl: reading highway: %w", err)
 	}
+	// Hand-decoded entries, mirroring WriteTo: recovery time rides on this
+	// loop, and binary.Read's reflection would dominate it.
+	var scratch [6]byte
+	le := binary.LittleEndian
 	for v := uint32(0); v < nv; v++ {
-		var cnt uint32
-		if err := binary.Read(br, binary.LittleEndian, &cnt); err != nil {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
 			return nil, fmt.Errorf("hcl: reading label %d: %w", v, err)
 		}
+		cnt := le.Uint32(scratch[:4])
 		if cnt > nr {
 			return nil, fmt.Errorf("hcl: label %d has %d entries for %d landmarks", v, cnt, nr)
 		}
@@ -117,12 +128,11 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 		l := make(Label, cnt)
 		var prev int32 = -1
 		for i := range l {
-			if err := binary.Read(br, binary.LittleEndian, &l[i].Rank); err != nil {
+			if _, err := io.ReadFull(br, scratch[:6]); err != nil {
 				return nil, fmt.Errorf("hcl: reading label %d entry %d: %w", v, i, err)
 			}
-			if err := binary.Read(br, binary.LittleEndian, &l[i].D); err != nil {
-				return nil, fmt.Errorf("hcl: reading label %d entry %d: %w", v, i, err)
-			}
+			l[i].Rank = le.Uint16(scratch[0:2])
+			l[i].D = graph.Dist(le.Uint32(scratch[2:6]))
 			if int32(l[i].Rank) <= prev || uint32(l[i].Rank) >= nr {
 				return nil, fmt.Errorf("hcl: label %d entries unsorted or out of range", v)
 			}

@@ -26,8 +26,22 @@
 //	                           when the variant cannot serialise)
 //	PUT    /labels             replace the labelling from a stream saved
 //	                           over the same graph (501 when unsupported)
-//	GET    /stats              index size statistics
+//	GET    /stats              index size statistics, current epoch, and —
+//	                           on a durable server — the WAL counters
 //	GET    /healthz            liveness
+//
+// A durable server (one whose store has a write-ahead log attached, see
+// internal/wal and the WithDurability option) additionally serves the
+// admin endpoints:
+//
+//	POST   /checkpoint         write a checkpoint of the current snapshot
+//	                           and truncate superseded log segments;
+//	                           responds {"epoch": E}
+//	GET    /wal/stats          WAL counters alone (records, bytes, fsyncs,
+//	                           durable epoch / LSN, checkpoint epoch,
+//	                           segments, replay count)
+//
+// Without durability attached both answer 501.
 //
 // Every response carries an X-Oracle-Epoch header naming the published
 // version it was served from (reads) or produced (writes). Reads are served
@@ -114,6 +128,19 @@ func WithMaxLabelBytes(n int64) Option {
 	}
 }
 
+// Durability is the admin capability of a durable store (implemented by
+// *wal.Durable): trigger a checkpoint, read the WAL counters.
+type Durability interface {
+	Checkpoint() (uint64, error)
+	DurabilityStats() dynhl.DurabilityStats
+}
+
+// WithDurability exposes the durability admin endpoints (POST /checkpoint,
+// GET /wal/stats) backed by d.
+func WithDurability(d Durability) Option {
+	return func(s *Server) { s.durability = d }
+}
+
 // Server wraps an oracle with HTTP handlers over a versioned snapshot
 // store: reads load one immutable snapshot per request, writes publish new
 // epochs.
@@ -123,6 +150,7 @@ type Server struct {
 	maxBodyBytes  int64
 	maxBatchOps   int
 	maxLabelBytes int64
+	durability    Durability // nil on a non-durable server
 }
 
 // New returns a Server serving o through a dynhl.Store (reusing it when o
@@ -162,6 +190,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /labels", s.saveLabels)
 	mux.HandleFunc("PUT /labels", s.loadLabels)
 	mux.HandleFunc("GET /stats", s.stats)
+	mux.HandleFunc("POST /checkpoint", s.checkpoint)
+	mux.HandleFunc("GET /wal/stats", s.walStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
@@ -435,9 +465,45 @@ func (s *Server) loadLabels(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
-	view := s.store.Snapshot()
-	tagEpoch(w, view.Epoch())
-	writeJSON(w, http.StatusOK, view.Stats())
+	// Store.Stats (not a snapshot's) so a durable server's WAL counters
+	// ride along; its Epoch field names the snapshot it was taken from.
+	st := s.store.Stats()
+	tagEpoch(w, st.Epoch)
+	writeJSON(w, http.StatusOK, st)
+}
+
+// checkpointResponse is the JSON shape of POST /checkpoint.
+type checkpointResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// checkpoint serves POST /checkpoint on durable servers: the current
+// snapshot's full state is written and superseded log segments are
+// truncated. The work runs against a pinned immutable snapshot, so
+// in-flight queries and updates are never blocked.
+func (s *Server) checkpoint(w http.ResponseWriter, r *http.Request) {
+	if s.durability == nil {
+		httpError(w, http.StatusNotImplemented,
+			fmt.Errorf("this server has no durability layer (start it with a data directory): %w", errors.ErrUnsupported))
+		return
+	}
+	epoch, err := s.durability.Checkpoint()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	tagEpoch(w, epoch)
+	writeJSON(w, http.StatusOK, checkpointResponse{Epoch: epoch})
+}
+
+// walStats serves GET /wal/stats on durable servers.
+func (s *Server) walStats(w http.ResponseWriter, r *http.Request) {
+	if s.durability == nil {
+		httpError(w, http.StatusNotImplemented,
+			fmt.Errorf("this server has no durability layer (start it with a data directory): %w", errors.ErrUnsupported))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.durability.DurabilityStats())
 }
 
 func jsonDist(d dynhl.Dist) *uint32 {

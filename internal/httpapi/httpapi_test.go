@@ -12,6 +12,7 @@ import (
 
 	dynhl "repro"
 	"repro/internal/testutil"
+	"repro/internal/wal"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
@@ -548,4 +549,55 @@ func TestStatsAndHealth(t *testing.T) {
 		t.Fatalf("stats: %+v", st)
 	}
 	getJSON(t, ts.URL+"/healthz", http.StatusOK, nil)
+}
+
+// TestDurabilityEndpointsUnsupported checks the admin endpoints answer 501
+// on a server without a durability layer.
+func TestDurabilityEndpointsUnsupported(t *testing.T) {
+	ts := newTestServer(t)
+	postJSON(t, ts.URL+"/checkpoint", "", http.StatusNotImplemented, nil)
+	getJSON(t, ts.URL+"/wal/stats", http.StatusNotImplemented, nil)
+}
+
+// TestDurabilityEndpoints runs the admin surface against a real WAL in a
+// temp directory: /stats carries the epoch and WAL counters, /checkpoint
+// advances the checkpoint epoch, /wal/stats reports it.
+func TestDurabilityEndpoints(t *testing.T) {
+	g := testutil.RandomConnectedGraph(40, 80, 4)
+	idx, err := dynhl.Build(g, dynhl.Options{Landmarks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := wal.Create(t.TempDir(), idx, wal.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	ts := httptest.NewServer(New(d.Store(), WithDurability(d)).Handler())
+	t.Cleanup(ts.Close)
+
+	postJSON(t, ts.URL+"/updates", `{"ops":[{"op":"insert_vertex","arcs":[{"to":0},{"to":1}]}]}`, http.StatusOK, nil)
+
+	var st dynhl.Stats
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &st)
+	if st.Epoch != 1 {
+		t.Fatalf("/stats epoch %d, want 1", st.Epoch)
+	}
+	if st.Durability == nil || st.Durability.Records != 1 {
+		t.Fatalf("/stats durability %+v, want 1 appended record", st.Durability)
+	}
+
+	var ck struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	postJSON(t, ts.URL+"/checkpoint", "", http.StatusOK, &ck)
+	if ck.Epoch != 1 {
+		t.Fatalf("/checkpoint epoch %d, want 1", ck.Epoch)
+	}
+
+	var ws dynhl.DurabilityStats
+	getJSON(t, ts.URL+"/wal/stats", http.StatusOK, &ws)
+	if ws.CheckpointEpoch != 1 || ws.DurableEpoch != 1 {
+		t.Fatalf("/wal/stats %+v: want checkpoint and durable epoch 1", ws)
+	}
 }

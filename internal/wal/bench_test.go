@@ -1,0 +1,38 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	dynhl "repro"
+)
+
+// BenchmarkLogAppend isolates the WAL append itself — frame encoding, the
+// write, and the policy's fsync — from the label repair that dominates a
+// full publish (see BenchmarkApplyDurable at the repository root for the
+// end-to-end numbers).
+func BenchmarkLogAppend(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		policy Policy
+	}{
+		{"fsync-always", SyncAlways},
+		{"fsync-interval", SyncInterval},
+		{"fsync-off", SyncOff},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			lg, err := openLog(b.TempDir(), 1, 0, tc.policy, 100*time.Millisecond, 64<<20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer lg.Close()
+			ops := []dynhl.Op{dynhl.InsertEdgeOp(3, 97, 0), dynhl.DeleteEdgeOp(12, 4)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := lg.Append(uint64(i+1), ops); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

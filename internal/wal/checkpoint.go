@@ -1,0 +1,274 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	dynhl "repro"
+)
+
+// Checkpoint file: the complete state at one epoch, so recovery replays
+// only the log tail beyond it.
+//
+//	magic "HLWCKPT1" | u64 epoch | u64 vertices |
+//	u64 graphLen | graph section: u64 edge count, u32 u | u32 v per edge |
+//	u64 labelsLen | labelling stream (dynhl.Saver) |
+//	u32 CRC32 (IEEE) of everything above
+//
+// The graph is a raw binary edge array rather than the textual edge list —
+// recovery time is the subsystem's whole point, and parsing text would
+// dominate it. The vertex count is stored explicitly because an edge array
+// cannot carry trailing isolated vertices (ids with every incident edge
+// deleted), which the labelling stream then refuses to attach to.
+const ckptMagic = "HLWCKPT1"
+
+const ckptExt = ".ckpt"
+
+// ckptKeep is how many checkpoints survive pruning. Keeping the previous
+// one lets recovery fall back when the newest is damaged, so log segments
+// are only deleted once two checkpoints supersede them.
+const ckptKeep = 2
+
+func ckptPath(dir string, epoch uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("checkpoint-%020d%s", epoch, ckptExt))
+}
+
+// checkpointable is the oracle capability a checkpoint needs: the labelling
+// stream plus the graph it was built over. Satisfied by *dynhl.Index.
+type checkpointable interface {
+	dynhl.Saver
+	Graph() *dynhl.Graph
+}
+
+// unwrapper is how the concrete oracle is reached behind a Store snapshot.
+type unwrapper interface {
+	Unwrap() dynhl.Oracle
+}
+
+// asCheckpointable digs the checkpoint capability out of o, looking through
+// Store views and stores.
+func asCheckpointable(o any) (checkpointable, bool) {
+	for {
+		if c, ok := o.(checkpointable); ok {
+			return c, true
+		}
+		u, ok := o.(unwrapper)
+		if !ok {
+			return nil, false
+		}
+		o = u.Unwrap()
+	}
+}
+
+// appendGraphSection appends g's binary edge array: u64 edge count, then
+// the endpoints as u32 pairs.
+func appendGraphSection(buf []byte, g *dynhl.Graph) []byte {
+	le := binary.LittleEndian
+	buf = le.AppendUint64(buf, g.NumEdges())
+	g.Edges(func(u, v uint32) {
+		buf = le.AppendUint32(buf, u)
+		buf = le.AppendUint32(buf, v)
+	})
+	return buf
+}
+
+// decodeGraphSection rebuilds the graph from its binary edge array.
+func decodeGraphSection(data []byte, vertices uint64) (*dynhl.Graph, error) {
+	le := binary.LittleEndian
+	if len(data) < 8 {
+		return nil, fmt.Errorf("wal: truncated graph section")
+	}
+	edges := le.Uint64(data)
+	if uint64(len(data)-8) != edges*8 {
+		return nil, fmt.Errorf("wal: graph section holds %d bytes for %d edges", len(data)-8, edges)
+	}
+	g := dynhl.NewGraph(int(vertices))
+	if vertices > 0 {
+		g.EnsureVertex(uint32(vertices - 1))
+	}
+	off := 8
+	for i := uint64(0); i < edges; i++ {
+		u, v := le.Uint32(data[off:]), le.Uint32(data[off+4:])
+		if uint64(u) >= vertices || uint64(v) >= vertices {
+			return nil, fmt.Errorf("wal: graph section edge (%d,%d) outside %d vertices", u, v, vertices)
+		}
+		if !g.MustAddEdge(u, v) {
+			return nil, fmt.Errorf("wal: graph section repeats edge (%d,%d)", u, v)
+		}
+		off += 8
+	}
+	return g, nil
+}
+
+// sliceWriter adapts an append-grown byte slice to io.Writer, so the
+// labelling streams straight into the checkpoint image.
+type sliceWriter struct{ buf *[]byte }
+
+func (w sliceWriter) Write(p []byte) (int, error) {
+	*w.buf = append(*w.buf, p...)
+	return len(p), nil
+}
+
+// writeCheckpoint atomically writes the checkpoint for epoch: temp file,
+// fsync, rename, directory fsync. It returns the final path. The whole
+// image is assembled in one buffer — the graph and labelling stream into
+// it directly, with the labelling length patched in afterwards, so peak
+// memory is one copy of the checkpoint, not three.
+func writeCheckpoint(dir string, epoch uint64, src checkpointable) (string, error) {
+	g := src.Graph()
+	le := binary.LittleEndian
+	buf := make([]byte, 0, len(ckptMagic)+4*8+8*int(g.NumEdges())+4)
+	buf = append(buf, ckptMagic...)
+	buf = le.AppendUint64(buf, epoch)
+	buf = le.AppendUint64(buf, uint64(g.NumVertices()))
+	buf = le.AppendUint64(buf, 8+8*g.NumEdges()) // graph section length
+	buf = appendGraphSection(buf, g)
+	lenAt := len(buf) // labelling length, patched after the stream
+	buf = le.AppendUint64(buf, 0)
+	if err := src.Save(sliceWriter{&buf}); err != nil {
+		return "", fmt.Errorf("wal: checkpoint labelling: %w", err)
+	}
+	le.PutUint64(buf[lenAt:], uint64(len(buf)-lenAt-8))
+	buf = le.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+
+	final := ckptPath(dir, epoch)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o666)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(buf); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("wal: writing checkpoint %d: %w", epoch, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("wal: publishing checkpoint %d: %w", epoch, err)
+	}
+	if err := syncDir(dir); err != nil {
+		// The rename happened but is not known durable; reporting failure
+		// with the file still in place would let a checkpoint for an epoch
+		// the caller then aborts shadow that epoch's real state later, so
+		// undo the publish best-effort before failing.
+		os.Remove(final)
+		return "", err
+	}
+	return final, nil
+}
+
+// ckptState is a decoded checkpoint, ready to rebuild an oracle.
+type ckptState struct {
+	epoch    uint64
+	vertices uint64
+	graph    []byte
+	labels   []byte
+}
+
+// readCheckpoint validates and decodes one checkpoint file.
+func readCheckpoint(path string) (ckptState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ckptState{}, err
+	}
+	le := binary.LittleEndian
+	if len(data) < len(ckptMagic)+8*3+4 || string(data[:len(ckptMagic)]) != ckptMagic {
+		return ckptState{}, fmt.Errorf("wal: %s: not a checkpoint file", path)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != le.Uint32(tail) {
+		return ckptState{}, fmt.Errorf("wal: %s: checksum mismatch", path)
+	}
+	off := len(ckptMagic)
+	readU64 := func() (uint64, error) {
+		if off+8 > len(body) {
+			return 0, fmt.Errorf("wal: %s: truncated checkpoint", path)
+		}
+		v := le.Uint64(body[off:])
+		off += 8
+		return v, nil
+	}
+	st := ckptState{}
+	if st.epoch, err = readU64(); err != nil {
+		return ckptState{}, err
+	}
+	if st.vertices, err = readU64(); err != nil {
+		return ckptState{}, err
+	}
+	glen, err := readU64()
+	if err != nil {
+		return ckptState{}, err
+	}
+	if uint64(len(body)-off) < glen {
+		return ckptState{}, fmt.Errorf("wal: %s: truncated graph section", path)
+	}
+	st.graph = body[off : off+int(glen)]
+	off += int(glen)
+	llen, err := readU64()
+	if err != nil {
+		return ckptState{}, err
+	}
+	if uint64(len(body)-off) != llen {
+		return ckptState{}, fmt.Errorf("wal: %s: labelling section length mismatch", path)
+	}
+	st.labels = body[off:]
+	return st, nil
+}
+
+// listCheckpoints returns dir's checkpoint files, newest epoch first.
+func listCheckpoints(dir string) ([]segment, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var cks []segment
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "checkpoint-") || !strings.HasSuffix(name, ckptExt) {
+			continue
+		}
+		epoch, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "checkpoint-"), ckptExt), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wal: unrecognised checkpoint file %q", name)
+		}
+		cks = append(cks, segment{first: epoch, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(cks, func(i, j int) bool { return cks[i].first > cks[j].first })
+	return cks, nil
+}
+
+// pruneCheckpoints removes all but the newest ckptKeep checkpoints and
+// returns the epoch of the oldest one retained — the truncation bound for
+// log segments.
+func pruneCheckpoints(dir string) (uint64, error) {
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(cks) == 0 {
+		return 0, fmt.Errorf("wal: no checkpoints in %s", dir)
+	}
+	for _, c := range cks[min(ckptKeep, len(cks)):] {
+		if err := os.Remove(c.path); err != nil {
+			return 0, fmt.Errorf("wal: pruning checkpoint: %w", err)
+		}
+	}
+	kept := cks[:min(ckptKeep, len(cks))]
+	if len(cks) > ckptKeep {
+		if err := syncDir(dir); err != nil {
+			return 0, err
+		}
+	}
+	return kept[len(kept)-1].first, nil
+}

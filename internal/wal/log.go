@@ -1,0 +1,387 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	dynhl "repro"
+)
+
+// Policy selects when the log fsyncs appended records.
+type Policy int
+
+const (
+	// SyncAlways fsyncs every append before it returns: a published epoch
+	// is durable, kill -9 loses nothing. The default.
+	SyncAlways Policy = iota
+	// SyncInterval fsyncs at most once per interval: bounded data loss
+	// (the unsynced tail) for much cheaper appends.
+	SyncInterval
+	// SyncOff never fsyncs from the log; durability rides on checkpoints
+	// and the OS page cache.
+	SyncOff
+)
+
+// ParsePolicy maps the -fsync flag values onto a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or off)", s)
+}
+
+func (p Policy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// segExt is the log segment suffix; segments are named by the first epoch
+// they may contain, zero-padded so lexical order is epoch order.
+const segExt = ".wal"
+
+func segPath(dir string, first uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%020d%s", first, segExt))
+}
+
+// segment is one log file: records with epochs in [first, next segment's
+// first - 1] (the active segment runs to the last appended epoch).
+type segment struct {
+	first uint64
+	path  string
+}
+
+// listSegments returns dir's segments in epoch order.
+func listSegments(dir string) ([]segment, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segExt) {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(name, segExt), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wal: unrecognised segment file %q", name)
+		}
+		segs = append(segs, segment{first: first, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// Log is the append side of the write-ahead log: one active segment file
+// receiving framed records, rotated on checkpoint or when it outgrows the
+// size threshold. Appends are serialised by an internal mutex; all other
+// coordination (which epochs to append) is the caller's.
+type Log struct {
+	dir string
+
+	mu        sync.Mutex
+	f         *os.File
+	size      int64
+	segFirst  uint64 // epoch the active segment is named by
+	lastEpoch uint64 // last appended epoch (segFirst-1 when empty)
+	pending   bool   // appended records not yet fsynced
+
+	policy   Policy
+	interval time.Duration
+	segMax   int64
+
+	// poisoned is set when a failed append could not be rolled back: the
+	// active segment may end in partial or duplicate-epoch bytes that a
+	// replay would refuse, so the log fails stop rather than appending
+	// records no recovery could reach.
+	poisoned bool
+
+	// counters behind DurabilityStats, guarded by mu
+	records  uint64
+	bytes    uint64
+	syncs    uint64
+	lastSync time.Time
+	durable  uint64 // highest epoch known fsynced
+	segCount int
+
+	buf []byte // frame scratch, reused across appends
+}
+
+// openLog opens (creating if needed) the segment named first for appending.
+// durable seeds the durable-epoch watermark: everything the caller already
+// recovered from disk is durable by definition.
+func openLog(dir string, first, durable uint64, policy Policy, interval time.Duration, segMax int64) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(segPath(dir, first), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return nil, err
+	}
+	// The segment's directory entry (and the log directory's own entry in
+	// its parent) must be durable before any acked append can rely on the
+	// file existing after a crash.
+	if err := syncDir(dir); err == nil {
+		err = syncDir(filepath.Dir(dir))
+	}
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	count := len(segs)
+	if st.Size() == 0 { // fresh segment not in the listing yet
+		exists := false
+		for _, s := range segs {
+			if s.first == first {
+				exists = true
+			}
+		}
+		if !exists {
+			count++
+		}
+	}
+	return &Log{
+		dir:       dir,
+		f:         f,
+		size:      st.Size(),
+		segFirst:  first,
+		lastEpoch: first - 1,
+		policy:    policy,
+		interval:  interval,
+		segMax:    segMax,
+		durable:   durable,
+		segCount:  count,
+	}, nil
+}
+
+// Append writes the record publishing epoch and applies the fsync policy.
+// When it returns nil under SyncAlways, the record is durable. A failed
+// write or sync is rolled back by truncating the segment to its pre-append
+// size — the caller aborts the publish and may retry the same epoch against
+// a clean tail; if even the truncation fails, the log poisons itself and
+// refuses further appends rather than writing records past bytes a replay
+// would refuse.
+func (l *Log) Append(epoch uint64, ops []dynhl.Op) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.poisoned {
+		return fmt.Errorf("wal: log is poisoned by an earlier unrolled-back append failure; restart to recover")
+	}
+	frame, err := appendRecord(l.buf[:0], epoch, ops)
+	if err != nil {
+		return err
+	}
+	l.buf = frame[:0]
+	prevLast := l.lastEpoch
+	wrote, err := l.f.Write(frame)
+	l.size += int64(wrote) // whatever landed, complete or not
+	if err == nil {
+		l.lastEpoch = epoch // before the sync: it advances the durable mark
+		l.pending = true
+		switch l.policy {
+		case SyncAlways:
+			err = l.syncLocked()
+		case SyncInterval:
+			if time.Since(l.lastSync) >= l.interval {
+				err = l.syncLocked()
+			}
+		}
+	}
+	if err != nil {
+		l.lastEpoch = prevLast
+		l.rollbackLocked(int64(wrote))
+		return fmt.Errorf("wal: appending record for epoch %d: %w", epoch, err)
+	}
+	l.records++
+	l.bytes += uint64(len(frame))
+	if l.size >= l.segMax {
+		// The record is already durable, so a publish must not fail on
+		// this housekeeping: a rotation error leaves the oversized segment
+		// active and the next append retries.
+		_ = l.rotateLocked()
+	}
+	return nil
+}
+
+// rollbackLocked undoes a failed append: the segment is truncated back to
+// the bytes preceding it, so the tail stays exactly the last complete
+// record (O_APPEND writes land at the file's end, so a retry reuses the
+// reclaimed space). Failure to truncate poisons the log (fail stop).
+func (l *Log) rollbackLocked(wrote int64) {
+	if wrote == 0 {
+		return
+	}
+	if err := l.f.Truncate(l.size - wrote); err != nil {
+		l.poisoned = true
+		return
+	}
+	l.size -= wrote
+}
+
+// Sync fsyncs any unsynced appends, advancing the durable watermark.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.pending {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.pending = false
+	l.syncs++
+	l.lastSync = time.Now()
+	l.durable = l.lastEpoch
+	return nil
+}
+
+// Rotate syncs and closes the active segment and starts a fresh one for the
+// next epoch. Rotating an empty segment is a no-op.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rotateLocked()
+}
+
+func (l *Log) rotateLocked() error {
+	if l.size == 0 {
+		return nil
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	// The new segment is opened (and made durable) before the old one is
+	// given up: any failure leaves the old segment active and the log
+	// fully usable.
+	next := l.lastEpoch + 1
+	f, err := os.OpenFile(segPath(l.dir, next), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return fmt.Errorf("wal: opening segment for epoch %d: %w", next, err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		// The created-but-abandoned file must not stay behind: Truncate
+		// infers a segment's epoch range from its successor's name, and a
+		// stale empty segment would shrink the old segment's apparent
+		// range, letting a later truncation delete live records. If it
+		// cannot be removed, fail stop.
+		if rerr := os.Remove(segPath(l.dir, next)); rerr != nil {
+			l.poisoned = true
+		}
+		return err
+	}
+	// Best-effort close: the old segment's bytes are already synced.
+	_ = l.f.Close()
+	l.f = f
+	l.size = 0
+	l.segFirst = next
+	l.segCount++
+	return nil
+}
+
+// Truncate removes closed segments whose every record is at or below
+// upto — they are covered by a checkpoint no recovery will reach past.
+func (l *Log) Truncate(upto uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for i, s := range segs {
+		if s.first >= l.segFirst {
+			break // the active segment is never removed
+		}
+		// A closed segment's records end where the next segment begins.
+		var end uint64
+		if i+1 < len(segs) {
+			end = segs[i+1].first - 1
+		} else {
+			end = l.lastEpoch
+		}
+		if end > upto {
+			break
+		}
+		if err := os.Remove(s.path); err != nil {
+			return fmt.Errorf("wal: removing covered segment: %w", err)
+		}
+		l.segCount--
+		removed = true
+	}
+	if removed {
+		return syncDir(l.dir)
+	}
+	return nil
+}
+
+// Close syncs and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// statsInto fills the log's counters of a DurabilityStats.
+func (l *Log) statsInto(st *dynhl.DurabilityStats) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st.Records = l.records
+	st.Bytes = l.bytes
+	st.Syncs = l.syncs
+	st.LastSync = l.lastSync
+	st.DurableEpoch = l.durable
+	st.Segments = l.segCount
+}
+
+// syncDir fsyncs a directory so renames and removals inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", dir, err)
+	}
+	return nil
+}

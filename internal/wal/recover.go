@@ -1,0 +1,124 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+
+	dynhl "repro"
+)
+
+// Recover rebuilds a durable Store from dir: the newest valid checkpoint is
+// loaded (falling back to the previous one when the newest is damaged) and
+// the log tail beyond it replayed, batch by batch, under the original
+// epochs. A torn final record — the signature of a crash mid-append — is
+// truncated away with a warning; an epoch published but never made durable
+// cannot exist under SyncAlways, so nothing published is ever lost.
+// Corruption anywhere else (checksum failures on complete records, epoch
+// gaps) refuses recovery rather than serving wrong distances. ErrNoState
+// when dir holds no checkpoint at all.
+func Recover(dir string, opts Options) (*Durable, error) {
+	opts = opts.withDefaults()
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNoState
+		}
+		return nil, err
+	}
+	if len(cks) == 0 {
+		return nil, ErrNoState
+	}
+	var st ckptState
+	var ckErr error
+	loaded := false
+	for _, c := range cks {
+		if st, ckErr = readCheckpoint(c.path); ckErr == nil {
+			loaded = true
+			break
+		}
+		opts.Logf("wal: skipping damaged checkpoint %s: %v", c.path, ckErr)
+	}
+	if !loaded {
+		return nil, fmt.Errorf("wal: no usable checkpoint in %s (newest error: %w)", dir, ckErr)
+	}
+
+	idx, err := rebuildIndex(st)
+	if err != nil {
+		return nil, err
+	}
+	store := dynhl.NewStoreAt(idx, st.epoch)
+	replayed, err := replay(store, walDir(dir), st.epoch, opts.Logf)
+	if err != nil {
+		return nil, err
+	}
+	return attach(dir, store, st.epoch, replayed, opts)
+}
+
+// rebuildIndex reconstructs the oracle a checkpoint captured: the graph
+// from its binary edge array, then the labelling attached to it — no
+// landmark searches, no label construction.
+func rebuildIndex(st ckptState) (*dynhl.Index, error) {
+	g, err := decodeGraphSection(st.graph, st.vertices)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := dynhl.LoadIndex(bytes.NewReader(st.labels), g)
+	if err != nil {
+		return nil, fmt.Errorf("wal: checkpoint labelling: %w", err)
+	}
+	return idx, nil
+}
+
+// replay applies the log tail beyond ckptEpoch to store, returning how many
+// records it replayed. Records at or below ckptEpoch (kept for an older
+// checkpoint) are skipped; beyond it epochs must be contiguous with the
+// store's.
+func replay(store *dynhl.Store, dir string, ckptEpoch uint64, logf func(string, ...any)) (uint64, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil // no log yet: the checkpoint is the whole state
+		}
+		return 0, err
+	}
+	var replayed uint64
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return 0, err
+		}
+		off := 0
+		for off < len(data) {
+			rec, next, err := decodeRecord(data, off)
+			switch {
+			case errors.Is(err, errTorn):
+				if !last {
+					return 0, fmt.Errorf("wal: %s: torn record at offset %d mid-log (later segments exist): refusing to recover", seg.path, off)
+				}
+				// A crash cut the final append short; the record's epoch
+				// was never published, so dropping it loses nothing.
+				logf("wal: truncating torn record at end of %s (offset %d, %d trailing bytes)", seg.path, off, len(data)-off)
+				if err := os.Truncate(seg.path, int64(off)); err != nil {
+					return 0, fmt.Errorf("wal: truncating torn tail: %w", err)
+				}
+				return replayed, nil
+			case err != nil:
+				return 0, fmt.Errorf("wal: %s: refusing to recover past damaged log: %w", seg.path, err)
+			}
+			if rec.epoch > ckptEpoch {
+				if want := store.Epoch() + 1; rec.epoch != want {
+					return 0, fmt.Errorf("wal: %s: record for epoch %d where %d was expected (gap in the log): refusing to recover", seg.path, rec.epoch, want)
+				}
+				if _, err := store.Apply(rec.ops); err != nil {
+					return 0, fmt.Errorf("wal: replaying epoch %d: %w", rec.epoch, err)
+				}
+				replayed++
+			}
+			off = next
+		}
+	}
+	return replayed, nil
+}

@@ -1,0 +1,128 @@
+package dynhl
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestOpCodecRoundTrip(t *testing.T) {
+	batches := [][]Op{
+		nil,
+		{InsertEdgeOp(0, 1, 0)},
+		{InsertEdgeOp(1<<32-1, 0, Dist(1<<32-1))},
+		{DeleteEdgeOp(3, 4), DeleteVertexOp(9)},
+		{InsertVertexOp()},
+		{InsertVertexOp(Arc{To: 5}, Arc{To: 6, W: 3}, Arc{To: 7, In: true})},
+		{InsertEdgeOp(1, 2, 1), DeleteEdgeOp(1, 2), InsertVertexOp(Arcs(1, 2, 3)...), DeleteVertexOp(4)},
+	}
+	for i, ops := range batches {
+		buf, err := AppendOps(nil, ops)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		got, n, err := DecodeOps(buf)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("batch %d: consumed %d of %d bytes", i, n, len(buf))
+		}
+		if len(got) != len(ops) {
+			t.Fatalf("batch %d: %d ops, want %d", i, len(got), len(ops))
+		}
+		for j := range ops {
+			if !reflect.DeepEqual(normalizeArcs(got[j]), normalizeArcs(ops[j])) {
+				t.Fatalf("batch %d op %d: got %+v want %+v", i, j, got[j], ops[j])
+			}
+		}
+	}
+}
+
+// normalizeArcs maps the empty-arcs representations (nil vs empty slice)
+// onto one form for comparison.
+func normalizeArcs(op Op) Op {
+	if len(op.Arcs) == 0 {
+		op.Arcs = nil
+	}
+	return op
+}
+
+func TestOpCodecRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty input":           {},
+		"unknown kind":          {1, 99, 0, 0},
+		"zero kind":             {1, 0},
+		"truncated insert edge": {1, byte(OpInsertEdge), 3},
+		"op count beyond input": {200, byte(OpDeleteVertex), 1},
+		"arc count beyond input": func() []byte {
+			return []byte{1, byte(OpInsertVertex), 255}
+		}(),
+		"bad arc flag": {1, byte(OpInsertVertex), 1, 5, 0, 7},
+		"u overflows uint32": func() []byte {
+			b := []byte{1, byte(OpDeleteVertex)}
+			return append(b, 0xff, 0xff, 0xff, 0xff, 0xff, 0x1f) // > 1<<32
+		}(),
+	}
+	for name, buf := range cases {
+		if _, _, err := DecodeOps(buf); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestAppendBinaryRejectsUnknownKind(t *testing.T) {
+	if _, err := (Op{Kind: OpKind(77)}).AppendBinary(nil); err == nil {
+		t.Fatal("encoded an unknown op kind")
+	}
+	if _, err := AppendOps(nil, []Op{{Kind: OpKind(0)}}); err == nil {
+		t.Fatal("encoded a zero op kind")
+	}
+}
+
+// FuzzOpCodec exercises the binary codec on arbitrary bytes: decoding must
+// never panic, and whatever decodes must re-encode and decode back to the
+// same batch (the WAL depends on the codec being deterministic).
+func FuzzOpCodec(f *testing.F) {
+	seed := [][]Op{
+		{InsertEdgeOp(3, 97, 0), DeleteEdgeOp(0, 5)},
+		{InsertVertexOp(Arc{To: 1, W: 2, In: true}), DeleteVertexOp(9)},
+		{InsertEdgeOp(1<<32-1, 1<<31, Dist(7))},
+	}
+	for _, ops := range seed {
+		buf, err := AppendOps(nil, ops)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, n, err := DecodeOps(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		enc, err := AppendOps(nil, ops)
+		if err != nil {
+			t.Fatalf("decoded batch fails to re-encode: %v", err)
+		}
+		back, m, err := DecodeOps(enc)
+		if err != nil {
+			t.Fatalf("re-encoded batch fails to decode: %v", err)
+		}
+		if m != len(enc) {
+			t.Fatalf("re-decode consumed %d of %d bytes", m, len(enc))
+		}
+		if len(back) != len(ops) {
+			t.Fatalf("round trip changed op count: %d -> %d", len(ops), len(back))
+		}
+		for i := range ops {
+			if !reflect.DeepEqual(normalizeArcs(back[i]), normalizeArcs(ops[i])) {
+				t.Fatalf("op %d changed in round trip: %+v -> %+v", i, ops[i], back[i])
+			}
+		}
+	})
+}

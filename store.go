@@ -3,10 +3,12 @@ package dynhl
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // batchChunk is the smallest per-worker share of a fanned QueryBatch; below
@@ -88,6 +90,91 @@ type Store struct {
 	// rmu is non-nil only in the compatibility fallback for oracles the
 	// package cannot fork; it degrades reads to RLock and writes to Lock.
 	rmu *sync.RWMutex
+
+	// dur holds the attached Durability layer (or nil); written once by
+	// AttachDurability, read on every publish and by Stats.
+	dur atomic.Value
+}
+
+// DurabilityStats describes the state of a durability layer attached with
+// AttachDurability — write-ahead log counters and recovery provenance. It
+// appears in Store.Stats (and the HTTP /stats endpoint) so basic WAL
+// visibility does not require the admin endpoints.
+type DurabilityStats struct {
+	// Records and Bytes count the WAL records appended since the log was
+	// opened, and their total encoded size.
+	Records uint64
+	Bytes   uint64
+	// Syncs counts fsync calls issued; LastSync is when the latest one
+	// completed (zero when the log has never synced).
+	Syncs    uint64
+	LastSync time.Time
+	// DurableEpoch is the highest epoch known to be durable — the log's
+	// sequence number: every epoch at or below it survives a crash.
+	DurableEpoch uint64
+	// CheckpointEpoch is the epoch of the newest completed checkpoint;
+	// log records at or below it have been superseded.
+	CheckpointEpoch uint64
+	// Segments is the number of live log segment files.
+	Segments int
+	// Replayed is the number of records the recovery that opened this log
+	// replayed over its checkpoint (zero for a fresh directory).
+	Replayed uint64
+}
+
+// Durability is a write-ahead durability layer attached to a Store with
+// AttachDurability (implemented by internal/wal). The Store calls Commit
+// with every snapshot about to be published — after the batch has been
+// applied to the working copy, before readers can see it — so the layer
+// can make the batch durable first; a Commit error aborts the publish and
+// the epoch does not advance. ops is the batch that produced the epoch,
+// or nil when the snapshot was published without one (Load), in which case
+// the layer must capture next itself (e.g. by checkpointing it).
+type Durability interface {
+	Commit(epoch uint64, ops []Op, next View) error
+	DurabilityStats() DurabilityStats
+}
+
+// AttachDurability registers d as the store's durability layer: every
+// subsequent publish calls d.Commit before becoming visible, and Stats
+// reports d's counters. A Store accepts at most one layer; attaching to a
+// store that already has one is an error. So is attaching to a store in
+// the non-forkable fallback mode: there a batch mutates the oracle in
+// place before the hook runs, so a refused commit would leave the ops
+// applied in memory but absent from the log — a recovery would then
+// silently replay later epochs over a state missing that batch.
+func (s *Store) AttachDurability(d Durability) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.rmu != nil {
+		return errors.New("dynhl: durability needs a forkable oracle (the fallback mode cannot roll a refused batch back)")
+	}
+	if s.durability() != nil {
+		return errors.New("dynhl: store already has a durability layer")
+	}
+	s.dur.Store(&d)
+	return nil
+}
+
+// durability returns the attached layer, or nil.
+func (s *Store) durability() Durability {
+	if d, ok := s.dur.Load().(*Durability); ok {
+		return *d
+	}
+	return nil
+}
+
+// commit runs the attached durability layer's pre-publish hook for next;
+// the caller must not publish when it errors.
+func (s *Store) commit(next *snapshot, ops []Op) error {
+	d := s.durability()
+	if d == nil {
+		return nil
+	}
+	if err := d.Commit(next.epoch, ops, &view{sn: next}); err != nil {
+		return fmt.Errorf("dynhl: durability commit of epoch %d: %w", next.epoch, err)
+	}
+	return nil
 }
 
 // NewStore wraps o for versioned snapshot access at epoch 0. Wrapping a
@@ -105,6 +192,26 @@ func NewStore(o Oracle) *Store {
 		s.rmu = new(sync.RWMutex)
 	}
 	s.cur.Store(&snapshot{o: o})
+	return s
+}
+
+// NewStoreAt wraps o like NewStore but publishes it as the given epoch
+// instead of 0 — the entry point for restoring persisted state: a recovery
+// (internal/wal) rebuilds the oracle from a checkpoint, wraps it at the
+// checkpoint's epoch, and replays the log tail over it so replayed batches
+// republish under their original epochs. o must be a plain oracle; wrapping
+// an existing Store (or ConcurrentOracle) cannot rewrite its history and
+// panics.
+func NewStoreAt(o Oracle, epoch uint64) *Store {
+	switch o.(type) {
+	case *Store, *ConcurrentOracle:
+		panic("dynhl: NewStoreAt needs a plain oracle, not an existing store")
+	}
+	s := &Store{}
+	if _, ok := o.(forkable); !ok {
+		s.rmu = new(sync.RWMutex)
+	}
+	s.cur.Store(&snapshot{o: o, epoch: epoch})
 	return s
 }
 
@@ -160,7 +267,11 @@ func (s *Store) ApplyEpoch(ops []Op) ([]UpdateSummary, uint64, error) {
 		if err != nil {
 			return sums, cur.epoch, err
 		}
-		s.cur.Store(&snapshot{o: cur.o, epoch: cur.epoch + 1})
+		next := &snapshot{o: cur.o, epoch: cur.epoch + 1}
+		if err := s.commit(next, ops); err != nil {
+			return sums, cur.epoch, err // fallback mode: ops stay applied
+		}
+		s.cur.Store(next)
 		return sums, cur.epoch + 1, nil
 	}
 	work := cur.o.(forkable).fork()
@@ -168,7 +279,11 @@ func (s *Store) ApplyEpoch(ops []Op) ([]UpdateSummary, uint64, error) {
 	if err != nil {
 		return nil, cur.epoch, err // discard the fork: all-or-nothing
 	}
-	s.cur.Store(&snapshot{o: work, epoch: cur.epoch + 1})
+	next := &snapshot{o: work, epoch: cur.epoch + 1}
+	if err := s.commit(next, ops); err != nil {
+		return nil, cur.epoch, err // discard the fork: not durable, not published
+	}
+	s.cur.Store(next)
 	return sums, cur.epoch + 1, nil
 }
 
@@ -250,14 +365,21 @@ func (s *Store) NumVertices() int {
 	return sn.o.NumVertices()
 }
 
-// Stats returns the current snapshot's index statistics.
+// Stats returns the current snapshot's index statistics, stamped with its
+// epoch and — when a durability layer is attached — the WAL counters.
 func (s *Store) Stats() Stats {
 	sn := s.cur.Load()
 	if s.rmu != nil {
 		s.rmu.RLock()
 		defer s.rmu.RUnlock()
 	}
-	return sn.o.Stats()
+	st := sn.o.Stats()
+	st.Epoch = sn.epoch
+	if d := s.durability(); d != nil {
+		ds := d.DurabilityStats()
+		st.Durability = &ds
+	}
+	return st
 }
 
 // Verify audits the current snapshot's labelling.
@@ -310,7 +432,11 @@ func (s *Store) LoadEpoch(r io.Reader) (uint64, error) {
 		if err := l.Load(r); err != nil {
 			return cur.epoch, err
 		}
-		s.cur.Store(&snapshot{o: cur.o, epoch: cur.epoch + 1})
+		next := &snapshot{o: cur.o, epoch: cur.epoch + 1}
+		if err := s.commit(next, nil); err != nil {
+			return cur.epoch, err // fallback mode: the load stays applied
+		}
+		s.cur.Store(next)
 		return cur.epoch + 1, nil
 	}
 	work := cur.o.(forkable).fork()
@@ -321,7 +447,11 @@ func (s *Store) LoadEpoch(r io.Reader) (uint64, error) {
 	if err := l.Load(r); err != nil {
 		return cur.epoch, err // discard the fork
 	}
-	s.cur.Store(&snapshot{o: work, epoch: cur.epoch + 1})
+	next := &snapshot{o: work, epoch: cur.epoch + 1}
+	if err := s.commit(next, nil); err != nil {
+		return cur.epoch, err // discard the fork
+	}
+	s.cur.Store(next)
 	return cur.epoch + 1, nil
 }
 
@@ -374,8 +504,16 @@ func (v *view) NumVertices() int {
 
 func (v *view) Stats() Stats {
 	defer v.rlock()()
-	return v.cur().o.Stats()
+	sn := v.cur()
+	st := sn.o.Stats()
+	st.Epoch = sn.epoch
+	return st
 }
+
+// Unwrap returns the snapshot's underlying oracle — how a durability layer
+// reaches the concrete variant's extra capabilities (graph access for
+// checkpoints) behind a View. Callers must treat it as frozen.
+func (v *view) Unwrap() Oracle { return v.cur().o }
 
 // Save serialises the view's labelling — for a pinned snapshot, exactly the
 // version Epoch names, however many epochs the store publishes meanwhile.
