@@ -1,0 +1,142 @@
+package dynhl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// The packed read path must be allocation-free: a published View answers
+// Query with zero heap allocations and QueryBatch with nothing beyond the
+// result slice. These are regression gates (run in CI under GOGC=off) for
+// the CSR arena layout — a stray closure, boxed heap item or per-level
+// frontier slice on any variant's query path trips them.
+
+// allocPairs returns query endpoints spread over the vertex range so the
+// measured loop exercises label-pair scans and the bounded sparsified
+// search, not one cached pair.
+func allocPairs(n int, seed int64) []Pair {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]Pair, 64)
+	for i := range pairs {
+		pairs[i] = Pair{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))}
+	}
+	return pairs
+}
+
+// measureView asserts v.Query allocates nothing and v.QueryBatch allocates
+// only its result slice, for a snapshot serving n vertices.
+func measureView(t *testing.T, variant string, v View, n int) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the gate runs in normal builds")
+	}
+	pairs := allocPairs(n, 7)
+	// Warm the scratch pools: the first query on a cold pool allocates its
+	// QuerySpace; steady state must not.
+	for _, p := range pairs {
+		v.Query(p.U, p.V)
+	}
+	i := 0
+	if got := testing.AllocsPerRun(200, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		v.Query(p.U, p.V)
+	}); got != 0 {
+		t.Errorf("%s: View.Query allocates %.1f times per call, want 0", variant, got)
+	}
+	// len(pairs) = 64 = serialBatchMax keeps the batch on the serial path:
+	// goroutine fan-out is measured by the benchmarks, not this gate.
+	if got := testing.AllocsPerRun(50, func() {
+		v.QueryBatch(pairs)
+	}); got > 1 {
+		t.Errorf("%s: View.QueryBatch allocates %.1f times per batch, want only the result slice", variant, got)
+	}
+}
+
+func TestPackedQueryZeroAllocs(t *testing.T) {
+	const n = 400
+	t.Run("undirected", func(t *testing.T) {
+		idx, err := Build(testutil.RandomConnectedGraph(n, 2*n, 11), Options{Landmarks: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := NewStore(idx)
+		if st.Snapshot().Stats().PackedBytes == 0 {
+			t.Fatal("published snapshot is not packed")
+		}
+		measureView(t, "undirected", st.Snapshot(), n)
+	})
+	t.Run("directed", func(t *testing.T) {
+		g := NewDigraph(n)
+		rng := rand.New(rand.NewSource(13))
+		for i := 0; i < n; i++ {
+			g.AddVertex()
+		}
+		for e := 0; e < 2*n; e++ {
+			u, v := uint32(rng.Intn(n)), uint32(rng.Intn(n/2)+1)
+			if u != v {
+				g.MustAddEdge(u, v)
+			}
+		}
+		idx, err := BuildDirected(g, Options{Landmarks: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := NewStore(idx)
+		if st.Snapshot().Stats().PackedBytes == 0 {
+			t.Fatal("published snapshot is not packed")
+		}
+		measureView(t, "directed", st.Snapshot(), n)
+	})
+	t.Run("weighted", func(t *testing.T) {
+		g := NewWeightedGraph(n)
+		rng := rand.New(rand.NewSource(17))
+		for i := 0; i < n; i++ {
+			g.AddVertex()
+		}
+		for e := 0; e < 2*n; e++ {
+			u, v := uint32(rng.Intn(n)), uint32(rng.Intn(n/2)+1)
+			if u != v {
+				g.MustAddEdge(u, v, Dist(rng.Intn(8)+1))
+			}
+		}
+		idx, err := BuildWeighted(g, Options{Landmarks: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := NewStore(idx)
+		if st.Snapshot().Stats().PackedBytes == 0 {
+			t.Fatal("published snapshot is not packed")
+		}
+		measureView(t, "weighted", st.Snapshot(), n)
+	})
+}
+
+// TestPackedSurvivesPublish pins the pack-on-publish cycle: every epoch a
+// Store publishes — fresh wrap, batch applies, loads — serves from a packed
+// labelling, and a mutated fork never leaks an unpacked snapshot.
+func TestPackedSurvivesPublish(t *testing.T) {
+	idx, err := Build(testutil.RandomConnectedGraph(200, 400, 23), Options{Landmarks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStore(idx)
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 10; i++ {
+		var ops []Op
+		for len(ops) < 3 {
+			u, v := uint32(rng.Intn(200)), uint32(rng.Intn(200))
+			if u != v && !st.Unwrap().(*Index).Graph().HasEdge(u, v) {
+				ops = append(ops, InsertEdgeOp(u, v, 0))
+			}
+		}
+		if _, err := st.Apply(ops); err != nil {
+			t.Fatal(err)
+		}
+		if st.Snapshot().Stats().PackedBytes == 0 {
+			t.Fatalf("epoch %d published unpacked", st.Epoch())
+		}
+	}
+}

@@ -8,7 +8,7 @@
 //	hlbench -exp fig3 -datasets Skitter,UK   # subset of datasets
 //	hlbench -exp fig4 -updates 500           # 500×10 insertions in Fig 4
 //
-// Experiments: table1, table2, fig1, fig3, fig4, ablation, all.
+// Experiments: table1, table2, fig1, fig3, fig4, ablation, packed, all.
 package main
 
 import (
@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|fig1|fig3|fig4|ablation|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|fig1|fig3|fig4|ablation|packed|all")
 		scale     = flag.Float64("scale", 1.0, "proxy size multiplier")
 		updates   = flag.Int("updates", 1000, "edge insertions per dataset")
 		queries   = flag.Int("queries", 10000, "distance queries per dataset")
@@ -57,13 +57,14 @@ func main() {
 
 	runners := map[string]func(exper.Config) error{
 		"table2":   func(c exper.Config) error { _, err := exper.Table2(c); return err },
+		"packed":   func(c exper.Config) error { _, err := exper.Packed(c); return err },
 		"fig1":     func(c exper.Config) error { _, err := exper.Fig1(c); return err },
 		"table1":   func(c exper.Config) error { _, err := exper.Table1(c); return err },
 		"fig3":     func(c exper.Config) error { _, err := exper.Fig3(c); return err },
 		"fig4":     func(c exper.Config) error { _, err := exper.Fig4(c); return err },
 		"ablation": func(c exper.Config) error { _, err := exper.Ablation(c); return err },
 	}
-	order := []string{"table2", "fig1", "table1", "fig3", "fig4", "ablation"}
+	order := []string{"table2", "fig1", "table1", "fig3", "fig4", "ablation", "packed"}
 
 	var names []string
 	if *exp == "all" {

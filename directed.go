@@ -113,6 +113,10 @@ func (x *DirectedIndex) InsertVertex(arcs []Arc) (uint32, UpdateSummary, error) 
 // Oracle.Apply); wrap with NewStore for all-or-nothing batches.
 func (x *DirectedIndex) Apply(ops []Op) ([]UpdateSummary, error) { return applyOps(x, ops) }
 
+// packLabels freezes both label directions into their packed CSR read
+// forms (see hcl.Packed); delta-aware on forks.
+func (x *DirectedIndex) packLabels() { x.idx.Pack() }
+
 // fork returns the copy-on-write working copy backing Store publishes.
 func (x *DirectedIndex) fork() Oracle {
 	return &DirectedIndex{idx: x.idx.Fork(x.idx.G.Fork())}
@@ -154,7 +158,7 @@ func directedSummary(st dhcl.Stats) UpdateSummary {
 // forward and the backward label sets.
 func (x *DirectedIndex) Stats() Stats {
 	entries, bytes := x.idx.Sizes()
-	return Stats{
+	st := Stats{
 		Vertices:     x.idx.G.NumVertices(),
 		Edges:        x.idx.G.NumEdges(),
 		Landmarks:    len(x.idx.Landmarks),
@@ -162,10 +166,48 @@ func (x *DirectedIndex) Stats() Stats {
 		Bytes:        bytes,
 		AvgLabelSize: avgLabelSize(entries, x.idx.G.NumVertices()),
 	}
+	if pf := x.idx.PackedForward(); pf != nil {
+		st.PackedBytes += pf.ArenaBytes()
+	}
+	if pb := x.idx.PackedBackward(); pb != nil {
+		st.PackedBytes += pb.ArenaBytes()
+	}
+	return st
 }
 
 // Verify audits both label directions against BFS ground truth.
 func (x *DirectedIndex) Verify() error { return x.idx.VerifyCover() }
+
+// Save serialises the directed labelling to w in a compact binary format
+// (both label sets stored as contiguous CSR arenas). The graph is not
+// included — persist it separately.
+func (x *DirectedIndex) Save(w io.Writer) error {
+	_, err := x.idx.WriteTo(w)
+	return err
+}
+
+// Load swaps in a labelling saved with Save, replacing the current one. The
+// stream must have been saved over the index's current graph; the loaded
+// labelling arrives packed. Use Verify for a full consistency audit after
+// loading from untrusted storage.
+func (x *DirectedIndex) Load(r io.Reader) error {
+	idx, err := dhcl.ReadIndex(r, x.idx.G)
+	if err != nil {
+		return err
+	}
+	x.idx = idx
+	return nil
+}
+
+// LoadDirectedIndex restores a labelling saved with Save and attaches it to
+// g, which must be the graph it was built over.
+func LoadDirectedIndex(r io.Reader, g *Digraph) (*DirectedIndex, error) {
+	idx, err := dhcl.ReadIndex(r, g)
+	if err != nil {
+		return nil, err
+	}
+	return &DirectedIndex{idx: idx}, nil
+}
 
 // Landmarks returns the landmark vertices in rank order.
 func (x *DirectedIndex) Landmarks() []uint32 {

@@ -89,6 +89,35 @@
 // ConcurrentOracle type and the Concurrent constructor remain as a thin
 // compatibility shim over Store.
 //
+// # Two label representations: mutable slices, packed arena
+//
+// The labelling lives in two forms, split along the same read/write line as
+// the snapshots. The mutable build/update representation is one entry slice
+// per vertex: IncHL+ and DecHL repair it in place, copy-on-write forks
+// share untouched slices with their parent, and it remains the source of
+// truth. The packed read representation (hcl.Packed and its directed and
+// weighted counterparts) flattens those labels into a single contiguous
+// entry arena indexed by a CSR offset table: a published snapshot answers a
+// query by slicing the arena — no per-vertex pointer chase, no slice-header
+// traffic, a handful of large arrays for the garbage collector to scan
+// instead of millions of tiny ones — and the query kernels (Equations 1 and
+// 2) stream at most two contiguous entry spans plus one highway row per
+// outer entry, allocation-free.
+//
+// The Store converts between the two at exactly one point: pack-on-publish.
+// After a batch's repairs succeed on the private fork, the labelling is
+// frozen into the packed form before the epoch becomes visible, so readers
+// only ever see packed snapshots while the updater only ever touches
+// slices. The pack is delta-aware — the arena is chunked by vertex range,
+// and a fork reuses by reference every chunk of its parent's arena whose
+// labels the batch did not touch — so an epoch touching k vertices repacks
+// O(k) labels, not O(|V|). Any label write drops the packed form (the two
+// can never disagree); plain unwrapped indexes simply stay on the slice
+// path. Stats reports the arena's footprint as PackedBytes, and the binary
+// codecs of all three variants write the arena as one length-prefixed CSR
+// block, which is what makes a checkpoint load (and PUT /labels) a bulk
+// copy that arrives already packed.
+//
 // # Durability: write-ahead log and checkpoints
 //
 // The whole point of maintaining a labelling incrementally is not paying

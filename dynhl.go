@@ -149,6 +149,10 @@ func (x *Index) InsertVertex(arcs []Arc) (uint32, UpdateSummary, error) {
 // Oracle.Apply); wrap with NewStore for all-or-nothing batches.
 func (x *Index) Apply(ops []Op) ([]UpdateSummary, error) { return applyOps(x, ops) }
 
+// packLabels freezes the labelling into the packed CSR read form the Store
+// serves published snapshots from (see hcl.Packed); delta-aware on forks.
+func (x *Index) packLabels() { x.idx.Pack() }
+
 // fork returns the copy-on-write working copy backing Store publishes: the
 // graph and label store share everything an update does not touch.
 func (x *Index) fork() Oracle {
@@ -217,14 +221,20 @@ type Stats struct {
 	LabelEntries int64   // size(L), total distance entries
 	Bytes        int64   // labels + highway storage
 	AvgLabelSize float64 // entries per vertex (the paper's l)
-	Epoch        uint64
-	Durability   *DurabilityStats `json:",omitempty"`
+	// PackedBytes is the storage charged for the packed CSR read
+	// representation published snapshots serve queries from — EntryBytes
+	// per arena entry plus the offset index, uniformly across variants
+	// (both label directions for the directed one). Zero when the
+	// labelling is not currently packed (a plain mutable index).
+	PackedBytes int64
+	Epoch       uint64
+	Durability  *DurabilityStats `json:",omitempty"`
 }
 
 // Stats returns current size statistics.
 func (x *Index) Stats() Stats {
 	entries := x.idx.NumEntries()
-	return Stats{
+	st := Stats{
 		Vertices:     x.idx.G.NumVertices(),
 		Edges:        x.idx.G.NumEdges(),
 		Landmarks:    x.idx.NumLandmarks(),
@@ -232,6 +242,10 @@ func (x *Index) Stats() Stats {
 		Bytes:        entries*hcl.EntryBytes + x.idx.H.Bytes(),
 		AvgLabelSize: avgLabelSize(entries, x.idx.G.NumVertices()),
 	}
+	if p := x.idx.PackedLabels(); p != nil {
+		st.PackedBytes = p.ArenaBytes()
+	}
+	return st
 }
 
 // Verify checks the highway cover property of the current labelling against

@@ -1,0 +1,133 @@
+package dynhl
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// FuzzPackedDifferential drives a fuzz-derived op stream through two
+// independent read paths and a ground-truth oracle at every epoch:
+//
+//   - a Store, whose published snapshots answer from the packed CSR arena
+//     (pack-on-publish),
+//   - a plain Index fed the same batches, which stays on the mutable
+//     per-vertex slice form (plain Apply never packs),
+//   - all-pairs BFS over a mirror of the graph.
+//
+// Any divergence means the two label representations disagree or the
+// labelling itself is wrong. The seed corpus runs on every plain `go test`;
+// `go test -fuzz=FuzzPackedDifferential` explores further.
+func FuzzPackedDifferential(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0x10, 0x80, 0x33, 0x01, 0xfe, 0x44, 0x12, 0x90, 0x07, 0x65, 0xab, 0xcd, 0x21, 0x43})
+	f.Add([]byte{0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa, 0x99, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		base := testutil.RandomConnectedGraph(24, 40, 97)
+		mirror := base.Clone()
+
+		packed, err := Build(base, Options{Landmarks: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		landmark := make(map[uint32]bool)
+		for _, l := range packed.Landmarks() {
+			landmark[l] = true
+		}
+		st := NewStore(packed)
+
+		plain, err := Build(mirror.Clone(), Options{Landmarks: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Decode data into batches of pre-validated ops: each op consumes
+		// three bytes and is kept only if it will succeed, so the Store's
+		// all-or-nothing Apply and the plain Index's stop-at-first-failure
+		// Apply stay byte-for-byte in lockstep.
+		var ops []Op
+		apply := func() {
+			if len(ops) == 0 {
+				return
+			}
+			if _, err := st.Apply(ops); err != nil {
+				t.Fatalf("store apply: %v", err)
+			}
+			if _, err := plain.Apply(ops); err != nil {
+				t.Fatalf("plain apply: %v", err)
+			}
+			ops = ops[:0]
+
+			v := st.Snapshot()
+			if v.Stats().PackedBytes == 0 {
+				t.Fatalf("epoch %d published unpacked", v.Epoch())
+			}
+			n := uint32(mirror.NumVertices())
+			if int(n) != v.NumVertices() || int(n) != plain.NumVertices() {
+				t.Fatalf("vertex counts diverged: mirror %d, packed %d, plain %d",
+					n, v.NumVertices(), plain.NumVertices())
+			}
+			oracle := testutil.AllPairsOracle(mirror)
+			for u := uint32(0); u < n; u++ {
+				for w := uint32(0); w < n; w++ {
+					want := oracle[u][w]
+					if got := v.Query(u, w); got != want {
+						t.Fatalf("epoch %d: packed Query(%d,%d) = %d, BFS %d", v.Epoch(), u, w, got, want)
+					}
+					if got := plain.Query(u, w); got != want {
+						t.Fatalf("epoch %d: slice Query(%d,%d) = %d, BFS %d", v.Epoch(), u, w, got, want)
+					}
+				}
+			}
+		}
+
+		for i := 0; i+2 < len(data) && mirror.NumVertices() < 48; i += 3 {
+			n := uint32(mirror.NumVertices())
+			a := uint32(data[i+1]) % n
+			b := uint32(data[i+2]) % n
+			switch data[i] % 8 {
+			case 0, 1, 2: // insert edge
+				if a != b && !mirror.HasEdge(a, b) {
+					mirror.MustAddEdge(a, b)
+					ops = append(ops, InsertEdgeOp(a, b, 0))
+				}
+			case 3, 4: // delete edge
+				if a != b && mirror.HasEdge(a, b) {
+					if err := mirror.RemoveEdge(a, b); err != nil {
+						t.Fatal(err)
+					}
+					ops = append(ops, DeleteEdgeOp(a, b))
+				}
+			case 5: // insert vertex joined to a (and b when distinct)
+				neighbors := []uint32{a}
+				if b != a {
+					neighbors = append(neighbors, b)
+				}
+				id := mirror.AddVertex()
+				for _, w := range neighbors {
+					mirror.MustAddEdge(id, w)
+				}
+				ops = append(ops, InsertVertexOp(Arcs(neighbors...)...))
+			case 6: // isolate a non-landmark vertex
+				if !landmark[a] && mirror.Degree(a) > 0 {
+					for _, w := range append([]uint32(nil), mirror.Neighbors(a)...) {
+						if err := mirror.RemoveEdge(a, w); err != nil {
+							t.Fatal(err)
+						}
+					}
+					ops = append(ops, DeleteVertexOp(a))
+				}
+			case 7: // epoch boundary
+				apply()
+			}
+		}
+		apply()
+
+		// The final packed and slice labellings must agree entry for entry,
+		// not just on sampled answers.
+		final := st.Unwrap().(*Index)
+		if err := final.idx.EqualLabels(plain.idx); err != nil {
+			t.Fatalf("packed store and slice index labellings diverged: %v", err)
+		}
+	})
+}

@@ -14,11 +14,19 @@ import (
 
 // QuerySpace is the per-query scratch of the bounded bidirectional searches
 // (Sparsified here and digraph.Sparsified): two distance vectors whose
-// entries are graph.Inf between queries, plus the touched list used to
-// restore them sparsely.
+// entries are graph.Inf between queries, the touched list used to restore
+// them sparsely, and the frontier buffers the search levels rotate through.
+// Keeping the frontiers here (instead of allocating per level) is what
+// makes the indexed query paths allocation-free in steady state.
 type QuerySpace struct {
 	DistU, DistV []graph.Dist
 	Touched      []uint32
+
+	// Fronts are the three frontier buffers the bidirectional searches
+	// rotate (Sparsified here and digraph.Sparsified): the two live sides
+	// plus the level under construction. Capacity persists across queries
+	// drawn from the same pool.
+	Fronts [3][]uint32
 }
 
 // SpacePool hands out query scratch sized for at least n vertices. Handing
@@ -115,30 +123,33 @@ func Dist(g *graph.Graph, u, v uint32) graph.Dist {
 // in the paper). The search is bounded: as soon as it can prove the
 // sparsified distance exceeds bound it returns graph.Inf.
 //
-// distU and distV are scratch vectors of length g.NumVertices() whose
-// entries must all be graph.Inf on entry; they are restored sparsely before
-// returning so callers can reuse them across queries without re-clearing.
-// touched is a reusable scratch slice.
-func Sparsified(g *graph.Graph, u, v uint32, bound graph.Dist, avoid func(uint32) bool, distU, distV []graph.Dist, touched *[]uint32) graph.Dist {
+// s carries all scratch: distance vectors of length ≥ g.NumVertices()
+// whose entries must all be graph.Inf on entry (restored sparsely before
+// returning, so pooled scratch needs no re-clearing) and the frontier
+// buffers. A steady-state query allocates nothing.
+func Sparsified(g *graph.Graph, u, v uint32, bound graph.Dist, avoid func(uint32) bool, s *QuerySpace) graph.Dist {
 	if u == v {
 		return 0
 	}
 	if bound == 0 {
 		return graph.Inf
 	}
-	*touched = (*touched)[:0]
+	distU, distV := s.DistU, s.DistV
+	touched := s.Touched[:0]
 	defer func() {
-		for _, x := range *touched {
+		for _, x := range touched {
 			distU[x] = graph.Inf
 			distV[x] = graph.Inf
 		}
+		s.Touched = touched // keep the grown capacity
 	}()
 
 	distU[u] = 0
 	distV[v] = 0
-	*touched = append(*touched, u, v)
-	frontU := []uint32{u}
-	frontV := []uint32{v}
+	touched = append(touched, u, v)
+	frontU := append(s.Fronts[0][:0], u)
+	frontV := append(s.Fronts[1][:0], v)
+	spare := s.Fronts[2][:0]
 	var du, dv graph.Dist // levels fully expanded on each side
 	best := graph.Inf
 	if bound != graph.Inf {
@@ -153,13 +164,16 @@ func Sparsified(g *graph.Graph, u, v uint32, bound graph.Dist, avoid func(uint32
 			break
 		}
 		if len(frontU) <= len(frontV) {
-			frontU = expand(g, u, v, frontU, du, distU, distV, avoid, &best, touched)
+			next := expand(g, u, v, frontU, du, distU, distV, avoid, &best, &touched, spare)
+			spare, frontU = frontU[:0], next
 			du++
 		} else {
-			frontV = expand(g, v, u, frontV, dv, distV, distU, avoid, &best, touched)
+			next := expand(g, v, u, frontV, dv, distV, distU, avoid, &best, &touched, spare)
+			spare, frontV = frontV[:0], next
 			dv++
 		}
 	}
+	s.Fronts[0], s.Fronts[1], s.Fronts[2] = frontU, frontV, spare
 	if bound != graph.Inf && best > bound {
 		return graph.Inf
 	}
@@ -167,10 +181,10 @@ func Sparsified(g *graph.Graph, u, v uint32, bound graph.Dist, avoid func(uint32
 }
 
 // expand advances one BFS level of the side rooted at src, whose opposite
-// endpoint is dst. Removed vertices are neither discovered nor expanded,
-// except for the two endpoints.
-func expand(g *graph.Graph, src, dst uint32, front []uint32, depth graph.Dist, dist, other []graph.Dist, avoid func(uint32) bool, best *graph.Dist, touched *[]uint32) []uint32 {
-	var next []uint32
+// endpoint is dst, appending the next level into next (length 0, reused
+// capacity). Removed vertices are neither discovered nor expanded, except
+// for the two endpoints.
+func expand(g *graph.Graph, src, dst uint32, front []uint32, depth graph.Dist, dist, other []graph.Dist, avoid func(uint32) bool, best *graph.Dist, touched *[]uint32, next []uint32) []uint32 {
 	for _, x := range front {
 		if avoid != nil && x != src && avoid(x) {
 			continue

@@ -40,23 +40,23 @@ func TestDistDisconnected(t *testing.T) {
 	}
 }
 
-func newScratch(n int) ([]graph.Dist, []graph.Dist, []uint32) {
+func newScratch(n int) *bfs.QuerySpace {
 	du := make([]graph.Dist, n)
 	dv := make([]graph.Dist, n)
 	for i := 0; i < n; i++ {
 		du[i] = graph.Inf
 		dv[i] = graph.Inf
 	}
-	return du, dv, nil
+	return &bfs.QuerySpace{DistU: du, DistV: dv}
 }
 
 func TestSparsifiedNoAvoidMatchesBFS(t *testing.T) {
 	g := testutil.RandomGraph(50, 90, 2)
-	du, dv, touched := newScratch(50)
+	qs := newScratch(50)
 	for u := uint32(0); u < 50; u++ {
 		want := bfs.Distances(g, u)
 		for v := uint32(0); v < 50; v++ {
-			got := bfs.Sparsified(g, u, v, graph.Inf, nil, du, dv, &touched)
+			got := bfs.Sparsified(g, u, v, graph.Inf, nil, qs)
 			if got != want[v] {
 				t.Fatalf("bfs.Sparsified(%d,%d): got %d, want %d", u, v, got, want[v])
 			}
@@ -66,11 +66,11 @@ func TestSparsifiedNoAvoidMatchesBFS(t *testing.T) {
 
 func TestSparsifiedScratchRestored(t *testing.T) {
 	g := testutil.RandomConnectedGraph(40, 60, 4)
-	du, dv, touched := newScratch(40)
-	_ = bfs.Sparsified(g, 0, 39, graph.Inf, nil, du, dv, &touched)
+	qs := newScratch(40)
+	_ = bfs.Sparsified(g, 0, 39, graph.Inf, nil, qs)
 	for i := 0; i < 40; i++ {
-		if du[i] != graph.Inf || dv[i] != graph.Inf {
-			t.Fatalf("scratch not restored at %d: %d/%d", i, du[i], dv[i])
+		if qs.DistU[i] != graph.Inf || qs.DistV[i] != graph.Inf {
+			t.Fatalf("scratch not restored at %d: %d/%d", i, qs.DistU[i], qs.DistV[i])
 		}
 	}
 }
@@ -84,13 +84,13 @@ func TestSparsifiedAvoidsVertices(t *testing.T) {
 	for _, e := range [][2]uint32{{0, 1}, {1, 2}, {0, 3}, {3, 4}, {4, 2}} {
 		g.MustAddEdge(e[0], e[1])
 	}
-	du, dv, touched := newScratch(5)
+	qs := newScratch(5)
 	avoid := func(v uint32) bool { return v == 1 }
-	if got := bfs.Sparsified(g, 0, 2, graph.Inf, avoid, du, dv, &touched); got != 3 {
+	if got := bfs.Sparsified(g, 0, 2, graph.Inf, avoid, qs); got != 3 {
 		t.Errorf("avoiding 1: got %d, want 3", got)
 	}
 	avoidBoth := func(v uint32) bool { return v == 1 || v == 3 }
-	if got := bfs.Sparsified(g, 0, 2, graph.Inf, avoidBoth, du, dv, &touched); got != graph.Inf {
+	if got := bfs.Sparsified(g, 0, 2, graph.Inf, avoidBoth, qs); got != graph.Inf {
 		t.Errorf("avoiding 1 and 3: got %d, want Inf", got)
 	}
 }
@@ -102,9 +102,9 @@ func TestSparsifiedEndpointExemptFromAvoid(t *testing.T) {
 	}
 	g.MustAddEdge(0, 1)
 	g.MustAddEdge(1, 2)
-	du, dv, touched := newScratch(3)
+	qs := newScratch(3)
 	avoid := func(v uint32) bool { return v == 0 || v == 2 }
-	if got := bfs.Sparsified(g, 0, 2, graph.Inf, avoid, du, dv, &touched); got != 2 {
+	if got := bfs.Sparsified(g, 0, 2, graph.Inf, avoid, qs); got != 2 {
 		t.Errorf("endpoints avoided: got %d, want 2", got)
 	}
 }
@@ -117,14 +117,14 @@ func TestSparsifiedRespectsBound(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		g.MustAddEdge(uint32(i), uint32(i+1))
 	}
-	du, dv, touched := newScratch(6)
-	if got := bfs.Sparsified(g, 0, 5, 4, nil, du, dv, &touched); got != graph.Inf {
+	qs := newScratch(6)
+	if got := bfs.Sparsified(g, 0, 5, 4, nil, qs); got != graph.Inf {
 		t.Errorf("bound 4 on distance 5: got %d, want Inf", got)
 	}
-	if got := bfs.Sparsified(g, 0, 5, 5, nil, du, dv, &touched); got != 5 {
+	if got := bfs.Sparsified(g, 0, 5, 5, nil, qs); got != 5 {
 		t.Errorf("bound 5 on distance 5: got %d, want 5", got)
 	}
-	if got := bfs.Sparsified(g, 0, 5, 0, nil, du, dv, &touched); got != graph.Inf {
+	if got := bfs.Sparsified(g, 0, 5, 0, nil, qs); got != graph.Inf {
 		t.Errorf("bound 0: got %d, want Inf", got)
 	}
 }
@@ -155,8 +155,8 @@ func TestSparsifiedQuickAgainstAvoidedOracle(t *testing.T) {
 			}
 		})
 		want := bfs.Dist(pruned, u, v)
-		du, dv, touched := newScratch(n)
-		got := bfs.Sparsified(g, u, v, graph.Inf, avoid, du, dv, &touched)
+		qs := newScratch(n)
+		got := bfs.Sparsified(g, u, v, graph.Inf, avoid, qs)
 		return got == want
 	}
 	for i := 0; i < 300; i++ {
@@ -175,9 +175,9 @@ func TestSparsifiedQuickBoundNeverLies(t *testing.T) {
 		u := uint32(rng.Intn(25))
 		v := uint32(rng.Intn(25))
 		bound := graph.Dist(boundRaw % 8)
-		du, dv, touched := newScratch(25)
-		free := bfs.Sparsified(g, u, v, graph.Inf, nil, du, dv, &touched)
-		got := bfs.Sparsified(g, u, v, bound, nil, du, dv, &touched)
+		qs := newScratch(25)
+		free := bfs.Sparsified(g, u, v, graph.Inf, nil, qs)
+		got := bfs.Sparsified(g, u, v, bound, nil, qs)
 		if free <= bound {
 			return got == free
 		}

@@ -90,3 +90,29 @@ func (s *Set) ResetSparse(set []uint32) {
 		s.Clear(i)
 	}
 }
+
+// AllSet reports whether every bit in [lo, hi) is set. An empty range is
+// trivially all-set. Bits at or beyond Len() count as clear, matching Get.
+func (s *Set) AllSet(lo, hi int) bool {
+	if hi > s.size {
+		return lo >= hi
+	}
+	if lo >= hi {
+		return true
+	}
+	lw, hw := lo>>6, (hi-1)>>6
+	if lw == hw {
+		mask := (^uint64(0) << (lo & 63)) & (^uint64(0) >> (63 - (hi-1)&63))
+		return s.words[lw]&mask == mask
+	}
+	if head := ^uint64(0) << (lo & 63); s.words[lw]&head != head {
+		return false
+	}
+	for i := lw + 1; i < hw; i++ {
+		if s.words[i] != ^uint64(0) {
+			return false
+		}
+	}
+	tail := ^uint64(0) >> (63 - (hi-1)&63)
+	return s.words[hw]&tail == tail
+}

@@ -1,0 +1,134 @@
+package dhcl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/digraph"
+	"repro/internal/graph"
+	"repro/internal/hcl"
+)
+
+// Binary index format:
+//
+//	magic "DHL1" | u32 |V| | u32 |R| | landmarks u32×|R| |
+//	highway u32×|R|² (row-major, hf[i*k+j] = d(ri→rj)) |
+//	forward label block | backward label block
+//
+// The label blocks are the shared CSR layout of hcl.WriteLabelBlock, so a
+// load is two bulk arena reads and the loaded index is already packed. All
+// integers little-endian; the graph is serialised separately.
+const codecMagic = "DHL1"
+
+// WriteTo serialises the directed labelling (landmarks, highway, both label
+// sets) to w.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &hcl.CountingWriter{W: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return cw.N, err
+	}
+	le := binary.LittleEndian
+	var u32 [4]byte
+	writeU32 := func(v uint32) error {
+		le.PutUint32(u32[:], v)
+		_, err := bw.Write(u32[:])
+		return err
+	}
+	if err := writeU32(uint32(len(idx.Lf))); err != nil {
+		return cw.N, err
+	}
+	if err := writeU32(uint32(idx.k)); err != nil {
+		return cw.N, err
+	}
+	for _, v := range idx.Landmarks {
+		if err := writeU32(v); err != nil {
+			return cw.N, err
+		}
+	}
+	for _, d := range idx.hf {
+		if err := writeU32(uint32(d)); err != nil {
+			return cw.N, err
+		}
+	}
+	if err := hcl.WriteLabelBlock(bw, idx.Lf); err != nil {
+		return cw.N, err
+	}
+	if err := hcl.WriteLabelBlock(bw, idx.Lb); err != nil {
+		return cw.N, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.N, err
+	}
+	return cw.N, nil
+}
+
+// ReadIndex deserialises a labelling written by WriteTo and attaches it to
+// g, which must be the graph the index was built over (vertex count is
+// checked; callers needing a stronger guarantee can run VerifyCover). The
+// loaded index is already packed in both directions: the label blocks are
+// the arenas.
+func ReadIndex(r io.Reader, g *digraph.Digraph) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(codecMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dhcl: reading index header: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("dhcl: bad index magic %q", magic)
+	}
+	var nv, nr uint32
+	if err := binary.Read(br, binary.LittleEndian, &nv); err != nil {
+		return nil, fmt.Errorf("dhcl: reading vertex count: %w", err)
+	}
+	if int(nv) != g.NumVertices() {
+		return nil, fmt.Errorf("dhcl: index has %d vertices, graph has %d", nv, g.NumVertices())
+	}
+	if err := binary.Read(br, binary.LittleEndian, &nr); err != nil {
+		return nil, fmt.Errorf("dhcl: reading landmark count: %w", err)
+	}
+	if nr == 0 || nr > 1<<16 {
+		return nil, fmt.Errorf("dhcl: implausible landmark count %d", nr)
+	}
+	landmarks := make([]uint32, nr)
+	if err := binary.Read(br, binary.LittleEndian, landmarks); err != nil {
+		return nil, fmt.Errorf("dhcl: reading landmarks: %w", err)
+	}
+	for _, v := range landmarks {
+		if v >= nv {
+			return nil, fmt.Errorf("dhcl: landmark %d out of range", v)
+		}
+	}
+	k := int(nr)
+	idx := &Index{
+		G:         g,
+		Landmarks: landmarks,
+		Lf:        make([]hcl.Label, nv),
+		Lb:        make([]hcl.Label, nv),
+		hf:        make([]graph.Dist, k*k),
+		k:         k,
+		rankArr:   make([]uint16, nv),
+	}
+	if err := binary.Read(br, binary.LittleEndian, idx.hf); err != nil {
+		return nil, fmt.Errorf("dhcl: reading highway: %w", err)
+	}
+	for i := range idx.rankArr {
+		idx.rankArr[i] = noRank
+	}
+	for r, v := range idx.Landmarks {
+		idx.rankArr[v] = uint16(r)
+	}
+	arenaF, offF, err := hcl.ReadLabelBlock(br, nv, nr)
+	if err != nil {
+		return nil, fmt.Errorf("dhcl: forward %w", err)
+	}
+	arenaB, offB, err := hcl.ReadLabelBlock(br, nv, nr)
+	if err != nil {
+		return nil, fmt.Errorf("dhcl: backward %w", err)
+	}
+	idx.packedF = hcl.AttachArena(idx.Lf, arenaF, offF)
+	idx.packedB = hcl.AttachArena(idx.Lb, arenaB, offB)
+	return idx, nil
+}

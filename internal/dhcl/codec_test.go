@@ -1,0 +1,78 @@
+package dhcl
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCodecRoundTrip pins that WriteTo → ReadIndex reproduces the directed
+// labelling exactly (labels, highway, landmarks), that the loaded index
+// arrives packed in both directions, and that a second save of the loaded
+// index is byte-identical to the first — the checkpoint-equals-fresh-build
+// guarantee.
+func TestCodecRoundTrip(t *testing.T) {
+	g := randomDigraph(120, 400, 41)
+	idx, err := Build(g, topLandmarks(g, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.EqualLabels(idx); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.PackedForward() == nil || loaded.PackedBackward() == nil {
+		t.Fatal("loaded index must arrive packed in both directions")
+	}
+	for u := uint32(0); u < 120; u += 7 {
+		for v := uint32(0); v < 120; v += 11 {
+			if got, want := loaded.Query(u, v), idx.Query(u, v); got != want {
+				t.Fatalf("loaded Query(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+	var again bytes.Buffer
+	if _, err := loaded.WriteTo(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-saving a loaded labelling must be byte-identical")
+	}
+	if err := loaded.VerifyCover(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCodecRejectsCorruption pins the untrusted-stream validation: a wrong
+// magic, a truncated stream and an implausible landmark count all refuse.
+func TestCodecRejectsCorruption(t *testing.T) {
+	g := randomDigraph(40, 120, 43)
+	idx, err := Build(g, topLandmarks(g, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	bad := append([]byte(nil), blob...)
+	copy(bad, "XXXX")
+	if _, err := ReadIndex(bytes.NewReader(bad), g); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadIndex(bytes.NewReader(blob[:len(blob)/2]), g); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	other := randomDigraph(41, 120, 44)
+	if _, err := ReadIndex(bytes.NewReader(blob), other); err == nil {
+		t.Error("vertex-count mismatch accepted")
+	}
+}

@@ -40,6 +40,14 @@ type Index struct {
 	sharedF *bitset.Set
 	sharedB *bitset.Set
 
+	// packedF/packedB are the CSR read representations of Lf and Lb,
+	// non-nil only while the index is publishable (built by Pack, dropped
+	// by the first label write); queries prefer them. The parent fields
+	// remember the forked-from packed forms so the next Pack can reuse
+	// untouched chunks (see hcl.Pack).
+	packedF, packedB             *hcl.Packed
+	parentPackedF, parentPackedB *hcl.Packed
+
 	scratch bfs.SpacePool
 
 	// rebuild scratch for the deletion path, reused across DeleteEdge calls
@@ -189,18 +197,32 @@ func (idx *Index) Rank(v uint32) (uint16, bool) {
 	return r, r != noRank
 }
 
+// labelF returns the forward entry span of vertex v from the packed arena
+// when the index is packed, else from the mutable label table; labelB
+// mirrors it for backward labels. The query path reads labels only through
+// these helpers, so both representations answer identically.
+func (idx *Index) labelF(v uint32) []hcl.Entry {
+	if p := idx.packedF; p != nil {
+		return p.Label(v)
+	}
+	return idx.Lf[v]
+}
+
+func (idx *Index) labelB(v uint32) []hcl.Entry {
+	if p := idx.packedB; p != nil {
+		return p.Label(v)
+	}
+	return idx.Lb[v]
+}
+
 // DistF returns the exact directed distance landmark(r) → v.
 func (idx *Index) DistF(r uint16, v uint32) graph.Dist {
 	if s := idx.rankArr[v]; s != noRank {
 		return idx.Highway(r, s)
 	}
-	best := graph.Inf
-	for _, e := range idx.Lf[v] {
-		if t := graph.AddDist(idx.Highway(r, e.Rank), e.D); t < best {
-			best = t
-		}
-	}
-	return best
+	// Row r of the highway holds d(r→s) for every rank s, which is exactly
+	// the Equation 1 kernel shape.
+	return hcl.LandmarkVia(idx.hf[int(r)*idx.k:int(r)*idx.k+idx.k], idx.labelF(v))
 }
 
 // DistB returns the exact directed distance v → landmark(r).
@@ -209,7 +231,7 @@ func (idx *Index) DistB(r uint16, v uint32) graph.Dist {
 		return idx.Highway(s, r)
 	}
 	best := graph.Inf
-	for _, e := range idx.Lb[v] {
+	for _, e := range idx.labelB(v) {
 		if t := graph.AddDist(e.D, idx.Highway(e.Rank, r)); t < best {
 			best = t
 		}
@@ -232,16 +254,10 @@ func (idx *Index) UpperBound(u, v uint32) graph.Dist {
 	case vIsL:
 		return idx.DistB(rv, u)
 	}
-	best := graph.Inf
-	for _, eu := range idx.Lb[u] {
-		for _, ev := range idx.Lf[v] {
-			t := graph.AddDist(eu.D, graph.AddDist(idx.Highway(eu.Rank, ev.Rank), ev.D))
-			if t < best {
-				best = t
-			}
-		}
-	}
-	return best
+	// Equation 2, directed: min over eu ∈ L_b(u), ev ∈ L_f(v) of
+	// δ(u→eu) + δ_H(eu→ev) + δ(ev→v), the shared kernel over the flat
+	// highway matrix.
+	return hcl.UpperBoundMat(idx.hf, idx.k, idx.labelB(u), idx.labelF(v))
 }
 
 // Query answers an exact directed distance query u→v: the highway upper
@@ -262,7 +278,7 @@ func (idx *Index) Query(u, v uint32) graph.Dist {
 	}
 	avoid := func(x uint32) bool { return idx.rankArr[x] != noRank }
 	s := idx.scratch.Get(idx.G.NumVertices())
-	sp := idx.G.Sparsified(u, v, top, avoid, s.DistU, s.DistV, &s.Touched)
+	sp := idx.G.Sparsified(u, v, top, avoid, s)
 	idx.scratch.Put(s)
 	if sp < top {
 		return sp
@@ -293,6 +309,9 @@ func (idx *Index) Sizes() (entries, bytes int64) {
 
 // EnsureVertex grows the label tables to cover vertex v.
 func (idx *Index) EnsureVertex(v uint32) {
+	if uint32(len(idx.Lf)) <= v {
+		idx.unpack() // the packed forms no longer cover every vertex
+	}
 	for uint32(len(idx.Lf)) <= v {
 		idx.Lf = append(idx.Lf, nil)
 		idx.Lb = append(idx.Lb, nil)
@@ -303,6 +322,34 @@ func (idx *Index) EnsureVertex(v uint32) {
 		idx.sharedB.Grow(len(idx.Lb))
 	}
 }
+
+// unpack drops the packed read forms; the slice form is the write
+// representation, so every label write goes through here (via ownLabel).
+func (idx *Index) unpack() {
+	idx.packedF, idx.packedB = nil, nil
+}
+
+// Pack builds the packed read representations of both label directions (see
+// hcl.Packed). On an index forked from a packed parent it is delta-aware:
+// chunks whose labels the fork never touched are reused from the parent's
+// arenas by reference. Idempotent; any subsequent label write drops the
+// packed forms again.
+func (idx *Index) Pack() {
+	if idx.packedF == nil {
+		idx.packedF = hcl.Pack(idx.Lf, idx.parentPackedF, idx.sharedF)
+	}
+	if idx.packedB == nil {
+		idx.packedB = hcl.Pack(idx.Lb, idx.parentPackedB, idx.sharedB)
+	}
+	idx.parentPackedF, idx.parentPackedB = nil, nil
+}
+
+// PackedForward and PackedBackward return the packed read forms, or nil
+// when the index has unpublished label writes (or was never packed).
+func (idx *Index) PackedForward() *hcl.Packed { return idx.packedF }
+
+// PackedBackward returns the backward packed form; see PackedForward.
+func (idx *Index) PackedBackward() *hcl.Packed { return idx.packedB }
 
 // Fork returns a copy-on-write copy of the index bound to g, which must be
 // a fork of idx.G taken at the same moment. Label-table headers, the rank
@@ -320,6 +367,10 @@ func (idx *Index) Fork(g *digraph.Digraph) *Index {
 		rankArr:   append([]uint16(nil), idx.rankArr...),
 		sharedF:   bitset.NewAllSet(len(idx.Lf)),
 		sharedB:   bitset.NewAllSet(len(idx.Lb)),
+		// The fork mutates, so it starts unpacked; remembering the parent's
+		// packed forms lets its Pack reuse untouched chunks.
+		parentPackedF: idx.packedF,
+		parentPackedB: idx.packedB,
 	}
 }
 
@@ -328,6 +379,7 @@ func (idx *Index) Fork(g *digraph.Digraph) *Index {
 // idx.Lf/idx.Lb itself, so callers holding an alias of the label table see
 // the owned copy immediately (slice headers share the backing array).
 func (idx *Index) ownLabel(fwd bool, v uint32) {
+	idx.unpack() // the slice form is the write representation
 	labels, shared := idx.Lb, idx.sharedB
 	if fwd {
 		labels, shared = idx.Lf, idx.sharedF

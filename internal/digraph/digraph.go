@@ -7,6 +7,7 @@ package digraph
 import (
 	"fmt"
 
+	"repro/internal/bfs"
 	"repro/internal/bitset"
 	"repro/internal/graph"
 	"repro/internal/queue"
@@ -217,26 +218,31 @@ func (g *Digraph) Dist(u, v uint32) graph.Dist {
 // Sparsified runs a bounded bidirectional directed BFS from u (forward) and
 // v (backward) on the subgraph excluding vertices for which avoid reports
 // true (endpoints exempt), returning the u→v distance or graph.Inf if it
-// exceeds bound. Scratch conventions match bfs.Sparsified.
-func (g *Digraph) Sparsified(u, v uint32, bound graph.Dist, avoid func(uint32) bool, distU, distV []graph.Dist, touched *[]uint32) graph.Dist {
+// exceeds bound. Scratch conventions match bfs.Sparsified: s carries the
+// distance vectors (all graph.Inf on entry, restored sparsely on return)
+// and the frontier buffers, so a steady-state query allocates nothing.
+func (g *Digraph) Sparsified(u, v uint32, bound graph.Dist, avoid func(uint32) bool, s *bfs.QuerySpace) graph.Dist {
 	if u == v {
 		return 0
 	}
 	if bound == 0 {
 		return graph.Inf
 	}
-	*touched = (*touched)[:0]
+	distU, distV := s.DistU, s.DistV
+	touched := s.Touched[:0]
 	defer func() {
-		for _, x := range *touched {
+		for _, x := range touched {
 			distU[x] = graph.Inf
 			distV[x] = graph.Inf
 		}
+		s.Touched = touched // keep the grown capacity
 	}()
 	distU[u] = 0
 	distV[v] = 0
-	*touched = append(*touched, u, v)
-	frontU := []uint32{u}
-	frontV := []uint32{v}
+	touched = append(touched, u, v)
+	frontU := append(s.Fronts[0][:0], u)
+	frontV := append(s.Fronts[1][:0], v)
+	spare := s.Fronts[2][:0]
 	var du, dv graph.Dist
 	best := graph.Inf
 	if bound != graph.Inf {
@@ -247,21 +253,23 @@ func (g *Digraph) Sparsified(u, v uint32, bound graph.Dist, avoid func(uint32) b
 			break
 		}
 		if len(frontU) <= len(frontV) {
-			frontU = g.expand(g.out, u, v, frontU, du, distU, distV, avoid, &best, touched)
+			next := g.expand(g.out, u, v, frontU, du, distU, distV, avoid, &best, &touched, spare)
+			spare, frontU = frontU[:0], next
 			du++
 		} else {
-			frontV = g.expand(g.in, v, u, frontV, dv, distV, distU, avoid, &best, touched)
+			next := g.expand(g.in, v, u, frontV, dv, distV, distU, avoid, &best, &touched, spare)
+			spare, frontV = frontV[:0], next
 			dv++
 		}
 	}
+	s.Fronts[0], s.Fronts[1], s.Fronts[2] = frontU, frontV, spare
 	if bound != graph.Inf && best > bound {
 		return graph.Inf
 	}
 	return best
 }
 
-func (g *Digraph) expand(adj [][]uint32, src, dst uint32, front []uint32, depth graph.Dist, dist, other []graph.Dist, avoid func(uint32) bool, best *graph.Dist, touched *[]uint32) []uint32 {
-	var next []uint32
+func (g *Digraph) expand(adj [][]uint32, src, dst uint32, front []uint32, depth graph.Dist, dist, other []graph.Dist, avoid func(uint32) bool, best *graph.Dist, touched *[]uint32, next []uint32) []uint32 {
 	for _, x := range front {
 		if avoid != nil && x != src && avoid(x) {
 			continue

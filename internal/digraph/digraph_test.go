@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/bfs"
 	"repro/internal/graph"
 )
 
@@ -91,8 +92,8 @@ func TestSparsifiedDirectedMatchesOracle(t *testing.T) {
 			distU[i] = graph.Inf
 			distV[i] = graph.Inf
 		}
-		var touched []uint32
-		got := g.Sparsified(u, v, graph.Inf, avoid, distU, distV, &touched)
+		qs := &bfs.QuerySpace{DistU: distU, DistV: distV}
+		got := g.Sparsified(u, v, graph.Inf, avoid, qs)
 		if got != want {
 			t.Fatalf("iter %d: Sparsified(%d,%d) avoiding %d: got %d, want %d", iter, u, v, av, got, want)
 		}
@@ -112,11 +113,11 @@ func TestSparsifiedDirectedBound(t *testing.T) {
 		distU[i] = graph.Inf
 		distV[i] = graph.Inf
 	}
-	var touched []uint32
-	if got := g.Sparsified(0, 5, 4, nil, distU, distV, &touched); got != graph.Inf {
+	qs := &bfs.QuerySpace{DistU: distU, DistV: distV}
+	if got := g.Sparsified(0, 5, 4, nil, qs); got != graph.Inf {
 		t.Errorf("bound 4 on distance 5: got %d", got)
 	}
-	if got := g.Sparsified(0, 5, 5, nil, distU, distV, &touched); got != 5 {
+	if got := g.Sparsified(0, 5, 5, nil, qs); got != 5 {
 		t.Errorf("bound 5 on distance 5: got %d", got)
 	}
 }

@@ -1,0 +1,134 @@
+package exper
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/hcl"
+	"repro/internal/inchl"
+	"repro/internal/landmark"
+)
+
+// PackedRow reports, for one dataset proxy, what the CSR-flattened read
+// representation buys over the per-vertex slice layout: query latency on
+// both paths, the cost of packing (full and delta-aware after a one-edge
+// repair on a fork), checkpoint save/load time over the arena codec, and
+// the storage charged per vertex.
+type PackedRow struct {
+	Dataset  string
+	Vertices int
+	Entries  int64
+
+	// Mean and 99th-percentile single-query latency in microseconds.
+	SliceMeanUs, SliceP99Us   float64
+	PackedMeanUs, PackedP99Us float64
+
+	// PackMs is the full flatten of every label; RepackMs the delta-aware
+	// repack after one IncHL+ repair on a fork of the packed parent.
+	PackMs, RepackMs float64
+
+	// SaveMs/LoadMs time the labelling codec (checkpoint write and load).
+	SaveMs, LoadMs float64
+
+	// BytesPerVertex charges the packed arena (entries + offset index).
+	BytesPerVertex float64
+}
+
+// Packed runs the packed-versus-slice read-path experiment backing the
+// EXPERIMENTS.md table (invoked by `hlbench -exp packed`).
+func Packed(cfg Config) ([]PackedRow, error) {
+	cfg = cfg.withDefaults()
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PackedRow, 0, len(specs))
+	for _, spec := range specs {
+		base := dataset.Generate(spec, cfg.Scale, cfg.Seed)
+		k := cfg.landmarkCount(spec)
+		lm := landmark.ByDegree(base, k)
+		idx, err := hcl.Build(base, lm)
+		if err != nil {
+			return nil, fmt.Errorf("packed: dataset %s: %w", spec.Name, err)
+		}
+		queries := SampleQueries(base.NumVertices(), cfg.Queries, cfg.Seed+303)
+
+		row := PackedRow{
+			Dataset:  spec.Name,
+			Vertices: base.NumVertices(),
+			Entries:  idx.NumEntries(),
+		}
+		row.SliceMeanUs, row.SliceP99Us = timeQueriesDist(queries, idx.Query)
+
+		start := time.Now()
+		idx.Pack()
+		row.PackMs = float64(time.Since(start).Microseconds()) / 1e3
+		row.PackedMeanUs, row.PackedP99Us = timeQueriesDist(queries, idx.Query)
+		row.BytesPerVertex = float64(idx.PackedLabels().ArenaBytes()) / float64(base.NumVertices())
+
+		// Delta repack: fork the packed index, repair one inserted edge,
+		// pack again — only the chunks the repair touched are rebuilt.
+		if e := SampleInsertions(base, 1, cfg.Seed+404); len(e) == 1 {
+			fork := idx.Fork(base.Fork())
+			if _, err := inchl.New(fork).InsertEdge(e[0][0], e[0][1]); err != nil {
+				return nil, fmt.Errorf("packed: dataset %s: repair: %w", spec.Name, err)
+			}
+			start = time.Now()
+			fork.Pack()
+			row.RepackMs = float64(time.Since(start).Microseconds()) / 1e3
+		}
+
+		var buf bytes.Buffer
+		start = time.Now()
+		if _, err := idx.WriteTo(&buf); err != nil {
+			return nil, fmt.Errorf("packed: dataset %s: save: %w", spec.Name, err)
+		}
+		row.SaveMs = float64(time.Since(start).Microseconds()) / 1e3
+		start = time.Now()
+		if _, err := hcl.ReadIndex(bytes.NewReader(buf.Bytes()), base); err != nil {
+			return nil, fmt.Errorf("packed: dataset %s: load: %w", spec.Name, err)
+		}
+		row.LoadMs = float64(time.Since(start).Microseconds()) / 1e3
+
+		rows = append(rows, row)
+	}
+	renderPacked(cfg, rows)
+	return rows, nil
+}
+
+// timeQueriesDist measures each query individually, returning the mean and
+// 99th-percentile latency in microseconds.
+func timeQueriesDist(pairs [][2]uint32, q func(u, v uint32) graph.Dist) (mean, p99 float64) {
+	if len(pairs) == 0 {
+		return 0, 0
+	}
+	lat := make([]float64, len(pairs))
+	var total float64
+	for i, p := range pairs {
+		start := time.Now()
+		q(p[0], p[1])
+		us := float64(time.Since(start).Nanoseconds()) / 1e3
+		lat[i] = us
+		total += us
+	}
+	sort.Float64s(lat)
+	return total / float64(len(lat)), lat[len(lat)*99/100]
+}
+
+func renderPacked(cfg Config, rows []PackedRow) {
+	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Packed label arena: CSR read path vs per-vertex slices")
+	fmt.Fprintln(tw, "dataset\t|V|\tentries\tslice µs (p99)\tpacked µs (p99)\tpack ms\trepack ms\tsave ms\tload ms\tB/vertex")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f (%.2f)\t%.2f (%.2f)\t%.1f\t%.2f\t%.1f\t%.1f\t%.1f\n",
+			r.Dataset, r.Vertices, r.Entries,
+			r.SliceMeanUs, r.SliceP99Us, r.PackedMeanUs, r.PackedP99Us,
+			r.PackMs, r.RepackMs, r.SaveMs, r.LoadMs, r.BytesPerVertex)
+	}
+	tw.Flush()
+}

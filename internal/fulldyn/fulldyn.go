@@ -32,10 +32,9 @@ type Index struct {
 	isLandmark map[uint32]bool
 
 	// query scratch
-	distU, distV []graph.Dist
-	touched      []uint32
-	q            queue.PairQueue
-	improved     []uint32
+	qs       bfs.QuerySpace
+	q        queue.PairQueue
+	improved []uint32
 }
 
 // Build computes the shortest-path tree of every landmark.
@@ -105,7 +104,7 @@ func (idx *Index) Query(u, v uint32) graph.Dist {
 	}
 	idx.ensureScratch()
 	avoid := func(x uint32) bool { return idx.isLandmark[x] }
-	sp := bfs.Sparsified(idx.G, u, v, top, avoid, idx.distU, idx.distV, &idx.touched)
+	sp := bfs.Sparsified(idx.G, u, v, top, avoid, &idx.qs)
 	if sp < top {
 		return sp
 	}
@@ -309,13 +308,13 @@ func (idx *Index) VerifyTrees() error {
 
 func (idx *Index) ensureScratch() {
 	n := idx.G.NumVertices()
-	if len(idx.distU) >= n {
+	if len(idx.qs.DistU) >= n {
 		return
 	}
-	idx.distU = make([]graph.Dist, n)
-	idx.distV = make([]graph.Dist, n)
+	idx.qs.DistU = make([]graph.Dist, n)
+	idx.qs.DistV = make([]graph.Dist, n)
 	for i := 0; i < n; i++ {
-		idx.distU[i] = graph.Inf
-		idx.distV[i] = graph.Inf
+		idx.qs.DistU[i] = graph.Inf
+		idx.qs.DistV[i] = graph.Inf
 	}
 }

@@ -9,79 +9,283 @@ import (
 	"repro/internal/graph"
 )
 
-// Binary index format:
+// Binary index format (version 2, CSR):
 //
-//	magic "HCL1" | u32 |V| | u32 |R| | landmarks u32×|R| |
-//	highway u32×|R|² | per vertex: u32 count, then (u16 rank, u32 dist)×count
+//	magic "HCL2" | u32 |V| | u32 |R| | landmarks u32×|R| |
+//	highway u32×|R|² | label block (see WriteLabelBlock)
 //
-// All integers little-endian. The graph itself is serialised separately
-// (graph.WriteEdgeList) — an index only makes sense next to its graph, and
-// WriteTo/ReadFrom keep the two artefacts independently inspectable.
-const codecMagic = "HCL1"
+// The label block stores the packed arena directly: one u64 entry count,
+// the CSR offset index, then every entry back to back. Loading is two bulk
+// reads plus a tight decode loop instead of the per-vertex count/entries
+// round trips of the legacy "HCL1" layout (still readable below), which is
+// what makes checkpoint recovery a bulk copy. All integers little-endian.
+// The graph itself is serialised separately (graph.WriteEdgeList) — an
+// index only makes sense next to its graph, and WriteTo/ReadFrom keep the
+// two artefacts independently inspectable.
+const codecMagic = "HCL2"
+
+// codecMagicV1 is the legacy per-vertex layout, accepted by ReadIndex so
+// checkpoints and label downloads from older versions keep loading.
+const codecMagicV1 = "HCL1"
+
+// entryWire is the on-wire size of one label entry: u16 rank + u32 distance.
+const entryWire = 6
+
+// codecChunk is the number of entries encoded or decoded per buffered
+// block on the bulk paths (24 KiB of wire data).
+const codecChunk = 4096
+
+// WriteLabelBlock appends the CSR label block of labels to bw:
+//
+//	u64 total entries | offsets u32×(len(labels)+1) | entries 6B each
+//
+// It is the one label serialiser shared by the hcl, dhcl and whcl codecs.
+func WriteLabelBlock(bw *bufio.Writer, labels []Label) error {
+	le := binary.LittleEndian
+	var total uint64
+	for _, l := range labels {
+		total += uint64(len(l))
+	}
+	if total >= 1<<32 {
+		// The offset index is u32; past 2^32 entries the offsets would
+		// silently wrap and the block could never be loaded back.
+		return fmt.Errorf("label block with %d entries exceeds the u32 offset format", total)
+	}
+	var u64 [8]byte
+	le.PutUint64(u64[:], total)
+	if _, err := bw.Write(u64[:]); err != nil {
+		return err
+	}
+	// Offsets, then entries, each streamed through one scratch block so the
+	// underlying writer sees large writes.
+	var buf [codecChunk * entryWire]byte
+	n := 0
+	var off uint64
+	flush := func() error {
+		if n == 0 {
+			return nil
+		}
+		_, err := bw.Write(buf[:n])
+		n = 0
+		return err
+	}
+	putOff := func(o uint64) error {
+		if n+4 > len(buf) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		le.PutUint32(buf[n:], uint32(o))
+		n += 4
+		return nil
+	}
+	for _, l := range labels {
+		if err := putOff(off); err != nil {
+			return err
+		}
+		off += uint64(len(l))
+	}
+	if err := putOff(off); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	for _, l := range labels {
+		for _, e := range l {
+			if n+entryWire > len(buf) {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+			le.PutUint16(buf[n:], e.Rank)
+			le.PutUint32(buf[n+2:], uint32(e.D))
+			n += entryWire
+		}
+	}
+	return flush()
+}
+
+// ReadLabelBlock reads a block written by WriteLabelBlock for nv vertices,
+// validating against nr landmarks: per-vertex spans within bounds and
+// sorted strictly by rank, total entries at most nv·nr (the allocation
+// bound for untrusted streams). It returns the contiguous entry arena and
+// the CSR offset index (length nv+1).
+func ReadLabelBlock(br *bufio.Reader, nv, nr uint32) ([]Entry, []uint32, error) {
+	le := binary.LittleEndian
+	var u64 [8]byte
+	if _, err := io.ReadFull(br, u64[:]); err != nil {
+		return nil, nil, fmt.Errorf("reading label block header: %w", err)
+	}
+	total := le.Uint64(u64[:])
+	if total > uint64(nv)*uint64(nr) {
+		return nil, nil, fmt.Errorf("label block claims %d entries for %d vertices × %d landmarks", total, nv, nr)
+	}
+	off := make([]uint32, nv+1)
+	raw := make([]byte, (len(off))*4)
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return nil, nil, fmt.Errorf("reading label offsets: %w", err)
+	}
+	prev := uint32(0)
+	for i := range off {
+		off[i] = le.Uint32(raw[i*4:])
+		if off[i] < prev || uint64(off[i]) > total || (i == 0 && off[0] != 0) {
+			return nil, nil, fmt.Errorf("label offsets not monotonic at vertex %d", i)
+		}
+		if c := off[i] - prev; i > 0 && c > nr {
+			return nil, nil, fmt.Errorf("label %d has %d entries for %d landmarks", i-1, c, nr)
+		}
+		prev = off[i]
+	}
+	if uint64(off[nv]) != total {
+		return nil, nil, fmt.Errorf("label offsets cover %d of %d entries", off[nv], total)
+	}
+	arena := make([]Entry, total)
+	var block [codecChunk * entryWire]byte
+	for done := uint64(0); done < total; {
+		want := total - done
+		if want > codecChunk {
+			want = codecChunk
+		}
+		b := block[:want*entryWire]
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, nil, fmt.Errorf("reading label arena at entry %d: %w", done, err)
+		}
+		for i := uint64(0); i < want; i++ {
+			arena[done+i] = Entry{
+				Rank: le.Uint16(b[i*entryWire:]),
+				D:    graph.Dist(le.Uint32(b[i*entryWire+2:])),
+			}
+		}
+		done += want
+	}
+	for v := uint32(0); v < nv; v++ {
+		var prev int32 = -1
+		for _, e := range arena[off[v]:off[v+1]] {
+			if int32(e.Rank) <= prev || uint32(e.Rank) >= nr {
+				return nil, nil, fmt.Errorf("label %d entries unsorted or out of range", v)
+			}
+			prev = int32(e.Rank)
+		}
+	}
+	return arena, off, nil
+}
+
+// AttachArena installs a loaded label arena as both representations of a
+// label table: labels[v] becomes a capacity-clamped sub-slice of the arena
+// (a future Set copies out instead of bleeding into the neighbour's span)
+// and the returned Packed indexes the arena directly. It is the one
+// arena-attach shared by the hcl, dhcl and whcl codec load paths.
+func AttachArena(labels []Label, arena []Entry, off []uint32) *Packed {
+	for v := range labels {
+		if off[v] == off[v+1] {
+			labels[v] = nil
+			continue
+		}
+		labels[v] = arena[off[v]:off[v+1]:off[v+1]]
+	}
+	return packFromArena(arena, off)
+}
+
+// packFromArena builds the packed read form directly over a loaded arena:
+// chunks alias sub-ranges of it, with offsets rebased per chunk.
+func packFromArena(arena []Entry, off []uint32) *Packed {
+	n := len(off) - 1
+	p := &Packed{
+		chunks:  make([]packChunk, (n+packChunkLen-1)/packChunkLen),
+		n:       n,
+		entries: int64(len(arena)),
+	}
+	for ci := range p.chunks {
+		lo := ci * packChunkLen
+		hi := min(lo+packChunkLen, n)
+		base := off[lo]
+		c := packChunk{
+			entries: arena[base:off[hi]:off[hi]],
+			off:     make([]uint32, hi-lo+1),
+		}
+		for i := range c.off {
+			c.off[i] = off[lo+i] - base
+		}
+		p.chunks[ci] = c
+	}
+	return p
+}
+
+// attachArena installs a loaded arena as both representations of idx.
+func attachArena(idx *Index, arena []Entry, off []uint32) {
+	idx.packed = AttachArena(idx.L, arena, off)
+}
 
 // WriteTo serialises the labelling (landmarks, highway, labels) to w.
 func (idx *Index) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	var n int64
-	write := func(v any) error {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
-		n += int64(binary.Size(v))
-		return nil
-	}
+	cw := &CountingWriter{W: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
 	if _, err := bw.WriteString(codecMagic); err != nil {
-		return n, err
+		return cw.N, err
 	}
-	n += int64(len(codecMagic))
-	if err := write(uint32(len(idx.L))); err != nil {
-		return n, err
-	}
-	if err := write(uint32(len(idx.Landmarks))); err != nil {
-		return n, err
-	}
-	if err := write(idx.Landmarks); err != nil {
-		return n, err
-	}
-	if err := write(idx.H.mat); err != nil {
-		return n, err
-	}
-	// The per-entry loop is the hot path — serialisation time bounds both
-	// labelling downloads and durability checkpoints — so entries are
-	// packed by hand instead of through binary.Write's per-call reflection.
-	var scratch [6]byte
 	le := binary.LittleEndian
-	for _, l := range idx.L {
-		le.PutUint32(scratch[:4], uint32(len(l)))
-		if _, err := bw.Write(scratch[:4]); err != nil {
-			return n, err
+	var u32 [4]byte
+	writeU32 := func(v uint32) error {
+		le.PutUint32(u32[:], v)
+		_, err := bw.Write(u32[:])
+		return err
+	}
+	if err := writeU32(uint32(len(idx.L))); err != nil {
+		return cw.N, err
+	}
+	if err := writeU32(uint32(len(idx.Landmarks))); err != nil {
+		return cw.N, err
+	}
+	for _, v := range idx.Landmarks {
+		if err := writeU32(v); err != nil {
+			return cw.N, err
 		}
-		n += 4
-		for _, e := range l {
-			le.PutUint16(scratch[0:2], e.Rank)
-			le.PutUint32(scratch[2:6], uint32(e.D))
-			if _, err := bw.Write(scratch[:6]); err != nil {
-				return n, err
-			}
-			n += 6
+	}
+	for _, d := range idx.H.mat {
+		if err := writeU32(uint32(d)); err != nil {
+			return cw.N, err
 		}
+	}
+	if err := WriteLabelBlock(bw, idx.L); err != nil {
+		return cw.N, err
 	}
 	if err := bw.Flush(); err != nil {
-		return n, err
+		return cw.N, err
 	}
-	return n, nil
+	return cw.N, nil
+}
+
+// CountingWriter tracks bytes written through a bufio layer so the WriteTo
+// of each variant codec reports a byte count net of buffering.
+type CountingWriter struct {
+	W io.Writer
+	N int64
+}
+
+func (c *CountingWriter) Write(p []byte) (int, error) {
+	n, err := c.W.Write(p)
+	c.N += int64(n)
+	return n, err
 }
 
 // ReadIndex deserialises a labelling written by WriteTo and attaches it to
 // g, which must be the graph the index was built over (vertex count is
-// checked; callers needing a stronger guarantee can run VerifyCover).
+// checked; callers needing a stronger guarantee can run VerifyCover). The
+// loaded index is already packed: the label block is the arena. The legacy
+// HCL1 per-vertex layout is accepted too.
 func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
-	br := bufio.NewReader(r)
+	br := bufio.NewReaderSize(r, 1<<16)
 	magic := make([]byte, len(codecMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("hcl: reading index header: %w", err)
 	}
-	if string(magic) != codecMagic {
+	legacy := false
+	switch string(magic) {
+	case codecMagic:
+	case codecMagicV1:
+		legacy = true
+	default:
 		return nil, fmt.Errorf("hcl: bad index magic %q", magic)
 	}
 	var nv, nr uint32
@@ -110,17 +314,32 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 	if err := binary.Read(br, binary.LittleEndian, idx.H.mat); err != nil {
 		return nil, fmt.Errorf("hcl: reading highway: %w", err)
 	}
-	// Hand-decoded entries, mirroring WriteTo: recovery time rides on this
-	// loop, and binary.Read's reflection would dominate it.
+	if legacy {
+		if err := readLabelsV1(br, idx, nv, nr); err != nil {
+			return nil, err
+		}
+		idx.Pack()
+		return idx, nil
+	}
+	arena, off, err := ReadLabelBlock(br, nv, nr)
+	if err != nil {
+		return nil, fmt.Errorf("hcl: %w", err)
+	}
+	attachArena(idx, arena, off)
+	return idx, nil
+}
+
+// readLabelsV1 decodes the legacy per-vertex label layout.
+func readLabelsV1(br *bufio.Reader, idx *Index, nv, nr uint32) error {
 	var scratch [6]byte
 	le := binary.LittleEndian
 	for v := uint32(0); v < nv; v++ {
 		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
-			return nil, fmt.Errorf("hcl: reading label %d: %w", v, err)
+			return fmt.Errorf("hcl: reading label %d: %w", v, err)
 		}
 		cnt := le.Uint32(scratch[:4])
 		if cnt > nr {
-			return nil, fmt.Errorf("hcl: label %d has %d entries for %d landmarks", v, cnt, nr)
+			return fmt.Errorf("hcl: label %d has %d entries for %d landmarks", v, cnt, nr)
 		}
 		if cnt == 0 {
 			continue
@@ -129,16 +348,16 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 		var prev int32 = -1
 		for i := range l {
 			if _, err := io.ReadFull(br, scratch[:6]); err != nil {
-				return nil, fmt.Errorf("hcl: reading label %d entry %d: %w", v, i, err)
+				return fmt.Errorf("hcl: reading label %d entry %d: %w", v, i, err)
 			}
 			l[i].Rank = le.Uint16(scratch[0:2])
 			l[i].D = graph.Dist(le.Uint32(scratch[2:6]))
 			if int32(l[i].Rank) <= prev || uint32(l[i].Rank) >= nr {
-				return nil, fmt.Errorf("hcl: label %d entries unsorted or out of range", v)
+				return fmt.Errorf("hcl: label %d entries unsorted or out of range", v)
 			}
 			prev = int32(l[i].Rank)
 		}
 		idx.L[v] = l
 	}
-	return idx, nil
+	return nil
 }

@@ -31,6 +31,13 @@ func (h *Highway) Dist(i, j uint16) graph.Dist {
 	return h.mat[int(i)*h.k+int(j)]
 }
 
+// Row returns the distance row δ_H(i,·), aliasing the matrix. The query
+// kernels hoist one row per outer label entry so the inner loop indexes a
+// k-element slice instead of recomputing the matrix position per pair.
+func (h *Highway) Row(i uint16) []graph.Dist {
+	return h.mat[int(i)*h.k : int(i)*h.k+h.k]
+}
+
 // Set records δ_H(i,j) = δ_H(j,i) = d.
 func (h *Highway) Set(i, j uint16, d graph.Dist) {
 	h.mat[int(i)*h.k+int(j)] = d

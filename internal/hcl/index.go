@@ -28,6 +28,13 @@ type Index struct {
 	// label write (see Fork).
 	shared *bitset.Set
 
+	// packed is the CSR read representation of L, non-nil only while the
+	// index is publishable (built by Pack, dropped by the first label
+	// write); queries prefer it. parentPacked remembers the parent's packed
+	// form across Fork so the next Pack can reuse untouched chunks.
+	packed       *Packed
+	parentPacked *Packed
+
 	scratch bfs.SpacePool
 }
 
@@ -72,6 +79,9 @@ func (idx *Index) IsLandmark(v uint32) bool {
 // EnsureVertex grows the label table to cover vertex v, for use after the
 // underlying graph gained vertices.
 func (idx *Index) EnsureVertex(v uint32) {
+	if uint32(len(idx.L)) <= v {
+		idx.packed = nil // the packed form no longer covers every vertex
+	}
 	for uint32(len(idx.L)) <= v {
 		idx.L = append(idx.L, nil)
 		idx.rankArr = append(idx.rankArr, noRank)
@@ -83,11 +93,12 @@ func (idx *Index) EnsureVertex(v uint32) {
 
 // EntryDist returns the label entry distance of landmark rank r at vertex v.
 func (idx *Index) EntryDist(v uint32, r uint16) (graph.Dist, bool) {
-	return idx.L[v].Get(r)
+	return FindEntry(idx.label(v), r)
 }
 
 // SetEntry adds or modifies the entry of landmark rank r in L(v).
 func (idx *Index) SetEntry(v uint32, r uint16, d graph.Dist) {
+	idx.packed = nil // the slice form is the write representation
 	idx.ownLabel(v)
 	idx.L[v] = idx.L[v].Set(r, d)
 }
@@ -97,6 +108,7 @@ func (idx *Index) RemoveEntry(v uint32, r uint16) bool {
 	if _, present := idx.L[v].Get(r); !present {
 		return false
 	}
+	idx.packed = nil // the slice form is the write representation
 	idx.ownLabel(v)
 	l, ok := idx.L[v].Remove(r)
 	idx.L[v] = l
@@ -111,6 +123,36 @@ func (idx *Index) ownLabel(v uint32) {
 	}
 	idx.L[v] = append(make(Label, 0, len(idx.L[v])+1), idx.L[v]...)
 	idx.shared.Clear(v)
+}
+
+// Pack builds the packed read representation of the current labelling (see
+// Packed). On an index forked from a packed parent it is delta-aware:
+// chunks whose labels the fork never touched are reused from the parent's
+// arena by reference. Pack is idempotent — a second call on an unchanged
+// index is a no-op — and any subsequent label write drops the packed form
+// again, so it is meaningful only on indexes about to be frozen (an epoch
+// publish, or a read-mostly plain index).
+func (idx *Index) Pack() {
+	if idx.packed != nil {
+		return
+	}
+	idx.packed = Pack(idx.L, idx.parentPacked, idx.shared)
+	idx.parentPacked = nil
+}
+
+// PackedLabels returns the packed read representation, or nil when the
+// index has unpublished label writes (or was never packed).
+func (idx *Index) PackedLabels() *Packed { return idx.packed }
+
+// label returns the entry span of vertex v from the packed arena when the
+// index is packed, else from the mutable label table. The query path reads
+// labels only through this helper, so both representations answer
+// identically.
+func (idx *Index) label(v uint32) []Entry {
+	if p := idx.packed; p != nil {
+		return p.Label(v)
+	}
+	return idx.L[v]
 }
 
 // NumEntries returns size(L), the total number of label entries.
@@ -154,6 +196,9 @@ func (idx *Index) Fork(g *graph.Graph) *Index {
 		rankOf:    idx.rankOf, // immutable after construction
 		rankArr:   append([]uint16(nil), idx.rankArr...),
 		shared:    bitset.NewAllSet(len(idx.L)),
+		// The fork mutates, so it starts unpacked; remembering the parent's
+		// packed form lets its Pack reuse untouched chunks.
+		parentPacked: idx.packed,
 	}
 }
 

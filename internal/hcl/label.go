@@ -29,10 +29,37 @@ const EntryBytes = 6
 type Label []Entry
 
 // Get returns the distance recorded for landmark rank r, if present.
-func (l Label) Get(r uint16) (graph.Dist, bool) {
-	// Labels hold a handful of entries (bounded by |R|); linear scan beats
-	// binary search at these sizes but we exploit sortedness to stop early.
-	for _, e := range l {
+func (l Label) Get(r uint16) (graph.Dist, bool) { return FindEntry(l, r) }
+
+// entryScanMax is the span length above which FindEntry switches from the
+// early-exit linear scan to binary search. Labels are usually a handful of
+// entries (bounded by |R|), where the scan's lack of branch mispredictions
+// wins; large-|R| deployments cross into sort.Search territory.
+const entryScanMax = 16
+
+// FindEntry returns the distance recorded for landmark rank r in the
+// sorted-by-rank entry span es. It is the one shared lookup behind
+// Label.Get, Packed.Get and the dhcl/whcl read paths — both label
+// representations and all three variants resolve entries through it.
+func FindEntry(es []Entry, r uint16) (graph.Dist, bool) {
+	if len(es) > entryScanMax {
+		// sort.Search specialised to the span, saving the indirect
+		// comparison call on a path run once per label lookup.
+		lo, hi := 0, len(es)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if es[mid].Rank < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(es) && es[lo].Rank == r {
+			return es[lo].D, true
+		}
+		return graph.Inf, false
+	}
+	for _, e := range es {
 		if e.Rank == r {
 			return e.D, true
 		}

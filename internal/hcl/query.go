@@ -23,10 +23,32 @@ func (idx *Index) UpperBound(u, v uint32) graph.Dist {
 	case vIsL:
 		return idx.landmarkToVertex(rv, u)
 	}
+	return UpperBoundVia(idx.H, idx.label(u), idx.label(v))
+}
+
+// UpperBoundVia is the Equation 2 kernel over two entry spans: the minimum
+// of eu.D + δ_H(eu,ev) + ev.D over all entry pairs. It is shared by the
+// packed and slice read paths (spans of the arena or whole labels — the
+// layouts are identical) and streams one highway row per outer entry, so a
+// query touches at most two contiguous entry streams plus |L(u)| rows.
+func UpperBoundVia(h *Highway, lu, lv []Entry) graph.Dist {
+	return UpperBoundMat(h.mat, h.k, lu, lv)
+}
+
+// UpperBoundMat is the same kernel over a flat k×k row-major distance
+// matrix — the form the directed and weighted variants store their highways
+// in, so all three share this one inner loop. For the directed variant lu
+// is the backward label of the source (mat rows are indexed by its ranks)
+// and lv the forward label of the target.
+func UpperBoundMat(mat []graph.Dist, k int, lu, lv []Entry) graph.Dist {
 	best := graph.Inf
-	for _, eu := range idx.L[u] {
-		for _, ev := range idx.L[v] {
-			t := graph.AddDist(eu.D, graph.AddDist(idx.H.Dist(eu.Rank, ev.Rank), ev.D))
+	for _, eu := range lu {
+		if eu.D >= best {
+			continue // every sum through eu is at least eu.D
+		}
+		row := mat[int(eu.Rank)*k : int(eu.Rank)*k+k]
+		for _, ev := range lv {
+			t := graph.AddDist(eu.D, graph.AddDist(row[ev.Rank], ev.D))
 			if t < best {
 				best = t
 			}
@@ -38,9 +60,15 @@ func (idx *Index) UpperBound(u, v uint32) graph.Dist {
 // landmarkToVertex evaluates Equation 1: d_G(r, v) for landmark rank r and
 // non-landmark v, via v's label and the highway.
 func (idx *Index) landmarkToVertex(r uint16, v uint32) graph.Dist {
+	return LandmarkVia(idx.H.Row(r), idx.label(v))
+}
+
+// LandmarkVia is the Equation 1 kernel: the minimum of δ_H(r, e) + e.D over
+// the entry span, with row the highway row of landmark rank r.
+func LandmarkVia(row []graph.Dist, lv []Entry) graph.Dist {
 	best := graph.Inf
-	for _, e := range idx.L[v] {
-		t := graph.AddDist(idx.H.Dist(r, e.Rank), e.D)
+	for _, e := range lv {
+		t := graph.AddDist(row[e.Rank], e.D)
 		if t < best {
 			best = t
 		}
@@ -80,7 +108,7 @@ func (idx *Index) Query(u, v uint32) graph.Dist {
 		return top
 	}
 	s := idx.scratch.Get(idx.G.NumVertices())
-	sp := bfs.Sparsified(idx.G, u, v, top, idx.IsLandmark, s.DistU, s.DistV, &s.Touched)
+	sp := bfs.Sparsified(idx.G, u, v, top, idx.IsLandmark, s)
 	idx.scratch.Put(s)
 	if sp < top {
 		return sp

@@ -450,8 +450,8 @@ func TestLabelsEndpoints(t *testing.T) {
 		t.Fatalf("PUT /labels must publish a new epoch, got %q", e)
 	}
 
-	// The directed variant cannot serialise: both directions answer 501
-	// with a JSON error body.
+	// The directed variant serialises too: its labels round-trip through
+	// GET /labels → PUT /labels and the epoch advances on the PUT.
 	g := dynhl.NewDigraph(0)
 	for i := 0; i < 6; i++ {
 		g.AddVertex()
@@ -465,12 +465,19 @@ func TestLabelsEndpoints(t *testing.T) {
 	}
 	tsDir := httptest.NewServer(New(dir).Handler())
 	t.Cleanup(tsDir.Close)
-	var body map[string]string
-	getJSON(t, tsDir.URL+"/labels", http.StatusNotImplemented, &body)
-	if body["error"] == "" {
-		t.Fatal("501 must carry a JSON error body")
+	resp, err = http.Get(tsDir.URL + "/labels")
+	if err != nil {
+		t.Fatal(err)
 	}
-	req, err = http.NewRequest(http.MethodPut, tsDir.URL+"/labels", bytes.NewReader(blob))
+	dirBlob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(dirBlob) == 0 {
+		t.Fatalf("GET /labels on directed: status %d, %d bytes", resp.StatusCode, len(dirBlob))
+	}
+	req, err = http.NewRequest(http.MethodPut, tsDir.URL+"/labels", bytes.NewReader(dirBlob))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -478,13 +485,12 @@ func TestLabelsEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusNotImplemented {
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("PUT /labels on directed: status %d", resp.StatusCode)
 	}
-	var putBody map[string]string
-	if err := json.NewDecoder(resp.Body).Decode(&putBody); err != nil || putBody["error"] == "" {
-		t.Fatalf("501 must carry a JSON error body: %v %v", putBody, err)
+	if e := resp.Header.Get("X-Oracle-Epoch"); e != "1" {
+		t.Fatalf("PUT /labels on directed must publish a new epoch, got %q", e)
 	}
 }
 

@@ -101,6 +101,9 @@ func TestCrashRecoveryDifferential(t *testing.T) {
 		if !bytes.Equal(gotLabels.Bytes(), wantLabels.Bytes()) {
 			t.Fatalf("round %d: recovered labelling differs from the pre-crash Save output", round)
 		}
+		if store.Stats().PackedBytes == 0 {
+			t.Fatalf("round %d: recovered store is not serving from the packed arena", round)
+		}
 		checkEpoch(store, "recovered")
 	}
 	if err := store.Verify(); err != nil {

@@ -6,8 +6,8 @@
 package wgraph
 
 import (
-	"container/heap"
 	"fmt"
+	"sync"
 
 	"repro/internal/bitset"
 	"repro/internal/graph"
@@ -181,17 +181,98 @@ type Item struct {
 	D graph.Dist
 }
 
-// PQ is a binary min-heap of Items ordered by distance.
+// PQ is a binary min-heap of Items ordered by distance. PushItem and
+// PopItem sift by hand instead of going through container/heap: boxing an
+// Item into the interface argument of heap.Push allocates on every push,
+// which would put an allocation inside the Dijkstra inner loop.
 type PQ []Item
 
-func (p PQ) Len() int           { return len(p) }
-func (p PQ) Less(i, j int) bool { return p[i].D < p[j].D }
-func (p PQ) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
-func (p *PQ) Push(x any)        { *p = append(*p, x.(Item)) }
-func (p *PQ) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
-func (p *PQ) PushItem(it Item)  { heap.Push(p, it) }
-func (p *PQ) PopItem() Item     { return heap.Pop(p).(Item) }
-func (p *PQ) Reset()            { *p = (*p)[:0] }
+func (p PQ) Len() int { return len(p) }
+
+// PushItem inserts it, keeping the heap order.
+func (p *PQ) PushItem(it Item) {
+	h := append(*p, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].D <= h[i].D {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	*p = h
+}
+
+// PopItem removes and returns the minimum-distance item.
+func (p *PQ) PopItem() Item {
+	h := *p
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h[l].D < h[small].D {
+			small = l
+		}
+		if r < n && h[r].D < h[small].D {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	*p = h
+	return top
+}
+
+// Reset empties the heap, keeping its capacity.
+func (p *PQ) Reset() { *p = (*p)[:0] }
+
+// QuerySpace is the per-query scratch of the bounded bidirectional Dijkstra
+// (Sparsified): two distance vectors whose entries are graph.Inf between
+// queries, the touched list used to restore them sparsely, and the two
+// priority-queue buffers. Mirrors bfs.QuerySpace for the weighted searches;
+// a steady-state query allocates nothing.
+type QuerySpace struct {
+	DistU, DistV []graph.Dist
+	Touched      []uint32
+	pqU, pqV     PQ
+}
+
+// SpacePool hands out query scratch sized for at least n vertices, giving
+// every in-flight query its own buffers so queries stay safe for any number
+// of concurrent readers.
+type SpacePool struct {
+	pool sync.Pool
+}
+
+// Get returns a QuerySpace covering n vertices, distance entries all
+// graph.Inf.
+func (sp *SpacePool) Get(n int) *QuerySpace {
+	s, _ := sp.pool.Get().(*QuerySpace)
+	if s == nil {
+		s = &QuerySpace{}
+	}
+	if len(s.DistU) < n {
+		s.DistU = make([]graph.Dist, n)
+		s.DistV = make([]graph.Dist, n)
+		for i := 0; i < n; i++ {
+			s.DistU[i] = graph.Inf
+			s.DistV[i] = graph.Inf
+		}
+	}
+	return s
+}
+
+// Put returns s to the pool; its distance entries must be graph.Inf again,
+// which Sparsified guarantees on return.
+func (sp *SpacePool) Put(s *QuerySpace) { sp.pool.Put(s) }
 
 // Dijkstra computes the distances from src into dist (length NumVertices),
 // returning the vertices it settled in non-decreasing distance order.
@@ -229,20 +310,30 @@ func (g *Graph) Dist(u, v uint32) graph.Dist {
 // Sparsified runs a bounded bidirectional Dijkstra between u and v on the
 // subgraph excluding vertices for which avoid reports true (endpoints
 // exempt), returning the distance or graph.Inf when it exceeds bound.
-func (g *Graph) Sparsified(u, v uint32, bound graph.Dist, avoid func(uint32) bool) graph.Dist {
+// s carries all scratch: distance vectors of length ≥ NumVertices whose
+// entries must all be graph.Inf on entry (restored sparsely on return) and
+// the two priority-queue buffers. A steady-state query allocates nothing.
+func (g *Graph) Sparsified(u, v uint32, bound graph.Dist, avoid func(uint32) bool, s *QuerySpace) graph.Dist {
 	if u == v {
 		return 0
 	}
 	if bound == 0 {
 		return graph.Inf
 	}
-	n := g.NumVertices()
-	distU := make(map[uint32]graph.Dist, 32)
-	distV := make(map[uint32]graph.Dist, 32)
-	_ = n
-	var pqU, pqV PQ
+	distU, distV := s.DistU, s.DistV
+	touched := s.Touched[:0]
+	defer func() {
+		for _, x := range touched {
+			distU[x] = graph.Inf
+			distV[x] = graph.Inf
+		}
+		s.Touched = touched // keep the grown capacity
+	}()
+	pqU, pqV := s.pqU[:0], s.pqV[:0]
+	defer func() { s.pqU, s.pqV = pqU[:0], pqV[:0] }()
 	distU[u] = 0
 	distV[v] = 0
+	touched = append(touched, u, v)
 	pqU.PushItem(Item{V: u, D: 0})
 	pqV.PushItem(Item{V: v, D: 0})
 	best := graph.Inf
@@ -255,9 +346,9 @@ func (g *Graph) Sparsified(u, v uint32, bound graph.Dist, avoid func(uint32) boo
 			break // settled radii already cover every candidate below best
 		}
 		if topU <= topV {
-			topU = settle(g, &pqU, distU, distV, u, v, avoid, &best)
+			topU = settle(g, &pqU, distU, distV, u, v, avoid, &best, &touched)
 		} else {
-			topV = settle(g, &pqV, distV, distU, v, u, avoid, &best)
+			topV = settle(g, &pqV, distV, distU, v, u, avoid, &best, &touched)
 		}
 	}
 	if bound != graph.Inf && best > bound {
@@ -267,12 +358,14 @@ func (g *Graph) Sparsified(u, v uint32, bound graph.Dist, avoid func(uint32) boo
 }
 
 // settle pops one vertex from the side rooted at src and relaxes its edges,
-// recording meets with the opposite side.
-func settle(g *Graph, pq *PQ, dist, other map[uint32]graph.Dist, src, dst uint32, avoid func(uint32) bool, best *graph.Dist) graph.Dist {
+// recording meets with the opposite side. Distance entries are graph.Inf
+// for undiscovered vertices; every first discovery is appended to touched
+// so the caller can restore sparsely.
+func settle(g *Graph, pq *PQ, dist, other []graph.Dist, src, dst uint32, avoid func(uint32) bool, best *graph.Dist, touched *[]uint32) graph.Dist {
 	for pq.Len() > 0 {
 		it := pq.PopItem()
-		if d, ok := dist[it.V]; !ok || d != it.D {
-			continue
+		if dist[it.V] != it.D {
+			continue // stale entry
 		}
 		if avoid != nil && it.V != src && avoid(it.V) {
 			return it.D // settled but not expanded: removed vertex
@@ -282,10 +375,13 @@ func settle(g *Graph, pq *PQ, dist, other map[uint32]graph.Dist, src, dst uint32
 				continue
 			}
 			nd := graph.AddDist(it.D, a.W)
-			if d, ok := dist[a.To]; !ok || nd < d {
+			if nd < dist[a.To] {
+				if dist[a.To] == graph.Inf {
+					*touched = append(*touched, a.To)
+				}
 				dist[a.To] = nd
 				pq.PushItem(Item{V: a.To, D: nd})
-				if od, ok := other[a.To]; ok {
+				if od := other[a.To]; od != graph.Inf {
 					if t := graph.AddDist(nd, od); t < *best {
 						*best = t
 					}

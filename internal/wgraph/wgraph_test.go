@@ -108,6 +108,16 @@ func TestPQOrdering(t *testing.T) {
 	}
 }
 
+func wscratch(n int) *QuerySpace {
+	du := make([]graph.Dist, n)
+	dv := make([]graph.Dist, n)
+	for i := 0; i < n; i++ {
+		du[i] = graph.Inf
+		dv[i] = graph.Inf
+	}
+	return &QuerySpace{DistU: du, DistV: dv}
+}
+
 func TestSparsifiedEndpoints(t *testing.T) {
 	// 0 -2- 1 -2- 2, avoiding both endpoints must still find the path.
 	g := New(3)
@@ -117,17 +127,17 @@ func TestSparsifiedEndpoints(t *testing.T) {
 	g.MustAddEdge(0, 1, 2)
 	g.MustAddEdge(1, 2, 2)
 	avoid := func(v uint32) bool { return v == 0 || v == 2 }
-	if got := g.Sparsified(0, 2, graph.Inf, avoid); got != 4 {
+	if got := g.Sparsified(0, 2, graph.Inf, avoid, wscratch(3)); got != 4 {
 		t.Errorf("got %d, want 4", got)
 	}
 	avoidMid := func(v uint32) bool { return v == 1 }
-	if got := g.Sparsified(0, 2, graph.Inf, avoidMid); got != graph.Inf {
+	if got := g.Sparsified(0, 2, graph.Inf, avoidMid, wscratch(3)); got != graph.Inf {
 		t.Errorf("avoiding the middle: got %d, want Inf", got)
 	}
-	if got := g.Sparsified(0, 2, 3, nil); got != graph.Inf {
+	if got := g.Sparsified(0, 2, 3, nil, wscratch(3)); got != graph.Inf {
 		t.Errorf("bound 3 on distance 4: got %d, want Inf", got)
 	}
-	if got := g.Sparsified(0, 2, 4, nil); got != 4 {
+	if got := g.Sparsified(0, 2, 4, nil, wscratch(3)); got != 4 {
 		t.Errorf("bound 4 on distance 4: got %d", got)
 	}
 }

@@ -1,0 +1,123 @@
+package whcl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/hcl"
+	"repro/internal/wgraph"
+)
+
+// Binary index format:
+//
+//	magic "WHL1" | u32 |V| | u32 |R| | landmarks u32×|R| |
+//	highway u32×|R|² (symmetric weighted distances) | label block
+//
+// The label block is the shared CSR layout of hcl.WriteLabelBlock, so a
+// load is one bulk arena read and the loaded index is already packed. All
+// integers little-endian; the graph is serialised separately.
+const codecMagic = "WHL1"
+
+// WriteTo serialises the weighted labelling (landmarks, highway, labels)
+// to w.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &hcl.CountingWriter{W: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return cw.N, err
+	}
+	le := binary.LittleEndian
+	var u32 [4]byte
+	writeU32 := func(v uint32) error {
+		le.PutUint32(u32[:], v)
+		_, err := bw.Write(u32[:])
+		return err
+	}
+	if err := writeU32(uint32(len(idx.L))); err != nil {
+		return cw.N, err
+	}
+	if err := writeU32(uint32(idx.k)); err != nil {
+		return cw.N, err
+	}
+	for _, v := range idx.Landmarks {
+		if err := writeU32(v); err != nil {
+			return cw.N, err
+		}
+	}
+	for _, d := range idx.hw {
+		if err := writeU32(uint32(d)); err != nil {
+			return cw.N, err
+		}
+	}
+	if err := hcl.WriteLabelBlock(bw, idx.L); err != nil {
+		return cw.N, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.N, err
+	}
+	return cw.N, nil
+}
+
+// ReadIndex deserialises a labelling written by WriteTo and attaches it to
+// g, which must be the graph the index was built over (vertex count is
+// checked; callers needing a stronger guarantee can run VerifyCover). The
+// loaded index is already packed: the label block is the arena.
+func ReadIndex(r io.Reader, g *wgraph.Graph) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(codecMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("whcl: reading index header: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("whcl: bad index magic %q", magic)
+	}
+	var nv, nr uint32
+	if err := binary.Read(br, binary.LittleEndian, &nv); err != nil {
+		return nil, fmt.Errorf("whcl: reading vertex count: %w", err)
+	}
+	if int(nv) != g.NumVertices() {
+		return nil, fmt.Errorf("whcl: index has %d vertices, graph has %d", nv, g.NumVertices())
+	}
+	if err := binary.Read(br, binary.LittleEndian, &nr); err != nil {
+		return nil, fmt.Errorf("whcl: reading landmark count: %w", err)
+	}
+	if nr == 0 || nr > 1<<16 {
+		return nil, fmt.Errorf("whcl: implausible landmark count %d", nr)
+	}
+	landmarks := make([]uint32, nr)
+	if err := binary.Read(br, binary.LittleEndian, landmarks); err != nil {
+		return nil, fmt.Errorf("whcl: reading landmarks: %w", err)
+	}
+	for _, v := range landmarks {
+		if v >= nv {
+			return nil, fmt.Errorf("whcl: landmark %d out of range", v)
+		}
+	}
+	k := int(nr)
+	idx := &Index{
+		G:         g,
+		Landmarks: landmarks,
+		L:         make([]hcl.Label, nv),
+		hw:        make([]graph.Dist, k*k),
+		k:         k,
+		rankArr:   make([]uint16, nv),
+	}
+	if err := binary.Read(br, binary.LittleEndian, idx.hw); err != nil {
+		return nil, fmt.Errorf("whcl: reading highway: %w", err)
+	}
+	for i := range idx.rankArr {
+		idx.rankArr[i] = noRank
+	}
+	for r, v := range idx.Landmarks {
+		idx.rankArr[v] = uint16(r)
+	}
+	arena, off, err := hcl.ReadLabelBlock(br, nv, nr)
+	if err != nil {
+		return nil, fmt.Errorf("whcl: %w", err)
+	}
+	idx.packed = hcl.AttachArena(idx.L, arena, off)
+	return idx, nil
+}

@@ -1,0 +1,75 @@
+package whcl
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCodecRoundTrip pins that WriteTo → ReadIndex reproduces the weighted
+// labelling exactly, that the loaded index arrives packed, and that a
+// second save is byte-identical to the first.
+func TestCodecRoundTrip(t *testing.T) {
+	g := randomWeighted(120, 400, 7, 51)
+	idx, err := Build(g, topLandmarks(g, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.EqualLabels(idx); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.PackedLabels() == nil {
+		t.Fatal("loaded index must arrive packed")
+	}
+	for u := uint32(0); u < 120; u += 7 {
+		for v := uint32(0); v < 120; v += 11 {
+			if got, want := loaded.Query(u, v), idx.Query(u, v); got != want {
+				t.Fatalf("loaded Query(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+	var again bytes.Buffer
+	if _, err := loaded.WriteTo(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-saving a loaded labelling must be byte-identical")
+	}
+	if err := loaded.VerifyCover(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCodecRejectsCorruption pins the untrusted-stream validation.
+func TestCodecRejectsCorruption(t *testing.T) {
+	g := randomWeighted(40, 120, 5, 53)
+	idx, err := Build(g, topLandmarks(g, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	bad := append([]byte(nil), blob...)
+	copy(bad, "XXXX")
+	if _, err := ReadIndex(bytes.NewReader(bad), g); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadIndex(bytes.NewReader(blob[:len(blob)/2]), g); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	other := randomWeighted(41, 120, 5, 54)
+	if _, err := ReadIndex(bytes.NewReader(blob), other); err == nil {
+		t.Error("vertex-count mismatch accepted")
+	}
+}

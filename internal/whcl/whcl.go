@@ -20,9 +20,9 @@ import (
 const noRank = ^uint16(0)
 
 // Index is a weighted highway cover labelling.
-// Queries are safe for any number of concurrent readers (the bidirectional
-// Dijkstra allocates its frontier per call); mutations require exclusive
-// access.
+// Queries are safe for any number of concurrent readers (each in-flight
+// query draws its own Dijkstra scratch from a pool); mutations require
+// exclusive access.
 type Index struct {
 	G         *wgraph.Graph
 	Landmarks []uint32
@@ -35,6 +35,15 @@ type Index struct {
 	// shared is non-nil only on forks: a set bit means L[v]'s backing array
 	// still belongs to the parent and is copied before the first write.
 	shared *bitset.Set
+
+	// packed is the CSR read representation of L, non-nil only while the
+	// index is publishable (built by Pack, dropped by the first label
+	// write); queries prefer it. parentPacked remembers the forked-from
+	// packed form so the next Pack can reuse untouched chunks.
+	packed       *hcl.Packed
+	parentPacked *hcl.Packed
+
+	scratch wgraph.SpacePool
 
 	// rebuild scratch for the deletion path, reused across DeleteEdge calls
 	// (mutations hold exclusive access, so one set suffices).
@@ -114,19 +123,24 @@ func (idx *Index) Rank(v uint32) (uint16, bool) {
 	return r, r != noRank
 }
 
+// label returns the entry span of vertex v from the packed arena when the
+// index is packed, else from the mutable label table. The query path reads
+// labels only through this helper, so both representations answer
+// identically.
+func (idx *Index) label(v uint32) []hcl.Entry {
+	if p := idx.packed; p != nil {
+		return p.Label(v)
+	}
+	return idx.L[v]
+}
+
 // LandmarkDist returns the exact weighted distance from landmark rank r to
 // any vertex v (Equation 1 with Dijkstra distances).
 func (idx *Index) LandmarkDist(r uint16, v uint32) graph.Dist {
 	if s := idx.rankArr[v]; s != noRank {
 		return idx.Highway(r, s)
 	}
-	best := graph.Inf
-	for _, e := range idx.L[v] {
-		if t := graph.AddDist(idx.Highway(r, e.Rank), e.D); t < best {
-			best = t
-		}
-	}
-	return best
+	return hcl.LandmarkVia(idx.hw[int(r)*idx.k:int(r)*idx.k+idx.k], idx.label(v))
 }
 
 // UpperBound returns the best u–v distance through the highway network.
@@ -144,16 +158,7 @@ func (idx *Index) UpperBound(u, v uint32) graph.Dist {
 	case vIsL:
 		return idx.LandmarkDist(rv, u)
 	}
-	best := graph.Inf
-	for _, eu := range idx.L[u] {
-		for _, ev := range idx.L[v] {
-			t := graph.AddDist(eu.D, graph.AddDist(idx.Highway(eu.Rank, ev.Rank), ev.D))
-			if t < best {
-				best = t
-			}
-		}
-	}
-	return best
+	return hcl.UpperBoundMat(idx.hw, idx.k, idx.label(u), idx.label(v))
 }
 
 // Query answers an exact weighted distance query: the highway upper bound
@@ -170,7 +175,9 @@ func (idx *Index) Query(u, v uint32) graph.Dist {
 		return top
 	}
 	avoid := func(x uint32) bool { return idx.rankArr[x] != noRank }
-	sp := idx.G.Sparsified(u, v, top, avoid)
+	s := idx.scratch.Get(idx.G.NumVertices())
+	sp := idx.G.Sparsified(u, v, top, avoid, s)
+	idx.scratch.Put(s)
 	if sp < top {
 		return sp
 	}
@@ -200,6 +207,9 @@ func (idx *Index) Sizes() (entries, bytes int64) {
 
 // EnsureVertex grows the label table to cover v.
 func (idx *Index) EnsureVertex(v uint32) {
+	if uint32(len(idx.L)) <= v {
+		idx.packed = nil // the packed form no longer covers every vertex
+	}
 	for uint32(len(idx.L)) <= v {
 		idx.L = append(idx.L, nil)
 		idx.rankArr = append(idx.rankArr, noRank)
@@ -223,12 +233,34 @@ func (idx *Index) Fork(g *wgraph.Graph) *Index {
 		k:         idx.k,
 		rankArr:   append([]uint16(nil), idx.rankArr...),
 		shared:    bitset.NewAllSet(len(idx.L)),
+		// The fork mutates, so it starts unpacked; remembering the parent's
+		// packed form lets its Pack reuse untouched chunks.
+		parentPacked: idx.packed,
 	}
 }
 
+// Pack builds the packed read representation of the current labelling (see
+// hcl.Packed). On an index forked from a packed parent it is delta-aware:
+// chunks whose labels the fork never touched are reused from the parent's
+// arena by reference. Idempotent; any subsequent label write drops the
+// packed form again.
+func (idx *Index) Pack() {
+	if idx.packed != nil {
+		return
+	}
+	idx.packed = hcl.Pack(idx.L, idx.parentPacked, idx.shared)
+	idx.parentPacked = nil
+}
+
+// PackedLabels returns the packed read form, or nil when the index has
+// unpublished label writes (or was never packed).
+func (idx *Index) PackedLabels() *hcl.Packed { return idx.packed }
+
 // ownLabel makes L[v] writable on a fork, copying the shared backing array
-// on first touch.
+// on first touch. Every label write goes through here, so it also drops the
+// packed read form — the slice form is the write representation.
 func (idx *Index) ownLabel(v uint32) {
+	idx.packed = nil
 	if idx.shared == nil || !idx.shared.Get(v) {
 		return
 	}

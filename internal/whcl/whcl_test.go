@@ -144,7 +144,12 @@ func TestSparsifiedWeightedMatchesOracle(t *testing.T) {
 			}
 		}
 		want := pruned.Dist(u, v)
-		if got := g.Sparsified(u, v, graph.Inf, avoid); got != want {
+		qs := &wgraph.QuerySpace{DistU: make([]graph.Dist, 25), DistV: make([]graph.Dist, 25)}
+		for i := range qs.DistU {
+			qs.DistU[i] = graph.Inf
+			qs.DistV[i] = graph.Inf
+		}
+		if got := g.Sparsified(u, v, graph.Inf, avoid, qs); got != want {
 			t.Fatalf("iter %d: Sparsified(%d,%d) avoiding %d: got %d, want %d", iter, u, v, av, got, want)
 		}
 	}

@@ -125,8 +125,9 @@ type Oracle interface {
 }
 
 // Saver is the capability interface of oracles whose labelling can be
-// serialised (currently the undirected Index; the Concurrent wrapper
-// forwards it under the read lock).
+// serialised — all three variants, each writing its labels as contiguous
+// CSR arenas so a later Load is a bulk copy (Store and the Concurrent shim
+// forward it against the current snapshot).
 type Saver interface {
 	Save(w io.Writer) error
 }
@@ -149,8 +150,16 @@ var (
 	_ forkable = (*DirectedIndex)(nil)
 	_ forkable = (*WeightedIndex)(nil)
 
+	_ packer = (*Index)(nil)
+	_ packer = (*DirectedIndex)(nil)
+	_ packer = (*WeightedIndex)(nil)
+
 	_ Saver  = (*Index)(nil)
 	_ Loader = (*Index)(nil)
+	_ Saver  = (*DirectedIndex)(nil)
+	_ Loader = (*DirectedIndex)(nil)
+	_ Saver  = (*WeightedIndex)(nil)
+	_ Loader = (*WeightedIndex)(nil)
 	_ Saver  = (*Store)(nil)
 	_ Loader = (*Store)(nil)
 	_ Saver  = (*ConcurrentOracle)(nil)

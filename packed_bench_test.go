@@ -1,0 +1,161 @@
+// Benchmarks for the packed label arena: the same labelling queried
+// through the mutable per-vertex slice form versus the CSR-flattened read
+// representation published snapshots serve from, plus the cost of the
+// pack itself (full and delta-aware) and of loading a packed checkpoint.
+package dynhl_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	dynhl "repro"
+	"repro/internal/testutil"
+)
+
+const (
+	packedBenchN     = 50_000
+	packedBenchEdges = 100_000
+	packedBenchLand  = 20
+)
+
+// packedBenchSetup builds two identical oracles over the same 50k-vertex
+// graph: one left on the slice representation, one wrapped in a Store so
+// its published snapshot answers from the packed arena.
+func packedBenchSetup(b *testing.B) (slice *dynhl.Index, packed dynhl.View, pairs []dynhl.Pair) {
+	b.Helper()
+	g := testutil.RandomConnectedGraph(packedBenchN, packedBenchEdges, 9)
+	slice, err := dynhl.Build(g, dynhl.Options{Landmarks: packedBenchLand})
+	if err != nil {
+		b.Fatal(err)
+	}
+	packedIdx, err := dynhl.Build(g.Clone(), dynhl.Options{Landmarks: packedBenchLand})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := dynhl.NewStore(packedIdx)
+	if st.Snapshot().Stats().PackedBytes == 0 {
+		b.Fatal("store snapshot is not packed")
+	}
+	rng := rand.New(rand.NewSource(77))
+	pairs = make([]dynhl.Pair, 4096)
+	for i := range pairs {
+		pairs[i] = dynhl.Pair{U: uint32(rng.Intn(packedBenchN)), V: uint32(rng.Intn(packedBenchN))}
+	}
+	return slice, st.Snapshot(), pairs
+}
+
+// BenchmarkQuery compares one exact distance query on the slice layout
+// (pointer chase per label) against the packed arena (two contiguous entry
+// streams); both paths must run allocation-free in steady state.
+func BenchmarkQuery(b *testing.B) {
+	slice, packed, pairs := packedBenchSetup(b)
+	b.Run("slice", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			slice.Query(p.U, p.V)
+		}
+	})
+	b.Run("packed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			packed.Query(p.U, p.V)
+		}
+	})
+}
+
+// BenchmarkQueryBatch compares batch queries on both layouts. Batches stay
+// at the serial-path size so the numbers measure representation, not
+// goroutine fan-out; the only allocation per batch is its result slice.
+func BenchmarkQueryBatch(b *testing.B) {
+	slice, packed, pairs := packedBenchSetup(b)
+	batch := pairs[:64]
+	b.Run("slice", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			slice.QueryBatch(batch)
+		}
+	})
+	b.Run("packed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			packed.QueryBatch(batch)
+		}
+	})
+}
+
+// BenchmarkPackPublish measures the complete per-epoch publish cost on a
+// 50k-vertex store: each iteration is two Store.Apply calls (insert one
+// edge, delete it again), each paying fork + IncHL+/DecHL repair +
+// delta-aware repack of only the touched arena chunks + publish. The full
+// 50k-label flatten is measured separately by internal/hcl's BenchmarkPack.
+func BenchmarkPackPublish(b *testing.B) {
+	g := testutil.RandomConnectedGraph(packedBenchN, packedBenchEdges, 9)
+	idx, err := dynhl.Build(g.Clone(), dynhl.Options{Landmarks: packedBenchLand})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := dynhl.NewStore(idx)
+	u, v := uint32(packedBenchN-2), uint32(packedBenchN-7)
+	if g.HasEdge(u, v) {
+		b.Fatal("benchmark edge already present")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Apply([]dynhl.Op{dynhl.InsertEdgeOp(u, v, 0)}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Apply([]dynhl.Op{dynhl.DeleteEdgeOp(u, v)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadLabels measures restoring a 50k-vertex packed labelling from
+// its serialised form — the checkpoint-load path: one bulk arena read
+// instead of per-vertex decodes.
+func BenchmarkLoadLabels(b *testing.B) {
+	g := testutil.RandomConnectedGraph(packedBenchN, packedBenchEdges, 9)
+	idx, err := dynhl.Build(g, dynhl.Options{Landmarks: packedBenchLand})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	for i := 0; i < b.N; i++ {
+		if _, err := dynhl.LoadIndex(bytes.NewReader(buf.Bytes()), g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFork measures the copy-on-write fork + publish of an untouched
+// oracle — the fixed per-epoch cost a batch pays before its first repair.
+func BenchmarkFork(b *testing.B) {
+	for _, n := range []int{10_000, 50_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := testutil.RandomConnectedGraph(n, 2*n, 9)
+			idx, err := dynhl.Build(g, dynhl.Options{Landmarks: packedBenchLand})
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := dynhl.NewStore(idx)
+			for i := 0; i < b.N; i++ {
+				// An empty batch short-circuits, so apply the smallest
+				// possible real batch: one insert of an existing edge is
+				// rejected; instead flip one edge on and off.
+				if _, err := st.Apply([]dynhl.Op{dynhl.InsertEdgeOp(uint32(n-1), uint32(n-3), 0)}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := st.Apply([]dynhl.Op{dynhl.DeleteEdgeOp(uint32(n-1), uint32(n-3))}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

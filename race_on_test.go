@@ -1,0 +1,8 @@
+//go:build race
+
+package dynhl
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation allocates on paths that are allocation-free in
+// normal builds; the AllocsPerRun gates skip themselves under it.
+const raceEnabled = true

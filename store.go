@@ -60,6 +60,25 @@ type forkable interface {
 	fork() Oracle
 }
 
+// packer is implemented by the in-package variants: packLabels freezes the
+// current labelling into its packed CSR read representation (hcl.Packed and
+// friends). The Store calls it on every snapshot it is about to publish, so
+// published versions serve queries from contiguous arenas; the per-vertex
+// slice form stays the write representation and any later label write drops
+// the packed form again.
+type packer interface {
+	packLabels()
+}
+
+// pack freezes o's labelling into the packed read form when the variant
+// supports it (delta-aware on forks of packed parents: only chunks the
+// batch touched are rebuilt). A no-op for unknown Oracle implementations.
+func pack(o Oracle) {
+	if p, ok := o.(packer); ok {
+		p.packLabels()
+	}
+}
+
 // snapshot is one published version: an oracle frozen at an epoch.
 type snapshot struct {
 	o     Oracle
@@ -191,6 +210,7 @@ func NewStore(o Oracle) *Store {
 	if _, ok := o.(forkable); !ok {
 		s.rmu = new(sync.RWMutex)
 	}
+	pack(o) // epoch 0 serves from the packed read form too
 	s.cur.Store(&snapshot{o: o})
 	return s
 }
@@ -211,6 +231,7 @@ func NewStoreAt(o Oracle, epoch uint64) *Store {
 	if _, ok := o.(forkable); !ok {
 		s.rmu = new(sync.RWMutex)
 	}
+	pack(o) // recovered epochs serve from the packed read form too
 	s.cur.Store(&snapshot{o: o, epoch: epoch})
 	return s
 }
@@ -279,6 +300,10 @@ func (s *Store) ApplyEpoch(ops []Op) ([]UpdateSummary, uint64, error) {
 	if err != nil {
 		return nil, cur.epoch, err // discard the fork: all-or-nothing
 	}
+	// Freeze the working copy into the packed read form before anyone can
+	// see it: the repairs touched k labels, so the delta-aware repack
+	// rebuilds only the arena chunks covering them.
+	pack(work)
 	next := &snapshot{o: work, epoch: cur.epoch + 1}
 	if err := s.commit(next, ops); err != nil {
 		return nil, cur.epoch, err // discard the fork: not durable, not published
@@ -447,6 +472,7 @@ func (s *Store) LoadEpoch(r io.Reader) (uint64, error) {
 	if err := l.Load(r); err != nil {
 		return cur.epoch, err // discard the fork
 	}
+	pack(work) // loads arrive packed from the codec arena; idempotent
 	next := &snapshot{o: work, epoch: cur.epoch + 1}
 	if err := s.commit(next, nil); err != nil {
 		return cur.epoch, err // discard the fork

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -471,12 +470,26 @@ func TestStoreSaveLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Every variant serialises now; a directed store round-trips through
+	// Save/Load and answers identically afterwards.
 	ds := dynhl.NewStore(dir)
-	if err := ds.Save(io.Discard); !errors.Is(err, errors.ErrUnsupported) {
-		t.Fatalf("directed Save: %v, want ErrUnsupported", err)
+	var dbuf bytes.Buffer
+	if err := ds.Save(&dbuf); err != nil {
+		t.Fatalf("directed Save: %v", err)
 	}
-	if err := ds.Load(bytes.NewReader(nil)); !errors.Is(err, errors.ErrUnsupported) {
-		t.Fatalf("directed Load: %v, want ErrUnsupported", err)
+	before := ds.Query(0, 4)
+	dirEpoch := ds.Epoch()
+	if err := ds.Load(bytes.NewReader(dbuf.Bytes())); err != nil {
+		t.Fatalf("directed Load: %v", err)
+	}
+	if ds.Epoch() != dirEpoch+1 {
+		t.Fatalf("directed Load must publish a new epoch: %d -> %d", dirEpoch, ds.Epoch())
+	}
+	if got := ds.Query(0, 4); got != before {
+		t.Fatalf("directed Load changed answers: %d vs %d", got, before)
+	}
+	if err := ds.Verify(); err != nil {
+		t.Fatal(err)
 	}
 }
 

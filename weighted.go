@@ -117,6 +117,10 @@ func (x *WeightedIndex) InsertVertex(arcs []Arc) (uint32, UpdateSummary, error) 
 // Oracle.Apply); wrap with NewStore for all-or-nothing batches.
 func (x *WeightedIndex) Apply(ops []Op) ([]UpdateSummary, error) { return applyOps(x, ops) }
 
+// packLabels freezes the labelling into the packed CSR read form the Store
+// serves published snapshots from (see hcl.Packed); delta-aware on forks.
+func (x *WeightedIndex) packLabels() { x.idx.Pack() }
+
 // fork returns the copy-on-write working copy backing Store publishes.
 func (x *WeightedIndex) fork() Oracle {
 	return &WeightedIndex{idx: x.idx.Fork(x.idx.G.Fork())}
@@ -156,7 +160,7 @@ func weightedSummary(st whcl.Stats) UpdateSummary {
 // Stats returns current size statistics.
 func (x *WeightedIndex) Stats() Stats {
 	entries, bytes := x.idx.Sizes()
-	return Stats{
+	st := Stats{
 		Vertices:     x.idx.G.NumVertices(),
 		Edges:        x.idx.G.NumEdges(),
 		Landmarks:    len(x.idx.Landmarks),
@@ -164,10 +168,45 @@ func (x *WeightedIndex) Stats() Stats {
 		Bytes:        bytes,
 		AvgLabelSize: avgLabelSize(entries, x.idx.G.NumVertices()),
 	}
+	if p := x.idx.PackedLabels(); p != nil {
+		st.PackedBytes = p.ArenaBytes()
+	}
+	return st
 }
 
 // Verify audits the labelling against Dijkstra ground truth.
 func (x *WeightedIndex) Verify() error { return x.idx.VerifyCover() }
+
+// Save serialises the weighted labelling to w in a compact binary format
+// (labels stored as one contiguous CSR arena). The graph is not included —
+// persist it separately.
+func (x *WeightedIndex) Save(w io.Writer) error {
+	_, err := x.idx.WriteTo(w)
+	return err
+}
+
+// Load swaps in a labelling saved with Save, replacing the current one. The
+// stream must have been saved over the index's current graph; the loaded
+// labelling arrives packed. Use Verify for a full consistency audit after
+// loading from untrusted storage.
+func (x *WeightedIndex) Load(r io.Reader) error {
+	idx, err := whcl.ReadIndex(r, x.idx.G)
+	if err != nil {
+		return err
+	}
+	x.idx = idx
+	return nil
+}
+
+// LoadWeightedIndex restores a labelling saved with Save and attaches it to
+// g, which must be the graph it was built over.
+func LoadWeightedIndex(r io.Reader, g *WeightedGraph) (*WeightedIndex, error) {
+	idx, err := whcl.ReadIndex(r, g)
+	if err != nil {
+		return nil, err
+	}
+	return &WeightedIndex{idx: idx}, nil
+}
 
 // Landmarks returns the landmark vertices in rank order.
 func (x *WeightedIndex) Landmarks() []uint32 {
