@@ -25,7 +25,9 @@
 //	apply <op> ; <op>  batch of add/addv/de/dv ops, one atomic epoch, e.g.
 //	                   apply add 1 2 ; de 3 4 ; dv 9
 //	epoch              current published epoch
-//	stats              index size statistics (and WAL counters when durable)
+//	stats              index size statistics (and WAL / replication counters)
+//	role               replication role and link state
+//	lag                replication lag in epochs and unapplied bytes
 //	checkpoint         write a durability checkpoint (-data-dir only)
 //	verify             O(|R|·|E|) correctness audit of the labelling
 //	help, quit
@@ -33,12 +35,21 @@
 // With -data-dir the session is durable: updates are logged to a WAL
 // before publishing, recovery on start restores the last durable epoch
 // (no -graph needed on later runs), and quit takes a final checkpoint.
+//
+// With -server the shell attaches to a running hlserver instead of
+// building anything locally: q, epoch, stats, role and lag run against its
+// HTTP API — the way to watch a replica's lag or confirm a leader's
+// follower count from a terminal.
+//
+//	hlquery -server http://localhost:8081
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -60,8 +71,17 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generator and selection seed")
 		parallel  = flag.Bool("parallel", false, "parallel index construction")
 		dataDir   = flag.String("data-dir", "", "durability directory: recover on start, WAL every update, checkpoint on quit")
+		server    = flag.String("server", "", "base URL of a running hlserver: query it remotely instead of building locally")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		if *graphPath != "" || *ds != "" || *dataDir != "" {
+			fatal(fmt.Errorf("-server attaches to a running hlserver; drop -graph/-dataset/-data-dir"))
+		}
+		remoteRepl(strings.TrimRight(*server, "/"))
+		return
+	}
 
 	opt := dynhl.Options{Landmarks: *landmarks, Strategy: *strategy, Seed: *seed, Parallel: *parallel}
 	start := time.Now()
@@ -274,13 +294,11 @@ func execute(o *dynhl.Store, durable *wal.Durable, fields []string) bool {
 	case "epoch":
 		fmt.Printf("epoch %d\n", o.Epoch())
 	case "stats":
-		st := o.Stats()
-		fmt.Printf("vertices=%d edges=%d landmarks=%d entries=%d avg=%.2f bytes=%d epoch=%d\n",
-			st.Vertices, st.Edges, st.Landmarks, st.LabelEntries, st.AvgLabelSize, st.Bytes, st.Epoch)
-		if d := st.Durability; d != nil {
-			fmt.Printf("wal: records=%d bytes=%d syncs=%d durable_epoch=%d checkpoint_epoch=%d segments=%d replayed=%d\n",
-				d.Records, d.Bytes, d.Syncs, d.DurableEpoch, d.CheckpointEpoch, d.Segments, d.Replayed)
-		}
+		printStats(o.Stats())
+	case "role":
+		printRole(o.Stats())
+	case "lag":
+		printLag(o.Stats())
 	case "checkpoint":
 		if durable == nil {
 			fmt.Println("error: not a durable session (start with -data-dir)")
@@ -301,13 +319,159 @@ func execute(o *dynhl.Store, durable *wal.Durable, fields []string) bool {
 			fmt.Printf("labelling verified exact [%v]\n", time.Since(start))
 		}
 	case "help":
-		fmt.Println("commands: q <u> <v> | qb <u> <v> [<u> <v> ...] | add <u> <v> [w] | addv n1,n2,... | de <u> <v> | dv <v> | apply <op> ; <op> ... | epoch | stats | checkpoint | verify | quit")
+		fmt.Println("commands: q <u> <v> | qb <u> <v> [<u> <v> ...] | add <u> <v> [w] | addv n1,n2,... | de <u> <v> | dv <v> | apply <op> ; <op> ... | epoch | stats | role | lag | checkpoint | verify | quit")
 	case "quit", "exit":
 		return true
 	default:
 		fmt.Printf("unknown command %q (try help)\n", fields[0])
 	}
 	return false
+}
+
+// printStats renders one Stats the same way for every variant and for both
+// local and remote sessions: the index line always carries the packed CSR
+// bytes and the published epoch, with WAL and replication counters on their
+// own lines when present.
+func printStats(st dynhl.Stats) {
+	fmt.Printf("vertices=%d edges=%d landmarks=%d entries=%d avg=%.2f bytes=%d packed=%d epoch=%d\n",
+		st.Vertices, st.Edges, st.Landmarks, st.LabelEntries, st.AvgLabelSize, st.Bytes, st.PackedBytes, st.Epoch)
+	if d := st.Durability; d != nil {
+		fmt.Printf("wal: records=%d bytes=%d syncs=%d durable_epoch=%d checkpoint_epoch=%d segments=%d replayed=%d\n",
+			d.Records, d.Bytes, d.Syncs, d.DurableEpoch, d.CheckpointEpoch, d.Segments, d.Replayed)
+	}
+	if r := st.Replication; r != nil {
+		fmt.Printf("repl: role=%s ready=%v connected=%v leader_epoch=%d lag_epochs=%d lag_bytes=%d followers=%d\n",
+			r.Role, r.Ready, r.Connected, r.LeaderEpoch, r.LagEpochs, r.LagBytes, r.Followers)
+	}
+}
+
+// printRole renders the replication role and link state.
+func printRole(st dynhl.Stats) {
+	r := st.Replication
+	if r == nil {
+		fmt.Println("role standalone (no replication link)")
+		return
+	}
+	switch r.Role {
+	case "leader":
+		fmt.Printf("role leader: epoch %d, %d followers, shipped %d records / %d bytes (%d bootstraps, %d resumes)\n",
+			st.Epoch, r.Followers, r.ShippedRecords, r.ShippedBytes, r.Bootstraps, r.Resumes)
+	default:
+		state := "bootstrapping"
+		if r.Ready {
+			state = "serving"
+		}
+		link := "disconnected"
+		if r.Connected {
+			link = "connected"
+		}
+		fmt.Printf("role follower of %s: %s, link %s, epoch %d (leader at %d)\n",
+			r.Leader, state, link, st.Epoch, r.LeaderEpoch)
+	}
+}
+
+// printLag renders how far the store trails (or leads) its replication peer.
+func printLag(st dynhl.Stats) {
+	r := st.Replication
+	if r == nil {
+		fmt.Println("lag: standalone store, no replication link")
+		return
+	}
+	line := fmt.Sprintf("lag: %d epochs, %d bytes unapplied (epoch %d, leader at %d)",
+		r.LagEpochs, r.LagBytes, st.Epoch, r.LeaderEpoch)
+	if !r.LastContact.IsZero() {
+		line += fmt.Sprintf(", last contact %v ago", time.Since(r.LastContact).Round(time.Millisecond))
+	}
+	fmt.Println(line)
+}
+
+// remoteRepl attaches the shell to a running hlserver: the observability
+// commands run against its HTTP API, nothing is built locally.
+func remoteRepl(base string) {
+	st, err := fetchStats(base)
+	if err != nil {
+		fatal(fmt.Errorf("cannot reach %s: %w", base, err))
+	}
+	fmt.Printf("attached to %s (epoch %d, %d vertices)\n", base, st.Epoch, st.Vertices)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) > 0 {
+			if quit := remoteExecute(base, fields); quit {
+				return
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+// remoteExecute runs one remote command, reporting whether to exit.
+func remoteExecute(base string, fields []string) bool {
+	switch fields[0] {
+	case "q", "query":
+		u, v, err := twoVertices(fields[1:])
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		var dr struct {
+			Distance *uint32 `json:"distance"`
+		}
+		start := time.Now()
+		if err := getJSON(fmt.Sprintf("%s/distance?u=%d&v=%d", base, u, v), &dr); err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		el := time.Since(start)
+		if dr.Distance == nil {
+			fmt.Printf("d(%d,%d) = inf (unreachable)  [%v]\n", u, v, el)
+		} else {
+			fmt.Printf("d(%d,%d) = %d  [%v]\n", u, v, *dr.Distance, el)
+		}
+	case "epoch", "stats", "role", "lag":
+		st, err := fetchStats(base)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		switch fields[0] {
+		case "epoch":
+			fmt.Printf("epoch %d\n", st.Epoch)
+		case "stats":
+			printStats(st)
+		case "role":
+			printRole(st)
+		case "lag":
+			printLag(st)
+		}
+	case "help":
+		fmt.Println("remote commands: q <u> <v> | epoch | stats | role | lag | quit (updates go through the server's own API)")
+	case "quit", "exit":
+		return true
+	default:
+		fmt.Printf("unknown or local-only command %q (try help)\n", fields[0])
+	}
+	return false
+}
+
+// fetchStats retrieves a running hlserver's /stats.
+func fetchStats(base string) (dynhl.Stats, error) {
+	var st dynhl.Stats
+	return st, getJSON(base+"/stats", &st)
+}
+
+// getJSON decodes one GET endpoint into out.
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // parseOps parses an apply command's tail: semicolon-separated

@@ -33,6 +33,19 @@
 //	hlserver -graph web.txt -data-dir /var/lib/hlserver   # first boot
 //	hlserver -data-dir /var/lib/hlserver                  # every later boot
 //
+// Read scaling comes from replication (-role): a durable server started
+// with -role leader additionally listens on -replicate-addr and streams its
+// newest checkpoint plus WAL tail to followers; a server started with
+// -role follower -leader-addr host:port needs no graph, labels or data
+// directory at all — it bootstraps from the shipped checkpoint, replays
+// every update batch under the leader's own epoch numbers, and serves the
+// full read API. Followers answer writes with 503 plus an X-Oracle-Leader
+// header pointing at the leader, report replication lag in /stats, and
+// GET /healthz turns 200 once the first bootstrap lands.
+//
+//	hlserver -graph web.txt -data-dir /var/lib/hl -role leader -replicate-addr :7601
+//	hlserver -role follower -leader-addr leader:7601 -addr :8081
+//
 // Without -data-dir, -load-labels seeds the server from a prebuilt
 // labelling file (the Save/GET /labels format, written over the same
 // graph) instead of constructing labels at boot, and -save-labels writes
@@ -53,6 +66,7 @@ import (
 	dynhl "repro"
 	"repro/internal/cli"
 	"repro/internal/httpapi"
+	"repro/internal/repl"
 	"repro/internal/wal"
 )
 
@@ -73,8 +87,27 @@ func main() {
 		ckptEvery  = flag.Int("checkpoint-every", 10000, "WAL records between automatic checkpoints with -data-dir (0 = manual and shutdown only)")
 		loadLabels = flag.String("load-labels", "", "labelling file to load at boot instead of constructing labels (undirected; saved over the same -graph)")
 		saveLabels = flag.String("save-labels", "", "labelling file to write on graceful shutdown")
+
+		role       = flag.String("role", "standalone", "serving role: standalone, leader (stream checkpoints + WAL to followers) or follower (replicate from -leader-addr)")
+		replAddr   = flag.String("replicate-addr", ":7601", "replication listen address with -role leader")
+		leaderAddr = flag.String("leader-addr", "", "leader replication address with -role follower")
 	)
 	flag.Parse()
+
+	switch *role {
+	case "follower":
+		if *leaderAddr == "" {
+			log.Fatal("hlserver: -role follower requires -leader-addr")
+		}
+		runFollower(*addr, *leaderAddr)
+		return
+	case "standalone", "leader", "":
+		if *role == "leader" && *dataDir == "" {
+			log.Fatal("hlserver: -role leader requires -data-dir (followers replicate the WAL)")
+		}
+	default:
+		log.Fatalf("hlserver: unknown -role %q (want standalone, leader or follower)", *role)
+	}
 
 	opt := dynhl.Options{Landmarks: *landmarks, Strategy: *strategy, Seed: *seed, Parallel: true}
 	build := func() (dynhl.Oracle, error) {
@@ -128,13 +161,71 @@ func main() {
 		time.Since(start).Round(time.Millisecond), st.Landmarks, st.LabelEntries, st.AvgLabelSize,
 		store.Epoch())
 
+	var leader *repl.Leader
+	if *role == "leader" {
+		var err error
+		leader, err = repl.StartLeader(*replAddr, durable, repl.Options{Logf: log.Printf})
+		if err != nil {
+			log.Fatal("hlserver: ", err)
+		}
+		log.Printf("replicating to followers on %s", leader.Addr())
+	}
+
 	opts := []httpapi.Option{}
 	if durable != nil {
 		opts = append(opts, httpapi.WithDurability(durable))
 	}
+	serve(*addr, httpapi.New(store, opts...).Handler(), func() {
+		if leader != nil {
+			// Drop follower links first: they reconnect against the next boot.
+			if err := leader.Close(); err != nil {
+				log.Print("hlserver: closing replication listener: ", err)
+			}
+		}
+		if durable != nil {
+			// The final checkpoint: the next boot recovers instantly.
+			if err := durable.Close(); err != nil {
+				log.Fatal("hlserver: closing durable store: ", err)
+			}
+			log.Printf("checkpointed epoch %d", store.Epoch())
+		}
+		if *saveLabels != "" {
+			if err := saveLabelFile(store, *saveLabels); err != nil {
+				log.Fatal("hlserver: ", err)
+			}
+			log.Printf("saved labelling to %s (epoch %d)", *saveLabels, store.Epoch())
+		}
+	})
+}
+
+// runFollower serves a read replica: no local graph, labels or WAL — the
+// whole state is bootstrapped and then replayed from the leader.
+func runFollower(addr, leaderAddr string) {
+	f := repl.StartFollower(leaderAddr, repl.Options{Logf: log.Printf})
+	log.Printf("replicating from %s (reads 503 until the first bootstrap lands)", leaderAddr)
+	go func() {
+		if err := f.WaitReady(context.Background()); err != nil {
+			return
+		}
+		st := f.Store().Stats()
+		log.Printf("bootstrapped at epoch %d: %d vertices, %d edges", st.Epoch, st.Vertices, st.Edges)
+	}()
+	serve(addr, httpapi.NewReplica(f).Handler(), func() {
+		if err := f.Close(); err != nil {
+			log.Fatal("hlserver: closing follower: ", err)
+		}
+		if s := f.Store(); s != nil {
+			log.Printf("stopped replicating at epoch %d", s.Epoch())
+		}
+	})
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, drains in-flight
+// requests, then runs shutdown hooks (replication, checkpoints, labels).
+func serve(addr string, handler http.Handler, shutdown func()) {
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           httpapi.New(store, opts...).Handler(),
+		Addr:              addr,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -144,7 +235,7 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s", *addr)
+		log.Printf("serving on %s", addr)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -162,19 +253,7 @@ func main() {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal("hlserver: ", err)
 		}
-		if durable != nil {
-			// The final checkpoint: the next boot recovers instantly.
-			if err := durable.Close(); err != nil {
-				log.Fatal("hlserver: closing durable store: ", err)
-			}
-			log.Printf("checkpointed epoch %d", store.Epoch())
-		}
-		if *saveLabels != "" {
-			if err := saveLabelFile(store, *saveLabels); err != nil {
-				log.Fatal("hlserver: ", err)
-			}
-			log.Printf("saved labelling to %s (epoch %d)", *saveLabels, store.Epoch())
-		}
+		shutdown()
 		log.Print("bye")
 	}
 }

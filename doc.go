@@ -147,6 +147,38 @@
 // and GET /wal/stats. Durability requires an oracle whose labelling and
 // graph both serialise — currently the undirected Index.
 //
+// # Replication: WAL shipping to read-scaling followers
+//
+// One process answers queries on one machine's cores; the replication
+// subsystem (internal/repl) turns the same write-ahead log into a read
+// fleet. A durable server started as the leader listens on a replication
+// port; each follower connects, names the epoch it already holds, and the
+// leader either resumes the record stream from there or — when the
+// follower is fresh, or its epoch fell behind the newest checkpoint's
+// resume floor — ships the whole checkpoint image and streams onward from
+// that. Followers rebuild the shipped image through the same codec path as
+// crash recovery, replay each op batch with the leader's own epoch number,
+// and publish exactly the leader's timeline: at every shared epoch the
+// follower's serialised labelling is byte-identical to the leader's, which
+// the differential test in internal/repl enforces round by round against
+// BFS ground truth. A follower that loses the link reconnects with backoff
+// and resumes from its own epoch; a follower that falls further behind
+// than the leader's bounded per-session queue is dropped and re-bootstraps
+// itself the same way. Epoch-less Load publishes (PUT /labels) ship as
+// fresh checkpoint images mid-stream.
+//
+// The Store side is deliberately thin: AttachReplication registers a
+// Replication layer whose ReplicationStats — role, link state, follower
+// count, epoch and byte lag — ride Stats, /stats and GET /healthz;
+// WaitEpoch parks a reader until a given epoch publishes, which is what
+// lets a client that wrote through the leader read its own write on a
+// follower by echoing the leader's X-Oracle-Epoch response header into a
+// request header; Reset swaps a re-bootstrapped image into the same Store
+// identity so long-lived Views and waiters survive. cmd/hlserver wires the
+// whole stack as -role leader|follower, -replicate-addr and -leader-addr:
+// followers need no graph, labels or data directory, serve the full read
+// API, and answer writes with 503 plus an X-Oracle-Leader hint.
+//
 // The internal packages hold the substrates and baselines used by the
 // reproduction study: internal/hcl (static labelling), internal/inchl (the
 // IncHL+ algorithm), internal/pll and internal/fulldyn (the IncPLL and

@@ -210,10 +210,11 @@ func plainNeighbors(variant string, arcs []Arc) ([]uint32, error) {
 	return neighbors, nil
 }
 
-// Stats describes the index size. Epoch and Durability are filled by the
-// Store layer (plain variants leave them zero): Epoch names the published
-// version the stats describe, Durability carries the attached write-ahead
-// log's counters when the store is durable.
+// Stats describes the index size. Epoch, Durability and Replication are
+// filled by the Store layer (plain variants leave them zero): Epoch names
+// the published version the stats describe, Durability carries the attached
+// write-ahead log's counters when the store is durable, and Replication the
+// role and lag counters when the store leads or follows a replication link.
 type Stats struct {
 	Vertices     int
 	Edges        uint64
@@ -228,7 +229,8 @@ type Stats struct {
 	// labelling is not currently packed (a plain mutable index).
 	PackedBytes int64
 	Epoch       uint64
-	Durability  *DurabilityStats `json:",omitempty"`
+	Durability  *DurabilityStats  `json:",omitempty"`
+	Replication *ReplicationStats `json:",omitempty"`
 }
 
 // Stats returns current size statistics.

@@ -27,8 +27,11 @@
 //	PUT    /labels             replace the labelling from a stream saved
 //	                           over the same graph (501 when unsupported)
 //	GET    /stats              index size statistics, current epoch, and —
-//	                           on a durable server — the WAL counters
-//	GET    /healthz            liveness
+//	                           on a durable server — the WAL counters; on a
+//	                           replicated one, role and lag
+//	GET    /healthz            readiness: role, epoch, replication lag; 503
+//	                           until a replica has bootstrapped, so load
+//	                           balancers route around a catching-up follower
 //
 // A durable server (one whose store has a write-ahead log attached, see
 // internal/wal and the WithDurability option) additionally serves the
@@ -49,6 +52,17 @@
 // observes a half-applied update batch and never waits on a writer, however
 // long its repair runs.
 //
+// A server started with NewReplica serves a read-scaling follower
+// (internal/repl): the full read API works as above, while every mutating
+// endpoint answers 503 with an X-Oracle-Leader header and a JSON leader
+// hint — writes belong on the leader. Read-your-writes across replicas
+// rides the epoch header in the other direction: a request carrying
+// X-Oracle-Epoch: N (the epoch a write on the leader reported) makes any
+// read endpoint wait — bounded by WithEpochWait — until the serving store
+// has published N, so a client can write to the leader and immediately
+// read its write from any follower. The wait degrades to a no-op on the
+// leader itself, so clients can send the header unconditionally.
+//
 // Mutation failures map onto status codes through the dynhl sentinel
 // errors: unknown vertices and edges are 404, inserting an edge that
 // already exists is 409, capability gaps (errors.ErrUnsupported from
@@ -59,11 +73,13 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	dynhl "repro"
 )
@@ -141,15 +157,59 @@ func WithDurability(d Durability) Option {
 	return func(s *Server) { s.durability = d }
 }
 
+// WithEpochWait bounds how long a read carrying an X-Oracle-Epoch request
+// header may wait for the serving store to catch up to that epoch (0 or
+// negative restores the 2s default).
+func WithEpochWait(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.epochWait = d
+		}
+	}
+}
+
+// DefaultEpochWait is the read-your-writes waiting bound.
+const DefaultEpochWait = 2 * time.Second
+
+// Replica is the follower capability the server needs to serve a read
+// replica (implemented by *repl.Follower): the replica store — nil until
+// the first bootstrap lands — plus where writes should go instead and the
+// lag surfaced by /healthz.
+type Replica interface {
+	Store() *dynhl.Store
+	ReplicationStats() dynhl.ReplicationStats
+	Leader() string
+}
+
+// NewReplica returns a Server serving a follower's replica store: the read
+// API in full, 503 + a leader hint on every write, 503 from /healthz until
+// the bootstrap completes.
+func NewReplica(r Replica, opts ...Option) *Server {
+	s := &Server{
+		replica:       r,
+		maxBatchPairs: DefaultMaxBatchPairs,
+		maxBodyBytes:  DefaultMaxBodyBytes,
+		maxBatchOps:   DefaultMaxBatchOps,
+		maxLabelBytes: DefaultMaxLabelBytes,
+		epochWait:     DefaultEpochWait,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
 // Server wraps an oracle with HTTP handlers over a versioned snapshot
 // store: reads load one immutable snapshot per request, writes publish new
 // epochs.
 type Server struct {
 	store         *dynhl.Store
+	replica       Replica // non-nil on a follower: store comes from here
 	maxBatchPairs int
 	maxBodyBytes  int64
 	maxBatchOps   int
 	maxLabelBytes int64
+	epochWait     time.Duration
 	durability    Durability // nil on a non-durable server
 }
 
@@ -162,6 +222,7 @@ func New(o dynhl.Oracle, opts ...Option) *Server {
 		maxBodyBytes:  DefaultMaxBodyBytes,
 		maxBatchOps:   DefaultMaxBatchOps,
 		maxLabelBytes: DefaultMaxLabelBytes,
+		epochWait:     DefaultEpochWait,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -175,6 +236,56 @@ const epochHeader = "X-Oracle-Epoch"
 
 func tagEpoch(w http.ResponseWriter, epoch uint64) {
 	w.Header().Set(epochHeader, strconv.FormatUint(epoch, 10))
+}
+
+// leaderHeader carries the leader's replication address when a replica
+// refuses a write.
+const leaderHeader = "X-Oracle-Leader"
+
+// readStore resolves the store a read serves from, answering 503 while a
+// replica is still bootstrapping. A request carrying an X-Oracle-Epoch
+// header is read-your-writes: the read waits — bounded by WithEpochWait —
+// until the store has published that epoch, and answers 503 (with the
+// current epoch tagged) when it cannot catch up in time.
+func (s *Server) readStore(w http.ResponseWriter, r *http.Request) (*dynhl.Store, bool) {
+	st := s.store
+	if s.replica != nil {
+		st = s.replica.Store()
+	}
+	if st == nil {
+		httpError(w, http.StatusServiceUnavailable, errors.New("replica is bootstrapping; retry shortly"))
+		return nil, false
+	}
+	if raw := r.Header.Get(epochHeader); raw != "" {
+		epoch, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad %s %q: %w", epochHeader, raw, err))
+			return nil, false
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.epochWait)
+		defer cancel()
+		if err := st.WaitEpoch(ctx, epoch); err != nil {
+			tagEpoch(w, st.Epoch())
+			httpError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("still at epoch %d, not yet %d: %w", st.Epoch(), epoch, err))
+			return nil, false
+		}
+	}
+	return st, true
+}
+
+// writeStore resolves the store a mutation goes to; a replica answers 503
+// with the leader's address instead — writes belong on the leader.
+func (s *Server) writeStore(w http.ResponseWriter) (*dynhl.Store, bool) {
+	if s.replica != nil {
+		w.Header().Set(leaderHeader, s.replica.Leader())
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"error":  "this server is a read replica; send writes to the leader",
+			"leader": s.replica.Leader(),
+		})
+		return nil, false
+	}
+	return s.store, true
 }
 
 // Handler returns the route table.
@@ -192,9 +303,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.stats)
 	mux.HandleFunc("POST /checkpoint", s.checkpoint)
 	mux.HandleFunc("GET /wal/stats", s.walStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-	})
+	mux.HandleFunc("GET /healthz", s.healthz)
 	return mux
 }
 
@@ -216,9 +325,13 @@ func (s *Server) distance(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	st, ok := s.readStore(w, r)
+	if !ok {
+		return
+	}
 	// One snapshot serves validation and query: the answer is guaranteed
 	// consistent with the single epoch named in the response header.
-	view := s.store.Snapshot()
+	view := st.Snapshot()
 	tagEpoch(w, view.Epoch())
 	n := view.NumVertices()
 	if int(u) >= n || int(v) >= n {
@@ -249,7 +362,11 @@ func (s *Server) distances(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch of %d pairs exceeds the %d-pair cap", len(req.Pairs), s.maxBatchPairs))
 		return
 	}
-	view := s.store.Snapshot()
+	st, ok := s.readStore(w, r)
+	if !ok {
+		return
+	}
+	view := st.Snapshot()
 	tagEpoch(w, view.Epoch())
 	n := view.NumVertices()
 	for i, p := range req.Pairs {
@@ -296,9 +413,13 @@ func (s *Server) updates(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch of %d ops exceeds the %d-op cap", len(req.Ops), s.maxBatchOps))
 		return
 	}
+	st, ok := s.writeStore(w)
+	if !ok {
+		return
+	}
 	// ApplyEpoch reports the exact epoch this batch published, so the
 	// attribution stays right even with concurrent writers.
-	sums, epoch, err := s.store.ApplyEpoch(req.Ops)
+	sums, epoch, err := st.ApplyEpoch(req.Ops)
 	tagEpoch(w, epoch)
 	if err != nil {
 		updateError(w, err)
@@ -328,7 +449,11 @@ func (s *Server) insertEdge(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	sums, epoch, err := s.store.ApplyEpoch([]dynhl.Op{dynhl.InsertEdgeOp(req.U, req.V, req.W)})
+	st, ok := s.writeStore(w)
+	if !ok {
+		return
+	}
+	sums, epoch, err := st.ApplyEpoch([]dynhl.Op{dynhl.InsertEdgeOp(req.U, req.V, req.W)})
 	tagEpoch(w, epoch)
 	if err != nil {
 		updateError(w, err)
@@ -354,7 +479,11 @@ func (s *Server) deleteEdge(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	sums, epoch, err := s.store.ApplyEpoch([]dynhl.Op{dynhl.DeleteEdgeOp(u, v)})
+	st, ok := s.writeStore(w)
+	if !ok {
+		return
+	}
+	sums, epoch, err := st.ApplyEpoch([]dynhl.Op{dynhl.DeleteEdgeOp(u, v)})
 	tagEpoch(w, epoch)
 	if err != nil {
 		updateError(w, err)
@@ -375,7 +504,11 @@ func (s *Server) deleteVertex(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	sums, epoch, err := s.store.ApplyEpoch([]dynhl.Op{dynhl.DeleteVertexOp(v)})
+	st, ok := s.writeStore(w)
+	if !ok {
+		return
+	}
+	sums, epoch, err := st.ApplyEpoch([]dynhl.Op{dynhl.DeleteVertexOp(v)})
 	tagEpoch(w, epoch)
 	if err != nil {
 		updateError(w, err)
@@ -405,8 +538,12 @@ func (s *Server) insertVertex(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
+	st, ok := s.writeStore(w)
+	if !ok {
+		return
+	}
 	arcs := append(dynhl.Arcs(req.Neighbors...), req.Arcs...)
-	sums, epoch, err := s.store.ApplyEpoch([]dynhl.Op{dynhl.InsertVertexOp(arcs...)})
+	sums, epoch, err := st.ApplyEpoch([]dynhl.Op{dynhl.InsertVertexOp(arcs...)})
 	tagEpoch(w, epoch)
 	if err != nil {
 		updateError(w, err)
@@ -421,7 +558,11 @@ func (s *Server) insertVertex(w http.ResponseWriter, r *http.Request) {
 // the download never blocks writers and stays internally consistent
 // however long it takes, whatever publishes meanwhile.
 func (s *Server) saveLabels(w http.ResponseWriter, r *http.Request) {
-	view := s.store.Snapshot()
+	st, ok := s.readStore(w, r)
+	if !ok {
+		return
+	}
+	view := st.Snapshot()
 	tagEpoch(w, view.Epoch())
 	sv, ok := view.(dynhl.Saver)
 	if !ok {
@@ -444,8 +585,12 @@ func (s *Server) saveLabels(w http.ResponseWriter, r *http.Request) {
 // MaxLabelBytes, not the JSON body cap — labellings of real indexes run to
 // many megabytes.
 func (s *Server) loadLabels(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.writeStore(w)
+	if !ok {
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.maxLabelBytes)
-	epoch, err := s.store.LoadEpoch(body)
+	epoch, err := st.LoadEpoch(body)
 	tagEpoch(w, epoch)
 	switch {
 	case err == nil:
@@ -465,11 +610,63 @@ func (s *Server) loadLabels(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	// A replica that has not bootstrapped yet has no index to describe, but
+	// its replication state is exactly what a caller probing it wants.
+	store := s.store
+	if s.replica != nil {
+		if store = s.replica.Store(); store == nil {
+			rs := s.replica.ReplicationStats()
+			writeJSON(w, http.StatusOK, dynhl.Stats{Replication: &rs})
+			return
+		}
+	}
 	// Store.Stats (not a snapshot's) so a durable server's WAL counters
 	// ride along; its Epoch field names the snapshot it was taken from.
-	st := s.store.Stats()
+	st := store.Stats()
 	tagEpoch(w, st.Epoch)
 	writeJSON(w, http.StatusOK, st)
+}
+
+// healthResponse is the JSON shape of GET /healthz — the readiness signal
+// a load balancer routes on.
+type healthResponse struct {
+	Status    string `json:"status"` // "ok" or "bootstrapping"
+	Role      string `json:"role"`   // "standalone", "leader" or "follower"
+	Ready     bool   `json:"ready"`
+	Epoch     uint64 `json:"epoch"`
+	LagEpochs uint64 `json:"lag_epochs,omitempty"`
+	LagBytes  uint64 `json:"lag_bytes,omitempty"`
+	Leader    string `json:"leader,omitempty"`
+}
+
+// healthz reports readiness: 200 once the serving store exists (for a
+// replica, once its bootstrap completed), 503 before — so a load balancer
+// only routes to replicas that can actually answer. Role and lag ride
+// along for operators and lag-aware routers.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{Status: "ok", Role: "standalone", Ready: true}
+	if s.replica != nil {
+		rs := s.replica.ReplicationStats()
+		resp.Role, resp.Ready = rs.Role, rs.Ready
+		resp.LagEpochs, resp.LagBytes = rs.LagEpochs, rs.LagBytes
+		resp.Leader = rs.Leader
+		if st := s.replica.Store(); st != nil {
+			resp.Epoch = st.Epoch()
+		}
+		if !rs.Ready {
+			resp.Status = "bootstrapping"
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+			return
+		}
+	} else {
+		resp.Epoch = s.store.Epoch()
+		if rst := s.store.Stats().Replication; rst != nil {
+			resp.Role = rst.Role
+			resp.LagEpochs = rst.LagEpochs
+		}
+	}
+	tagEpoch(w, resp.Epoch)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // checkpointResponse is the JSON shape of POST /checkpoint.

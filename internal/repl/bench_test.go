@@ -1,0 +1,184 @@
+package repl
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	dynhl "repro"
+	"repro/internal/wal"
+)
+
+// benchLogf silences replication log noise during benchmarks.
+func benchLogf(string, ...any) {}
+
+// benchFollower connects a follower and blocks until it has bootstrapped
+// and applied tip.
+func benchFollower(b *testing.B, l *Leader, opts Options, tip uint64) *Follower {
+	b.Helper()
+	f := StartFollower(l.Addr(), opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := f.WaitReady(ctx); err != nil {
+		b.Fatal(err)
+	}
+	converge(b, f, tip)
+	return f
+}
+
+// BenchmarkFollowerReplay measures the follower side of replication end to
+// end: each iteration starts a fresh follower against a leader whose log
+// holds a fixed number of committed batches, and times bootstrap from the
+// shipped checkpoint image plus replay of the whole tail over loopback.
+// The records/sec metric is the sustained replay throughput — the rate at
+// which a trailing replica catches up.
+func BenchmarkFollowerReplay(b *testing.B) {
+	const records = 256
+	idx, mirror := buildIndex(b, 512, 1)
+	d, err := wal.Create(b.TempDir(), idx, wal.Options{Logf: benchLogf})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < records; i++ {
+		if _, err := d.Store().Apply(randomOps(rng, mirror, 4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	opts := testOpts(b)
+	opts.Logf = benchLogf
+	l, err := StartLeader("127.0.0.1:0", d, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	tip := d.Epoch()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchFollower(b, l, opts, tip).Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(records*b.N)/b.Elapsed().Seconds(), "records/sec")
+}
+
+// BenchmarkReplicaReadScaling serves queries from one, two and three
+// converged replica stores with a shared worker pool round-robining across
+// them. Replicas share nothing — each has its own packed snapshot — so the
+// per-query cost must stay flat as replicas are added; fleet capacity then
+// grows with the replica count, since in production each replica is its
+// own process on its own cores.
+func BenchmarkReplicaReadScaling(b *testing.B) {
+	for _, replicas := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			idx, mirror := buildIndex(b, 2048, 42)
+			d, err := wal.Create(b.TempDir(), idx, wal.Options{Logf: benchLogf})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			opts := testOpts(b)
+			opts.Logf = benchLogf
+			l, err := StartLeader("127.0.0.1:0", d, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < 8; i++ {
+				if _, err := d.Store().Apply(randomOps(rng, mirror, 4)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			stores := make([]*dynhl.Store, replicas)
+			followers := make([]*Follower, replicas)
+			for i := range stores {
+				followers[i] = benchFollower(b, l, opts, d.Epoch())
+				stores[i] = followers[i].Store()
+			}
+			defer func() {
+				for _, f := range followers {
+					f.Close()
+				}
+			}()
+			n := stores[0].NumVertices()
+
+			var worker atomic.Int64
+			var queries atomic.Int64
+			b.ResetTimer()
+			start := time.Now()
+			b.RunParallel(func(pb *testing.PB) {
+				id := worker.Add(1)
+				st := stores[int(id)%replicas]
+				rng := rand.New(rand.NewSource(id))
+				local := int64(0)
+				for pb.Next() {
+					u, v := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+					st.Query(u, v)
+					local++
+				}
+				queries.Add(local)
+			})
+			b.ReportMetric(float64(queries.Load())/time.Since(start).Seconds(), "queries/sec")
+		})
+	}
+}
+
+// BenchmarkLeaderFanout measures the leader's shipping cost as followers
+// are added: each iteration publishes one batch and waits until every
+// follower has applied it, so the metric is the converged end-to-end
+// publish latency with 1, 2 and 3 live replication streams.
+func BenchmarkLeaderFanout(b *testing.B) {
+	for _, replicas := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("followers=%d", replicas), func(b *testing.B) {
+			idx, mirror := buildIndex(b, 512, 7)
+			d, err := wal.Create(b.TempDir(), idx, wal.Options{Logf: benchLogf})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			opts := testOpts(b)
+			opts.Logf = benchLogf
+			l, err := StartLeader("127.0.0.1:0", d, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			followers := make([]*Follower, replicas)
+			for i := range followers {
+				followers[i] = benchFollower(b, l, opts, d.Epoch())
+			}
+			defer func() {
+				for _, f := range followers {
+					f.Close()
+				}
+			}()
+			rng := rand.New(rand.NewSource(7))
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Store().Apply(randomOps(rng, mirror, 2)); err != nil {
+					b.Fatal(err)
+				}
+				tip := d.Epoch()
+				for _, f := range followers {
+					wg.Add(1)
+					go func(f *Follower) {
+						defer wg.Done()
+						ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+						defer cancel()
+						if err := f.Store().WaitEpoch(ctx, tip); err != nil {
+							b.Error(err) // Fatal is not goroutine-safe
+						}
+					}(f)
+				}
+				wg.Wait()
+			}
+		})
+	}
+}

@@ -29,7 +29,7 @@ func BenchmarkLogAppend(b *testing.B) {
 			ops := []dynhl.Op{dynhl.InsertEdgeOp(3, 97, 0), dynhl.DeleteEdgeOp(12, 4)}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := lg.Append(uint64(i+1), ops); err != nil {
+				if _, err := lg.Append(uint64(i+1), ops); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -182,6 +182,13 @@ func readCheckpoint(path string) (ckptState, error) {
 	if err != nil {
 		return ckptState{}, err
 	}
+	return decodeCheckpoint(data, path)
+}
+
+// decodeCheckpoint validates and decodes a checkpoint image, whether read
+// from disk or received over a replication link; path only labels errors.
+// The returned state's sections alias data.
+func decodeCheckpoint(data []byte, path string) (ckptState, error) {
 	le := binary.LittleEndian
 	if len(data) < len(ckptMagic)+8*3+4 || string(data[:len(ckptMagic)]) != ckptMagic {
 		return ckptState{}, fmt.Errorf("wal: %s: not a checkpoint file", path)
@@ -200,6 +207,7 @@ func readCheckpoint(path string) (ckptState, error) {
 		return v, nil
 	}
 	st := ckptState{}
+	var err error
 	if st.epoch, err = readU64(); err != nil {
 		return ckptState{}, err
 	}

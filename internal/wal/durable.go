@@ -63,6 +63,11 @@ type Durable struct {
 	sinceCkpt atomic.Uint64
 	replayed  uint64 // records the recovery that opened this Durable replayed
 
+	// subMu guards subs, the live SubscribeCommits registrations; every
+	// send and close of a subscriber channel happens under it (see tail.go).
+	subMu sync.Mutex
+	subs  map[*subscriber]struct{}
+
 	ckptc  chan struct{}
 	stop   chan struct{}
 	wg     sync.WaitGroup
@@ -168,12 +173,19 @@ func (d *Durable) Commit(epoch uint64, ops []dynhl.Op, next dynhl.View) error {
 	}
 	if ops == nil {
 		d.opts.Logf("wal: epoch %d published without ops (Load): captured as a checkpoint; older checkpoints cannot recover past it", epoch)
-		_, err := d.checkpointView(next)
+		if _, err := d.checkpointView(next); err != nil {
+			return err
+		}
+		// A record-less epoch cannot be replayed; the nil-Ops notice tells
+		// subscribers to fetch the fresh checkpoint instead.
+		d.notifyCommit(TailRecord{Epoch: epoch})
+		return nil
+	}
+	size, err := d.log.Append(epoch, ops)
+	if err != nil {
 		return err
 	}
-	if err := d.log.Append(epoch, ops); err != nil {
-		return err
-	}
+	d.notifyCommit(TailRecord{Epoch: epoch, Ops: ops, Size: size})
 	if every := d.opts.CheckpointEvery; every > 0 && d.sinceCkpt.Add(1) >= uint64(every) {
 		d.sinceCkpt.Store(0)
 		select {
@@ -270,6 +282,7 @@ func (d *Durable) Close() error {
 	}
 	close(d.stop)
 	d.wg.Wait()
+	d.closeSubscribers()
 	_, cerr := d.Checkpoint()
 	serr := d.log.Close()
 	return errors.Join(cerr, serr)

@@ -181,22 +181,22 @@ func openLog(dir string, first, durable uint64, policy Policy, interval time.Dur
 	}, nil
 }
 
-// Append writes the record publishing epoch and applies the fsync policy.
-// When it returns nil under SyncAlways, the record is durable. A failed
-// write or sync is rolled back by truncating the segment to its pre-append
-// size — the caller aborts the publish and may retry the same epoch against
-// a clean tail; if even the truncation fails, the log poisons itself and
-// refuses further appends rather than writing records past bytes a replay
-// would refuse.
-func (l *Log) Append(epoch uint64, ops []dynhl.Op) error {
+// Append writes the record publishing epoch and applies the fsync policy,
+// returning the encoded frame size. When it returns nil under SyncAlways,
+// the record is durable. A failed write or sync is rolled back by
+// truncating the segment to its pre-append size — the caller aborts the
+// publish and may retry the same epoch against a clean tail; if even the
+// truncation fails, the log poisons itself and refuses further appends
+// rather than writing records past bytes a replay would refuse.
+func (l *Log) Append(epoch uint64, ops []dynhl.Op) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.poisoned {
-		return fmt.Errorf("wal: log is poisoned by an earlier unrolled-back append failure; restart to recover")
+		return 0, fmt.Errorf("wal: log is poisoned by an earlier unrolled-back append failure; restart to recover")
 	}
 	frame, err := appendRecord(l.buf[:0], epoch, ops)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	l.buf = frame[:0]
 	prevLast := l.lastEpoch
@@ -217,7 +217,7 @@ func (l *Log) Append(epoch uint64, ops []dynhl.Op) error {
 	if err != nil {
 		l.lastEpoch = prevLast
 		l.rollbackLocked(int64(wrote))
-		return fmt.Errorf("wal: appending record for epoch %d: %w", epoch, err)
+		return 0, fmt.Errorf("wal: appending record for epoch %d: %w", epoch, err)
 	}
 	l.records++
 	l.bytes += uint64(len(frame))
@@ -227,7 +227,7 @@ func (l *Log) Append(epoch uint64, ops []dynhl.Op) error {
 		// active and the next append retries.
 		_ = l.rotateLocked()
 	}
-	return nil
+	return len(frame), nil
 }
 
 // rollbackLocked undoes a failed append: the segment is truncated back to

@@ -1,0 +1,323 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+
+	dynhl "repro"
+)
+
+// flipByte damages one byte of a file in place.
+func flipByte(t *testing.T, path string, off int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off >= len(data) {
+		t.Fatalf("offset %d beyond %d-byte file", off, len(data))
+	}
+	data[off] ^= 0xff
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cutTail shortens a file by n bytes, the shape of a torn final write.
+func cutTail(t *testing.T, path string, n int64) {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// collectTail drains a TailReader to EOF.
+func collectTail(t *testing.T, tr *TailReader) []TailRecord {
+	t.Helper()
+	var recs []TailRecord
+	for {
+		rec, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			return recs
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// churn applies n single-op batches of fresh edges through the store.
+func churn(t *testing.T, store *dynhl.Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		insertFresh(t, store)
+	}
+}
+
+func TestTailReaderAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	opts := quietOpts(t)
+	opts.SegmentBytes = 1 // rotate after every record: every boundary is a segment boundary
+	d, err := Create(dir, buildIndex(t, 24, 1), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	churn(t, d.Store(), 10)
+
+	segs, err := listSegments(walDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 10 {
+		t.Fatalf("rotation did not split the log: %d segments for 10 records", len(segs))
+	}
+
+	for from := uint64(1); from <= 11; from++ {
+		tr, err := d.TailFrom(from)
+		if err != nil {
+			t.Fatalf("TailFrom(%d): %v", from, err)
+		}
+		recs := collectTail(t, tr)
+		if want := int(10 - from + 1); from <= 10 && len(recs) != want {
+			t.Fatalf("TailFrom(%d): %d records, want %d", from, len(recs), want)
+		}
+		if from == 11 && len(recs) != 0 {
+			t.Fatalf("TailFrom past the end returned %d records", len(recs))
+		}
+		for i, rec := range recs {
+			if rec.Epoch != from+uint64(i) {
+				t.Fatalf("TailFrom(%d): record %d has epoch %d", from, i, rec.Epoch)
+			}
+			if len(rec.Ops) != 1 || rec.Size <= frameHeader {
+				t.Fatalf("TailFrom(%d): record %d: %d ops, size %d", from, i, len(rec.Ops), rec.Size)
+			}
+		}
+	}
+}
+
+func TestTailReaderMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Create(dir, buildIndex(t, 24, 2), quietOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	churn(t, d.Store(), 8) // default segment size: all in one file
+
+	tr, err := d.TailFrom(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collectTail(t, tr)
+	if len(recs) != 4 {
+		t.Fatalf("%d records from mid-segment, want 4", len(recs))
+	}
+	if recs[0].Epoch != 5 || recs[3].Epoch != 8 {
+		t.Fatalf("epoch range [%d,%d], want [5,8]", recs[0].Epoch, recs[3].Epoch)
+	}
+}
+
+func TestTailTruncatedIsDistinctFromIOErrors(t *testing.T) {
+	dir := t.TempDir()
+	opts := quietOpts(t)
+	opts.SegmentBytes = 1
+	d, err := Create(dir, buildIndex(t, 24, 3), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	churn(t, d.Store(), 6)
+	if _, err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	churn(t, d.Store(), 2)
+	if _, err := d.Checkpoint(); err != nil { // second checkpoint: epochs ≤ 6 leave the log
+		t.Fatal(err)
+	}
+
+	if _, err := d.TailFrom(1); !errors.Is(err, ErrEpochTruncated) {
+		t.Fatalf("tail from a truncated epoch: got %v, want ErrEpochTruncated", err)
+	}
+	// The boundary epoch the oldest retained checkpoint covers is still there.
+	tr, err := d.TailFrom(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collectTail(t, tr)
+	if len(recs) != 2 || recs[0].Epoch != 7 {
+		t.Fatalf("resume at the retained floor: %d records starting at %d", len(recs), recs[0].Epoch)
+	}
+
+	// Corruption mid-log must NOT be reported as truncation.
+	segs, err := listSegments(walDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, segs[0].path, frameHeader+1)
+	tr, err = OpenTail(walDir(dir), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, err = tr.Next()
+		if err != nil {
+			break
+		}
+	}
+	if errors.Is(err, ErrEpochTruncated) || errors.Is(err, io.EOF) {
+		t.Fatalf("corrupt record surfaced as %v", err)
+	}
+}
+
+func TestTailTornFinalRecordIsEOF(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Create(dir, buildIndex(t, 24, 4), quietOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	churn(t, d.Store(), 3)
+
+	seg := activeSegment(t, dir)
+	cutTail(t, seg, 4) // cut the last record short, as a crash would
+	tr, err := OpenTail(walDir(dir), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []TailRecord
+	for {
+		rec, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("torn tail should read as EOF, got %v", err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("read %d complete records before the torn tail, want 2", len(recs))
+	}
+}
+
+func TestSubscribeCommitsOrderAndLoadNotice(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Create(dir, buildIndex(t, 24, 5), quietOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ch, cancel := d.SubscribeCommits(16)
+	defer cancel()
+
+	churn(t, d.Store(), 3)
+	for want := uint64(1); want <= 3; want++ {
+		rec := <-ch
+		if rec.Epoch != want || rec.Ops == nil || rec.Size <= 0 {
+			t.Fatalf("commit notice %+v, want epoch %d with ops", rec, want)
+		}
+	}
+
+	// A Load epoch has no replayable record: its notice carries nil Ops.
+	var saved bytes.Buffer
+	if err := d.Store().Save(&saved); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Store().Load(&saved); err != nil {
+		t.Fatal(err)
+	}
+	rec := <-ch
+	if rec.Epoch != 4 || rec.Ops != nil {
+		t.Fatalf("Load notice %+v, want epoch 4 with nil ops", rec)
+	}
+
+	cancel()
+	cancel() // idempotent
+	if _, ok := <-ch; ok {
+		t.Fatal("cancelled subscription channel not closed")
+	}
+}
+
+func TestSubscribeCommitsOverflowCutsSubscriberOff(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Create(dir, buildIndex(t, 24, 6), quietOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ch, cancel := d.SubscribeCommits(1)
+	defer cancel()
+
+	churn(t, d.Store(), 3) // nobody draining: the second commit overflows
+	if rec, ok := <-ch; !ok || rec.Epoch != 1 {
+		t.Fatalf("first notice %+v ok=%v", rec, ok)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("overflowed subscriber still receiving; channel should be closed")
+	}
+	// The write path must be unaffected.
+	if got := d.Epoch(); got != 3 {
+		t.Fatalf("store at epoch %d after overflow, want 3", got)
+	}
+}
+
+func TestSubscribeCommitsClosedOnClose(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Create(dir, buildIndex(t, 24, 7), quietOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := d.SubscribeCommits(4)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("Close left the subscription open")
+	}
+}
+
+func TestCheckpointImageRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Create(dir, buildIndex(t, 32, 8), quietOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	churn(t, d.Store(), 5)
+	if _, err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	epoch, img, err := d.CheckpointImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 5 {
+		t.Fatalf("image at epoch %d, want 5", epoch)
+	}
+	idx, gotEpoch, err := RebuildImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotEpoch != epoch {
+		t.Fatalf("rebuilt epoch %d, want %d", gotEpoch, epoch)
+	}
+	rng := rand.New(rand.NewSource(8))
+	n := idx.NumVertices()
+	for i := 0; i < 200; i++ {
+		u, v := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		if got, want := idx.Query(u, v), d.Store().Query(u, v); got != want {
+			t.Fatalf("dist(%d,%d) = %v from image, %v live", u, v, got, want)
+		}
+	}
+}

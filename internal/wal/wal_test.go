@@ -696,11 +696,11 @@ func TestAppendFailureRollsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := lg.Append(1, []dynhl.Op{dynhl.InsertEdgeOp(0, 1, 0)}); err != nil {
+	if _, err := lg.Append(1, []dynhl.Op{dynhl.InsertEdgeOp(0, 1, 0)}); err != nil {
 		t.Fatal(err)
 	}
 	lg.f.Close() // force writes (and truncates) to fail
-	if err := lg.Append(2, []dynhl.Op{dynhl.InsertEdgeOp(1, 2, 0)}); err == nil {
+	if _, err := lg.Append(2, []dynhl.Op{dynhl.InsertEdgeOp(1, 2, 0)}); err == nil {
 		t.Fatal("append on a dead file reported success")
 	}
 	// Nothing landed (the write itself failed), so the log stays clean.
@@ -719,7 +719,7 @@ func TestAppendFailureRollsBack(t *testing.T) {
 	if !lg.poisoned {
 		t.Fatal("unrollable partial append did not poison the log")
 	}
-	if err := lg.Append(3, nil); err == nil || !strings.Contains(err.Error(), "poisoned") {
+	if _, err := lg.Append(3, nil); err == nil || !strings.Contains(err.Error(), "poisoned") {
 		t.Fatalf("append on a poisoned log: got %v, want poisoned fail-stop", err)
 	}
 }

@@ -113,6 +113,17 @@ type Store struct {
 	// dur holds the attached Durability layer (or nil); written once by
 	// AttachDurability, read on every publish and by Stats.
 	dur atomic.Value
+
+	// repl holds the attached Replication layer (or nil); written once by
+	// AttachReplication, read by Stats.
+	repl atomic.Value
+
+	// pubMu guards pubCh, the broadcast channel WaitEpoch callers park on:
+	// every publish closes the current channel (waking all waiters) and the
+	// next waiter lazily installs a fresh one. The mutex is only on the
+	// write/wait paths — the lock-free read path never touches it.
+	pubMu sync.Mutex
+	pubCh chan struct{}
 }
 
 // DurabilityStats describes the state of a durability layer attached with
@@ -139,6 +150,77 @@ type DurabilityStats struct {
 	// Replayed is the number of records the recovery that opened this log
 	// replayed over its checkpoint (zero for a fresh directory).
 	Replayed uint64
+}
+
+// ReplicationStats describes the replication role and progress of a Store
+// with a replication layer attached (implemented by internal/repl). It
+// appears in Store.Stats (and the HTTP /stats and /healthz endpoints) so
+// replicas expose how far behind their leader they are.
+type ReplicationStats struct {
+	// Role is "leader" or "follower".
+	Role string
+	// Leader is the leader's replication address (followers only).
+	Leader string `json:",omitempty"`
+	// Connected reports whether the replication link is currently up (for
+	// a leader: whether it is accepting followers).
+	Connected bool
+	// Ready reports whether the replica has completed its bootstrap and is
+	// serving reads (always true on a leader).
+	Ready bool
+	// LeaderEpoch is the newest epoch the leader is known to have
+	// published (a follower's view lags by at most one heartbeat).
+	LeaderEpoch uint64
+	// LagEpochs is how many epochs this store is behind: for a follower,
+	// LeaderEpoch minus its applied epoch; for a leader, its epoch minus
+	// the slowest connected follower's acknowledged epoch.
+	LagEpochs uint64
+	// LagBytes is the encoded size of the records received from the leader
+	// but not yet applied (the follower's apply backlog).
+	LagBytes uint64
+	// LastContact is when the follower last heard from its leader (zero on
+	// a leader or before the first contact).
+	LastContact time.Time `json:",omitempty"`
+	// Followers is the number of connected followers (leaders only).
+	Followers int `json:",omitempty"`
+	// ShippedRecords and ShippedBytes count what a leader has sent to
+	// followers over its lifetime, across all sessions.
+	ShippedRecords uint64 `json:",omitempty"`
+	ShippedBytes   uint64 `json:",omitempty"`
+	// Bootstraps counts checkpoint-image bootstraps this follower has
+	// performed (at least one; more after reconnects that found the log
+	// truncated past their resume epoch). Resumes counts reconnects that
+	// continued from the follower's own epoch without a new image.
+	Bootstraps uint64 `json:",omitempty"`
+	Resumes    uint64 `json:",omitempty"`
+}
+
+// Replication is a replication layer attached to a Store with
+// AttachReplication — purely observational from the store's side: the layer
+// (a leader shipping its WAL, or a follower applying it) reports its role
+// and progress, and Stats carries the numbers so /stats and /healthz can
+// expose replication lag without knowing the transport.
+type Replication interface {
+	ReplicationStats() ReplicationStats
+}
+
+// AttachReplication registers r as the store's replication layer: Stats
+// reports its role and lag. A Store accepts at most one layer.
+func (s *Store) AttachReplication(r Replication) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.replication() != nil {
+		return errors.New("dynhl: store already has a replication layer")
+	}
+	s.repl.Store(&r)
+	return nil
+}
+
+// replication returns the attached layer, or nil.
+func (s *Store) replication() Replication {
+	if r, ok := s.repl.Load().(*Replication); ok {
+		return *r
+	}
+	return nil
 }
 
 // Durability is a write-ahead durability layer attached to a Store with
@@ -236,6 +318,78 @@ func NewStoreAt(o Oracle, epoch uint64) *Store {
 	return s
 }
 
+// publish installs next as the current version and wakes every WaitEpoch
+// caller parked on the previous one.
+func (s *Store) publish(next *snapshot) {
+	s.cur.Store(next)
+	s.pubMu.Lock()
+	if s.pubCh != nil {
+		close(s.pubCh)
+		s.pubCh = nil
+	}
+	s.pubMu.Unlock()
+}
+
+// WaitEpoch blocks until the store has published epoch (or a later one) or
+// ctx is done, returning ctx's error in the latter case. It returns
+// immediately when the store is already there — the common case on a
+// leader. This is the primitive behind read-your-writes on replicas: a
+// client that saw epoch N from a write routes its read anywhere and asks
+// the replica to wait until it has caught up to N.
+func (s *Store) WaitEpoch(ctx context.Context, epoch uint64) error {
+	for {
+		if s.cur.Load().epoch >= epoch {
+			return nil
+		}
+		s.pubMu.Lock()
+		if s.pubCh == nil {
+			s.pubCh = make(chan struct{})
+		}
+		ch := s.pubCh
+		s.pubMu.Unlock()
+		// Re-check after subscribing: a publish between the first load and
+		// the subscription closed the previous channel, not ch.
+		if s.cur.Load().epoch >= epoch {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// Reset publishes o wholesale as the store's current version at the given
+// epoch, discarding the previous oracle — the replication bootstrap entry
+// point: a follower that receives a checkpoint image (first contact, or a
+// reconnect finding the leader's log truncated past its resume epoch)
+// rebuilds the oracle from it and resets its serving store to the image's
+// epoch, keeping the store identity (and every View already handed out)
+// intact. The epoch may jump arbitrarily far forward. o must be a plain
+// forkable oracle; a durable store refuses (its log would not cover the
+// swapped-in state), as does the non-forkable fallback mode.
+func (s *Store) Reset(o Oracle, epoch uint64) error {
+	switch o.(type) {
+	case *Store, *ConcurrentOracle:
+		return errors.New("dynhl: Reset needs a plain oracle, not an existing store")
+	}
+	if _, ok := o.(forkable); !ok {
+		return errors.New("dynhl: Reset needs a forkable oracle")
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.rmu != nil {
+		return errors.New("dynhl: cannot reset a fallback-mode store")
+	}
+	if s.durability() != nil {
+		return errors.New("dynhl: cannot reset a durable store (its log would not cover the new state)")
+	}
+	pack(o)
+	s.publish(&snapshot{o: o, epoch: epoch})
+	return nil
+}
+
 // Snapshot returns the current published version as an immutable View.
 // This is the one atomic load on the read path: everything reachable from
 // the View was fully written before it was published, and nothing will ever
@@ -292,7 +446,7 @@ func (s *Store) ApplyEpoch(ops []Op) ([]UpdateSummary, uint64, error) {
 		if err := s.commit(next, ops); err != nil {
 			return sums, cur.epoch, err // fallback mode: ops stay applied
 		}
-		s.cur.Store(next)
+		s.publish(next)
 		return sums, cur.epoch + 1, nil
 	}
 	work := cur.o.(forkable).fork()
@@ -308,7 +462,7 @@ func (s *Store) ApplyEpoch(ops []Op) ([]UpdateSummary, uint64, error) {
 	if err := s.commit(next, ops); err != nil {
 		return nil, cur.epoch, err // discard the fork: not durable, not published
 	}
-	s.cur.Store(next)
+	s.publish(next)
 	return sums, cur.epoch + 1, nil
 }
 
@@ -404,6 +558,10 @@ func (s *Store) Stats() Stats {
 		ds := d.DurabilityStats()
 		st.Durability = &ds
 	}
+	if r := s.replication(); r != nil {
+		rs := r.ReplicationStats()
+		st.Replication = &rs
+	}
 	return st
 }
 
@@ -461,7 +619,7 @@ func (s *Store) LoadEpoch(r io.Reader) (uint64, error) {
 		if err := s.commit(next, nil); err != nil {
 			return cur.epoch, err // fallback mode: the load stays applied
 		}
-		s.cur.Store(next)
+		s.publish(next)
 		return cur.epoch + 1, nil
 	}
 	work := cur.o.(forkable).fork()
@@ -477,7 +635,7 @@ func (s *Store) LoadEpoch(r io.Reader) (uint64, error) {
 	if err := s.commit(next, nil); err != nil {
 		return cur.epoch, err // discard the fork
 	}
-	s.cur.Store(next)
+	s.publish(next)
 	return cur.epoch + 1, nil
 }
 

@@ -1,0 +1,147 @@
+package dynhl_test
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	dynhl "repro"
+	"repro/internal/testutil"
+)
+
+func smallStore(t *testing.T, seed int64) *dynhl.Store {
+	t.Helper()
+	idx, err := dynhl.Build(testutil.RandomConnectedGraph(30, 60, seed), dynhl.Options{Landmarks: 4, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dynhl.NewStore(idx)
+}
+
+func TestWaitEpochImmediateAndBlocking(t *testing.T) {
+	s := smallStore(t, 1)
+	ctx := context.Background()
+	if err := s.WaitEpoch(ctx, 0); err != nil {
+		t.Fatalf("waiting for the current epoch: %v", err)
+	}
+
+	// A waiter for a future epoch parks until the publish lands.
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.WaitEpoch(ctx, 2)
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		u, v := freshStoreEdge(t, s)
+		if _, err := s.Apply([]dynhl.Op{dynhl.InsertEdgeOp(u, v, 0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+
+	// A waiter for an epoch that never comes times out with ctx's error.
+	short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if err := s.WaitEpoch(short, 99); err != context.DeadlineExceeded {
+		t.Fatalf("unreachable epoch: got %v, want deadline exceeded", err)
+	}
+}
+
+// freshStoreEdge returns an edge absent from the store's current graph.
+func freshStoreEdge(t *testing.T, s *dynhl.Store) (uint32, uint32) {
+	t.Helper()
+	g := s.Unwrap().(*dynhl.Index).Graph()
+	n := uint32(g.NumVertices())
+	for u := uint32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) {
+				return u, v
+			}
+		}
+	}
+	t.Fatal("graph is complete")
+	return 0, 0
+}
+
+func TestResetKeepsStoreIdentity(t *testing.T) {
+	s := smallStore(t, 2)
+	u, v := freshStoreEdge(t, s)
+	if _, err := s.Apply([]dynhl.Op{dynhl.InsertEdgeOp(u, v, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	oldView := s.Snapshot()
+
+	// Reset far forward, as a replication re-bootstrap would.
+	repl, err := dynhl.Build(testutil.RandomConnectedGraph(30, 70, 9), dynhl.Options{Landmarks: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := repl.Save(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reset(repl, 42); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 42 {
+		t.Fatalf("epoch %d after Reset, want 42", got)
+	}
+	var got bytes.Buffer
+	if err := s.Save(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("Reset store does not serve the swapped-in labelling")
+	}
+	// The pre-Reset view still answers from its own epoch.
+	if oldView.Epoch() != 1 {
+		t.Fatalf("old view drifted to epoch %d", oldView.Epoch())
+	}
+
+	// Reset wakes epoch waiters like any publish.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.WaitEpoch(ctx, 42); err != nil {
+		t.Fatalf("WaitEpoch after Reset: %v", err)
+	}
+
+	// Guard rails: wrapping stores or re-wrapping is refused.
+	if err := s.Reset(s, 50); err == nil {
+		t.Fatal("Reset accepted a Store")
+	}
+}
+
+type fakeRepl struct{ role string }
+
+func (f fakeRepl) ReplicationStats() dynhl.ReplicationStats {
+	return dynhl.ReplicationStats{Role: f.role, Ready: true, LagEpochs: 3}
+}
+
+func TestAttachReplicationSurfacesStats(t *testing.T) {
+	s := smallStore(t, 3)
+	if st := s.Stats(); st.Replication != nil {
+		t.Fatal("unattached store reports replication stats")
+	}
+	if err := s.AttachReplication(fakeRepl{role: "follower"}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Replication == nil || st.Replication.Role != "follower" || st.Replication.LagEpochs != 3 {
+		t.Fatalf("stats replication %+v", st.Replication)
+	}
+	if err := s.AttachReplication(fakeRepl{role: "leader"}); err == nil {
+		t.Fatal("double attach accepted")
+	}
+}
