@@ -46,6 +46,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -274,18 +275,23 @@ func execute(o *dynhl.Store, durable *wal.Durable, fields []string) bool {
 			return false
 		}
 		start := time.Now()
-		sums, err := o.Apply(ops)
+		res, err := o.ApplyCtx(context.Background(), ops)
 		if err != nil {
 			fmt.Println("error (batch discarded, epoch unchanged):", err)
 			return false
 		}
+		sums := res.Summaries
 		added, removed := 0, 0
 		for _, s := range sums {
 			added += s.EntriesAdded
 			removed += s.EntriesRemoved
 		}
-		fmt.Printf("applied %d ops as epoch %d: +%d/-%d entries  [%v]\n",
-			len(sums), o.Epoch(), added, removed, time.Since(start))
+		note := ""
+		if res.Coalesced {
+			note = " (group commit, epoch shared with concurrent writers)"
+		}
+		fmt.Printf("applied %d ops as epoch %d%s: +%d/-%d entries  [%v]\n",
+			len(sums), res.Epoch, note, added, removed, time.Since(start))
 		for i, s := range sums {
 			if s.NewVertex != nil {
 				fmt.Printf("  op %d inserted vertex %d\n", i, *s.NewVertex)

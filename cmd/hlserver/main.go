@@ -17,8 +17,13 @@
 // The oracle is served through a versioned snapshot store: reads run
 // lock-free against the current published snapshot (tagged with an
 // X-Oracle-Epoch response header) and update batches posted to /updates
-// publish atomically as one new epoch. The server shuts down gracefully on
-// SIGINT/SIGTERM, draining in-flight requests.
+// publish atomically as one new epoch. Concurrent update requests ride the
+// store's group-commit pipeline — batches waiting together coalesce into
+// one fork, one WAL record (one fsync) and one published epoch, which the
+// /updates response reports via its coalesced field — and a request whose
+// client gives up before its batch commits is excised from the queue and
+// answered 499. The server shuts down gracefully on SIGINT/SIGTERM,
+// draining in-flight requests.
 //
 // With -data-dir the server is durable (undirected oracles): every update
 // batch is appended to a write-ahead log before its epoch is published, a

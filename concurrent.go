@@ -1,20 +1,23 @@
 package dynhl
 
 // ConcurrentOracle is the pre-snapshot name of the concurrency wrapper,
-// kept as a thin compatibility shim over Store. It no longer holds a
-// readers-writer lock: queries load the current published snapshot with one
-// atomic pointer load and run lock-free, while mutations fork, repair and
-// publish the next epoch (see Store). All methods — including Snapshot,
-// Apply, Epoch, QueryBatchCtx, Save and Load — come from the embedded
-// Store.
+// kept only as a thin compatibility shim over Store — it is deprecated and
+// will not grow new capabilities. It no longer holds a readers-writer
+// lock: queries load the current published snapshot with one atomic
+// pointer load and run lock-free, while mutations ride the store's
+// group-commit pipeline (see Store and ApplyCtx). All methods — including
+// Snapshot, Apply, Epoch, QueryBatchCtx, Save and Load — come from the
+// embedded Store.
 //
-// New code should use NewStore directly.
+// New code should use NewStore and write through ApplyCtx.
 type ConcurrentOracle struct {
 	*Store
 }
 
-// Concurrent wraps o for concurrent use. Wrapping an oracle that is already
-// a ConcurrentOracle returns it unchanged; wrapping a Store shares it.
+// Concurrent wraps o for concurrent use — deprecated alongside
+// ConcurrentOracle; call NewStore instead. Wrapping an oracle that is
+// already a ConcurrentOracle returns it unchanged; wrapping a Store shares
+// it.
 func Concurrent(o Oracle) *ConcurrentOracle {
 	if c, ok := o.(*ConcurrentOracle); ok {
 		return c

@@ -77,7 +77,7 @@
 // In code:
 //
 //	st := dynhl.NewStore(idx)
-//	go st.Apply(ops)                   // batched repair on a private fork
+//	res, err := st.ApplyCtx(ctx, ops)  // canonical write call, see below
 //	d := st.Query(u, v)                // lock-free, current epoch
 //	v := st.Snapshot()                 // pin one immutable version
 //	ds := v.QueryBatch(pairs)          // all answers from v.Epoch()
@@ -86,8 +86,44 @@
 // A View stays valid indefinitely — holding one only pins the memory it
 // shares with newer snapshots — and Epoch names the version it serves, the
 // same number the HTTP service returns in its X-Oracle-Epoch header. The
-// ConcurrentOracle type and the Concurrent constructor remain as a thin
-// compatibility shim over Store.
+// ConcurrentOracle type and the Concurrent constructor remain only as a
+// deprecated compatibility shim over Store; new code should use NewStore
+// and write through ApplyCtx.
+//
+// # Group commit: the coalescing apply queue
+//
+// Concurrent writers do not take turns paying the full commit cost.
+// ApplyCtx — the canonical write call, which Apply, ApplyEpoch and the
+// convenience mutators wrap — enqueues the caller's batch on an apply
+// queue and parks the caller on a promised-epoch future. A committer
+// goroutine (spawned on demand, retired when the queue drains) claims
+// every batch waiting at that moment as one commit group and pays one
+// copy-on-write fork, one repair pass, one pack, one WAL append — a
+// single log record, hence a single fsync, covering every caller in the
+// group — and one atomic publish for all of them. Each caller's future
+// then resolves with its own per-op summaries and the shared epoch;
+// ApplyResult.Coalesced reports whether the epoch was shared. Commit work
+// is pipelined: while one group packs, appends and publishes, the
+// committer already repairs the next group on a fork of the unpublished
+// tip, so the queue keeps moving at the speed of the slower stage rather
+// than their sum. Under contention the group size grows with the backlog
+// and the commit overhead per op shrinks accordingly (BenchmarkApplyConcurrent
+// measures the effect; see EXPERIMENTS.md).
+//
+// Coalescing never weakens the per-batch contract. Each caller's ops are
+// validated as their own segment of the group against the group's fork:
+// if a segment fails, that caller alone is rejected with the error
+// attributed to its failing op (OpError carries the op index and kind) and
+// the group is redone without it — co-batched callers are never poisoned
+// by a neighbour's invalid batch, and a rejected caller observes the same
+// all-or-nothing outcome as if it had applied alone. A caller whose
+// context is cancelled while its batch still waits on the queue is
+// excised without side effects and gets the context error; once the
+// committer has claimed the batch, the commit proceeds and the caller is
+// handed its published epoch. Callers that mutate through an attached
+// durability layer keep the WAL ordering guarantee: the group's single
+// record is durable before its epoch becomes visible, and recovery replays
+// one record per epoch exactly as a follower does.
 //
 // # Two label representations: mutable slices, packed arena
 //

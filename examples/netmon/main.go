@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -88,10 +89,11 @@ func main() {
 		ops = append(ops, dynhl.DeleteEdgeOp(l[0], l[1]))
 	}
 	delStart := time.Now()
-	sums, err := store.Apply(ops)
+	res, err := store.ApplyCtx(context.Background(), ops)
 	if err != nil {
 		log.Fatal(err)
 	}
+	sums := res.Summaries
 	delCost := time.Since(delStart)
 	repaired := 0
 	for _, st := range sums {

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,15 +58,20 @@ func main() {
 
 	// Serving concurrent traffic? Put the index behind the snapshot store:
 	// readers hold immutable Views that updates can never stall, and a
-	// batch of updates publishes atomically as one new epoch.
+	// batch of updates publishes atomically as one new epoch. ApplyCtx is
+	// the canonical write call — it honours cancellation while the batch
+	// is queued, reports the exact epoch the batch published, and under
+	// concurrent writers the store group-commits waiting batches into one
+	// coalesced epoch (res.Coalesced says when that happened).
 	store := dynhl.NewStore(idx)
 	before := store.Snapshot()
-	if _, err := store.Apply([]dynhl.Op{
+	res, err := store.ApplyCtx(context.Background(), []dynhl.Op{
 		dynhl.DeleteEdgeOp(1, 6),
 		dynhl.InsertEdgeOp(2, 5, 0),
-	}); err != nil {
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("epoch %d: d(1,6) = %d; epoch %d still answers d(1,6) = %d\n",
-		store.Epoch(), store.Query(1, 6), before.Epoch(), before.Query(1, 6))
+		res.Epoch, store.Query(1, 6), before.Epoch(), before.Query(1, 6))
 }

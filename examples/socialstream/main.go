@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -134,7 +135,7 @@ func main() {
 			seen[[2]uint32{u, v}] = true
 			ops = append(ops, dynhl.InsertEdgeOp(u, v, 0))
 		}
-		if _, err := store.Apply(ops); err != nil {
+		if _, err := store.ApplyCtx(context.Background(), ops); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -42,11 +42,13 @@ type Index struct {
 
 	// packedF/packedB are the CSR read representations of Lf and Lb,
 	// non-nil only while the index is publishable (built by Pack, dropped
-	// by the first label write); queries prefer them. The parent fields
-	// remember the forked-from packed forms so the next Pack can reuse
-	// untouched chunks (see hcl.Pack).
-	packedF, packedB             *hcl.Packed
-	parentPackedF, parentPackedB *hcl.Packed
+	// by the first label write); queries prefer them. parent remembers the
+	// forked-from index until the fork's own Pack runs, which reads the
+	// parent's packed forms then — not at fork time — so a fork taken
+	// while its parent is still packing keeps the delta repack (see
+	// hcl.Pack). Pack clears it so ancestor chains are not pinned.
+	packedF, packedB *hcl.Packed
+	parent           *Index
 
 	scratch bfs.SpacePool
 
@@ -335,13 +337,17 @@ func (idx *Index) unpack() {
 // arenas by reference. Idempotent; any subsequent label write drops the
 // packed forms again.
 func (idx *Index) Pack() {
+	var parentF, parentB *hcl.Packed
+	if idx.parent != nil {
+		parentF, parentB = idx.parent.packedF, idx.parent.packedB
+	}
 	if idx.packedF == nil {
-		idx.packedF = hcl.Pack(idx.Lf, idx.parentPackedF, idx.sharedF)
+		idx.packedF = hcl.Pack(idx.Lf, parentF, idx.sharedF)
 	}
 	if idx.packedB == nil {
-		idx.packedB = hcl.Pack(idx.Lb, idx.parentPackedB, idx.sharedB)
+		idx.packedB = hcl.Pack(idx.Lb, parentB, idx.sharedB)
 	}
-	idx.parentPackedF, idx.parentPackedB = nil, nil
+	idx.parent = nil
 }
 
 // PackedForward and PackedBackward return the packed read forms, or nil
@@ -367,10 +373,10 @@ func (idx *Index) Fork(g *digraph.Digraph) *Index {
 		rankArr:   append([]uint16(nil), idx.rankArr...),
 		sharedF:   bitset.NewAllSet(len(idx.Lf)),
 		sharedB:   bitset.NewAllSet(len(idx.Lb)),
-		// The fork mutates, so it starts unpacked; remembering the parent's
-		// packed forms lets its Pack reuse untouched chunks.
-		parentPackedF: idx.packedF,
-		parentPackedB: idx.packedB,
+		// The fork mutates, so it starts unpacked; remembering the parent
+		// lets its Pack reuse whatever chunks the parent's arenas hold by
+		// the time the fork itself is frozen.
+		parent: idx,
 	}
 }
 

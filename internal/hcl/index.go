@@ -30,10 +30,14 @@ type Index struct {
 
 	// packed is the CSR read representation of L, non-nil only while the
 	// index is publishable (built by Pack, dropped by the first label
-	// write); queries prefer it. parentPacked remembers the parent's packed
-	// form across Fork so the next Pack can reuse untouched chunks.
-	packed       *Packed
-	parentPacked *Packed
+	// write); queries prefer it. parent remembers the index this fork was
+	// taken from until the fork's own Pack runs, which reads the parent's
+	// packed form then — not at fork time — so a fork taken while its
+	// parent is still packing (the pipelined Store repairs epoch N+1 while
+	// N packs) still gets the delta repack. Pack clears it so ancestor
+	// chains are not pinned.
+	packed *Packed
+	parent *Index
 
 	scratch bfs.SpacePool
 }
@@ -136,8 +140,12 @@ func (idx *Index) Pack() {
 	if idx.packed != nil {
 		return
 	}
-	idx.packed = Pack(idx.L, idx.parentPacked, idx.shared)
-	idx.parentPacked = nil
+	var parentPacked *Packed
+	if idx.parent != nil {
+		parentPacked = idx.parent.packed
+	}
+	idx.packed = Pack(idx.L, parentPacked, idx.shared)
+	idx.parent = nil
 }
 
 // PackedLabels returns the packed read representation, or nil when the
@@ -196,9 +204,10 @@ func (idx *Index) Fork(g *graph.Graph) *Index {
 		rankOf:    idx.rankOf, // immutable after construction
 		rankArr:   append([]uint16(nil), idx.rankArr...),
 		shared:    bitset.NewAllSet(len(idx.L)),
-		// The fork mutates, so it starts unpacked; remembering the parent's
-		// packed form lets its Pack reuse untouched chunks.
-		parentPacked: idx.packed,
+		// The fork mutates, so it starts unpacked; remembering the parent
+		// lets its Pack reuse whatever chunks the parent's arena holds by
+		// the time the fork itself is frozen.
+		parent: idx,
 	}
 }
 

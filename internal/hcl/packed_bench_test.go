@@ -63,7 +63,6 @@ func BenchmarkPack(b *testing.B) {
 		}
 	})
 	idx.Pack()
-	parent := idx.packed
 	fork := idx.Fork(idx.G) // packing-only use: the graph is never mutated
 	for v := uint32(100); v < 110; v++ {
 		fork.SetEntry(v, 3, 4)
@@ -71,7 +70,7 @@ func BenchmarkPack(b *testing.B) {
 	b.Run("delta", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			fork.packed = nil
-			fork.parentPacked = parent
+			fork.parent = idx
 			fork.Pack()
 		}
 	})

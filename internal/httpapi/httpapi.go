@@ -396,11 +396,13 @@ type updatesRequest struct {
 	Ops []dynhl.Op `json:"ops"`
 }
 
-// updatesResponse reports the epoch the batch published and one summary per
-// op (insert_vertex summaries carry the new vertex id).
+// updatesResponse reports the epoch the batch published, whether that
+// epoch was a group commit shared with other concurrent writers, and one
+// summary per op (insert_vertex summaries carry the new vertex id).
 type updatesResponse struct {
-	Epoch   uint64                `json:"epoch"`
-	Results []dynhl.UpdateSummary `json:"results"`
+	Epoch     uint64                `json:"epoch"`
+	Coalesced bool                  `json:"coalesced"`
+	Results   []dynhl.UpdateSummary `json:"results"`
 }
 
 func (s *Server) updates(w http.ResponseWriter, r *http.Request) {
@@ -417,18 +419,22 @@ func (s *Server) updates(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	// ApplyEpoch reports the exact epoch this batch published, so the
-	// attribution stays right even with concurrent writers.
-	sums, epoch, err := st.ApplyEpoch(req.Ops)
-	tagEpoch(w, epoch)
+	// ApplyCtx reports the exact epoch this batch published — the coalesced
+	// epoch when the store group-committed it with other writers — so the
+	// attribution stays right under concurrency, and honours the request
+	// context: a client that goes away while its batch is still queued is
+	// excised without committing.
+	res, err := st.ApplyCtx(r.Context(), req.Ops)
+	tagEpoch(w, res.Epoch)
 	if err != nil {
-		updateError(w, err)
+		applyError(w, err)
 		return
 	}
+	sums := res.Summaries
 	if sums == nil {
 		sums = []dynhl.UpdateSummary{}
 	}
-	writeJSON(w, http.StatusOK, updatesResponse{Epoch: epoch, Results: sums})
+	writeJSON(w, http.StatusOK, updatesResponse{Epoch: res.Epoch, Coalesced: res.Coalesced, Results: sums})
 }
 
 type edgeRequest struct {
@@ -453,16 +459,16 @@ func (s *Server) insertEdge(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	sums, epoch, err := st.ApplyEpoch([]dynhl.Op{dynhl.InsertEdgeOp(req.U, req.V, req.W)})
-	tagEpoch(w, epoch)
+	res, err := st.ApplyCtx(r.Context(), []dynhl.Op{dynhl.InsertEdgeOp(req.U, req.V, req.W)})
+	tagEpoch(w, res.Epoch)
 	if err != nil {
-		updateError(w, err)
+		applyError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, edgeResponse{
-		Affected:       sums[0].Affected,
-		EntriesAdded:   sums[0].EntriesAdded,
-		EntriesRemoved: sums[0].EntriesRemoved,
+		Affected:       res.Summaries[0].Affected,
+		EntriesAdded:   res.Summaries[0].EntriesAdded,
+		EntriesRemoved: res.Summaries[0].EntriesRemoved,
 	})
 }
 
@@ -483,16 +489,16 @@ func (s *Server) deleteEdge(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	sums, epoch, err := st.ApplyEpoch([]dynhl.Op{dynhl.DeleteEdgeOp(u, v)})
-	tagEpoch(w, epoch)
+	res, err := st.ApplyCtx(r.Context(), []dynhl.Op{dynhl.DeleteEdgeOp(u, v)})
+	tagEpoch(w, res.Epoch)
 	if err != nil {
-		updateError(w, err)
+		applyError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, edgeResponse{
-		Affected:       sums[0].Affected,
-		EntriesAdded:   sums[0].EntriesAdded,
-		EntriesRemoved: sums[0].EntriesRemoved,
+		Affected:       res.Summaries[0].Affected,
+		EntriesAdded:   res.Summaries[0].EntriesAdded,
+		EntriesRemoved: res.Summaries[0].EntriesRemoved,
 	})
 }
 
@@ -508,16 +514,16 @@ func (s *Server) deleteVertex(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	sums, epoch, err := st.ApplyEpoch([]dynhl.Op{dynhl.DeleteVertexOp(v)})
-	tagEpoch(w, epoch)
+	res, err := st.ApplyCtx(r.Context(), []dynhl.Op{dynhl.DeleteVertexOp(v)})
+	tagEpoch(w, res.Epoch)
 	if err != nil {
-		updateError(w, err)
+		applyError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, edgeResponse{
-		Affected:       sums[0].Affected,
-		EntriesAdded:   sums[0].EntriesAdded,
-		EntriesRemoved: sums[0].EntriesRemoved,
+		Affected:       res.Summaries[0].Affected,
+		EntriesAdded:   res.Summaries[0].EntriesAdded,
+		EntriesRemoved: res.Summaries[0].EntriesRemoved,
 	})
 }
 
@@ -543,13 +549,13 @@ func (s *Server) insertVertex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	arcs := append(dynhl.Arcs(req.Neighbors...), req.Arcs...)
-	sums, epoch, err := st.ApplyEpoch([]dynhl.Op{dynhl.InsertVertexOp(arcs...)})
-	tagEpoch(w, epoch)
+	res, err := st.ApplyCtx(r.Context(), []dynhl.Op{dynhl.InsertVertexOp(arcs...)})
+	tagEpoch(w, res.Epoch)
 	if err != nil {
-		updateError(w, err)
+		applyError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, vertexResponse{ID: *sums[0].NewVertex, Affected: sums[0].Affected})
+	writeJSON(w, http.StatusOK, vertexResponse{ID: *res.Summaries[0].NewVertex, Affected: res.Summaries[0].Affected})
 }
 
 // saveLabels serves GET /labels: one snapshot's labelling as a binary
@@ -743,6 +749,17 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) boo
 
 // updateError maps a mutation failure onto a status code through the dynhl
 // sentinel errors.
+// applyError maps write-path failures: a request context cancelled while
+// the batch was still queued gets 499 ("client closed request"), exactly
+// as batch reads already do; everything else is an update error.
+func applyError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		httpError(w, 499, err)
+		return
+	}
+	updateError(w, err)
+}
+
 func updateError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, dynhl.ErrNoSuchVertex), errors.Is(err, dynhl.ErrNoSuchEdge):

@@ -48,11 +48,15 @@ func Recover(dir string, opts Options) (*Durable, error) {
 	if err != nil {
 		return nil, err
 	}
-	store := dynhl.NewStoreAt(idx, st.epoch)
-	replayed, err := replay(store, walDir(dir), st.epoch, opts.Logf)
+	last, replayed, err := replay(idx, walDir(dir), st.epoch, opts.Logf)
 	if err != nil {
 		return nil, err
 	}
+	// The tail was applied to the plain index as one coalesced replay (the
+	// same batching insight as the store's group commit, on the boot path):
+	// wrapping it here packs once and publishes once, at the last logged
+	// epoch, instead of paying one fork + pack + publish per record.
+	store := dynhl.NewStoreAt(idx, last)
 	return attach(dir, store, st.epoch, replayed, opts)
 }
 
@@ -71,24 +75,27 @@ func rebuildIndex(st ckptState) (*dynhl.Index, error) {
 	return idx, nil
 }
 
-// replay applies the log tail beyond ckptEpoch to store, returning how many
-// records it replayed. Records at or below ckptEpoch (kept for an older
-// checkpoint) are skipped; beyond it epochs must be contiguous with the
-// store's.
-func replay(store *dynhl.Store, dir string, ckptEpoch uint64, logf func(string, ...any)) (uint64, error) {
+// replay applies the log tail beyond ckptEpoch directly to the plain
+// oracle — no store wrapping yet, so the whole tail is one coalesced
+// batch: no per-record fork, pack or publish. It returns the last epoch
+// applied (ckptEpoch when the log held nothing newer) and how many records
+// it replayed. Records at or below ckptEpoch (kept for an older
+// checkpoint) are skipped; beyond it epochs must be contiguous.
+func replay(o dynhl.Oracle, dir string, ckptEpoch uint64, logf func(string, ...any)) (uint64, uint64, error) {
 	segs, err := listSegments(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return 0, nil // no log yet: the checkpoint is the whole state
+			return ckptEpoch, 0, nil // no log yet: the checkpoint is the whole state
 		}
-		return 0, err
+		return 0, 0, err
 	}
+	epoch := ckptEpoch
 	var replayed uint64
 	for i, seg := range segs {
 		last := i == len(segs)-1
 		data, err := os.ReadFile(seg.path)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		off := 0
 		for off < len(data) {
@@ -96,29 +103,30 @@ func replay(store *dynhl.Store, dir string, ckptEpoch uint64, logf func(string, 
 			switch {
 			case errors.Is(err, errTorn):
 				if !last {
-					return 0, fmt.Errorf("wal: %s: torn record at offset %d mid-log (later segments exist): refusing to recover", seg.path, off)
+					return 0, 0, fmt.Errorf("wal: %s: torn record at offset %d mid-log (later segments exist): refusing to recover", seg.path, off)
 				}
 				// A crash cut the final append short; the record's epoch
 				// was never published, so dropping it loses nothing.
 				logf("wal: truncating torn record at end of %s (offset %d, %d trailing bytes)", seg.path, off, len(data)-off)
 				if err := os.Truncate(seg.path, int64(off)); err != nil {
-					return 0, fmt.Errorf("wal: truncating torn tail: %w", err)
+					return 0, 0, fmt.Errorf("wal: truncating torn tail: %w", err)
 				}
-				return replayed, nil
+				return epoch, replayed, nil
 			case err != nil:
-				return 0, fmt.Errorf("wal: %s: refusing to recover past damaged log: %w", seg.path, err)
+				return 0, 0, fmt.Errorf("wal: %s: refusing to recover past damaged log: %w", seg.path, err)
 			}
 			if rec.epoch > ckptEpoch {
-				if want := store.Epoch() + 1; rec.epoch != want {
-					return 0, fmt.Errorf("wal: %s: record for epoch %d where %d was expected (gap in the log): refusing to recover", seg.path, rec.epoch, want)
+				if rec.epoch != epoch+1 {
+					return 0, 0, fmt.Errorf("wal: %s: record for epoch %d where %d was expected (gap in the log): refusing to recover", seg.path, rec.epoch, epoch+1)
 				}
-				if _, err := store.Apply(rec.ops); err != nil {
-					return 0, fmt.Errorf("wal: replaying epoch %d: %w", rec.epoch, err)
+				if _, err := o.Apply(rec.ops); err != nil {
+					return 0, 0, fmt.Errorf("wal: replaying epoch %d: %w", rec.epoch, err)
 				}
+				epoch = rec.epoch
 				replayed++
 			}
 			off = next
 		}
 	}
-	return replayed, nil
+	return epoch, replayed, nil
 }

@@ -38,10 +38,13 @@ type Index struct {
 
 	// packed is the CSR read representation of L, non-nil only while the
 	// index is publishable (built by Pack, dropped by the first label
-	// write); queries prefer it. parentPacked remembers the forked-from
-	// packed form so the next Pack can reuse untouched chunks.
-	packed       *hcl.Packed
-	parentPacked *hcl.Packed
+	// write); queries prefer it. parent remembers the forked-from index
+	// until the fork's own Pack runs, which reads the parent's packed form
+	// then — not at fork time — so a fork taken while its parent is still
+	// packing keeps the delta repack. Pack clears it so ancestor chains
+	// are not pinned.
+	packed *hcl.Packed
+	parent *Index
 
 	scratch wgraph.SpacePool
 
@@ -233,9 +236,10 @@ func (idx *Index) Fork(g *wgraph.Graph) *Index {
 		k:         idx.k,
 		rankArr:   append([]uint16(nil), idx.rankArr...),
 		shared:    bitset.NewAllSet(len(idx.L)),
-		// The fork mutates, so it starts unpacked; remembering the parent's
-		// packed form lets its Pack reuse untouched chunks.
-		parentPacked: idx.packed,
+		// The fork mutates, so it starts unpacked; remembering the parent
+		// lets its Pack reuse whatever chunks the parent's arena holds by
+		// the time the fork itself is frozen.
+		parent: idx,
 	}
 }
 
@@ -248,8 +252,12 @@ func (idx *Index) Pack() {
 	if idx.packed != nil {
 		return
 	}
-	idx.packed = hcl.Pack(idx.L, idx.parentPacked, idx.shared)
-	idx.parentPacked = nil
+	var parentPacked *hcl.Packed
+	if idx.parent != nil {
+		parentPacked = idx.parent.packed
+	}
+	idx.packed = hcl.Pack(idx.L, parentPacked, idx.shared)
+	idx.parent = nil
 }
 
 // PackedLabels returns the packed read form, or nil when the index has

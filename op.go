@@ -248,12 +248,28 @@ func DecodeOps(buf []byte) ([]Op, int, error) {
 	return ops, n, nil
 }
 
+// OpError reports which op of a batch failed and why: Index is the op's
+// position within the caller's own batch (coalescing with other writers
+// never shifts it) and Err is the underlying failure, typically one of the
+// sentinel errors, reachable through errors.Is/errors.As.
+type OpError struct {
+	Index int
+	Kind  OpKind
+	Err   error
+}
+
+func (e *OpError) Error() string {
+	return fmt.Sprintf("dynhl: op %d (%s): %v", e.Index, e.Kind, e.Err)
+}
+
+func (e *OpError) Unwrap() error { return e.Err }
+
 // applyOps applies ops to o in order, stopping at the first failure. The
-// returned summaries cover the ops that succeeded; the error wraps the op
-// index and kind around the oracle's sentinel. Plain variants expose this
-// directly (a mid-batch failure leaves the earlier ops applied); the Store
-// turns it into an all-or-nothing publish by applying to a discardable
-// fork.
+// returned summaries cover the ops that succeeded; the error is an *OpError
+// wrapping the op index and kind around the oracle's sentinel. Plain
+// variants expose this directly (a mid-batch failure leaves the earlier ops
+// applied); the Store turns it into an all-or-nothing publish by applying
+// to a discardable fork.
 func applyOps(o Oracle, ops []Op) ([]UpdateSummary, error) {
 	out := make([]UpdateSummary, 0, len(ops))
 	for i, op := range ops {
@@ -277,7 +293,7 @@ func applyOps(o Oracle, ops []Op) ([]UpdateSummary, error) {
 			err = fmt.Errorf("dynhl: unknown op kind %d", uint8(op.Kind))
 		}
 		if err != nil {
-			return out, fmt.Errorf("dynhl: op %d (%s): %w", i, op.Kind, err)
+			return out, &OpError{Index: i, Kind: op.Kind, Err: err}
 		}
 		out = append(out, s)
 	}

@@ -95,16 +95,29 @@ type snapshot struct {
 // atomically as the next epoch. A failed batch is discarded whole: readers
 // never observe a half-applied batch, and the epoch does not advance.
 //
-// A Store is safe for any number of concurrent readers and writers; writers
-// are serialised among themselves. It implements Oracle (single mutations
+// A Store is safe for any number of concurrent readers and writers.
+// Concurrent writers are not merely serialised: the group-commit pipeline
+// (ApplyCtx, store_queue.go) coalesces every batch waiting on the apply
+// queue into one combined fork + repair + pack + WAL record + publish,
+// resolving each caller with its own slice of the result — under write
+// contention the per-caller commit overheads amortise across the group
+// instead of queueing up. The Store implements Oracle (single mutations
 // are one-op batches), so it drops into any code written against the
 // interface, and Saver/Loader. Wrapping an oracle whose concrete type the
 // package does not know (no copy-on-write fork) falls back to an RWMutex:
-// reads still see consistent epochs but take a read lock, and a failed
-// batch is not rolled back.
+// reads still see consistent epochs but take a read lock, writes are
+// serialised without coalescing, and a failed batch is not rolled back.
 type Store struct {
-	wmu sync.Mutex // serialises writers (Apply, Load)
+	wmu sync.Mutex // serialises writers (the commit pipeline, Load, Reset)
 	cur atomic.Pointer[snapshot]
+
+	// qmu guards queue and qrun — the group-commit apply queue (see
+	// store_queue.go). ApplyCtx callers enqueue here and park on a
+	// promised-epoch future; a committer goroutine runs while the queue
+	// drains and retires when it stays empty.
+	qmu   sync.Mutex
+	queue []*applyReq
+	qrun  bool
 
 	// rmu is non-nil only in the compatibility fallback for oracles the
 	// package cannot fork; it degrades reads to RLock and writes to Lock.
@@ -413,57 +426,104 @@ func (s *Store) Epoch() uint64 { return s.cur.Load().epoch }
 // directly must treat it as frozen — mutate through the Store.
 func (s *Store) Unwrap() Oracle { return s.cur.Load().o }
 
-// Apply applies a batch of ops as one atomic publish: the whole batch
-// becomes visible to readers at a single new epoch, with one copy-on-write
-// fork amortised across all ops. On failure no snapshot is published — the
-// epoch is unchanged and readers keep seeing the pre-batch labelling
-// (except in the non-forkable fallback, where earlier ops stay applied).
-// An empty batch is a no-op and does not bump the epoch.
+// ApplyResult is what a write resolves to: per-op repair summaries, the
+// epoch the batch became visible as, and whether that epoch was shared.
+type ApplyResult struct {
+	// Summaries reports one repair summary per op of the batch, in op
+	// order (insert_vertex summaries carry the new vertex id). Nil when
+	// the batch failed.
+	Summaries []UpdateSummary
+	// Epoch is the epoch the batch published as. On failure it is the
+	// epoch the batch was validated against, unchanged by the call.
+	Epoch uint64
+	// Coalesced reports whether the batch shared its epoch with other
+	// concurrent callers — one fork, one repair pass, one WAL record, one
+	// fsync and one publish amortised across all of them (see
+	// store_queue.go).
+	Coalesced bool
+}
+
+// ApplyCtx is the canonical write call: it applies a batch of ops as one
+// atomic publish and resolves once the batch is visible (and, with a
+// durability layer attached, durable). The whole batch becomes visible to
+// readers at a single epoch; on failure no state is published — the epoch
+// is unchanged and readers keep seeing the pre-batch labelling (except in
+// the non-forkable fallback, where earlier ops stay applied). An empty
+// batch is a no-op and does not bump the epoch.
+//
+// Concurrent callers are coalesced by the store's group-commit pipeline:
+// their batches commit as one combined epoch (Coalesced reports when that
+// happened), each caller still owns its result — a caller whose ops fail
+// validation is rejected alone, without poisoning the callers it was
+// batched with.
+//
+// A caller whose ctx is done before the committer picks its batch up is
+// excised from the queue and gets ctx's error: none of its ops apply. Once
+// the batch is taken into a group the write is committed regardless, and
+// ApplyCtx waits out the commit to return the epoch the ops published
+// under — cancellation can no longer undo a write that is becoming
+// durable.
+func (s *Store) ApplyCtx(ctx context.Context, ops []Op) (ApplyResult, error) {
+	if len(ops) == 0 {
+		return ApplyResult{Epoch: s.Epoch()}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return ApplyResult{Epoch: s.Epoch()}, err
+	}
+	if s.rmu != nil {
+		return s.applyFallback(ops)
+	}
+	r := &applyReq{ops: ops, done: make(chan applyOutcome, 1)}
+	s.enqueue(r)
+	select {
+	case out := <-r.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		if r.state.CompareAndSwap(reqPending, reqAbandoned) {
+			// Excised before the committer claimed the batch: none of its
+			// ops were applied.
+			return ApplyResult{Epoch: s.Epoch()}, ctx.Err()
+		}
+		// Claimed already: the group is committing. Its outcome — including
+		// the epoch the ops published under — is authoritative.
+		out := <-r.done
+		return out.res, out.err
+	}
+}
+
+// Apply applies a batch of ops as one atomic publish; see ApplyCtx, which
+// it wraps without a cancellation context.
 func (s *Store) Apply(ops []Op) ([]UpdateSummary, error) {
-	sums, _, err := s.ApplyEpoch(ops)
-	return sums, err
+	res, err := s.ApplyCtx(context.Background(), ops)
+	return res.Summaries, err
 }
 
 // ApplyEpoch is Apply also reporting which epoch the batch published — the
 // number to attribute the batch to even when other writers publish
-// concurrently. On failure (or an empty batch) it reports the epoch that
-// was current while the batch held the writer lock, unchanged by the call.
+// concurrently (the pre-ApplyResult shape, kept for compatibility).
 func (s *Store) ApplyEpoch(ops []Op) ([]UpdateSummary, uint64, error) {
+	res, err := s.ApplyCtx(context.Background(), ops)
+	return res.Summaries, res.Epoch, err
+}
+
+// applyFallback is the write path of the non-forkable fallback mode: one
+// serialized in-place apply under the read-write lock, no coalescing.
+func (s *Store) applyFallback(ops []Op) (ApplyResult, error) {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
 	cur := s.cur.Load()
-	if len(ops) == 0 {
-		return nil, cur.epoch, nil
-	}
-	if s.rmu != nil {
-		s.rmu.Lock()
-		defer s.rmu.Unlock()
-		sums, err := applyOps(cur.o, ops)
-		if err != nil {
-			return sums, cur.epoch, err
-		}
-		next := &snapshot{o: cur.o, epoch: cur.epoch + 1}
-		if err := s.commit(next, ops); err != nil {
-			return sums, cur.epoch, err // fallback mode: ops stay applied
-		}
-		s.publish(next)
-		return sums, cur.epoch + 1, nil
-	}
-	work := cur.o.(forkable).fork()
-	sums, err := applyOps(work, ops)
+	s.rmu.Lock()
+	defer s.rmu.Unlock()
+	sums, err := applyOps(cur.o, ops)
 	if err != nil {
-		return nil, cur.epoch, err // discard the fork: all-or-nothing
+		return ApplyResult{Summaries: sums, Epoch: cur.epoch}, err
 	}
-	// Freeze the working copy into the packed read form before anyone can
-	// see it: the repairs touched k labels, so the delta-aware repack
-	// rebuilds only the arena chunks covering them.
-	pack(work)
-	next := &snapshot{o: work, epoch: cur.epoch + 1}
+	next := &snapshot{o: cur.o, epoch: cur.epoch + 1}
 	if err := s.commit(next, ops); err != nil {
-		return nil, cur.epoch, err // discard the fork: not durable, not published
+		return ApplyResult{Summaries: sums, Epoch: cur.epoch}, err // fallback mode: ops stay applied
 	}
 	s.publish(next)
-	return sums, cur.epoch + 1, nil
+	return ApplyResult{Summaries: sums, Epoch: cur.epoch + 1}, nil
 }
 
 // Query answers one query against the current snapshot, lock-free.
@@ -497,41 +557,42 @@ func (s *Store) QueryBatchCtx(ctx context.Context, pairs []Pair) ([]Dist, error)
 	return queryBatchCtx(ctx, sn.o, pairs)
 }
 
-// InsertEdge publishes a one-op batch (see Apply).
+// InsertEdge publishes a one-op batch (see ApplyCtx); under concurrent
+// writers it rides a coalesced group commit.
 func (s *Store) InsertEdge(u, v uint32, w Dist) (UpdateSummary, error) {
-	sums, err := s.Apply([]Op{InsertEdgeOp(u, v, w)})
+	res, err := s.ApplyCtx(context.Background(), []Op{InsertEdgeOp(u, v, w)})
 	if err != nil {
 		return UpdateSummary{}, err
 	}
-	return sums[0], nil
+	return res.Summaries[0], nil
 }
 
-// InsertVertex publishes a one-op batch (see Apply) and returns the id of
-// the vertex the published snapshot gained.
+// InsertVertex publishes a one-op batch (see ApplyCtx) and returns the id
+// of the vertex the published snapshot gained.
 func (s *Store) InsertVertex(arcs []Arc) (uint32, UpdateSummary, error) {
-	sums, err := s.Apply([]Op{InsertVertexOp(arcs...)})
+	res, err := s.ApplyCtx(context.Background(), []Op{InsertVertexOp(arcs...)})
 	if err != nil {
 		return 0, UpdateSummary{}, err
 	}
-	return *sums[0].NewVertex, sums[0], nil
+	return *res.Summaries[0].NewVertex, res.Summaries[0], nil
 }
 
-// DeleteEdge publishes a one-op batch (see Apply).
+// DeleteEdge publishes a one-op batch (see ApplyCtx).
 func (s *Store) DeleteEdge(u, v uint32) (UpdateSummary, error) {
-	sums, err := s.Apply([]Op{DeleteEdgeOp(u, v)})
+	res, err := s.ApplyCtx(context.Background(), []Op{DeleteEdgeOp(u, v)})
 	if err != nil {
 		return UpdateSummary{}, err
 	}
-	return sums[0], nil
+	return res.Summaries[0], nil
 }
 
-// DeleteVertex publishes a one-op batch (see Apply).
+// DeleteVertex publishes a one-op batch (see ApplyCtx).
 func (s *Store) DeleteVertex(v uint32) (UpdateSummary, error) {
-	sums, err := s.Apply([]Op{DeleteVertexOp(v)})
+	res, err := s.ApplyCtx(context.Background(), []Op{DeleteVertexOp(v)})
 	if err != nil {
 		return UpdateSummary{}, err
 	}
-	return sums[0], nil
+	return res.Summaries[0], nil
 }
 
 // NumVertices returns the current snapshot's vertex count.

@@ -1,0 +1,481 @@
+package dynhl_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	dynhl "repro"
+	"repro/internal/graph"
+	"repro/internal/testutil"
+)
+
+// TestApplyCtxEmptyAndPrecancelled pins the two ApplyCtx fast paths: an
+// empty batch is a no-op that reports the current epoch, and a context
+// that is already done fails before anything is enqueued.
+func TestApplyCtxEmptyAndPrecancelled(t *testing.T) {
+	idx, err := dynhl.Build(testutil.RandomConnectedGraph(30, 40, 3), dynhl.Options{Landmarks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dynhl.NewStore(idx)
+	res, err := st.ApplyCtx(context.Background(), nil)
+	if err != nil || res.Epoch != 0 || res.Coalesced || res.Summaries != nil {
+		t.Fatalf("empty batch: got %+v, %v", res, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err = st.ApplyCtx(ctx, []dynhl.Op{dynhl.InsertEdgeOp(0, 20, 0)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled ctx: got err %v", err)
+	}
+	if st.Epoch() != 0 {
+		t.Fatalf("pre-cancelled ctx bumped the epoch to %d", st.Epoch())
+	}
+}
+
+// TestApplyCtxCancelWhileQueued checks that a caller whose context is
+// cancelled while its batch still waits on the apply queue is excised:
+// none of its ops apply and it gets ctx's error. The committer is kept
+// busy with a large batch so the queued request has a wide cancel window;
+// if the scheduler claims it first anyway, the committed outcome must be
+// fully applied — both results are legal, half-states are not.
+func TestApplyCtxCancelWhileQueued(t *testing.T) {
+	g := testutil.RandomConnectedGraph(500, 900, 5)
+	idx, err := dynhl.Build(g, dynhl.Options{Landmarks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dynhl.NewStore(idx)
+
+	// A long batch to occupy the committer.
+	busy := make([]dynhl.Op, 0, 120)
+	for _, p := range testutil.NonEdges(g, 120, 6) {
+		busy = append(busy, dynhl.InsertEdgeOp(p[0], p[1], 0))
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := st.Apply(busy); err != nil {
+			t.Error(err)
+		}
+	}()
+	// Give the busy batch a head start so it owns the first group.
+	time.Sleep(2 * time.Millisecond)
+
+	probe := testutil.NonEdges(g, 150, 7)[149] // distinct from the busy ops
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { cancel(); close(done) }()
+	res, err := st.ApplyCtx(ctx, []dynhl.Op{dynhl.InsertEdgeOp(probe[0], probe[1], 0)})
+	<-done
+	wg.Wait()
+	switch {
+	case errors.Is(err, context.Canceled):
+		if st.Unwrap().Query(probe[0], probe[1]) == 1 {
+			t.Fatal("cancelled caller's edge was published anyway")
+		}
+	case err == nil:
+		// Claimed before the cancel won: the write committed and the epoch
+		// must name a published version containing it.
+		if res.Epoch == 0 || st.Query(probe[0], probe[1]) != 1 {
+			t.Fatalf("claimed caller: epoch %d, d=%v", res.Epoch, st.Query(probe[0], probe[1]))
+		}
+	default:
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestApplyConcurrentFailureSplitting runs valid and invalid callers
+// concurrently: however the pipeline groups them, the invalid caller is
+// rejected with its own error (attributed to its own op index) and the
+// valid callers' batches all publish.
+func TestApplyConcurrentFailureSplitting(t *testing.T) {
+	g := testutil.RandomConnectedGraph(200, 350, 9)
+	idx, err := dynhl.Build(g, dynhl.Options{Landmarks: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dynhl.NewStore(idx)
+	fresh := testutil.NonEdges(g, 40, 10)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if i%4 == 3 {
+				// Invalid: the second op deletes an edge that cannot exist.
+				bad := fresh[30+i/4]
+				_, err := st.Apply([]dynhl.Op{
+					dynhl.InsertEdgeOp(bad[0], bad[1], 0),
+					dynhl.DeleteEdgeOp(bad[0], bad[1]+1),
+				})
+				errs[i] = err
+				return
+			}
+			p := fresh[i]
+			_, errs[i] = st.Apply([]dynhl.Op{dynhl.InsertEdgeOp(p[0], p[1], 0)})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if i%4 == 3 {
+			if err == nil {
+				t.Fatalf("caller %d: invalid batch published", i)
+			}
+			var oe *dynhl.OpError
+			if !errors.As(err, &oe) || oe.Index != 1 {
+				t.Fatalf("caller %d: error not attributed to op 1: %v", i, err)
+			}
+			// All-or-nothing per caller: op 0 of the failed batch must not
+			// have leaked into any published epoch.
+			bad := fresh[30+i/4]
+			if st.Query(bad[0], bad[1]) == 1 {
+				t.Fatalf("caller %d: rejected batch's first op leaked", i)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("caller %d: valid batch rejected: %v", i, err)
+		}
+		p := fresh[i]
+		if d := st.Query(p[0], p[1]); d != 1 {
+			t.Fatalf("caller %d: published edge missing (d=%v)", i, d)
+		}
+	}
+}
+
+// TestApplyCtxCoalesces keeps firing rounds of concurrent single-op
+// writers until one round group-commits, then checks the attribution:
+// callers sharing an epoch must all report Coalesced and identical epochs
+// must mean identical published state.
+func TestApplyCtxCoalesces(t *testing.T) {
+	g := testutil.RandomConnectedGraph(300, 500, 13)
+	idx, err := dynhl.Build(g, dynhl.Options{Landmarks: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dynhl.NewStore(idx)
+	fresh := testutil.NonEdges(g, 4000, 14)
+
+	const writers = 8
+	for round := 0; round < 400; round++ {
+		var wg sync.WaitGroup
+		results := make([]dynhl.ApplyResult, writers)
+		for w := 0; w < writers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p := fresh[round*writers+w]
+				res, err := st.ApplyCtx(context.Background(), []dynhl.Op{dynhl.InsertEdgeOp(p[0], p[1], 0)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[w] = res
+			}()
+		}
+		wg.Wait()
+		byEpoch := map[uint64]int{}
+		for _, r := range results {
+			byEpoch[r.Epoch]++
+		}
+		sawGroup := false
+		for _, r := range results {
+			if shared := byEpoch[r.Epoch] > 1; shared != r.Coalesced {
+				t.Fatalf("epoch %d held %d callers but Coalesced=%v", r.Epoch, byEpoch[r.Epoch], r.Coalesced)
+			}
+			if r.Coalesced {
+				sawGroup = true
+			}
+		}
+		if sawGroup {
+			return
+		}
+	}
+	t.Fatal("400 rounds of 8 concurrent writers never coalesced")
+}
+
+// hammerWriter owns one disjoint vertex range of the hammer graph, so its
+// ops commute with every other writer's and the graph at epoch E is
+// exactly the base plus all ops committed at epochs <= E, whatever the
+// coalescing grouping was.
+type hammerWriter struct {
+	lo, hi  uint32       // owned vertex range [lo, hi)
+	marker  [2]uint32    // a pair only ever inserted by doomed batches
+	pairs   [][2]uint32  // all other intra-range pairs
+	present map[int]bool // pair index -> currently an edge
+}
+
+// TestApplyConcurrentHammer is the multi-writer group-commit hammer: N
+// writers fire random op batches (some doomed, some cancelled mid-wait) at
+// one Store while readers pin snapshots. It asserts per-caller
+// all-or-nothing, per-writer strictly monotone epochs, and BFS-differential
+// correctness at every epoch a reader managed to pin — including the final
+// one, which every committed op must have reached. CI runs it under -race
+// with a timeout guard: a deadlocked committer hangs it, so fail fast.
+func TestApplyConcurrentHammer(t *testing.T) {
+	const (
+		vertices = 120
+		writers  = 8
+		span     = vertices / writers
+		batches  = 30
+	)
+	base := testutil.RandomConnectedGraph(vertices, 200, 11)
+	recon := base.Clone() // pristine copy for ground-truth reconstruction
+	idx, err := dynhl.Build(base, dynhl.Options{Landmarks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dynhl.NewStore(idx)
+
+	type record struct {
+		epoch uint64
+		ops   []dynhl.Op
+	}
+	var mu sync.Mutex
+	var committed []record
+
+	ws := make([]*hammerWriter, writers)
+	for w := range ws {
+		hw := &hammerWriter{lo: uint32(w * span), hi: uint32((w + 1) * span), present: map[int]bool{}}
+		for u := hw.lo; u < hw.hi; u++ {
+			for v := u + 1; v < hw.hi; v++ {
+				if hw.marker == [2]uint32{} && !base.HasEdge(u, v) {
+					hw.marker = [2]uint32{u, v}
+					continue
+				}
+				if base.HasEdge(u, v) {
+					hw.present[len(hw.pairs)] = true
+				}
+				hw.pairs = append(hw.pairs, [2]uint32{u, v})
+			}
+		}
+		if hw.marker == [2]uint32{} {
+			t.Fatalf("writer %d: no free marker pair", w)
+		}
+		ws[w] = hw
+	}
+
+	// Readers pin one View per epoch they observe while the writers run.
+	stop := make(chan struct{})
+	views := map[uint64]dynhl.View{}
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := st.Snapshot()
+			if _, ok := views[v.Epoch()]; !ok {
+				views[v.Epoch()] = v
+			}
+		}
+	}()
+	readers.Add(1)
+	go func() { // plain concurrent read load for the race detector
+		defer readers.Done()
+		rng := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st.Query(uint32(rng.Intn(vertices)), uint32(rng.Intn(vertices)))
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w, hw := range ws {
+		w, hw := w, hw
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			lastEpoch := uint64(0)
+			for b := 0; b < batches; b++ {
+				if b%6 == 5 {
+					// A doomed batch: the marker insert is valid, the delete
+					// of a non-edge is not — the whole caller must vanish.
+					pi := rng.Intn(len(hw.pairs))
+					for hw.present[pi] {
+						pi = rng.Intn(len(hw.pairs))
+					}
+					_, err := st.Apply([]dynhl.Op{
+						dynhl.InsertEdgeOp(hw.marker[0], hw.marker[1], 0),
+						dynhl.DeleteEdgeOp(hw.pairs[pi][0], hw.pairs[pi][1]),
+					})
+					if !errors.Is(err, dynhl.ErrNoSuchEdge) {
+						t.Errorf("writer %d: doomed batch: got %v", w, err)
+					}
+					var oe *dynhl.OpError
+					if !errors.As(err, &oe) || oe.Index != 1 {
+						t.Errorf("writer %d: doomed batch not attributed to its op 1: %v", w, err)
+					}
+					continue
+				}
+				// A good batch of 1..3 ops against the writer's own range.
+				tentative := map[int]bool{}
+				var ops []dynhl.Op
+				for n := 1 + rng.Intn(3); len(ops) < n; {
+					pi := rng.Intn(len(hw.pairs))
+					if _, touched := tentative[pi]; touched {
+						continue
+					}
+					p := hw.pairs[pi]
+					if hw.present[pi] {
+						ops = append(ops, dynhl.DeleteEdgeOp(p[0], p[1]))
+						tentative[pi] = false
+					} else {
+						ops = append(ops, dynhl.InsertEdgeOp(p[0], p[1], 0))
+						tentative[pi] = true
+					}
+				}
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if rng.Intn(100) < 15 {
+					ctx, cancel = context.WithCancel(ctx)
+					go func(after time.Duration) {
+						time.Sleep(after)
+						cancel()
+					}(time.Duration(rng.Intn(200)) * time.Microsecond)
+				}
+				res, err := st.ApplyCtx(ctx, ops)
+				cancel()
+				switch {
+				case errors.Is(err, context.Canceled):
+					continue // excised before commit: the shadow stays as-is
+				case err != nil:
+					t.Errorf("writer %d: batch rejected: %v", w, err)
+					continue
+				}
+				if res.Epoch <= lastEpoch {
+					t.Errorf("writer %d: epoch went %d -> %d", w, lastEpoch, res.Epoch)
+				}
+				lastEpoch = res.Epoch
+				if len(res.Summaries) != len(ops) {
+					t.Errorf("writer %d: %d summaries for %d ops", w, len(res.Summaries), len(ops))
+				}
+				for pi, on := range tentative {
+					hw.present[pi] = on
+				}
+				mu.Lock()
+				committed = append(committed, record{epoch: res.Epoch, ops: ops})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	final := st.Snapshot()
+	views[final.Epoch()] = final
+
+	// Replay the committed records in epoch order over the pristine graph
+	// and check BFS ground truth at every pinned epoch. Writers own
+	// disjoint ranges, so records within one epoch commute and the graph
+	// at epoch E does not depend on how the pipeline grouped the callers.
+	sort.Slice(committed, func(i, j int) bool { return committed[i].epoch < committed[j].epoch })
+	epochs := make([]uint64, 0, len(views))
+	for e := range views {
+		epochs = append(epochs, e)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	if top := committed[len(committed)-1].epoch; final.Epoch() < top {
+		t.Fatalf("final epoch %d below last committed epoch %d", final.Epoch(), top)
+	}
+
+	next := 0
+	checked := 0
+	for _, e := range epochs {
+		for next < len(committed) && committed[next].epoch <= e {
+			applyToGraph(t, recon, committed[next].ops)
+			next++
+		}
+		truth := testutil.AllPairsOracle(recon)
+		v := views[e]
+		rng := rand.New(rand.NewSource(int64(e)))
+		pairs := make([]dynhl.Pair, 150)
+		for i := range pairs {
+			pairs[i] = dynhl.Pair{U: uint32(rng.Intn(vertices)), V: uint32(rng.Intn(vertices))}
+		}
+		for i, d := range v.QueryBatch(pairs) {
+			if want := dynhl.Dist(truth[pairs[i].U][pairs[i].V]); d != want {
+				t.Fatalf("epoch %d: d(%d,%d) = %v, BFS says %v", e, pairs[i].U, pairs[i].V, d, want)
+			}
+		}
+		checked++
+	}
+	if next != len(committed) {
+		t.Fatalf("final view missed %d committed records", len(committed)-next)
+	}
+	// No doomed batch may have leaked its marker insert into the final
+	// state (the differential above would catch a mid-run leak only if
+	// sampled; the markers are checked exhaustively here).
+	for w, hw := range ws {
+		if d := final.Query(hw.marker[0], hw.marker[1]); d == 1 && !recon.HasEdge(hw.marker[0], hw.marker[1]) {
+			t.Fatalf("writer %d: marker edge of a rejected batch leaked", w)
+		}
+	}
+	t.Logf("hammer: %d committed batches over %d epochs, %d pinned epochs BFS-checked",
+		len(committed), final.Epoch(), checked)
+}
+
+// applyToGraph mirrors edge ops onto the plain reconstruction graph.
+func applyToGraph(t *testing.T, g *graph.Graph, ops []dynhl.Op) {
+	t.Helper()
+	for _, op := range ops {
+		switch op.Kind {
+		case dynhl.OpInsertEdge:
+			if _, err := g.AddEdge(op.U, op.V); err != nil {
+				t.Fatalf("reconstruction: %v", err)
+			}
+		case dynhl.OpDeleteEdge:
+			if err := g.RemoveEdge(op.U, op.V); err != nil {
+				t.Fatalf("reconstruction: %v", err)
+			}
+		default:
+			t.Fatalf("reconstruction: unexpected op %s", op.Kind)
+		}
+	}
+}
+
+// TestOpErrorAttribution pins the exported OpError shape on the plain
+// batch path.
+func TestOpErrorAttribution(t *testing.T) {
+	idx, err := dynhl.Build(testutil.RandomConnectedGraph(30, 40, 3), dynhl.Options{Landmarks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dynhl.NewStore(idx)
+	_, err = st.Apply([]dynhl.Op{
+		dynhl.InsertEdgeOp(0, 20, 0),
+		dynhl.DeleteEdgeOp(0, 29),
+	})
+	var oe *dynhl.OpError
+	if !errors.As(err, &oe) {
+		t.Fatalf("no OpError in %v", err)
+	}
+	if oe.Index != 1 || oe.Kind != dynhl.OpDeleteEdge || !errors.Is(oe.Err, dynhl.ErrNoSuchEdge) {
+		t.Fatalf("wrong attribution: %+v", oe)
+	}
+	if want := fmt.Sprintf("dynhl: op 1 (%s): %v", dynhl.OpDeleteEdge, oe.Err); err.Error() != want {
+		t.Fatalf("message %q, want %q", err.Error(), want)
+	}
+}
