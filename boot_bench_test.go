@@ -1,0 +1,103 @@
+package dynhl_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	dynhl "repro"
+	"repro/internal/testutil"
+	"repro/internal/wal"
+)
+
+// bootSizes are the checkpoint scales BenchmarkMappedBoot compares. The
+// default keeps CI's one-iteration smoke cheap; set DYNHL_BENCH_BOOT=large
+// to add the scales recorded in EXPERIMENTS.md, where the mmap-vs-copy-in
+// gap is the point.
+func bootSizes() []int {
+	sizes := []int{50_000}
+	if os.Getenv("DYNHL_BENCH_BOOT") == "large" {
+		sizes = append(sizes, 200_000, 500_000)
+	}
+	return sizes
+}
+
+// BenchmarkMappedBoot measures restoring a serving node from a clean v2
+// checkpoint with the label entries mmap'd in place (Options.Mmap=MapOn)
+// versus decoded onto the heap (MapOff) — the recovery-latency claim of the
+// mapped arena: copy-in boot scales with labelling size, mapped boot pays
+// only the header, graph and offset pages plus whatever queries fault in.
+// One query runs inside the timed region so the mapped figure includes at
+// least one real page-in, not just deferral.
+func BenchmarkMappedBoot(b *testing.B) {
+	for _, n := range bootSizes() {
+		fixture := b.TempDir()
+		g := testutil.RandomConnectedGraph(n, 3*n, 13)
+		idx, err := dynhl.Build(g, dynhl.Options{Landmarks: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := wal.Create(fixture, idx, wal.Options{Logf: b.Logf})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			b.Fatal(err)
+		}
+		ckptBytes := dirBytes(b, fixture)
+
+		for _, tc := range []struct {
+			name string
+			mode wal.MapMode
+		}{
+			{"mmap", wal.MapOn},
+			{"copyin", wal.MapOff},
+		} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, tc.name), func(b *testing.B) {
+				if tc.mode == wal.MapOn && !dynhl.MmapSupported() {
+					b.Skip("mmap not supported on this platform")
+				}
+				b.SetBytes(ckptBytes)
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					dir := b.TempDir()
+					copyDir(b, fixture, dir)
+					b.StartTimer()
+					r, err := wal.Recover(dir, wal.Options{Logf: b.Logf, Mmap: tc.mode})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if r.Store().Query(0, uint32(n-1)) == dynhl.Inf {
+						b.Fatal("recovered store cannot answer")
+					}
+					b.StopTimer()
+					if mapped := r.Store().Stats().MappedBytes > 0; mapped != (tc.mode == wal.MapOn) {
+						b.Fatalf("MappedBytes>0 = %v under mode %v", mapped, tc.mode)
+					}
+					if err := r.Close(); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}
+
+// dirBytes sums the file sizes under dir — the checkpoint payload a boot
+// has to get through one way or the other.
+func dirBytes(b *testing.B, dir string) int64 {
+	b.Helper()
+	var total int64
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			total += info.Size()
+		}
+		return err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return total
+}

@@ -8,7 +8,8 @@
 //	hlbench -exp fig3 -datasets Skitter,UK   # subset of datasets
 //	hlbench -exp fig4 -updates 500           # 500×10 insertions in Fig 4
 //
-// Experiments: table1, table2, fig1, fig3, fig4, ablation, packed, all.
+// Experiments: table1, table2, fig1, fig3, fig4, ablation, packed, mmap,
+// all.
 package main
 
 import (
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|fig1|fig3|fig4|ablation|packed|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|fig1|fig3|fig4|ablation|packed|mmap|all")
 		scale     = flag.Float64("scale", 1.0, "proxy size multiplier")
 		updates   = flag.Int("updates", 1000, "edge insertions per dataset")
 		queries   = flag.Int("queries", 10000, "distance queries per dataset")
@@ -63,8 +64,9 @@ func main() {
 		"fig3":     func(c exper.Config) error { _, err := exper.Fig3(c); return err },
 		"fig4":     func(c exper.Config) error { _, err := exper.Fig4(c); return err },
 		"ablation": func(c exper.Config) error { _, err := exper.Ablation(c); return err },
+		"mmap":     func(c exper.Config) error { _, err := exper.Mmap(c); return err },
 	}
-	order := []string{"table2", "fig1", "table1", "fig3", "fig4", "ablation", "packed"}
+	order := []string{"table2", "fig1", "table1", "fig3", "fig4", "ablation", "packed", "mmap"}
 
 	var names []string
 	if *exp == "all" {

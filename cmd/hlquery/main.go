@@ -339,8 +339,8 @@ func execute(o *dynhl.Store, durable *wal.Durable, fields []string) bool {
 // bytes and the published epoch, with WAL and replication counters on their
 // own lines when present.
 func printStats(st dynhl.Stats) {
-	fmt.Printf("vertices=%d edges=%d landmarks=%d entries=%d avg=%.2f bytes=%d packed=%d epoch=%d\n",
-		st.Vertices, st.Edges, st.Landmarks, st.LabelEntries, st.AvgLabelSize, st.Bytes, st.PackedBytes, st.Epoch)
+	fmt.Printf("vertices=%d edges=%d landmarks=%d entries=%d avg=%.2f bytes=%d packed=%d mapped=%d epoch=%d\n",
+		st.Vertices, st.Edges, st.Landmarks, st.LabelEntries, st.AvgLabelSize, st.Bytes, st.PackedBytes, st.MappedBytes, st.Epoch)
 	if d := st.Durability; d != nil {
 		fmt.Printf("wal: records=%d bytes=%d syncs=%d durable_epoch=%d checkpoint_epoch=%d segments=%d replayed=%d\n",
 			d.Records, d.Bytes, d.Syncs, d.DurableEpoch, d.CheckpointEpoch, d.Segments, d.Replayed)

@@ -55,12 +55,19 @@
 // labelling file (the Save/GET /labels format, written over the same
 // graph) instead of constructing labels at boot, and -save-labels writes
 // the final labelling on graceful shutdown for the next boot to load.
+//
+// -mmap (default auto) serves v2 checkpoint and label files straight out
+// of an mmap instead of decoding a heap copy, so boot cost stops scaling
+// with labelling size — entries page in on first touch. MappedBytes in
+// /stats and mapped_bytes in /healthz report the mapped region; -mmap off
+// forces the copy-in loads everywhere.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -96,15 +103,22 @@ func main() {
 		role       = flag.String("role", "standalone", "serving role: standalone, leader (stream checkpoints + WAL to followers) or follower (replicate from -leader-addr)")
 		replAddr   = flag.String("replicate-addr", ":7601", "replication listen address with -role leader")
 		leaderAddr = flag.String("leader-addr", "", "leader replication address with -role follower")
+
+		mmapFlag = flag.String("mmap", "auto", "serve checkpoint and label files out of an mmap instead of decoding a heap copy: auto, on or off")
 	)
 	flag.Parse()
+
+	mmapMode, err := parseMapMode(*mmapFlag)
+	if err != nil {
+		log.Fatal("hlserver: ", err)
+	}
 
 	switch *role {
 	case "follower":
 		if *leaderAddr == "" {
 			log.Fatal("hlserver: -role follower requires -leader-addr")
 		}
-		runFollower(*addr, *leaderAddr)
+		runFollower(*addr, *leaderAddr, mmapMode)
 		return
 	case "standalone", "leader", "":
 		if *role == "leader" && *dataDir == "" {
@@ -133,6 +147,7 @@ func main() {
 			FsyncInterval:   *fsyncEvery,
 			CheckpointEvery: *ckptEvery,
 			Logf:            log.Printf,
+			Mmap:            mmapMode,
 		})
 		if err != nil {
 			log.Fatal("hlserver: ", err)
@@ -144,6 +159,9 @@ func main() {
 			}
 			log.Printf("recovered epoch %d from %s in %v (replayed %d log records)",
 				store.Epoch(), *dataDir, time.Since(start).Round(time.Millisecond), durable.Replayed())
+			if mapped := store.Stats().MappedBytes; mapped > 0 {
+				log.Printf("labels mmap-served from the checkpoint (%d bytes page in on demand)", mapped)
+			}
 		} else {
 			log.Printf("initialised durable state in %s (fsync %s)", *dataDir, policy)
 		}
@@ -155,10 +173,14 @@ func main() {
 		store = dynhl.NewStore(oracle)
 	}
 	if *loadLabels != "" {
-		if err := loadLabelFile(store, *loadLabels); err != nil {
+		if err := loadLabelFile(store, *loadLabels, mmapMode); err != nil {
 			log.Fatal("hlserver: ", err)
 		}
-		log.Printf("loaded labelling from %s (epoch %d)", *loadLabels, store.Epoch())
+		if mapped := store.Stats().MappedBytes; mapped > 0 {
+			log.Printf("loaded labelling from %s mmap-served (epoch %d, %d bytes)", *loadLabels, store.Epoch(), mapped)
+		} else {
+			log.Printf("loaded labelling from %s (epoch %d)", *loadLabels, store.Epoch())
+		}
 	}
 	st := store.Stats()
 	log.Printf("graph: %d vertices, %d edges (%s)", st.Vertices, st.Edges, *mode)
@@ -195,7 +217,7 @@ func main() {
 			log.Printf("checkpointed epoch %d", store.Epoch())
 		}
 		if *saveLabels != "" {
-			if err := saveLabelFile(store, *saveLabels); err != nil {
+			if err := saveLabelFile(store, *saveLabels, mmapMode); err != nil {
 				log.Fatal("hlserver: ", err)
 			}
 			log.Printf("saved labelling to %s (epoch %d)", *saveLabels, store.Epoch())
@@ -205,8 +227,8 @@ func main() {
 
 // runFollower serves a read replica: no local graph, labels or WAL — the
 // whole state is bootstrapped and then replayed from the leader.
-func runFollower(addr, leaderAddr string) {
-	f := repl.StartFollower(leaderAddr, repl.Options{Logf: log.Printf})
+func runFollower(addr, leaderAddr string, mmapMode wal.MapMode) {
+	f := repl.StartFollower(leaderAddr, repl.Options{Logf: log.Printf, Mmap: mmapMode})
 	log.Printf("replicating from %s (reads 503 until the first bootstrap lands)", leaderAddr)
 	go func() {
 		if err := f.WaitReady(context.Background()); err != nil {
@@ -263,9 +285,31 @@ func serve(addr string, handler http.Handler, shutdown func()) {
 	}
 }
 
+// parseMapMode resolves the -mmap flag.
+func parseMapMode(s string) (wal.MapMode, error) {
+	switch s {
+	case "auto", "":
+		return wal.MapAuto, nil
+	case "on":
+		return wal.MapOn, nil
+	case "off":
+		return wal.MapOff, nil
+	}
+	return 0, fmt.Errorf("unknown -mmap mode %q (want auto, on or off)", s)
+}
+
 // loadLabelFile publishes the labelling stored in path (Save format over
-// the server's current graph) as a new epoch.
-func loadLabelFile(store *dynhl.Store, path string) error {
+// the server's current graph) as a new epoch. When the mmap mode allows
+// it and the file is the mappable v2 layout, the labels are served
+// straight out of an mmap of the file instead of a heap copy.
+func loadLabelFile(store *dynhl.Store, path string, mode wal.MapMode) error {
+	if mode.Enabled() {
+		if _, err := store.LoadMappedFile(path); err == nil {
+			return nil
+		} else if !errors.Is(err, dynhl.ErrNotMappable) && !errors.Is(err, errors.ErrUnsupported) {
+			return err
+		}
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -274,13 +318,20 @@ func loadLabelFile(store *dynhl.Store, path string) error {
 	return store.Load(f)
 }
 
-// saveLabelFile writes the current snapshot's labelling to path.
-func saveLabelFile(store *dynhl.Store, path string) error {
+// saveLabelFile writes the current snapshot's labelling to path — in the
+// mappable v2 layout when the mmap mode allows it, so the next boot's
+// -load-labels can serve the file zero-copy (v2 files remain loadable by
+// the copy-in reader everywhere).
+func saveLabelFile(store *dynhl.Store, path string, mode wal.MapMode) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := store.Save(f); err != nil {
+	save := store.Save
+	if mode.Enabled() {
+		save = store.SaveMappable
+	}
+	if err := save(f); err != nil {
 		f.Close()
 		return err
 	}

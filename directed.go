@@ -172,6 +172,7 @@ func (x *DirectedIndex) Stats() Stats {
 	if pb := x.idx.PackedBackward(); pb != nil {
 		st.PackedBytes += pb.ArenaBytes()
 	}
+	st.MappedBytes = x.idx.MappedBytes()
 	return st
 }
 

@@ -183,6 +183,45 @@
 // and GET /wal/stats. Durability requires an oracle whose labelling and
 // graph both serialise — currently the undirected Index.
 //
+// # Zero-copy checkpoints: the mapped label arena
+//
+// Checkpoint formats are versioned, and every reader keeps decoding every
+// older version forever. The label codecs are HCL1 (per-vertex streams,
+// read-only legacy), HCL2/DHL1/WHL1 (the packed CSR block with u32
+// offsets, still what Save writes at ordinary sizes) and HCL3/DHL2/WHL2
+// (u64 offsets, entry block page-aligned relative to the stream start,
+// entries padded to their in-memory stride); checkpoint images are
+// HLWCKPT1 (whole-file CRC32) and HLWCKPT2, which embeds an HCL3-family
+// labelling at its real file offset, records the entry-block spans in a
+// trailer, and excludes exactly those spans from its CRC32. That CRC
+// shape is the point of v2: recovery can mmap the checkpoint file,
+// validate everything except the entry arenas — headers, graph, offset
+// tables are fully checked — and attach the entries in place
+// (LoadIndexMapped, MapIndexFile, Store.LoadMappedFile), so boot cost
+// stops scaling with labelling size and entry pages fault in on first
+// use. The WAL tail then replays onto the mapped index directly: the
+// mapping is private (MAP_PRIVATE), so in-place repairs dirty anonymous
+// copies and never the file. Followers bootstrap the same way by
+// spilling the shipped image to an unlinked temp file
+// (wal.RebuildImageMapped). Stats.MappedBytes reports the region still
+// backing a labelling, next to PackedBytes.
+//
+// The lifecycle rule is reachability, not reference counting: an
+// internal/arena.Mapping is pinned by every index, packed arena chunk and
+// snapshot that still aliases its bytes — forks inherit the pin — and is
+// unmapped by a garbage-collector finalizer once the last such holder is
+// gone. Checkpoint pruning therefore only ever unlinks files, never
+// truncates them: a pinned View keeps serving pages of a checkpoint the
+// pruner deleted minutes ago, and the kernel reclaims the blocks when
+// the mapping drops. Delta repacks migrate only the chunks a batch
+// touched from the mapping to the heap; untouched chunks stay
+// file-backed indefinitely. Everything falls back to the copy-in heap
+// load — identical answers, identical Save bytes — when the platform has
+// no mmap (a build-tagged stub gates syscall use; ErrNotMappable is the
+// quiet sentinel), when the checkpoint is a v1 image, when a stream's
+// layout or alignment cannot be mapped, or when -mmap off (wal.MapOff)
+// asks for it; -mmap auto probes support and is the default.
+//
 // # Replication: WAL shipping to read-scaling followers
 //
 // One process answers queries on one machine's cores; the replication

@@ -228,6 +228,13 @@ type Stats struct {
 	// (both label directions for the directed one). Zero when the
 	// labelling is not currently packed (a plain mutable index).
 	PackedBytes int64
+	// MappedBytes is the size of the mmap'd checkpoint region the
+	// labelling still serves entries from (zero-copy boot via the v2
+	// checkpoint layout). Zero for a fully heap-resident labelling; note
+	// the region counts once per live mapping, not per snapshot, so
+	// consecutive epochs forked from a mapped boot report the same figure
+	// until the mapping is released.
+	MappedBytes int64
 	Epoch       uint64
 	Durability  *DurabilityStats  `json:",omitempty"`
 	Replication *ReplicationStats `json:",omitempty"`
@@ -247,6 +254,7 @@ func (x *Index) Stats() Stats {
 	if p := x.idx.PackedLabels(); p != nil {
 		st.PackedBytes = p.ArenaBytes()
 	}
+	st.MappedBytes = x.idx.MappedBytes()
 	return st
 }
 

@@ -1,0 +1,172 @@
+package arena
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func skipUnsupported(t *testing.T) {
+	t.Helper()
+	if !Supported() {
+		t.Skip("mmap not supported on this platform")
+	}
+}
+
+func TestMapFileRoundTrip(t *testing.T) {
+	skipUnsupported(t)
+	data := make([]byte, 3*PageSize()+17)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Len() != int64(len(data)) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(data))
+	}
+	if !bytes.Equal(m.Data(), data) {
+		t.Fatal("mapped bytes differ from file contents")
+	}
+	if TotalMapped() < int64(len(data)) || Mappings() < 1 {
+		t.Fatalf("registry: TotalMapped=%d Mappings=%d", TotalMapped(), Mappings())
+	}
+}
+
+func TestPrivateWritesDoNotReachFile(t *testing.T) {
+	skipUnsupported(t)
+	data := bytes.Repeat([]byte{0xAA}, PageSize())
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.Data()[0] = 0x55 // private page: must not write through
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onDisk[0] != 0xAA {
+		t.Fatal("private mapping wrote through to the file")
+	}
+	if m.Data()[0] != 0x55 {
+		t.Fatal("private write not visible through the mapping")
+	}
+}
+
+func TestMappingSurvivesUnlink(t *testing.T) {
+	skipUnsupported(t)
+	data := bytes.Repeat([]byte{0x42}, 2*PageSize())
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint pruning unlinks files out from under live mappings; the
+	// pages must stay valid.
+	if !bytes.Equal(m.Data(), data) {
+		t.Fatal("mapping invalid after unlink")
+	}
+}
+
+func TestMapBytes(t *testing.T) {
+	skipUnsupported(t)
+	data := []byte("follower bootstrap image, shipped over the wire")
+	m, err := MapBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if !bytes.Equal(m.Data(), data) {
+		t.Fatal("MapBytes contents differ")
+	}
+	// The spill file is unlinked immediately after mapping.
+	if _, err := os.Stat(m.Path()); !os.IsNotExist(err) {
+		t.Fatalf("spill file %s still exists (err=%v)", m.Path(), err)
+	}
+	if _, err := MapBytes(nil); err == nil {
+		t.Fatal("MapBytes(nil) should fail")
+	}
+}
+
+func TestMapFileEmpty(t *testing.T) {
+	skipUnsupported(t)
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MapFile(path); err == nil {
+		t.Fatal("mapping an empty file should fail")
+	}
+}
+
+func TestCloseIdempotentAndRegistry(t *testing.T) {
+	skipUnsupported(t)
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, bytes.Repeat([]byte{1}, 128), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before, beforeN := TotalMapped(), Mappings()
+	m, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal("second Close should be a no-op, got", err)
+	}
+	if TotalMapped() != before || Mappings() != beforeN {
+		t.Fatalf("registry leaked: TotalMapped %d→%d, Mappings %d→%d",
+			before, TotalMapped(), beforeN, Mappings())
+	}
+}
+
+func TestFinalizerUnmaps(t *testing.T) {
+	skipUnsupported(t)
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, bytes.Repeat([]byte{1}, PageSize()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := Mappings()
+	m, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Data()[0] != 1 {
+		t.Fatal("bad mapping")
+	}
+	m = nil
+	_ = m
+	// The last reference is gone: the collector must eventually run the
+	// finalizer and return the registry to its prior state.
+	deadline := time.Now().Add(10 * time.Second)
+	for Mappings() != before {
+		if time.Now().After(deadline) {
+			t.Fatalf("mapping not finalized: Mappings=%d want %d", Mappings(), before)
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

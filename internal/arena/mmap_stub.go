@@ -1,0 +1,13 @@
+//go:build !linux && !darwin
+
+package arena
+
+import "os"
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, length int) ([]byte, error) {
+	return nil, ErrUnsupported
+}
+
+func munmap(data []byte) error { return nil }

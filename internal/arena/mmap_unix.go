@@ -1,0 +1,21 @@
+//go:build linux || darwin
+
+package arena
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFile maps length bytes of f privately: PROT_READ|PROT_WRITE with
+// MAP_PRIVATE gives readers the file's pages out of the page cache and
+// writers a copy-on-write private page on first store, which is what lets
+// recovery replay patch label slices in place without a writable fd.
+func mmapFile(f *os.File, length int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, length,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

@@ -23,8 +23,21 @@ import (
 const codecMagic = "DHL1"
 
 // WriteTo serialises the directed labelling (landmarks, highway, both label
-// sets) to w.
+// sets) to w. Below hcl.V2SaveThreshold total entries it writes the DHL1
+// layout; at or above it the mappable DHL2 layout, whose u64 offsets are
+// the only representation past the u32 ceiling.
 func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	var total uint64
+	for _, l := range idx.Lf {
+		total += uint64(len(l))
+	}
+	for _, l := range idx.Lb {
+		total += uint64(len(l))
+	}
+	if total >= hcl.V2SaveThreshold {
+		n, _, err := idx.WriteToMappable(w, 0)
+		return n, err
+	}
 	cw := &hcl.CountingWriter{W: w}
 	bw := bufio.NewWriterSize(cw, 1<<16)
 	if _, err := bw.WriteString(codecMagic); err != nil {
@@ -76,7 +89,12 @@ func ReadIndex(r io.Reader, g *digraph.Digraph) (*Index, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("dhcl: reading index header: %w", err)
 	}
-	if string(magic) != codecMagic {
+	v2 := false
+	switch string(magic) {
+	case codecMagic:
+	case codecMagicV2:
+		v2 = true
+	default:
 		return nil, fmt.Errorf("dhcl: bad index magic %q", magic)
 	}
 	var nv, nr uint32
@@ -119,6 +137,19 @@ func ReadIndex(r io.Reader, g *digraph.Digraph) (*Index, error) {
 	}
 	for r, v := range idx.Landmarks {
 		idx.rankArr[v] = uint16(r)
+	}
+	if v2 {
+		arenaF, offF, err := hcl.ReadLabelBlockV2(br, nv, nr)
+		if err != nil {
+			return nil, fmt.Errorf("dhcl: forward %w", err)
+		}
+		arenaB, offB, err := hcl.ReadLabelBlockV2(br, nv, nr)
+		if err != nil {
+			return nil, fmt.Errorf("dhcl: backward %w", err)
+		}
+		idx.packedF = hcl.AttachArena64(idx.Lf, arenaF, offF)
+		idx.packedB = hcl.AttachArena64(idx.Lb, arenaB, offB)
+		return idx, nil
 	}
 	arenaF, offF, err := hcl.ReadLabelBlock(br, nv, nr)
 	if err != nil {

@@ -1,0 +1,139 @@
+package dhcl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/arena"
+	"repro/internal/digraph"
+	"repro/internal/graph"
+	"repro/internal/hcl"
+)
+
+// The v2 directed layout ("DHL2"): the same header as DHL1 followed by two
+// v2 label blocks (see the HCL3 description in internal/hcl), forward then
+// backward. Both entry areas are page-aligned so ReadIndexMapped can serve
+// them straight out of an mmap'd file.
+const codecMagicV2 = "DHL2"
+
+// WriteToMappable serialises the directed labelling in the DHL2 layout,
+// assuming the stream starts at absolute offset base of the destination
+// file. The returned spans name the two raw entry areas (forward,
+// backward).
+func (idx *Index) WriteToMappable(w io.Writer, base int64) (int64, []hcl.Span, error) {
+	cw := &hcl.CountingWriter{W: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	if _, err := bw.WriteString(codecMagicV2); err != nil {
+		return cw.N, nil, err
+	}
+	le := binary.LittleEndian
+	var u32 [4]byte
+	writeU32 := func(v uint32) error {
+		le.PutUint32(u32[:], v)
+		_, err := bw.Write(u32[:])
+		return err
+	}
+	if err := writeU32(uint32(len(idx.Lf))); err != nil {
+		return cw.N, nil, err
+	}
+	if err := writeU32(uint32(idx.k)); err != nil {
+		return cw.N, nil, err
+	}
+	for _, v := range idx.Landmarks {
+		if err := writeU32(v); err != nil {
+			return cw.N, nil, err
+		}
+	}
+	for _, d := range idx.hf {
+		if err := writeU32(uint32(d)); err != nil {
+			return cw.N, nil, err
+		}
+	}
+	k := int64(idx.k)
+	blockBase := base + int64(len(codecMagicV2)) + 4 + 4 + 4*k + 4*k*k
+	spanF, lenF, err := hcl.WriteLabelBlockV2(bw, idx.Lf, blockBase, hcl.PageAlign())
+	if err != nil {
+		return cw.N, nil, err
+	}
+	spanB, _, err := hcl.WriteLabelBlockV2(bw, idx.Lb, blockBase+lenF, hcl.PageAlign())
+	if err != nil {
+		return cw.N, nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.N, nil, err
+	}
+	return cw.N, []hcl.Span{spanF, spanB}, nil
+}
+
+// ReadIndexMapped attaches the DHL2 index stream at offset streamOff of
+// the mapping m to g, serving both entry arenas straight out of the
+// mapped bytes. Returns hcl.ErrNotMappable for other format versions or
+// an unmappable layout — callers fall back to ReadIndex.
+func ReadIndexMapped(m *arena.Mapping, streamOff int64, g *digraph.Digraph) (*Index, error) {
+	data := m.Data()
+	if streamOff < 0 || streamOff > int64(len(data)) {
+		return nil, fmt.Errorf("dhcl: stream offset %d out of range", streamOff)
+	}
+	data = data[streamOff:]
+	hdr := int64(len(codecMagicV2) + 4 + 4)
+	if int64(len(data)) < hdr {
+		return nil, fmt.Errorf("dhcl: mapped index header truncated")
+	}
+	if string(data[:len(codecMagicV2)]) != codecMagicV2 {
+		return nil, hcl.ErrNotMappable
+	}
+	le := binary.LittleEndian
+	nv := le.Uint32(data[4:])
+	nr := le.Uint32(data[8:])
+	if int(nv) != g.NumVertices() {
+		return nil, fmt.Errorf("dhcl: index has %d vertices, graph has %d", nv, g.NumVertices())
+	}
+	if nr == 0 || nr > 1<<16 {
+		return nil, fmt.Errorf("dhcl: implausible landmark count %d", nr)
+	}
+	need := hdr + 4*int64(nr) + 4*int64(nr)*int64(nr)
+	if int64(len(data)) < need {
+		return nil, fmt.Errorf("dhcl: mapped index header truncated")
+	}
+	landmarks := make([]uint32, nr)
+	for i := range landmarks {
+		landmarks[i] = le.Uint32(data[hdr+4*int64(i):])
+		if landmarks[i] >= nv {
+			return nil, fmt.Errorf("dhcl: landmark %d out of range", landmarks[i])
+		}
+	}
+	k := int(nr)
+	idx := &Index{
+		G:         g,
+		Landmarks: landmarks,
+		Lf:        make([]hcl.Label, nv),
+		Lb:        make([]hcl.Label, nv),
+		hf:        make([]graph.Dist, k*k),
+		k:         k,
+		rankArr:   make([]uint16, nv),
+	}
+	hwy := hdr + 4*int64(nr)
+	for i := range idx.hf {
+		idx.hf[i] = graph.Dist(le.Uint32(data[hwy+4*int64(i):]))
+	}
+	for i := range idx.rankArr {
+		idx.rankArr[i] = noRank
+	}
+	for r, v := range idx.Landmarks {
+		idx.rankArr[v] = uint16(r)
+	}
+	entF, offF, lenF, err := hcl.MapLabelBlock(data[need:], nv, nr)
+	if err != nil {
+		return nil, fmt.Errorf("dhcl: forward label block: %w", err)
+	}
+	entB, offB, _, err := hcl.MapLabelBlock(data[need+lenF:], nv, nr)
+	if err != nil {
+		return nil, fmt.Errorf("dhcl: backward label block: %w", err)
+	}
+	idx.packedF = hcl.AttachMapped(idx.Lf, entF, offF, m)
+	idx.packedB = hcl.AttachMapped(idx.Lb, entB, offB, m)
+	idx.mapRef = m
+	return idx, nil
+}

@@ -1,0 +1,110 @@
+package dhcl
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/hcl"
+)
+
+// TestCodecV2RoundTrip pins WriteTo's format pick and the DHL2 copy-in
+// load: above the threshold the stream is DHL2 and ReadIndex reproduces
+// the labelling exactly.
+func TestCodecV2RoundTrip(t *testing.T) {
+	old := hcl.V2SaveThreshold
+	hcl.V2SaveThreshold = 0
+	t.Cleanup(func() { hcl.V2SaveThreshold = old })
+
+	g := randomDigraph(150, 500, 47)
+	idx, err := Build(g, topLandmarks(g, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(buf.Bytes()[:4]); got != codecMagicV2 {
+		t.Fatalf("WriteTo above threshold wrote %q, want %q", got, codecMagicV2)
+	}
+	loaded, err := ReadIndex(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.EqualLabels(idx); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.PackedForward() == nil || loaded.PackedBackward() == nil {
+		t.Fatal("loaded index must arrive packed in both directions")
+	}
+	for u := uint32(0); u < 150; u += 7 {
+		for v := uint32(0); v < 150; v += 11 {
+			if got, want := loaded.Query(u, v), idx.Query(u, v); got != want {
+				t.Fatalf("loaded Query(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+// TestReadIndexMapped pins the zero-copy load: a DHL2 file served out of
+// an mmap answers exactly like the index it was saved from, in both
+// directions, and reports its mapping.
+func TestReadIndexMapped(t *testing.T) {
+	if !arena.Supported() {
+		t.Skip("mmap not supported")
+	}
+	g := randomDigraph(200, 700, 49)
+	idx, err := Build(g, topLandmarks(g, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, _, err := idx.WriteToMappable(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "labels.dhl2")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := arena.MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := ReadIndexMapped(m, 0, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.EqualLabels(idx); err != nil {
+		t.Fatal(err)
+	}
+	if got := mapped.MappedBytes(); got != m.Len() {
+		t.Fatalf("MappedBytes = %d, want %d", got, m.Len())
+	}
+	for u := uint32(0); u < 200; u += 13 {
+		for v := uint32(0); v < 200; v += 17 {
+			if got, want := mapped.Query(u, v), idx.Query(u, v); got != want {
+				t.Fatalf("mapped Query(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+	// A DHL1 stream refuses the mapped path (callers fall back).
+	var v1 bytes.Buffer
+	if _, err := idx.WriteTo(&v1); err != nil {
+		t.Fatal(err)
+	}
+	p1 := filepath.Join(t.TempDir(), "labels.dhl1")
+	if err := os.WriteFile(p1, v1.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := arena.MapFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m1.Close()
+	if _, err := ReadIndexMapped(m1, 0, g); err != hcl.ErrNotMappable {
+		t.Fatalf("DHL1 mapped load: got %v, want ErrNotMappable", err)
+	}
+}

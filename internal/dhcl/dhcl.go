@@ -10,6 +10,7 @@ package dhcl
 import (
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/bfs"
 	"repro/internal/bitset"
 	"repro/internal/digraph"
@@ -49,6 +50,11 @@ type Index struct {
 	// hcl.Pack). Pack clears it so ancestor chains are not pinned.
 	packedF, packedB *hcl.Packed
 	parent           *Index
+
+	// mapRef pins the mmap'd checkpoint this index was attached to by
+	// ReadIndexMapped, if any; forks inherit it because their label slices
+	// may alias the mapped bytes indefinitely (see hcl.Index.mapRef).
+	mapRef *arena.Mapping
 
 	scratch bfs.SpacePool
 
@@ -357,6 +363,23 @@ func (idx *Index) PackedForward() *hcl.Packed { return idx.packedF }
 // PackedBackward returns the backward packed form; see PackedForward.
 func (idx *Index) PackedBackward() *hcl.Packed { return idx.packedB }
 
+// MappedBytes returns the size of the mmap'd checkpoint region this index
+// still holds alive (both directions share one mapping), or 0 for a fully
+// heap-resident index.
+func (idx *Index) MappedBytes() int64 {
+	if idx.mapRef != nil {
+		return idx.mapRef.Len()
+	}
+	var n int64
+	if idx.packedF != nil {
+		n = idx.packedF.MappedBytes()
+	}
+	if n == 0 && idx.packedB != nil {
+		n = idx.packedB.MappedBytes()
+	}
+	return n
+}
+
 // Fork returns a copy-on-write copy of the index bound to g, which must be
 // a fork of idx.G taken at the same moment. Label-table headers, the rank
 // array and the small highway matrix are copied (O(|V| + k²)), but every
@@ -373,6 +396,7 @@ func (idx *Index) Fork(g *digraph.Digraph) *Index {
 		rankArr:   append([]uint16(nil), idx.rankArr...),
 		sharedF:   bitset.NewAllSet(len(idx.Lf)),
 		sharedB:   bitset.NewAllSet(len(idx.Lb)),
+		mapRef:    idx.mapRef, // label slices may still alias the mapping
 		// The fork mutates, so it starts unpacked; remembering the parent
 		// lets its Pack reuse whatever chunks the parent's arenas hold by
 		// the time the fork itself is frozen.

@@ -217,8 +217,20 @@ func attachArena(idx *Index, arena []Entry, off []uint32) {
 	idx.packed = AttachArena(idx.L, arena, off)
 }
 
-// WriteTo serialises the labelling (landmarks, highway, labels) to w.
+// WriteTo serialises the labelling (landmarks, highway, labels) to w. The
+// format is picked from the entry count: below V2SaveThreshold the HCL2
+// block (u32 offsets, compact 6-byte wire entries), at or above it the
+// HCL3 v2 block, whose u64 offsets are the only representation past the
+// u32 ceiling. ReadIndex accepts every version forever.
 func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	var total uint64
+	for _, l := range idx.L {
+		total += uint64(len(l))
+	}
+	if total >= V2SaveThreshold {
+		n, _, err := idx.WriteToMappable(w, 0)
+		return n, err
+	}
 	cw := &CountingWriter{W: w}
 	bw := bufio.NewWriterSize(cw, 1<<16)
 	if _, err := bw.WriteString(codecMagic); err != nil {
@@ -280,11 +292,13 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("hcl: reading index header: %w", err)
 	}
-	legacy := false
+	legacy, v2 := false, false
 	switch string(magic) {
 	case codecMagic:
 	case codecMagicV1:
 		legacy = true
+	case codecMagicV2:
+		v2 = true
 	default:
 		return nil, fmt.Errorf("hcl: bad index magic %q", magic)
 	}
@@ -319,6 +333,14 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 			return nil, err
 		}
 		idx.Pack()
+		return idx, nil
+	}
+	if v2 {
+		arena, off, err := ReadLabelBlockV2(br, nv, nr)
+		if err != nil {
+			return nil, fmt.Errorf("hcl: %w", err)
+		}
+		idx.packed = AttachArena64(idx.L, arena, off)
 		return idx, nil
 	}
 	arena, off, err := ReadLabelBlock(br, nv, nr)

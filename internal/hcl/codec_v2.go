@@ -1,0 +1,334 @@
+package hcl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// The v2 index layout ("HCL3"): the mappable big-labelling format.
+//
+// The stream header is identical to HCL2 (magic | u32 |V| | u32 |R| |
+// landmarks | highway) but the label block changes shape:
+//
+//	u64 total entries | u32 offPad | u32 entPad |
+//	offPad zero bytes | offsets u64×(|V|+1) |
+//	entPad zero bytes | entries 8B each (u16 rank | u16 zero | u32 dist)
+//
+// Three properties distinguish it from the HCL2 block:
+//
+//   - Offsets are u64, lifting the 2^32-entry ceiling WriteLabelBlock
+//     refuses at.
+//
+//   - Entries are stored in the in-memory layout of Entry (8 bytes with
+//     explicit rank padding, little-endian) instead of the 6-byte wire
+//     form, so on little-endian hosts a loaded file's entry area IS a
+//     valid []Entry and can be served straight out of an mmap.
+//
+//   - The explicit pads let a writer that knows its absolute position in
+//     the enclosing file align the offset table to 8 bytes and the entry
+//     area to a page boundary, which is what makes the in-place cast legal
+//     and keeps a mapped boot from faulting entry pages it never reads.
+//
+// The pads are self-describing, so a reader never needs to know the
+// writer's base offset; a mapped load simply checks the actual pointer
+// alignment it got and falls back to copy-in if the block landed askew.
+const codecMagicV2 = "HCL3"
+
+// V2SaveThreshold is the entry count at which WriteTo switches from the
+// HCL2 block (u32 offsets, 6-byte wire entries) to the v2 block. Past the
+// u32 offset ceiling only v2 can represent the labelling; below it HCL2
+// stays the default for its smaller wire size. A variable, not a
+// constant, so tests can exercise the v2 pick without building 2^32
+// entries.
+var V2SaveThreshold uint64 = 1 << 32
+
+// Span is an absolute byte range [Off, Off+Len) in the file a v2 stream
+// was written into: the raw entry arenas. A mapped load serves these
+// regions in place, and the v2 checkpoint CRC skips them so that boot
+// never faults them in.
+type Span struct{ Off, Len int64 }
+
+// blockV2HeaderLen is the fixed prefix of a v2 label block: u64 total +
+// u32 offPad + u32 entPad.
+const blockV2HeaderLen = 16
+
+// entryStride is the in-memory size of one Entry, the stride of the v2
+// entry area. Asserted against unsafe.Sizeof in mapped.go.
+const entryStride = 8
+
+// maxV2Pad bounds the declared pads of an untrusted v2 block: enough for
+// any page size in the wild, small enough to reject absurd skips.
+const maxV2Pad = 1 << 20
+
+// v2Geometry computes the layout of a v2 label block whose first byte
+// lands at absolute offset base: the two pad lengths, the absolute entry
+// offset and the total block length. align is the wanted alignment of the
+// entry area (a power of two ≥ entryStride).
+func v2Geometry(nv int, total uint64, base, align int64) (offPad, entPad, entOff, blockLen int64) {
+	offStart := base + blockV2HeaderLen
+	offPad = (8 - offStart%8) % 8
+	offEnd := offStart + offPad + 8*int64(nv+1)
+	entPad = (align - offEnd%align) % align
+	entOff = offEnd + entPad
+	blockLen = entOff + int64(total)*entryStride - base
+	return
+}
+
+// WriteLabelBlockV2 appends the v2 label block of labels to bw. base is
+// the absolute offset in the enclosing file at which the block's first
+// byte lands and align the wanted alignment of the entry area; a writer
+// that cannot know its base passes 0 and loses nothing but the mapped
+// fast path (readers fall back to copy-in on misalignment). It returns
+// the absolute span of the raw entry area and the total block length, so
+// multi-block writers (dhcl) can compute the next block's base.
+func WriteLabelBlockV2(bw *bufio.Writer, labels []Label, base, align int64) (Span, int64, error) {
+	le := binary.LittleEndian
+	var total uint64
+	for _, l := range labels {
+		total += uint64(len(l))
+	}
+	offPad, entPad, entOff, blockLen := v2Geometry(len(labels), total, base, align)
+	var hdr [blockV2HeaderLen]byte
+	le.PutUint64(hdr[0:], total)
+	le.PutUint32(hdr[8:], uint32(offPad))
+	le.PutUint32(hdr[12:], uint32(entPad))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return Span{}, 0, err
+	}
+	var zeros [8]byte
+	if _, err := bw.Write(zeros[:offPad]); err != nil {
+		return Span{}, 0, err
+	}
+	var buf [codecChunk * entryStride]byte
+	n := 0
+	flush := func() error {
+		if n == 0 {
+			return nil
+		}
+		_, err := bw.Write(buf[:n])
+		n = 0
+		return err
+	}
+	var off uint64
+	put64 := func(o uint64) error {
+		if n+8 > len(buf) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		le.PutUint64(buf[n:], o)
+		n += 8
+		return nil
+	}
+	for _, l := range labels {
+		if err := put64(off); err != nil {
+			return Span{}, 0, err
+		}
+		off += uint64(len(l))
+	}
+	if err := put64(off); err != nil {
+		return Span{}, 0, err
+	}
+	if err := flush(); err != nil {
+		return Span{}, 0, err
+	}
+	for pad := entPad; pad > 0; {
+		w := pad
+		if w > int64(len(zeros)) {
+			w = int64(len(zeros))
+		}
+		if _, err := bw.Write(zeros[:w]); err != nil {
+			return Span{}, 0, err
+		}
+		pad -= w
+	}
+	for _, l := range labels {
+		for _, e := range l {
+			if n+entryStride > len(buf) {
+				if err := flush(); err != nil {
+					return Span{}, 0, err
+				}
+			}
+			le.PutUint16(buf[n:], e.Rank)
+			le.PutUint16(buf[n+2:], 0)
+			le.PutUint32(buf[n+4:], uint32(e.D))
+			n += entryStride
+		}
+	}
+	if err := flush(); err != nil {
+		return Span{}, 0, err
+	}
+	return Span{Off: entOff, Len: int64(total) * entryStride}, blockLen, nil
+}
+
+// ReadLabelBlockV2 reads a v2 label block (copy-in path), validating
+// exactly as ReadLabelBlock does for v1: monotonic offsets, per-vertex
+// spans at most nr, entries sorted strictly by rank. Returns the entry
+// arena and the u64 CSR offset index (length nv+1).
+func ReadLabelBlockV2(br *bufio.Reader, nv, nr uint32) ([]Entry, []uint64, error) {
+	le := binary.LittleEndian
+	var hdr [blockV2HeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("reading v2 label block header: %w", err)
+	}
+	total := le.Uint64(hdr[0:])
+	offPad := int64(le.Uint32(hdr[8:]))
+	entPad := int64(le.Uint32(hdr[12:]))
+	if total > uint64(nv)*uint64(nr) {
+		return nil, nil, fmt.Errorf("label block claims %d entries for %d vertices × %d landmarks", total, nv, nr)
+	}
+	if offPad > maxV2Pad || entPad > maxV2Pad {
+		return nil, nil, fmt.Errorf("label block pads implausible (%d, %d)", offPad, entPad)
+	}
+	if _, err := io.CopyN(io.Discard, br, offPad); err != nil {
+		return nil, nil, fmt.Errorf("skipping offset pad: %w", err)
+	}
+	off := make([]uint64, nv+1)
+	raw := make([]byte, len(off)*8)
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return nil, nil, fmt.Errorf("reading label offsets: %w", err)
+	}
+	var prev uint64
+	for i := range off {
+		off[i] = le.Uint64(raw[i*8:])
+		if off[i] < prev || off[i] > total || (i == 0 && off[0] != 0) {
+			return nil, nil, fmt.Errorf("label offsets not monotonic at vertex %d", i)
+		}
+		if c := off[i] - prev; i > 0 && c > uint64(nr) {
+			return nil, nil, fmt.Errorf("label %d has %d entries for %d landmarks", i-1, c, nr)
+		}
+		prev = off[i]
+	}
+	if off[nv] != total {
+		return nil, nil, fmt.Errorf("label offsets cover %d of %d entries", off[nv], total)
+	}
+	if _, err := io.CopyN(io.Discard, br, entPad); err != nil {
+		return nil, nil, fmt.Errorf("skipping entry pad: %w", err)
+	}
+	arena := make([]Entry, total)
+	var block [codecChunk * entryStride]byte
+	for done := uint64(0); done < total; {
+		want := total - done
+		if want > codecChunk {
+			want = codecChunk
+		}
+		b := block[:want*entryStride]
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, nil, fmt.Errorf("reading label arena at entry %d: %w", done, err)
+		}
+		for i := uint64(0); i < want; i++ {
+			arena[done+i] = Entry{
+				Rank: le.Uint16(b[i*entryStride:]),
+				D:    graph.Dist(le.Uint32(b[i*entryStride+4:])),
+			}
+		}
+		done += want
+	}
+	for v := uint32(0); v < nv; v++ {
+		var prev int32 = -1
+		for _, e := range arena[off[v]:off[v+1]] {
+			if int32(e.Rank) <= prev || uint32(e.Rank) >= nr {
+				return nil, nil, fmt.Errorf("label %d entries unsorted or out of range", v)
+			}
+			prev = int32(e.Rank)
+		}
+	}
+	return arena, off, nil
+}
+
+// AttachArena64 is AttachArena for the u64 offset index of a v2 block:
+// labels[v] becomes a capacity-clamped sub-slice of the arena and the
+// returned Packed indexes the arena directly.
+func AttachArena64(labels []Label, arena []Entry, off []uint64) *Packed {
+	for v := range labels {
+		if off[v] == off[v+1] {
+			labels[v] = nil
+			continue
+		}
+		labels[v] = arena[off[v]:off[v+1]:off[v+1]]
+	}
+	return packFromArena64(arena, off)
+}
+
+// packFromArena64 builds the packed read form over an arena with a u64
+// offset index. Per-chunk offsets rebase to u32, which always fits: a
+// chunk covers at most packChunkLen vertices of at most 2^16 entries each.
+func packFromArena64(arena []Entry, off []uint64) *Packed {
+	n := len(off) - 1
+	p := &Packed{
+		chunks:  make([]packChunk, (n+packChunkLen-1)/packChunkLen),
+		n:       n,
+		entries: int64(len(arena)),
+	}
+	for ci := range p.chunks {
+		lo := ci * packChunkLen
+		hi := min(lo+packChunkLen, n)
+		base := off[lo]
+		c := packChunk{
+			entries: arena[base:off[hi]:off[hi]],
+			off:     make([]uint32, hi-lo+1),
+		}
+		for i := range c.off {
+			c.off[i] = uint32(off[lo+i] - base)
+		}
+		p.chunks[ci] = c
+	}
+	return p
+}
+
+// writeToV2 serialises the labelling in the HCL3 layout. base is the
+// absolute offset of the stream's first byte in the enclosing file; the
+// entry arena is padded to page alignment relative to it. Returns bytes
+// written and the absolute entry-arena spans.
+func (idx *Index) writeToV2(w io.Writer, base, align int64) (int64, []Span, error) {
+	cw := &CountingWriter{W: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	if _, err := bw.WriteString(codecMagicV2); err != nil {
+		return cw.N, nil, err
+	}
+	le := binary.LittleEndian
+	var u32 [4]byte
+	writeU32 := func(v uint32) error {
+		le.PutUint32(u32[:], v)
+		_, err := bw.Write(u32[:])
+		return err
+	}
+	if err := writeU32(uint32(len(idx.L))); err != nil {
+		return cw.N, nil, err
+	}
+	if err := writeU32(uint32(len(idx.Landmarks))); err != nil {
+		return cw.N, nil, err
+	}
+	for _, v := range idx.Landmarks {
+		if err := writeU32(v); err != nil {
+			return cw.N, nil, err
+		}
+	}
+	for _, d := range idx.H.mat {
+		if err := writeU32(uint32(d)); err != nil {
+			return cw.N, nil, err
+		}
+	}
+	nr := int64(len(idx.Landmarks))
+	blockBase := base + int64(len(codecMagicV2)) + 4 + 4 + 4*nr + 4*nr*nr
+	span, _, err := WriteLabelBlockV2(bw, idx.L, blockBase, align)
+	if err != nil {
+		return cw.N, nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.N, nil, err
+	}
+	return cw.N, []Span{span}, nil
+}
+
+// WriteToMappable serialises the labelling in the HCL3 layout with the
+// entry arena page-aligned, assuming the stream starts at absolute offset
+// base of the destination file (0 for a file of its own). The returned
+// spans name the raw entry regions a mapped load will serve in place.
+func (idx *Index) WriteToMappable(w io.Writer, base int64) (int64, []Span, error) {
+	return idx.writeToV2(w, base, int64(pageAlign()))
+}

@@ -1,0 +1,321 @@
+package hcl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/landmark"
+	"repro/internal/testutil"
+)
+
+// forceV2 makes WriteTo pick the v2 block regardless of entry count for
+// the duration of the test (2^32 entries cannot be built in a test).
+func forceV2(t *testing.T) {
+	t.Helper()
+	old := V2SaveThreshold
+	V2SaveThreshold = 0
+	t.Cleanup(func() { V2SaveThreshold = old })
+}
+
+func TestCodecV2RoundTrip(t *testing.T) {
+	g := testutil.RandomGraph(120, 220, 5)
+	idx, err := Build(g, landmark.ByDegree(g, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forceV2(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if got := string(buf.Bytes()[:4]); got != codecMagicV2 {
+		t.Fatalf("WriteTo above threshold wrote %q, want %q", got, codecMagicV2)
+	}
+	back, err := ReadIndex(&buf, g)
+	if err != nil {
+		t.Fatalf("ReadIndex: %v", err)
+	}
+	if err := idx.EqualLabels(back); err != nil {
+		t.Fatal(err)
+	}
+	for u := uint32(0); u < 20; u++ {
+		if got, want := back.Query(u, 100), idx.Query(u, 100); got != want {
+			t.Fatalf("Query(%d,100): got %d, want %d", u, got, want)
+		}
+	}
+}
+
+func TestCodecFormatPick(t *testing.T) {
+	g := testutil.RandomGraph(60, 100, 3)
+	idx, err := Build(g, landmark.ByDegree(g, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(buf.Bytes()[:4]); got != codecMagic {
+		t.Fatalf("small labelling wrote %q, want %q", got, codecMagic)
+	}
+}
+
+func TestWriteToMappableSpans(t *testing.T) {
+	g := testutil.RandomGraph(200, 400, 7)
+	idx, err := Build(g, landmark.ByDegree(g, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, spans, err := idx.WriteToMappable(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Off%int64(pageAlign()) != 0 {
+		t.Fatalf("entry span at %d not page-aligned (page %d)", sp.Off, pageAlign())
+	}
+	if sp.Len != idx.NumEntries()*entryStride {
+		t.Fatalf("span length %d, want %d entries × %d", sp.Len, idx.NumEntries(), entryStride)
+	}
+	if sp.Off+sp.Len > n {
+		t.Fatalf("span [%d,+%d) past stream end %d", sp.Off, sp.Len, n)
+	}
+	// The span really is the raw native entry area: decode the first
+	// non-empty label straight out of it.
+	le := binary.LittleEndian
+	for v := uint32(0); int(v) < len(idx.L); v++ {
+		if len(idx.L[v]) == 0 {
+			continue
+		}
+		var at int64
+		for u := uint32(0); u < v; u++ {
+			at += int64(len(idx.L[u]))
+		}
+		raw := buf.Bytes()[sp.Off+at*entryStride:]
+		if r := le.Uint16(raw); r != idx.L[v][0].Rank {
+			t.Fatalf("span entry rank %d, want %d", r, idx.L[v][0].Rank)
+		}
+		if d := le.Uint32(raw[4:]); d != uint32(idx.L[v][0].D) {
+			t.Fatalf("span entry dist %d, want %d", d, idx.L[v][0].D)
+		}
+		break
+	}
+}
+
+// writeMappableFile serialises idx to a file in the mappable layout.
+func writeMappableFile(t *testing.T, idx *Index) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, _, err := idx.WriteToMappable(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "labels.v2")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadIndexMapped(t *testing.T) {
+	if !arena.Supported() {
+		t.Skip("mmap not supported")
+	}
+	g := testutil.RandomGraph(300, 700, 11)
+	idx, err := Build(g, landmark.ByDegree(g, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := arena.MapFile(writeMappableFile(t, idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIndexMapped(m, 0, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.EqualLabels(back); err != nil {
+		t.Fatal(err)
+	}
+	if back.PackedLabels() == nil {
+		t.Fatal("mapped index not packed")
+	}
+	if got := back.MappedBytes(); got != m.Len() {
+		t.Fatalf("MappedBytes = %d, want %d", got, m.Len())
+	}
+	if got := back.PackedLabels().MappedBytes(); got != m.Len() {
+		t.Fatalf("Packed.MappedBytes = %d, want %d", got, m.Len())
+	}
+	for u := uint32(0); u < 50; u++ {
+		for v := uint32(250); v < 300; v++ {
+			if got, want := back.Query(u, v), idx.Query(u, v); got != want {
+				t.Fatalf("Query(%d,%d): got %d, want %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestReadIndexMappedRejectsV1Stream(t *testing.T) {
+	if !arena.Supported() {
+		t.Skip("mmap not supported")
+	}
+	g := testutil.RandomGraph(40, 80, 2)
+	idx, err := Build(g, landmark.ByDegree(g, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil { // HCL2: not mappable
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "labels.v1")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := arena.MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := ReadIndexMapped(m, 0, g); err != ErrNotMappable {
+		t.Fatalf("got %v, want ErrNotMappable", err)
+	}
+}
+
+// TestMappedForkRepack pins the mixed heap/mapped chunk ownership: a fork
+// of a mapped index touches one chunk, repacks, and the delta pack must
+// reuse the untouched mapped chunk while rebuilding the touched one on
+// the heap — and still answer exactly like a copy-in index given the same
+// churn.
+func TestMappedForkRepack(t *testing.T) {
+	if !arena.Supported() {
+		t.Skip("mmap not supported")
+	}
+	// Two packed chunks: vertices [0,4096) and [4096,5000).
+	g := testutil.RandomGraph(5000, 9000, 3)
+	idx, err := Build(g, landmark.ByDegree(g, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeMappableFile(t, idx)
+	m, err := arena.MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := ReadIndexMapped(m, 0, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyIn, err := func() (*Index, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ReadIndex(f, g)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	churn := func(x *Index) *Index {
+		f := x.Fork(x.G)
+		// Touch labels only in the second chunk.
+		f.SetEntry(4500, 0, 3)
+		f.SetEntry(4600, 1, 5)
+		f.RemoveEntry(4700, 0)
+		f.Pack()
+		return f
+	}
+	fm, fc := churn(mapped), churn(copyIn)
+	if err := fm.EqualLabels(fc); err != nil {
+		t.Fatal(err)
+	}
+	// The untouched chunk was reused from the mapped parent, so the fork's
+	// packed form still pins the mapping.
+	if got := fm.PackedLabels().MappedBytes(); got != m.Len() {
+		t.Fatalf("fork Packed.MappedBytes = %d, want %d (chunk 0 should still be mapped)", got, m.Len())
+	}
+	if fc.PackedLabels().MappedBytes() != 0 {
+		t.Fatal("copy-in fork claims mapped bytes")
+	}
+	for u := uint32(4400); u < 4800; u += 7 {
+		if got, want := fm.Query(0, u), fc.Query(0, u); got != want {
+			t.Fatalf("Query(0,%d): mapped fork %d, copy-in fork %d", u, got, want)
+		}
+	}
+}
+
+func TestV2CodecCorruptionRejected(t *testing.T) {
+	g := testutil.RandomGraph(80, 160, 9)
+	idx, err := Build(g, landmark.ByDegree(g, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forceV2(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	if _, err := ReadIndex(bytes.NewReader(pristine), g); err != nil {
+		t.Fatalf("pristine stream must load: %v", err)
+	}
+	nr := int64(len(idx.Landmarks))
+	blockOff := 4 + 4 + 4 + 4*nr + 4*nr*nr // header before the label block
+	le := binary.LittleEndian
+	corrupt := map[string]func(b []byte) []byte{
+		"total beyond nv*nr": func(b []byte) []byte {
+			le.PutUint64(b[blockOff:], 1<<40)
+			return b
+		},
+		"implausible pads": func(b []byte) []byte {
+			le.PutUint32(b[blockOff+8:], 1<<24)
+			return b
+		},
+		"offsets not monotonic": func(b []byte) []byte {
+			// Second offset slot, pushed past total.
+			offStart := blockOff + blockV2HeaderLen + int64(le.Uint32(b[blockOff+8:]))
+			le.PutUint64(b[offStart+8:], 1<<50)
+			return b
+		},
+		"truncated arena": func(b []byte) []byte {
+			return b[:len(b)-5]
+		},
+		"unsorted entries": func(b []byte) []byte {
+			// Duplicate the rank of the second entry of the first label
+			// with ≥2 entries: ranks must strictly increase.
+			offStart := blockOff + blockV2HeaderLen + int64(le.Uint32(b[blockOff+8:]))
+			entPad := int64(le.Uint32(b[blockOff+12:]))
+			entStart := offStart + 8*int64(len(idx.L)+1) + entPad
+			for v := 0; v < len(idx.L); v++ {
+				if len(idx.L[v]) >= 2 {
+					var at int64
+					for u := 0; u < v; u++ {
+						at += int64(len(idx.L[u]))
+					}
+					le.PutUint16(b[entStart+(at+1)*entryStride:], idx.L[v][0].Rank)
+					return b
+				}
+			}
+			t.Fatal("no label with two entries in test graph")
+			return b
+		},
+	}
+	for name, mut := range corrupt {
+		data := mut(append([]byte(nil), pristine...))
+		if _, err := ReadIndex(bytes.NewReader(data), g); err == nil {
+			t.Errorf("%s: corrupted v2 stream loaded without error", name)
+		}
+	}
+}

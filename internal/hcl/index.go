@@ -1,6 +1,7 @@
 package hcl
 
 import (
+	"repro/internal/arena"
 	"repro/internal/bfs"
 	"repro/internal/bitset"
 	"repro/internal/graph"
@@ -38,6 +39,14 @@ type Index struct {
 	// chains are not pinned.
 	packed *Packed
 	parent *Index
+
+	// mapRef pins the mmap'd checkpoint this index was attached to by
+	// ReadIndexMapped, if any. Label slices and packed chunks may alias the
+	// mapped bytes for the rest of the index's life (copy-on-write repairs
+	// migrate labels to the heap one at a time, never all at once), so
+	// every fork inherits the reference and the region is unmapped only
+	// when the last descendant snapshot is collected.
+	mapRef *arena.Mapping
 
 	scratch bfs.SpacePool
 }
@@ -152,6 +161,19 @@ func (idx *Index) Pack() {
 // index has unpublished label writes (or was never packed).
 func (idx *Index) PackedLabels() *Packed { return idx.packed }
 
+// MappedBytes returns the size of the mmap'd checkpoint region this index
+// still holds alive, or 0 for a fully heap-resident index — the mapped
+// half of the Stats PackedBytes/MappedBytes pair.
+func (idx *Index) MappedBytes() int64 {
+	if idx.mapRef != nil {
+		return idx.mapRef.Len()
+	}
+	if idx.packed != nil {
+		return idx.packed.MappedBytes()
+	}
+	return 0
+}
+
 // label returns the entry span of vertex v from the packed arena when the
 // index is packed, else from the mutable label table. The query path reads
 // labels only through this helper, so both representations answer
@@ -204,6 +226,8 @@ func (idx *Index) Fork(g *graph.Graph) *Index {
 		rankOf:    idx.rankOf, // immutable after construction
 		rankArr:   append([]uint16(nil), idx.rankArr...),
 		shared:    bitset.NewAllSet(len(idx.L)),
+		mapRef:    idx.mapRef, // label slices may still alias the mapping
+
 		// The fork mutates, so it starts unpacked; remembering the parent
 		// lets its Pack reuse whatever chunks the parent's arena holds by
 		// the time the fork itself is frozen.

@@ -1,6 +1,7 @@
 package hcl
 
 import (
+	"repro/internal/arena"
 	"repro/internal/bitset"
 	"repro/internal/graph"
 )
@@ -53,6 +54,12 @@ type Packed struct {
 	chunks  []packChunk
 	n       int   // vertices covered
 	entries int64 // total entries across all chunks
+
+	// ref pins the mmap'd checkpoint region some or all chunks alias (see
+	// AttachMapped): while this Packed — or any later Packed that reused
+	// one of its chunks — is reachable, the mapping stays alive. Nil for a
+	// fully heap-resident arena.
+	ref *arena.Mapping
 }
 
 // NumVertices returns the number of vertices the packed form covers.
@@ -70,6 +77,18 @@ func (p *Packed) ArenaBytes() int64 {
 		off += int64(len(p.chunks[i].off))
 	}
 	return p.entries*EntryBytes + off*4
+}
+
+// MappedBytes returns the size of the mmap'd region backing this arena,
+// or 0 when it is fully heap-resident. The granularity is the whole
+// mapping: chunks migrate to the heap one delta repack at a time, but the
+// mapping is a single region that stays until the last aliasing snapshot
+// drops.
+func (p *Packed) MappedBytes() int64 {
+	if p.ref == nil {
+		return 0
+	}
+	return p.ref.Len()
 }
 
 // Label returns the entry span of vertex v — the packed equivalent of
@@ -109,10 +128,15 @@ func Pack(labels []Label, prev *Packed, shared *bitset.Set) *Packed {
 		hi := min(lo+packChunkLen, n)
 		if prev != nil && shared != nil && hi <= prev.n && shared.AllSet(lo, hi) {
 			// Every label in [lo,hi) is still the parent's: the parent's
-			// chunk is byte-identical, share it.
+			// chunk is byte-identical, share it. A reused chunk may alias
+			// the parent's mapped checkpoint region, so the child inherits
+			// the mapping reference — touched chunks were rebuilt onto the
+			// heap above/below, which is the chunk-at-a-time migration off
+			// the mapping.
 			c := prev.chunks[ci]
 			p.chunks[ci] = c
 			p.entries += int64(c.off[len(c.off)-1])
+			p.ref = prev.ref
 			continue
 		}
 		var cnt int

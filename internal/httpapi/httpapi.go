@@ -643,6 +643,10 @@ type healthResponse struct {
 	LagEpochs uint64 `json:"lag_epochs,omitempty"`
 	LagBytes  uint64 `json:"lag_bytes,omitempty"`
 	Leader    string `json:"leader,omitempty"`
+	// MappedBytes is the mmap'd checkpoint region the served labelling
+	// still draws entries from — non-zero means this process booted
+	// zero-copy and its labels page in on demand.
+	MappedBytes int64 `json:"mapped_bytes,omitempty"`
 }
 
 // healthz reports readiness: 200 once the serving store exists (for a
@@ -658,6 +662,7 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 		resp.Leader = rs.Leader
 		if st := s.replica.Store(); st != nil {
 			resp.Epoch = st.Epoch()
+			resp.MappedBytes = st.Stats().MappedBytes
 		}
 		if !rs.Ready {
 			resp.Status = "bootstrapping"
@@ -666,7 +671,9 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		resp.Epoch = s.store.Epoch()
-		if rst := s.store.Stats().Replication; rst != nil {
+		st := s.store.Stats()
+		resp.MappedBytes = st.MappedBytes
+		if rst := st.Replication; rst != nil {
 			resp.Role = rst.Role
 			resp.LagEpochs = rst.LagEpochs
 		}

@@ -50,6 +50,8 @@ import (
 	"log"
 	"net"
 	"time"
+
+	"repro/internal/wal"
 )
 
 // Frame types. Values are part of the wire protocol.
@@ -88,6 +90,12 @@ type Options struct {
 	// Logf receives connection lifecycle and failure messages
 	// (default log.Printf).
 	Logf func(format string, args ...any)
+	// Mmap selects how the follower attaches a shipped checkpoint image:
+	// under wal.MapAuto (the zero value) and wal.MapOn the image is
+	// spilled to an unlinked temp file and the labels served out of an
+	// mmap of it, so bootstrap does not hold a heap copy of the entries;
+	// wal.MapOff decodes to the heap. Leader side ignores it.
+	Mmap wal.MapMode
 }
 
 func (o Options) withDefaults() Options {

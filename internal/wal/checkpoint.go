@@ -124,18 +124,27 @@ func writeCheckpoint(dir string, epoch uint64, src checkpointable) (string, erro
 	g := src.Graph()
 	le := binary.LittleEndian
 	buf := make([]byte, 0, len(ckptMagic)+4*8+8*int(g.NumEdges())+4)
-	buf = append(buf, ckptMagic...)
-	buf = le.AppendUint64(buf, epoch)
-	buf = le.AppendUint64(buf, uint64(g.NumVertices()))
-	buf = le.AppendUint64(buf, 8+8*g.NumEdges()) // graph section length
-	buf = appendGraphSection(buf, g)
-	lenAt := len(buf) // labelling length, patched after the stream
-	buf = le.AppendUint64(buf, 0)
-	if err := src.Save(sliceWriter{&buf}); err != nil {
-		return "", fmt.Errorf("wal: checkpoint labelling: %w", err)
+	if ms, ok := src.(dynhl.MappableSaver); ok {
+		// Oracles that can save mappably get the v2 layout so a later
+		// recovery can serve the labels straight out of an mmap.
+		var err error
+		if buf, err = appendCheckpointV2(buf, epoch, src, ms); err != nil {
+			return "", err
+		}
+	} else {
+		buf = append(buf, ckptMagic...)
+		buf = le.AppendUint64(buf, epoch)
+		buf = le.AppendUint64(buf, uint64(g.NumVertices()))
+		buf = le.AppendUint64(buf, 8+8*g.NumEdges()) // graph section length
+		buf = appendGraphSection(buf, g)
+		lenAt := len(buf) // labelling length, patched after the stream
+		buf = le.AppendUint64(buf, 0)
+		if err := src.Save(sliceWriter{&buf}); err != nil {
+			return "", fmt.Errorf("wal: checkpoint labelling: %w", err)
+		}
+		le.PutUint64(buf[lenAt:], uint64(len(buf)-lenAt-8))
+		buf = le.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 	}
-	le.PutUint64(buf[lenAt:], uint64(len(buf)-lenAt-8))
-	buf = le.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 
 	final := ckptPath(dir, epoch)
 	tmp := final + ".tmp"
@@ -174,6 +183,12 @@ type ckptState struct {
 	vertices uint64
 	graph    []byte
 	labels   []byte
+	// labelsOff is where the labelling stream starts within the image,
+	// and v2 whether the image is the mappable HLWCKPT2 layout — together
+	// they let a mapped boot hand the labelling's file offset to
+	// dynhl.LoadIndexMapped instead of decoding st.labels.
+	labelsOff int64
+	v2        bool
 }
 
 // readCheckpoint validates and decodes one checkpoint file.
@@ -187,9 +202,13 @@ func readCheckpoint(path string) (ckptState, error) {
 
 // decodeCheckpoint validates and decodes a checkpoint image, whether read
 // from disk or received over a replication link; path only labels errors.
-// The returned state's sections alias data.
+// The returned state's sections alias data. Both format versions decode:
+// v1 ("HLWCKPT1") forever, v2 ("HLWCKPT2") since the mappable layout.
 func decodeCheckpoint(data []byte, path string) (ckptState, error) {
 	le := binary.LittleEndian
+	if len(data) >= len(ckptMagicV2) && string(data[:len(ckptMagicV2)]) == ckptMagicV2 {
+		return decodeCheckpointV2(data, path)
+	}
 	if len(data) < len(ckptMagic)+8*3+4 || string(data[:len(ckptMagic)]) != ckptMagic {
 		return ckptState{}, fmt.Errorf("wal: %s: not a checkpoint file", path)
 	}
@@ -231,6 +250,7 @@ func decodeCheckpoint(data []byte, path string) (ckptState, error) {
 		return ckptState{}, fmt.Errorf("wal: %s: labelling section length mismatch", path)
 	}
 	st.labels = body[off:]
+	st.labelsOff = int64(off)
 	return st, nil
 }
 

@@ -1,0 +1,151 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	dynhl "repro"
+)
+
+// The v2 checkpoint ("HLWCKPT2") is the v1 layout with a mappable
+// labelling and a CRC that skips the label entry arenas:
+//
+//	magic "HLWCKPT2" | u64 epoch | u64 vertices |
+//	u64 graphLen | graph section (as v1) |
+//	u64 labelsLen | labelling stream (dynhl.MappableSaver, v2 formats) |
+//	span table: (u64 off | u64 len) per span | u32 span count |
+//	u32 CRC32 (IEEE) of everything above except the span byte ranges
+//
+// The labelling is written with SaveMappable at its real file offset, so
+// its entry arenas land page-aligned in the file and a recovery can mmap
+// the checkpoint and serve queries straight from the page cache instead
+// of decoding the labels. The spans name exactly those entry arenas: the
+// CRC deliberately excludes them so validating a mapped checkpoint at
+// boot faults in only the header, graph and offset-table pages — a CRC
+// over the whole file would read every entry page and make the mapped
+// boot a copy-in load with extra steps. The entry bytes are therefore
+// not integrity-checked; they are node-local state written by us, and
+// the offset tables bounding every access are still fully covered.
+//
+// The trailer parses backwards (count, then the spans before it) so the
+// header needs no forward pointer and v1 readers' "length mismatch"
+// rejection stays meaningful. v1 checkpoints remain readable forever;
+// new checkpoints are written in v2 whenever the oracle can save
+// mappably.
+const ckptMagicV2 = "HLWCKPT2"
+
+// maxCkptSpans bounds the span table: no variant writes more than two
+// entry arenas (the directed one), so anything large is damage.
+const maxCkptSpans = 16
+
+// crcSkipSpans computes the IEEE CRC32 of data with the given byte
+// ranges excluded. Spans must be sorted, non-overlapping and in bounds —
+// validated by the caller (decode) or true by construction (write).
+func crcSkipSpans(data []byte, spans []dynhl.Span) uint32 {
+	var crc uint32
+	pos := int64(0)
+	for _, s := range spans {
+		crc = crc32.Update(crc, crc32.IEEETable, data[pos:s.Off])
+		pos = s.Off + s.Len
+	}
+	return crc32.Update(crc, crc32.IEEETable, data[pos:])
+}
+
+// appendCheckpointV2 assembles a v2 checkpoint image for epoch into buf.
+func appendCheckpointV2(buf []byte, epoch uint64, src checkpointable, ms dynhl.MappableSaver) ([]byte, error) {
+	g := src.Graph()
+	le := binary.LittleEndian
+	buf = append(buf, ckptMagicV2...)
+	buf = le.AppendUint64(buf, epoch)
+	buf = le.AppendUint64(buf, uint64(g.NumVertices()))
+	buf = le.AppendUint64(buf, 8+8*g.NumEdges())
+	buf = appendGraphSection(buf, g)
+	lenAt := len(buf)
+	buf = le.AppendUint64(buf, 0)
+	// The labelling's file offset is its buffer offset — the image is
+	// written from byte 0 of the file — so alignment computed against the
+	// buffer position holds on disk.
+	_, spans, err := ms.SaveMappable(sliceWriter{&buf}, int64(len(buf)))
+	if err != nil {
+		return nil, fmt.Errorf("wal: checkpoint labelling: %w", err)
+	}
+	le.PutUint64(buf[lenAt:], uint64(len(buf)-lenAt-8))
+	for _, s := range spans {
+		buf = le.AppendUint64(buf, uint64(s.Off))
+		buf = le.AppendUint64(buf, uint64(s.Len))
+	}
+	buf = le.AppendUint32(buf, uint32(len(spans)))
+	buf = le.AppendUint32(buf, crcSkipSpans(buf, spans))
+	return buf, nil
+}
+
+// decodeCheckpointV2 validates and decodes a v2 checkpoint image. Works
+// on mapped bytes: validation faults in everything except the label
+// entry arenas, which the CRC skips (see the format comment).
+func decodeCheckpointV2(data []byte, path string) (ckptState, error) {
+	le := binary.LittleEndian
+	headerMin := len(ckptMagicV2) + 8*3 + 8 // fixed header + labelsLen
+	if len(data) < headerMin+8 || string(data[:len(ckptMagicV2)]) != ckptMagicV2 {
+		return ckptState{}, fmt.Errorf("wal: %s: not a v2 checkpoint file", path)
+	}
+	nspans := le.Uint32(data[len(data)-8:])
+	if nspans > maxCkptSpans {
+		return ckptState{}, fmt.Errorf("wal: %s: implausible span count %d", path, nspans)
+	}
+	bodyLen := len(data) - 8 - 16*int(nspans)
+	if bodyLen < headerMin {
+		return ckptState{}, fmt.Errorf("wal: %s: truncated checkpoint", path)
+	}
+	spans := make([]dynhl.Span, nspans)
+	prevEnd := int64(0)
+	for i := range spans {
+		at := bodyLen + 16*i
+		off, slen := le.Uint64(data[at:]), le.Uint64(data[at+8:])
+		if off > uint64(bodyLen) || slen > uint64(bodyLen)-off || int64(off) < prevEnd {
+			return ckptState{}, fmt.Errorf("wal: %s: span table out of bounds", path)
+		}
+		spans[i] = dynhl.Span{Off: int64(off), Len: int64(slen)}
+		prevEnd = int64(off + slen)
+	}
+	if crcSkipSpans(data[:len(data)-4], spans) != le.Uint32(data[len(data)-4:]) {
+		return ckptState{}, fmt.Errorf("wal: %s: checksum mismatch", path)
+	}
+	body := data[:bodyLen]
+	off := len(ckptMagicV2)
+	readU64 := func() (uint64, error) {
+		if off+8 > len(body) {
+			return 0, fmt.Errorf("wal: %s: truncated checkpoint", path)
+		}
+		v := le.Uint64(body[off:])
+		off += 8
+		return v, nil
+	}
+	st := ckptState{v2: true}
+	var err error
+	if st.epoch, err = readU64(); err != nil {
+		return ckptState{}, err
+	}
+	if st.vertices, err = readU64(); err != nil {
+		return ckptState{}, err
+	}
+	glen, err := readU64()
+	if err != nil {
+		return ckptState{}, err
+	}
+	if uint64(len(body)-off) < glen {
+		return ckptState{}, fmt.Errorf("wal: %s: truncated graph section", path)
+	}
+	st.graph = body[off : off+int(glen)]
+	off += int(glen)
+	llen, err := readU64()
+	if err != nil {
+		return ckptState{}, err
+	}
+	if uint64(len(body)-off) != llen {
+		return ckptState{}, fmt.Errorf("wal: %s: labelling section length mismatch", path)
+	}
+	st.labels = body[off:]
+	st.labelsOff = int64(off)
+	return st, nil
+}

@@ -1,0 +1,494 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	dynhl "repro"
+	"repro/internal/arena"
+)
+
+// samplePairs returns a deterministic spread of query pairs over n vertices.
+func samplePairs(n int) []dynhl.Pair {
+	var pairs []dynhl.Pair
+	for u := 0; u < n; u += 3 {
+		for v := 0; v < n; v += 7 {
+			pairs = append(pairs, dynhl.Pair{U: uint32(u), V: uint32(v)})
+		}
+	}
+	return pairs
+}
+
+// newestCheckpoint returns the path of dir's newest checkpoint file.
+func newestCheckpoint(t *testing.T, dir string) string {
+	t.Helper()
+	cks, err := listCheckpoints(dir)
+	if err != nil || len(cks) == 0 {
+		t.Fatalf("listing checkpoints: %v (%d found)", err, len(cks))
+	}
+	return cks[0].path
+}
+
+// TestCheckpointV2RoundTrip pins the on-disk pick — checkpoints of the
+// undirected oracle are written in the mappable HLWCKPT2 layout — and the
+// copy-in decode of that layout.
+func TestCheckpointV2RoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	idx := buildIndex(t, 60, 1)
+	d, err := Create(dir, idx, quietOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	path := newestCheckpoint(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:len(ckptMagicV2)]) != ckptMagicV2 {
+		t.Fatalf("checkpoint magic %q, want %q", data[:len(ckptMagicV2)], ckptMagicV2)
+	}
+	st, err := decodeCheckpoint(data, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.v2 {
+		t.Fatal("decode did not flag the v2 layout")
+	}
+	back, err := rebuildIndex(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range samplePairs(60) {
+		if got, want := back.Query(p.U, p.V), idx.Query(p.U, p.V); got != want {
+			t.Fatalf("rebuilt Query(%d,%d) = %d, want %d", p.U, p.V, got, want)
+		}
+	}
+}
+
+// TestCheckpointV2CorruptionRejected pins the CRC's coverage: damage
+// anywhere outside the label entry arenas is caught; damage inside them
+// is not (the CRC skips the spans so a mapped boot never faults the entry
+// pages — checkpoints are node-local trusted state, see checkpoint_v2.go).
+func TestCheckpointV2CorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	idx := buildIndex(t, 60, 2)
+	d, err := Create(dir, idx, quietOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.abandon()
+
+	path := newestCheckpoint(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := decodeCheckpoint(data, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le := binary.LittleEndian
+	nspans := le.Uint32(data[len(data)-8:])
+	if nspans != 1 {
+		t.Fatalf("undirected checkpoint carries %d spans, want 1", nspans)
+	}
+	spanOff := int64(le.Uint64(data[len(data)-8-16:]))
+	spanLen := int64(le.Uint64(data[len(data)-8-8:]))
+	if spanLen == 0 {
+		t.Fatal("empty entry span")
+	}
+
+	flip := func(at int64) []byte {
+		c := append([]byte(nil), data...)
+		c[at] ^= 0xff
+		return c
+	}
+	// Headers, graph bytes, offsets: all caught.
+	for _, at := range []int64{int64(len(ckptMagicV2)) + 3, 40, st.labelsOff + 5, spanOff - 1} {
+		if _, err := decodeCheckpoint(flip(at), path); err == nil {
+			t.Fatalf("corruption at offset %d not detected", at)
+		}
+	}
+	// The span table itself is covered too (it sits after the spans).
+	if _, err := decodeCheckpoint(flip(int64(len(data))-8-16), path); err == nil {
+		t.Fatal("span-table corruption not detected")
+	}
+	// Inside the entry arena: deliberately not covered.
+	if _, err := decodeCheckpoint(flip(spanOff+spanLen/2), path); err != nil {
+		t.Fatalf("entry-arena bytes must be outside the CRC, got %v", err)
+	}
+	// An implausible span count is damage, not an allocation request.
+	huge := append([]byte(nil), data...)
+	le.PutUint32(huge[len(huge)-8:], maxCkptSpans+1)
+	if _, err := decodeCheckpoint(huge, path); err == nil {
+		t.Fatal("implausible span count accepted")
+	}
+}
+
+// writeV1Checkpoint writes a checkpoint in the legacy HLWCKPT1 layout —
+// what every release before the mappable format produced — so tests can
+// pin that v1 state remains recoverable forever.
+func writeV1Checkpoint(t *testing.T, dir string, epoch uint64, src checkpointable) {
+	t.Helper()
+	g := src.Graph()
+	le := binary.LittleEndian
+	buf := append([]byte(nil), ckptMagic...)
+	buf = le.AppendUint64(buf, epoch)
+	buf = le.AppendUint64(buf, uint64(g.NumVertices()))
+	buf = le.AppendUint64(buf, 8+8*g.NumEdges())
+	buf = appendGraphSection(buf, g)
+	lenAt := len(buf)
+	buf = le.AppendUint64(buf, 0)
+	if err := src.Save(sliceWriter{&buf}); err != nil {
+		t.Fatal(err)
+	}
+	le.PutUint64(buf[lenAt:], uint64(len(buf)-lenAt-8))
+	buf = le.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	if err := os.WriteFile(ckptPath(dir, epoch), buf, 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverV1Checkpoint pins backward compatibility: a data directory
+// whose newest checkpoint is the legacy v1 layout recovers under every
+// mmap mode — the mapped boot quietly falls back to the copy-in load.
+func TestRecoverV1Checkpoint(t *testing.T) {
+	idx := buildIndex(t, 50, 3)
+	for _, mode := range []MapMode{MapAuto, MapOn, MapOff} {
+		dir := t.TempDir()
+		if err := os.MkdirAll(dir, 0o777); err != nil {
+			t.Fatal(err)
+		}
+		writeV1Checkpoint(t, dir, 0, idx)
+		opts := quietOpts(t)
+		opts.Mmap = mode
+		d, err := Recover(dir, opts)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		st := d.Store().Stats()
+		if st.MappedBytes != 0 {
+			t.Fatalf("mode %d: v1 recovery reports MappedBytes=%d, want 0", mode, st.MappedBytes)
+		}
+		for _, p := range samplePairs(50) {
+			if got, want := d.Store().Query(p.U, p.V), idx.Query(p.U, p.V); got != want {
+				t.Fatalf("mode %d: Query(%d,%d) = %d, want %d", mode, p.U, p.V, got, want)
+			}
+		}
+		d.Close()
+	}
+}
+
+// TestRecoverMappedMatchesCopyIn is the recovery differential: the same
+// data directory — checkpoint plus a live log tail from a simulated
+// crash — recovered mapped and copy-in must agree on the epoch, every
+// sampled distance, and the byte-exact serialised labelling.
+func TestRecoverMappedMatchesCopyIn(t *testing.T) {
+	if !arena.Supported() {
+		t.Skip("mmap not supported")
+	}
+	dir := t.TempDir()
+	idx := buildIndex(t, 80, 4)
+	d, err := Create(dir, idx, quietOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := d.Store()
+	rng := rand.New(rand.NewSource(4))
+	mirror := store.Unwrap().(*dynhl.Index).Graph().Fork()
+	for i := 0; i < 6; i++ {
+		if _, err := store.Apply(randomOps(rng, mirror, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.abandon() // crash: recovery must replay the tail onto the mapped boot
+
+	dirCopy := t.TempDir()
+	copyTree(t, dir, dirCopy)
+
+	mappedOpts := quietOpts(t)
+	mappedOpts.Mmap = MapOn
+	dm, err := Recover(dir, mappedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dm.Close()
+	copyOpts := quietOpts(t)
+	copyOpts.Mmap = MapOff
+	dc, err := Recover(dirCopy, copyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc.Close()
+
+	if got, want := dm.Store().Epoch(), dc.Store().Epoch(); got != want {
+		t.Fatalf("mapped recovery at epoch %d, copy-in at %d", got, want)
+	}
+	if mb := dm.Store().Stats().MappedBytes; mb == 0 {
+		t.Fatal("mapped recovery reports MappedBytes=0")
+	}
+	if mb := dc.Store().Stats().MappedBytes; mb != 0 {
+		t.Fatalf("copy-in recovery reports MappedBytes=%d, want 0", mb)
+	}
+	n := dm.Store().NumVertices()
+	for _, p := range samplePairs(n) {
+		if got, want := dm.Store().Query(p.U, p.V), dc.Store().Query(p.U, p.V); got != want {
+			t.Fatalf("Query(%d,%d): mapped %d, copy-in %d", p.U, p.V, got, want)
+		}
+	}
+	var bm, bc bytes.Buffer
+	if err := dm.Store().Save(&bm); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Store().Save(&bc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bm.Bytes(), bc.Bytes()) {
+		t.Fatal("mapped and copy-in recoveries serialise differently")
+	}
+}
+
+// TestMappedDifferentialUnderChurn drives identical op batches through a
+// mapped-boot store and a copy-in store, with concurrent readers hammering
+// the mapped one, and checks every epoch publishes the identical state:
+// sampled distances agree and the serialised labelling is byte-identical.
+// Run under -race this also exercises the mapped arena against the delta
+// repack's chunk migration.
+func TestMappedDifferentialUnderChurn(t *testing.T) {
+	if !arena.Supported() {
+		t.Skip("mmap not supported")
+	}
+	dir := t.TempDir()
+	idx := buildIndex(t, 80, 5)
+	d, err := Create(dir, idx, quietOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dirCopy := t.TempDir()
+	copyTree(t, dir, dirCopy)
+
+	mappedOpts := quietOpts(t)
+	mappedOpts.Mmap = MapOn
+	dm, err := Recover(dir, mappedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dm.Close()
+	copyOpts := quietOpts(t)
+	copyOpts.Mmap = MapOff
+	dc, err := Recover(dirCopy, copyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc.Close()
+	sm, sc := dm.Store(), dc.Store()
+	if sm.Stats().MappedBytes == 0 {
+		t.Fatal("mapped store reports MappedBytes=0")
+	}
+
+	// Concurrent readers on the mapped store: every query runs against a
+	// pinned snapshot while churn migrates chunks off the mapping.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := sm.Snapshot()
+			n := v.NumVertices()
+			for u := 0; u < n; u += 11 {
+				v.Query(uint32(u), uint32((u*7+1)%n))
+			}
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(5))
+	mirror := sm.Unwrap().(*dynhl.Index).Graph().Fork()
+	for i := 0; i < 10; i++ {
+		ops := randomOps(rng, mirror, 3)
+		if _, err := sm.Apply(ops); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sc.Apply(ops); err != nil {
+			t.Fatal(err)
+		}
+		if sm.Epoch() != sc.Epoch() {
+			t.Fatalf("epoch diverged: mapped %d, copy-in %d", sm.Epoch(), sc.Epoch())
+		}
+		n := sm.NumVertices()
+		for _, p := range samplePairs(n) {
+			if got, want := sm.Query(p.U, p.V), sc.Query(p.U, p.V); got != want {
+				t.Fatalf("epoch %d: Query(%d,%d): mapped %d, copy-in %d", sm.Epoch(), p.U, p.V, got, want)
+			}
+		}
+		var bm, bc bytes.Buffer
+		if err := sm.Save(&bm); err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Save(&bc); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bm.Bytes(), bc.Bytes()) {
+			t.Fatalf("epoch %d: serialised labellings differ", sm.Epoch())
+		}
+	}
+	close(stop)
+	<-done
+}
+
+// TestMappedViewOutlivesCheckpointPruning is the use-after-unmap guard: a
+// View pinned on a mapped boot keeps answering correctly after churn and
+// checkpointing have unlinked the very file it is served from — unlinking
+// does not invalidate a mapping, and the snapshot chain keeps the mapping
+// reachable. Once every reference is dropped, the finalizer unmaps.
+func TestMappedViewOutlivesCheckpointPruning(t *testing.T) {
+	if !arena.Supported() {
+		t.Skip("mmap not supported")
+	}
+	dir := t.TempDir()
+	idx := buildIndex(t, 80, 6)
+	d, err := Create(dir, idx, quietOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := quietOpts(t)
+	opts.Mmap = MapOn
+	d, err = Recover(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := d.Store()
+	if store.Stats().MappedBytes == 0 {
+		t.Fatal("mapped recovery reports MappedBytes=0")
+	}
+	bootCkpt := newestCheckpoint(t, dir)
+
+	// Pin the boot snapshot and record its answers.
+	view := store.Snapshot()
+	pairs := samplePairs(view.NumVertices())
+	want := view.QueryBatch(pairs)
+
+	// Churn plus checkpoints until pruning unlinks the boot checkpoint
+	// (ckptKeep newer ones supersede it).
+	rng := rand.New(rand.NewSource(6))
+	mirror := store.Unwrap().(*dynhl.Index).Graph().Fork()
+	for i := 0; i < ckptKeep+1; i++ {
+		if _, err := store.Apply(randomOps(rng, mirror, 2)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(bootCkpt); !os.IsNotExist(err) {
+		t.Fatalf("boot checkpoint %s still present after pruning (err %v)", bootCkpt, err)
+	}
+
+	// The pinned view still serves the unlinked file's pages.
+	got := view.QueryBatch(pairs)
+	for i := range pairs {
+		if got[i] != want[i] {
+			t.Fatalf("pinned view Query(%d,%d) = %d after pruning, want %d",
+				pairs[i].U, pairs[i].V, got[i], want[i])
+		}
+	}
+
+	// Drop every reference; the GC must eventually reclaim the mapping
+	// (reachability is the refcount — see internal/arena).
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	view, store, d, mirror = nil, nil, nil, nil
+	_ = view
+	_ = store
+	_ = d
+	_ = mirror
+	deadline := time.Now().Add(15 * time.Second)
+	for arena.Mappings() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d mappings still live after releasing every reference", arena.Mappings())
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRebuildImageMapped pins the follower bootstrap path: rebuilding a
+// shipped v2 image under MapAuto serves the labels from an unlinked temp
+// spill, answers identically to the copy-in rebuild, and MapOff still
+// takes the heap route.
+func TestRebuildImageMapped(t *testing.T) {
+	dir := t.TempDir()
+	idx := buildIndex(t, 60, 7)
+	d, err := Create(dir, idx, quietOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.abandon()
+	img, err := os.ReadFile(newestCheckpoint(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain, epochP, err := RebuildImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, epochM, err := RebuildImageMapped(img, MapAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochP != epochM {
+		t.Fatalf("epochs differ: %d vs %d", epochP, epochM)
+	}
+	if arena.Supported() {
+		if mapped.Stats().MappedBytes == 0 {
+			t.Fatal("MapAuto rebuild on a supported platform reports MappedBytes=0")
+		}
+	} else if mapped.Stats().MappedBytes != 0 {
+		t.Fatal("MapAuto rebuild on an unsupported platform must fall back")
+	}
+	for _, p := range samplePairs(60) {
+		if got, want := mapped.Query(p.U, p.V), plain.Query(p.U, p.V); got != want {
+			t.Fatalf("Query(%d,%d): mapped %d, plain %d", p.U, p.V, got, want)
+		}
+	}
+	off, _, err := RebuildImageMapped(img, MapOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Stats().MappedBytes != 0 {
+		t.Fatalf("MapOff rebuild reports MappedBytes=%d", off.Stats().MappedBytes)
+	}
+
+	// Errors still surface: a corrupted image is rejected, not mapped.
+	bad := append([]byte(nil), img...)
+	bad[20] ^= 0xff
+	_, _, err = RebuildImageMapped(bad, MapAuto)
+	if err == nil {
+		t.Fatal("corrupted image accepted")
+	}
+	if errors.Is(err, dynhl.ErrNotMappable) {
+		t.Fatal("corruption must not masquerade as not-mappable")
+	}
+}

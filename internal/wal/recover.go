@@ -7,6 +7,7 @@ import (
 	"os"
 
 	dynhl "repro"
+	"repro/internal/arena"
 )
 
 // Recover rebuilds a durable Store from dir: the newest valid checkpoint is
@@ -31,22 +32,42 @@ func Recover(dir string, opts Options) (*Durable, error) {
 		return nil, ErrNoState
 	}
 	var st ckptState
+	var idx *dynhl.Index
 	var ckErr error
-	loaded := false
 	for _, c := range cks {
-		if st, ckErr = readCheckpoint(c.path); ckErr == nil {
-			loaded = true
-			break
+		if opts.Mmap.Enabled() {
+			// The mapped boot serves the checkpoint's label entries
+			// straight out of the page cache — it faults in only the
+			// header, graph and offset pages (the v2 CRC skips the entry
+			// arenas), so boot cost stops scaling with labelling size.
+			// Replay still works: the mapping is private, so in-place
+			// label repairs dirty anonymous copies, never the file.
+			mapped, epoch, err := mapCheckpoint(c.path)
+			switch {
+			case err == nil:
+				idx, st.epoch = mapped, epoch
+			case errors.Is(err, dynhl.ErrNotMappable):
+				// A v1 checkpoint or an unmappable layout: quiet copy-in.
+			default:
+				opts.Logf("wal: mapped boot of %s failed (%v); falling back to copy-in", c.path, err)
+			}
 		}
-		opts.Logf("wal: skipping damaged checkpoint %s: %v", c.path, ckErr)
+		if idx == nil {
+			if st, ckErr = readCheckpoint(c.path); ckErr != nil {
+				opts.Logf("wal: skipping damaged checkpoint %s: %v", c.path, ckErr)
+				continue
+			}
+		}
+		break
 	}
-	if !loaded {
+	if idx == nil && st.graph == nil {
 		return nil, fmt.Errorf("wal: no usable checkpoint in %s (newest error: %w)", dir, ckErr)
 	}
 
-	idx, err := rebuildIndex(st)
-	if err != nil {
-		return nil, err
+	if idx == nil {
+		if idx, err = rebuildIndex(st); err != nil {
+			return nil, err
+		}
 	}
 	last, replayed, err := replay(idx, walDir(dir), st.epoch, opts.Logf)
 	if err != nil {
@@ -73,6 +94,48 @@ func rebuildIndex(st ckptState) (*dynhl.Index, error) {
 		return nil, fmt.Errorf("wal: checkpoint labelling: %w", err)
 	}
 	return idx, nil
+}
+
+// mapCheckpoint is the zero-copy variant of readCheckpoint+rebuildIndex:
+// it mmaps the checkpoint file and attaches the labelling in place. The
+// graph is still decoded to the heap (it is mutated by every update; the
+// labels are the bulk of the state). Returns dynhl.ErrNotMappable for v1
+// checkpoints and unmappable layouts; the mapping is owned by the
+// returned index and unmapped by the garbage collector once no snapshot
+// aliases it — checkpoint pruning only ever unlinks files, so a pruned
+// checkpoint's pages stay valid for as long as anything still reads them.
+func mapCheckpoint(path string) (*dynhl.Index, uint64, error) {
+	m, err := arena.MapFile(path)
+	if err != nil {
+		if errors.Is(err, arena.ErrUnsupported) {
+			err = fmt.Errorf("%w: %s", dynhl.ErrNotMappable, err)
+		}
+		return nil, 0, err
+	}
+	data := m.Data()
+	if len(data) < len(ckptMagicV2) || string(data[:len(ckptMagicV2)]) != ckptMagicV2 {
+		// Checking the magic before decodeCheckpoint keeps a v1 boot off
+		// this path entirely: v1's whole-file CRC would fault in every
+		// page for nothing.
+		m.Close()
+		return nil, 0, dynhl.ErrNotMappable
+	}
+	st, err := decodeCheckpoint(data, path)
+	if err != nil {
+		m.Close()
+		return nil, 0, err
+	}
+	g, err := decodeGraphSection(st.graph, st.vertices)
+	if err != nil {
+		m.Close()
+		return nil, 0, err
+	}
+	idx, err := dynhl.LoadIndexMapped(m, st.labelsOff, g)
+	if err != nil {
+		m.Close()
+		return nil, 0, fmt.Errorf("wal: checkpoint labelling: %w", err)
+	}
+	return idx, st.epoch, nil
 }
 
 // replay applies the log tail beyond ckptEpoch directly to the plain

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	dynhl "repro"
+	"repro/internal/arena"
 )
 
 // ErrEpochTruncated reports a tail read asking for epochs the log no longer
@@ -232,6 +233,42 @@ func RebuildImage(data []byte) (*dynhl.Index, uint64, error) {
 	idx, err := rebuildIndex(st)
 	if err != nil {
 		return nil, 0, err
+	}
+	return idx, st.epoch, nil
+}
+
+// RebuildImageMapped is RebuildImage serving the labels zero-copy: the
+// image is spilled to an unlinked temp file, mmap'd, and the labelling
+// attached in place, so a follower bootstrapping from a large shipped
+// checkpoint keeps one file-backed copy of the entries instead of a heap
+// copy next to the received buffer. Falls back to RebuildImage whenever
+// mode declines, the image is a v1 layout, or mapping fails — the result
+// is the same oracle either way.
+func RebuildImageMapped(data []byte, mode MapMode) (*dynhl.Index, uint64, error) {
+	if !mode.Enabled() || len(data) < len(ckptMagicV2) || string(data[:len(ckptMagicV2)]) != ckptMagicV2 {
+		return RebuildImage(data)
+	}
+	m, err := arena.MapBytes(data)
+	if err != nil {
+		return RebuildImage(data)
+	}
+	st, err := decodeCheckpoint(m.Data(), "checkpoint image")
+	if err != nil {
+		m.Close()
+		return nil, 0, err
+	}
+	g, err := decodeGraphSection(st.graph, st.vertices)
+	if err != nil {
+		m.Close()
+		return nil, 0, err
+	}
+	idx, err := dynhl.LoadIndexMapped(m, st.labelsOff, g)
+	if err != nil {
+		m.Close()
+		if errors.Is(err, dynhl.ErrNotMappable) {
+			return RebuildImage(data)
+		}
+		return nil, 0, fmt.Errorf("wal: shipped checkpoint labelling: %w", err)
 	}
 	return idx, st.epoch, nil
 }

@@ -22,8 +22,18 @@ import (
 const codecMagic = "WHL1"
 
 // WriteTo serialises the weighted labelling (landmarks, highway, labels)
-// to w.
+// to w. Below hcl.V2SaveThreshold entries it writes the WHL1 layout; at or
+// above it the mappable WHL2 layout, whose u64 offsets are the only
+// representation past the u32 ceiling.
 func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	var total uint64
+	for _, l := range idx.L {
+		total += uint64(len(l))
+	}
+	if total >= hcl.V2SaveThreshold {
+		n, _, err := idx.WriteToMappable(w, 0)
+		return n, err
+	}
 	cw := &hcl.CountingWriter{W: w}
 	bw := bufio.NewWriterSize(cw, 1<<16)
 	if _, err := bw.WriteString(codecMagic); err != nil {
@@ -71,7 +81,12 @@ func ReadIndex(r io.Reader, g *wgraph.Graph) (*Index, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("whcl: reading index header: %w", err)
 	}
-	if string(magic) != codecMagic {
+	v2 := false
+	switch string(magic) {
+	case codecMagic:
+	case codecMagicV2:
+		v2 = true
+	default:
 		return nil, fmt.Errorf("whcl: bad index magic %q", magic)
 	}
 	var nv, nr uint32
@@ -113,6 +128,14 @@ func ReadIndex(r io.Reader, g *wgraph.Graph) (*Index, error) {
 	}
 	for r, v := range idx.Landmarks {
 		idx.rankArr[v] = uint16(r)
+	}
+	if v2 {
+		arena, off, err := hcl.ReadLabelBlockV2(br, nv, nr)
+		if err != nil {
+			return nil, fmt.Errorf("whcl: %w", err)
+		}
+		idx.packed = hcl.AttachArena64(idx.L, arena, off)
+		return idx, nil
 	}
 	arena, off, err := hcl.ReadLabelBlock(br, nv, nr)
 	if err != nil {

@@ -10,6 +10,7 @@ package whcl
 import (
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/bitset"
 	"repro/internal/graph"
 	"repro/internal/hcl"
@@ -45,6 +46,11 @@ type Index struct {
 	// are not pinned.
 	packed *hcl.Packed
 	parent *Index
+
+	// mapRef pins the mmap'd checkpoint this index was attached to by
+	// ReadIndexMapped, if any; forks inherit it because their label slices
+	// may alias the mapped bytes indefinitely (see hcl.Index.mapRef).
+	mapRef *arena.Mapping
 
 	scratch wgraph.SpacePool
 
@@ -236,6 +242,7 @@ func (idx *Index) Fork(g *wgraph.Graph) *Index {
 		k:         idx.k,
 		rankArr:   append([]uint16(nil), idx.rankArr...),
 		shared:    bitset.NewAllSet(len(idx.L)),
+		mapRef:    idx.mapRef, // label slices may still alias the mapping
 		// The fork mutates, so it starts unpacked; remembering the parent
 		// lets its Pack reuse whatever chunks the parent's arena holds by
 		// the time the fork itself is frozen.
@@ -263,6 +270,18 @@ func (idx *Index) Pack() {
 // PackedLabels returns the packed read form, or nil when the index has
 // unpublished label writes (or was never packed).
 func (idx *Index) PackedLabels() *hcl.Packed { return idx.packed }
+
+// MappedBytes returns the size of the mmap'd checkpoint region this index
+// still holds alive, or 0 for a fully heap-resident index.
+func (idx *Index) MappedBytes() int64 {
+	if idx.mapRef != nil {
+		return idx.mapRef.Len()
+	}
+	if idx.packed != nil {
+		return idx.packed.MappedBytes()
+	}
+	return 0
+}
 
 // ownLabel makes L[v] writable on a fork, copying the shared backing array
 // on first touch. Every label write goes through here, so it also drops the

@@ -700,6 +700,76 @@ func (s *Store) LoadEpoch(r io.Reader) (uint64, error) {
 	return cur.epoch + 1, nil
 }
 
+// mappedLoader is the capability behind Store.LoadMappedFile, implemented
+// by the index variants whose labelling can be served from an mmap'd v2
+// label file.
+type mappedLoader interface {
+	LoadMappedFile(path string) error
+}
+
+// SaveMappable serialises the current snapshot's labelling in the
+// mappable v2 layout (page-aligned entry arena, u64 offsets) regardless
+// of size, so the file can later be served zero-copy by LoadMappedFile;
+// errors.ErrUnsupported when the wrapped variant cannot. Like Save it
+// runs against the immutable snapshot without blocking writers.
+func (s *Store) SaveMappable(w io.Writer) error {
+	sn := s.cur.Load()
+	if s.rmu != nil {
+		s.rmu.RLock()
+		defer s.rmu.RUnlock()
+	}
+	if sv, ok := sn.o.(MappableSaver); ok {
+		_, _, err := sv.SaveMappable(w, 0)
+		return err
+	}
+	return errors.ErrUnsupported
+}
+
+// LoadMappedFile publishes a snapshot whose labelling is served straight
+// out of an mmap of the v2 label file at path, bumping the epoch like
+// Load. The mapping stays alive for as long as any published snapshot
+// may alias its entries and is unmapped by the garbage collector after
+// the last such snapshot is released; the file may be unlinked while
+// mapped. errors.ErrUnsupported when the variant cannot load mapped,
+// ErrNotMappable when the file is a v1 layout — fall back to Load.
+func (s *Store) LoadMappedFile(path string) (uint64, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	cur := s.cur.Load()
+	if s.rmu != nil {
+		s.rmu.Lock()
+		defer s.rmu.Unlock()
+		l, ok := cur.o.(mappedLoader)
+		if !ok {
+			return cur.epoch, errors.ErrUnsupported
+		}
+		if err := l.LoadMappedFile(path); err != nil {
+			return cur.epoch, err
+		}
+		next := &snapshot{o: cur.o, epoch: cur.epoch + 1}
+		if err := s.commit(next, nil); err != nil {
+			return cur.epoch, err // fallback mode: the load stays applied
+		}
+		s.publish(next)
+		return cur.epoch + 1, nil
+	}
+	work := cur.o.(forkable).fork()
+	l, ok := work.(mappedLoader)
+	if !ok {
+		return cur.epoch, errors.ErrUnsupported
+	}
+	if err := l.LoadMappedFile(path); err != nil {
+		return cur.epoch, err // discard the fork
+	}
+	pack(work) // mapped loads arrive packed; idempotent
+	next := &snapshot{o: work, epoch: cur.epoch + 1}
+	if err := s.commit(next, nil); err != nil {
+		return cur.epoch, err // discard the fork
+	}
+	s.publish(next)
+	return cur.epoch + 1, nil
+}
+
 // view implements View over one published snapshot (sn), or — in the
 // non-forkable fallback mode — as a live window onto the store (live), so
 // Epoch always names the version the answers come from.

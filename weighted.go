@@ -171,6 +171,7 @@ func (x *WeightedIndex) Stats() Stats {
 	if p := x.idx.PackedLabels(); p != nil {
 		st.PackedBytes = p.ArenaBytes()
 	}
+	st.MappedBytes = x.idx.MappedBytes()
 	return st
 }
 
