@@ -67,6 +67,12 @@ func TestPackedQueryZeroAllocs(t *testing.T) {
 			t.Fatal("published snapshot is not packed")
 		}
 		measureView(t, "undirected", st.Snapshot(), n)
+		// The gate measures instrumented views (Snapshot wires the store's
+		// metrics in): zero allocations AND the latency histogram must both
+		// hold — recording is a pair of atomic adds, not an allocation.
+		if st.metrics.query.Count() == 0 {
+			t.Fatal("instrumentation: query histogram recorded nothing during the gate")
+		}
 	})
 	t.Run("directed", func(t *testing.T) {
 		g := NewDigraph(n)

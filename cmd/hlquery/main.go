@@ -28,6 +28,7 @@
 //	stats              index size statistics (and WAL / replication counters)
 //	role               replication role and link state
 //	lag                replication lag in epochs and unapplied bytes
+//	metrics            nonzero metric series (locally, or the server's /metrics)
 //	checkpoint         write a durability checkpoint (-data-dir only)
 //	verify             O(|R|·|E|) correctness audit of the labelling
 //	help, quit
@@ -50,6 +51,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strconv"
@@ -58,6 +60,7 @@ import (
 
 	dynhl "repro"
 	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -324,8 +327,16 @@ func execute(o *dynhl.Store, durable *wal.Durable, fields []string) bool {
 		} else {
 			fmt.Printf("labelling verified exact [%v]\n", time.Since(start))
 		}
+	case "metrics":
+		var b strings.Builder
+		regs := append(o.MetricsRegistries(), obs.Runtime())
+		if err := obs.WriteAll(&b, regs...); err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		printMetrics(b.String())
 	case "help":
-		fmt.Println("commands: q <u> <v> | qb <u> <v> [<u> <v> ...] | add <u> <v> [w] | addv n1,n2,... | de <u> <v> | dv <v> | apply <op> ; <op> ... | epoch | stats | role | lag | checkpoint | verify | quit")
+		fmt.Println("commands: q <u> <v> | qb <u> <v> [<u> <v> ...] | add <u> <v> [w] | addv n1,n2,... | de <u> <v> | dv <v> | apply <op> ; <op> ... | epoch | stats | role | lag | metrics | checkpoint | verify | quit")
 	case "quit", "exit":
 		return true
 	default:
@@ -451,8 +462,15 @@ func remoteExecute(base string, fields []string) bool {
 		case "lag":
 			printLag(st)
 		}
+	case "metrics":
+		text, err := getText(base + "/metrics")
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		printMetrics(text)
 	case "help":
-		fmt.Println("remote commands: q <u> <v> | epoch | stats | role | lag | quit (updates go through the server's own API)")
+		fmt.Println("remote commands: q <u> <v> | epoch | stats | role | lag | metrics | quit (updates go through the server's own API)")
 	case "quit", "exit":
 		return true
 	default:
@@ -465,6 +483,44 @@ func remoteExecute(base string, fields []string) bool {
 func fetchStats(base string) (dynhl.Stats, error) {
 	var st dynhl.Stats
 	return st, getJSON(base+"/stats", &st)
+}
+
+// printMetrics renders a Prometheus text exposition for a terminal: the
+// nonzero series, minus the per-bucket histogram lines (the _sum/_count
+// pairs tell the latency story at a glance; scrape /metrics for buckets).
+func printMetrics(text string) {
+	shown := 0
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok || strings.Contains(name, "_bucket") {
+			continue
+		}
+		if v, err := strconv.ParseFloat(value, 64); err == nil && v == 0 {
+			continue
+		}
+		fmt.Println(line)
+		shown++
+	}
+	if shown == 0 {
+		fmt.Println("no nonzero series yet (run some queries or updates first)")
+	}
+}
+
+// getText retrieves one GET endpoint's body verbatim.
+func getText(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
 }
 
 // getJSON decodes one GET endpoint into out.

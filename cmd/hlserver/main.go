@@ -61,6 +61,17 @@
 // with labelling size — entries page in on first touch. MappedBytes in
 // /stats and mapped_bytes in /healthz report the mapped region; -mmap off
 // forces the copy-in loads everywhere.
+//
+// Observability: GET /metrics exposes Prometheus text metrics (query
+// latency histograms, write-pipeline stage timings, WAL and replication
+// counters, Go runtime basics) on the API port. -debug-addr adds a second
+// listener carrying /debug/pprof and /metrics, keeping profilers off the
+// public port; -access-log logs one structured line per request; and
+// -slow-query 50ms logs queries over the threshold, rate-bounded.
+//
+//	hlserver -graph web.txt -debug-addr localhost:6060 -slow-query 50ms
+//	curl localhost:8080/metrics
+//	go tool pprof localhost:6060/debug/pprof/profile
 package main
 
 import (
@@ -70,6 +81,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -105,6 +117,10 @@ func main() {
 		leaderAddr = flag.String("leader-addr", "", "leader replication address with -role follower")
 
 		mmapFlag = flag.String("mmap", "auto", "serve checkpoint and label files out of an mmap instead of decoding a heap copy: auto, on or off")
+
+		debugAddr = flag.String("debug-addr", "", "extra listen address serving /debug/pprof and /metrics (empty = off)")
+		accessLog = flag.Bool("access-log", false, "log one structured line per HTTP request")
+		slowQuery = flag.Duration("slow-query", 0, "log queries slower than this threshold, rate-bounded (0 = off)")
 	)
 	flag.Parse()
 
@@ -118,7 +134,7 @@ func main() {
 		if *leaderAddr == "" {
 			log.Fatal("hlserver: -role follower requires -leader-addr")
 		}
-		runFollower(*addr, *leaderAddr, mmapMode)
+		runFollower(*addr, *leaderAddr, mmapMode, *debugAddr, *accessLog, *slowQuery)
 		return
 	case "standalone", "leader", "":
 		if *role == "leader" && *dataDir == "" {
@@ -198,11 +214,17 @@ func main() {
 		log.Printf("replicating to followers on %s", leader.Addr())
 	}
 
+	if *slowQuery > 0 {
+		store.SetSlowQueryLog(*slowQuery, nil)
+		log.Printf("logging queries slower than %v", *slowQuery)
+	}
 	opts := []httpapi.Option{}
 	if durable != nil {
 		opts = append(opts, httpapi.WithDurability(durable))
 	}
-	serve(*addr, httpapi.New(store, opts...).Handler(), func() {
+	api := httpapi.New(store, opts...)
+	startDebug(*debugAddr, api)
+	serve(*addr, maybeAccessLog(*accessLog, api.Handler()), func() {
 		if leader != nil {
 			// Drop follower links first: they reconnect against the next boot.
 			if err := leader.Close(); err != nil {
@@ -227,7 +249,7 @@ func main() {
 
 // runFollower serves a read replica: no local graph, labels or WAL — the
 // whole state is bootstrapped and then replayed from the leader.
-func runFollower(addr, leaderAddr string, mmapMode wal.MapMode) {
+func runFollower(addr, leaderAddr string, mmapMode wal.MapMode, debugAddr string, accessLog bool, slowQuery time.Duration) {
 	f := repl.StartFollower(leaderAddr, repl.Options{Logf: log.Printf, Mmap: mmapMode})
 	log.Printf("replicating from %s (reads 503 until the first bootstrap lands)", leaderAddr)
 	go func() {
@@ -236,8 +258,15 @@ func runFollower(addr, leaderAddr string, mmapMode wal.MapMode) {
 		}
 		st := f.Store().Stats()
 		log.Printf("bootstrapped at epoch %d: %d vertices, %d edges", st.Epoch, st.Vertices, st.Edges)
+		if slowQuery > 0 {
+			// The replica store exists only once the bootstrap lands.
+			f.Store().SetSlowQueryLog(slowQuery, nil)
+			log.Printf("logging queries slower than %v", slowQuery)
+		}
 	}()
-	serve(addr, httpapi.NewReplica(f).Handler(), func() {
+	api := httpapi.NewReplica(f)
+	startDebug(debugAddr, api)
+	serve(addr, maybeAccessLog(accessLog, api.Handler()), func() {
 		if err := f.Close(); err != nil {
 			log.Fatal("hlserver: closing follower: ", err)
 		}
@@ -245,6 +274,36 @@ func runFollower(addr, leaderAddr string, mmapMode wal.MapMode) {
 			log.Printf("stopped replicating at epoch %d", s.Epoch())
 		}
 	})
+}
+
+// maybeAccessLog wraps next with the structured access log when enabled.
+func maybeAccessLog(on bool, next http.Handler) http.Handler {
+	if !on {
+		return next
+	}
+	return httpapi.AccessLog(log.Printf, next)
+}
+
+// startDebug serves pprof and /metrics on their own listener when
+// -debug-addr is set — the profiling surface stays off the public port.
+func startDebug(addr string, api *httpapi.Server) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", api.MetricsHandler())
+	go func() {
+		log.Printf("debug listener (pprof + /metrics) on %s", addr)
+		srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Print("hlserver: debug listener: ", err)
+		}
+	}()
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM, drains in-flight

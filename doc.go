@@ -254,6 +254,31 @@
 // followers need no graph, labels or data directory, serve the full read
 // API, and answer writes with 503 plus an X-Oracle-Leader hint.
 //
+// # Observability: histograms, stage timings and /metrics
+//
+// Every Store carries an always-on metrics core (internal/obs): atomic
+// counters, gauges and fixed-bucket log2 latency histograms where one
+// observation is two atomic adds — no locks, no allocations — so the
+// instrumented query path still passes the CI zero-alloc gate. Series
+// follow the Prometheus naming idiom under a dynhl_ prefix, labelled by
+// index variant: dynhl_query_seconds and dynhl_query_batch_seconds time
+// the read path, dynhl_snapshot_pins_total counts epoch pins, and
+// dynhl_apply_stage_seconds breaks every published epoch into the five
+// pipeline stages a write crosses — coalesce_wait (enqueue to claim),
+// repair (fork + IncHL+/DecHL), pack (CSR freeze), wal_commit (append +
+// fsync via the durability hook) and publish (snapshot swap) — with
+// dynhl_apply_group_callers/_ops recording how much each group coalesced.
+// Attached layers register their own series in their own registries —
+// dynhl_wal_* (append/fsync/checkpoint timings, durable and checkpoint
+// epochs, torn tails and recoveries), dynhl_repl_* (lag gauges and ship/
+// ack/reconnect counters, role-labelled) and dynhl_arena_* (mapped
+// bytes) — and Store.MetricsRegistries gathers them all, so GET /metrics
+// on internal/httpapi serves one hand-rolled Prometheus text exposition
+// covering whatever the process actually runs, plus go_* runtime basics.
+// SetSlowQueryLog adds a threshold-gated, rate-bounded structured log of
+// outlier queries, and cmd/hlserver's -debug-addr opens a second listener
+// with net/http/pprof and /metrics so profilers stay off the public port.
+//
 // The internal packages hold the substrates and baselines used by the
 // reproduction study: internal/hcl (static labelling), internal/inchl (the
 // IncHL+ algorithm), internal/pll and internal/fulldyn (the IncPLL and

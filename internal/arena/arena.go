@@ -54,6 +54,9 @@ type Mapping struct {
 var (
 	totalMapped  atomic.Int64
 	liveMappings atomic.Int64
+	mapsEver     atomic.Uint64
+	unmapsEver   atomic.Uint64
+	bytesEver    atomic.Uint64
 )
 
 // TotalMapped returns the total bytes of all live mappings in the process.
@@ -61,6 +64,17 @@ func TotalMapped() int64 { return totalMapped.Load() }
 
 // Mappings returns the number of live mappings in the process.
 func Mappings() int64 { return liveMappings.Load() }
+
+// MapsTotal returns the cumulative number of mappings ever created —
+// paired with UnmapsTotal it turns the live gauges into rates.
+func MapsTotal() uint64 { return mapsEver.Load() }
+
+// UnmapsTotal returns the cumulative number of mappings ever released
+// (explicit Close or finalizer).
+func UnmapsTotal() uint64 { return unmapsEver.Load() }
+
+// MappedBytesTotal returns the cumulative bytes ever mapped.
+func MappedBytesTotal() uint64 { return bytesEver.Load() }
 
 // Supported reports whether this platform can serve mapped arenas. When
 // false every Map call returns ErrUnsupported and loads stay on copy-in.
@@ -133,6 +147,8 @@ func mapFrom(f *os.File, path string) (*Mapping, error) {
 	m := &Mapping{data: data, path: path}
 	totalMapped.Add(int64(len(data)))
 	liveMappings.Add(1)
+	mapsEver.Add(1)
+	bytesEver.Add(uint64(len(data)))
 	// Reachability is the refcount: when the last label slice, packed chunk,
 	// fork or View aliasing the mapping is collected, so is m, and the
 	// finalizer gives the address space back.
@@ -161,6 +177,7 @@ func (m *Mapping) Close() error {
 	runtime.SetFinalizer(m, nil)
 	totalMapped.Add(-int64(len(m.data)))
 	liveMappings.Add(-1)
+	unmapsEver.Add(1)
 	err := munmap(m.data)
 	m.data = nil
 	return err

@@ -192,6 +192,7 @@ func NewReplica(r Replica, opts ...Option) *Server {
 		maxBatchOps:   DefaultMaxBatchOps,
 		maxLabelBytes: DefaultMaxLabelBytes,
 		epochWait:     DefaultEpochWait,
+		start:         time.Now(),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -211,6 +212,7 @@ type Server struct {
 	maxLabelBytes int64
 	epochWait     time.Duration
 	durability    Durability // nil on a non-durable server
+	start         time.Time  // process-visible start, for uptime_seconds
 }
 
 // New returns a Server serving o through a dynhl.Store (reusing it when o
@@ -223,6 +225,7 @@ func New(o dynhl.Oracle, opts ...Option) *Server {
 		maxBatchOps:   DefaultMaxBatchOps,
 		maxLabelBytes: DefaultMaxLabelBytes,
 		epochWait:     DefaultEpochWait,
+		start:         time.Now(),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -304,6 +307,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /checkpoint", s.checkpoint)
 	mux.HandleFunc("GET /wal/stats", s.walStats)
 	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /metrics", s.metrics)
 	return mux
 }
 
@@ -622,7 +626,10 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 	if s.replica != nil {
 		if store = s.replica.Store(); store == nil {
 			rs := s.replica.ReplicationStats()
-			writeJSON(w, http.StatusOK, dynhl.Stats{Replication: &rs})
+			writeJSON(w, http.StatusOK, statsResponse{
+				Stats:  dynhl.Stats{Replication: &rs},
+				Server: s.serverInfo(),
+			})
 			return
 		}
 	}
@@ -630,7 +637,7 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 	// ride along; its Epoch field names the snapshot it was taken from.
 	st := store.Stats()
 	tagEpoch(w, st.Epoch)
-	writeJSON(w, http.StatusOK, st)
+	writeJSON(w, http.StatusOK, statsResponse{Stats: st, Server: s.serverInfo()})
 }
 
 // healthResponse is the JSON shape of GET /healthz — the readiness signal
@@ -647,6 +654,8 @@ type healthResponse struct {
 	// still draws entries from — non-zero means this process booted
 	// zero-copy and its labels page in on demand.
 	MappedBytes int64 `json:"mapped_bytes,omitempty"`
+	// Server carries uptime, build identity and runtime basics (obs.go).
+	Server serverInfo `json:"server"`
 }
 
 // healthz reports readiness: 200 once the serving store exists (for a
@@ -654,7 +663,7 @@ type healthResponse struct {
 // only routes to replicas that can actually answer. Role and lag ride
 // along for operators and lag-aware routers.
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
-	resp := healthResponse{Status: "ok", Role: "standalone", Ready: true}
+	resp := healthResponse{Status: "ok", Role: "standalone", Ready: true, Server: s.serverInfo()}
 	if s.replica != nil {
 		rs := s.replica.ReplicationStats()
 		resp.Role, resp.Ready = rs.Role, rs.Ready

@@ -1,0 +1,140 @@
+package httpapi
+
+import (
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	dynhl "repro"
+	"repro/internal/obs"
+)
+
+// statsResponse is GET /stats: the store's own stats with the serving
+// process's identity alongside.
+type statsResponse struct {
+	dynhl.Stats
+	Server serverInfo `json:"server"`
+}
+
+// This file is the service's observability surface: the Prometheus
+// text-format GET /metrics endpoint (hand-rolled exposition, no external
+// deps — see internal/obs), the uptime/build/runtime enrichment of
+// /stats and /healthz, and the structured access-log middleware.
+
+// buildInfo resolves the binary's module version and VCS revision once;
+// both are empty when the binary was built without module/VCS stamping.
+var buildInfo = sync.OnceValues(func() (version, revision string) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", ""
+	}
+	version = bi.Main.Version
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			revision = s.Value
+		}
+	}
+	return version, revision
+})
+
+// serverInfo is the "server" section of GET /stats: which binary is
+// answering, for how long, and its runtime shape — so operators can
+// correlate metrics with the process that produced them.
+type serverInfo struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Version       string  `json:"version,omitempty"`
+	Revision      string  `json:"revision,omitempty"`
+	Goroutines    int     `json:"goroutines"`
+	HeapBytes     uint64  `json:"heap_bytes"`
+}
+
+func (s *Server) serverInfo() serverInfo {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	version, revision := buildInfo()
+	return serverInfo{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Version:       version,
+		Revision:      revision,
+		Goroutines:    runtime.NumGoroutine(),
+		HeapBytes:     ms.HeapAlloc,
+	}
+}
+
+// metricsRegistries gathers every registry this server speaks for: the
+// store's own plus its attached layers (via Store.MetricsRegistries),
+// and the process-wide runtime registry. Gathered per scrape, so layers
+// attached after startup appear as soon as they exist; a replica that
+// has not bootstrapped yet exposes its follower registry (lag, link
+// state) and the runtime — exactly what a prober wants while it waits.
+func (s *Server) metricsRegistries() []*obs.Registry {
+	st := s.store
+	if s.replica != nil {
+		if st = s.replica.Store(); st == nil {
+			regs := []*obs.Registry{}
+			if ms, ok := s.replica.(interface{ MetricsRegistry() *obs.Registry }); ok {
+				regs = append(regs, ms.MetricsRegistry())
+			}
+			return append(regs, obs.Runtime())
+		}
+	}
+	return append(st.MetricsRegistries(), obs.Runtime())
+}
+
+// metrics serves GET /metrics in Prometheus text exposition format.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	_ = obs.WriteAll(w, s.metricsRegistries()...)
+}
+
+// MetricsHandler returns the /metrics endpoint on its own, for mounting
+// on a debug listener alongside pprof (hlserver -debug-addr).
+func (s *Server) MetricsHandler() http.Handler { return http.HandlerFunc(s.metrics) }
+
+// statusWriter captures what the wrapped handler wrote, for the access
+// log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// AccessLog wraps next with a structured access log: one line per
+// request — method, path, status, response bytes, latency and the
+// X-Oracle-Epoch the response carried — through logf. Off by default in
+// hlserver; enabled with -access-log.
+func AccessLog(logf func(format string, args ...any), next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		epoch := sw.Header().Get(epochHeader)
+		if epoch == "" {
+			epoch = "-"
+		}
+		logf("access: method=%s path=%s status=%d bytes=%d latency=%s epoch=%s",
+			r.Method, r.URL.Path, status, sw.bytes, time.Since(start), epoch)
+	})
+}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+)
+
+// ContentType is the Prometheus text exposition content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteAll renders the given registries back to back — one scrape body.
+func WriteAll(w io.Writer, regs ...*Registry) error {
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		if err := r.WritePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves a /metrics endpoint over the registries returned by
+// gather. The function is called per scrape so late-attached layers
+// (durability, replication) show up as soon as they exist.
+func Handler(gather func() []*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = WriteAll(w, gather()...)
+	})
+}

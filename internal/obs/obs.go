@@ -1,0 +1,126 @@
+// Package obs is the observability core: low-overhead counters, gauges and
+// fixed-bucket log-scale histograms, collected in registries and exposed in
+// the Prometheus text format — hand-rolled like the rest of the codebase,
+// no external dependencies.
+//
+// The hot-path contract is the whole point of the package: Counter.Add and
+// Histogram.Observe are a handful of uncontended atomic adds — no locks, no
+// maps, no allocations — so they are safe on the CI-gated zero-allocation
+// query path and inside the store's commit pipeline. All coordination
+// (naming, help strings, family grouping) happens once at registration;
+// recording touches only the metric's own atomics.
+//
+// # Naming scheme
+//
+// Metrics follow the Prometheus conventions: a dynhl_ namespace, a
+// subsystem (query, apply, wal, repl, arena), _seconds histograms recorded
+// in nanoseconds and exposed in seconds, _total counters, plain nouns for
+// gauges. Per-variant series carry a variant="undirected|directed|weighted"
+// label; write-pipeline stages a stage= label. Runtime basics (goroutines,
+// heap, GC) live in the shared Runtime registry under go_ / process_.
+//
+// # Histograms
+//
+// A Histogram has fixed log-scale buckets: bucket i counts observations
+// whose value v satisfies 2^(i-1) <= v < 2^i (bucket 0 holds v == 0), i.e.
+// the bucket index is simply bits.Len64(v). One atomic add finds the
+// bucket, one more accumulates the sum; there is no separate count — the
+// exposition derives it from the buckets, so a scraped histogram is always
+// internally consistent. 40 buckets cover 1ns..~275s for durations and
+// 1..~2.7e11 for value distributions; everything beyond clamps into the
+// last bucket, exposed as +Inf.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets is the fixed bucket count of every Histogram: indices
+// 0..numBuckets-2 have finite upper bounds, the last bucket is +Inf.
+const numBuckets = 40
+
+// bucketOf maps a recorded value onto its bucket index.
+func bucketOf(v uint64) int {
+	i := bits.Len64(v)
+	if i >= numBuckets {
+		return numBuckets - 1
+	}
+	return i
+}
+
+// bucketBound returns bucket i's inclusive upper bound in the recorded
+// unit (2^i - 1); the last bucket is unbounded and reported as +Inf.
+func bucketBound(i int) uint64 { return 1<<uint(i) - 1 }
+
+// Counter is a monotonically increasing counter. The zero value is ready;
+// registry constructors hand out registered instances.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket log-scale distribution. Observe is two
+// uncontended atomic adds: one bucket increment, one sum accumulation —
+// no locks, no allocations, safe for any number of concurrent recorders.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	sum     atomic.Uint64
+	// scale converts the recorded unit into the exposed unit (1e-9 for
+	// nanosecond recordings exposed as seconds, 1 for plain values).
+	scale float64
+}
+
+// Observe records one value in the histogram's native unit.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records d (negative durations clamp to zero — a
+// backwards clock step must not corrupt the sum).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Since records the time elapsed since start — the one-liner for stage
+// timings: defer-free, allocation-free.
+func (h *Histogram) Since(start time.Time) { h.ObserveDuration(time.Since(start)) }
+
+// Count returns the number of observations (the sum over all buckets).
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the accumulated total in the recorded unit.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }

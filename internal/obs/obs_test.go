@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the log2 bucketing: bucket 0 holds zero,
+// bucket i holds 2^(i-1)..2^i-1, and everything past the last finite
+// bound clamps into the final (+Inf) bucket.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1 << 20, 21},
+		{1<<39 - 1, 39},
+		{1 << 39, numBuckets - 1},
+		{1 << 62, numBuckets - 1},
+		{^uint64(0), numBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every value must land in the bucket whose bound contains it.
+	for i := 0; i < numBuckets-1; i++ {
+		ub := bucketBound(i)
+		if got := bucketOf(ub); got != i {
+			t.Errorf("upper bound %d of bucket %d lands in bucket %d", ub, i, got)
+		}
+		if got := bucketOf(ub + 1); got != i+1 {
+			t.Errorf("value %d just past bucket %d lands in bucket %d, want %d", ub+1, i, got, i+1)
+		}
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines (meaningful under -race: Observe must be lock-free and
+// data-race-free) and checks nothing is lost.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := &Histogram{scale: 1}
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			x := seed*2654435761 + 1
+			for i := 0; i < perWorker; i++ {
+				x = x*6364136223846793005 + 1442695040888963407
+				h.Observe(x >> 40)
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestHistogramSnapshotConsistency scrapes while writers are recording
+// and asserts every exposition is internally consistent: buckets are
+// cumulative and non-decreasing, +Inf equals _count, and successive
+// scrapes never go backwards.
+func TestHistogramSnapshotConsistency(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Values("test_dist", "test distribution")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			x := seed + 1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				x = x*6364136223846793005 + 1442695040888963407
+				h.Observe(x >> 45)
+			}
+		}(uint64(w))
+	}
+	var prevCount uint64
+	for scrape := 0; scrape < 50; scrape++ {
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		var lastCum, inf, count uint64
+		haveCount := false
+		sc := bufio.NewScanner(strings.NewReader(sb.String()))
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "#") {
+				continue
+			}
+			name, val, ok := strings.Cut(line, " ")
+			if !ok {
+				t.Fatalf("malformed line %q", line)
+			}
+			if name == "test_dist_sum" {
+				continue
+			}
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				t.Fatalf("non-integer value in %q: %v", line, err)
+			}
+			switch {
+			case strings.Contains(name, `le="+Inf"`):
+				inf = n
+			case strings.HasPrefix(name, "test_dist_bucket"):
+				if n < lastCum {
+					t.Fatalf("bucket regression: %q after cum %d", line, lastCum)
+				}
+				lastCum = n
+			case name == "test_dist_count":
+				count, haveCount = n, true
+			}
+		}
+		if !haveCount {
+			t.Fatal("no _count line in exposition")
+		}
+		if inf != count {
+			t.Fatalf("scrape %d: +Inf bucket %d != count %d", scrape, inf, count)
+		}
+		if inf < lastCum {
+			t.Fatalf("scrape %d: +Inf %d below last finite bucket %d", scrape, inf, lastCum)
+		}
+		if count < prevCount {
+			t.Fatalf("scrape %d: count went backwards %d -> %d", scrape, prevCount, count)
+		}
+		prevCount = count
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_ops_total", "ops", Label{"kind", "write"})
+	c.Add(7)
+	g := reg.Gauge("test_depth", "queue depth")
+	g.Set(42)
+	g.Add(-2)
+	reg.CounterFunc("test_fn_total", "fn counter", func() uint64 { return 11 })
+	reg.GaugeFunc("test_ratio", "fn gauge", func() float64 { return 0.5 })
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_ops_total counter",
+		`test_ops_total{kind="write"} 7`,
+		"# TYPE test_depth gauge",
+		"test_depth 40",
+		"test_fn_total 11",
+		"test_ratio 0.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryIdempotentRegistration: registering the same name+labels
+// twice returns the same metric, and distinct label sets get distinct
+// series under one family header.
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("test_total", "t", Label{"v", "x"})
+	b := reg.Counter("test_total", "t", Label{"v", "x"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	c := reg.Counter("test_total", "t", Label{"v", "y"})
+	if a == c {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	a.Inc()
+	c.Add(2)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "# TYPE test_total counter") != 1 {
+		t.Fatalf("family header not deduplicated:\n%s", out)
+	}
+	if !strings.Contains(out, `test_total{v="x"} 1`) || !strings.Contains(out, `test_total{v="y"} 2`) {
+		t.Fatalf("missing series:\n%s", out)
+	}
+}
+
+func TestDurationHistogramScale(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Duration("test_seconds", "latency")
+	h.ObserveDuration(1500 * time.Nanosecond)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "test_seconds_sum 1.5e-06") {
+		t.Errorf("sum not scaled to seconds:\n%s", out)
+	}
+	if !strings.Contains(out, "test_seconds_count 1") {
+		t.Errorf("missing count:\n%s", out)
+	}
+	// Negative durations clamp instead of corrupting the sum.
+	h.ObserveDuration(-time.Second)
+	if h.Count() != 2 || h.Sum() != 1500 {
+		t.Errorf("negative duration mishandled: count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+func TestEmptyHistogramExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Duration("test_seconds", "latency")
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`test_seconds_bucket{le="+Inf"} 0`,
+		"test_seconds_sum 0",
+		"test_seconds_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("empty histogram missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRuntimeRegistry(t *testing.T) {
+	var sb strings.Builder
+	if err := Runtime().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_cycles_total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime registry missing %s:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// kind is the Prometheus metric type of a family.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance inside a family. Exactly one of the
+// value fields is set, matching the family kind.
+type series struct {
+	labels string // rendered label set, `variant="undirected"` — may be empty
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	cf     func() uint64  // CounterFunc
+	gf     func() float64 // GaugeFunc
+}
+
+// family groups all series sharing a metric name: one # HELP / # TYPE
+// header, many labeled series.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series []*series
+}
+
+// Registry is a named collection of metrics. Registration takes a lock
+// and happens once at setup; the metrics it hands out are free-standing
+// atomics, so recording never touches the registry. Each component owns
+// its registry (store, WAL layer, replication role) and the HTTP layer
+// gathers them per scrape.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byKey    map[string]*series
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byKey:  make(map[string]*series),
+		byName: make(map[string]*family),
+	}
+}
+
+// Label is one name="value" pair attached to a series at registration.
+type Label struct {
+	Name, Value string
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Name + `="` + escapeLabel(l.Value) + `"`
+	}
+	return strings.Join(parts, ",")
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, `\"`+"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// register returns the series for (name, labels), creating the family on
+// first sight. Re-registering the same name+labels returns the existing
+// series — registration is idempotent so layered constructors can't
+// collide with themselves.
+func (r *Registry) register(name, help string, k kind, labels []Label) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ls := renderLabels(labels)
+	key := name + "{" + ls + "}"
+	if s, ok := r.byKey[key]; ok {
+		return s
+	}
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	}
+	s := &series{labels: ls}
+	f.series = append(f.series, s)
+	r.byKey[key] = s
+	return s
+}
+
+// Counter registers (or returns) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.register(name, help, kindCounter, labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge registers (or returns) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.register(name, help, kindGauge, labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for pre-existing atomic counters kept elsewhere.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	s := r.register(name, help, kindCounter, labels)
+	s.cf = fn
+}
+
+// FloatCounterFunc registers a float-valued counter read from fn at
+// scrape time (cumulative seconds totals).
+func (r *Registry) FloatCounterFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.register(name, help, kindCounter, labels)
+	s.gf = fn
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.register(name, help, kindGauge, labels)
+	s.gf = fn
+}
+
+// Duration registers a latency histogram: recorded in nanoseconds,
+// exposed in seconds. Name it *_seconds by convention.
+func (r *Registry) Duration(name, help string, labels ...Label) *Histogram {
+	s := r.register(name, help, kindHistogram, labels)
+	if s.h == nil {
+		s.h = &Histogram{scale: 1e-9}
+	}
+	return s.h
+}
+
+// Values registers a plain value histogram (group sizes, batch sizes,
+// byte counts): recorded and exposed 1:1.
+func (r *Registry) Values(name, help string, labels ...Label) *Histogram {
+	s := r.register(name, help, kindHistogram, labels)
+	if s.h == nil {
+		s.h = &Histogram{scale: 1}
+	}
+	return s.h
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in text exposition format 0.0.4:
+// a # HELP and # TYPE header per family, then one line per series (or
+// the _bucket/_sum/_count triplet for histograms). Histogram buckets are
+// cumulative; empty leading and trailing buckets are trimmed but +Inf is
+// always present, and the count is derived from the buckets themselves
+// so count and buckets can never disagree within one scrape.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch {
+	case s.h != nil:
+		return writeHistogram(w, f.name, s.labels, s.h)
+	case s.c != nil:
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name, s.labels), s.c.Value())
+		return err
+	case s.cf != nil:
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name, s.labels), s.cf())
+		return err
+	case s.g != nil:
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name, s.labels), s.g.Value())
+		return err
+	case s.gf != nil:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name, s.labels), formatFloat(s.gf()))
+		return err
+	}
+	return nil
+}
+
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+func bucketName(name, labels, le string) string {
+	if labels == "" {
+		return name + `_bucket{le="` + le + `"}`
+	}
+	return name + `_bucket{` + labels + `,le="` + le + `"}`
+}
+
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	// Load the buckets once; everything below (cumulative lines, count)
+	// derives from this single snapshot, so the triplet is consistent.
+	var counts [numBuckets]uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	first, last := -1, -1
+	for i, c := range counts {
+		if c != 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	var cum uint64
+	if first >= 0 {
+		for i := first; i <= last; i++ {
+			cum += counts[i]
+			// The final populated bucket folds into +Inf below; finite
+			// bounds are only emitted for buckets strictly before it.
+			if i == last || i == numBuckets-1 {
+				break
+			}
+			le := formatFloat(float64(bucketBound(i)) * h.scale)
+			if _, err := fmt.Fprintf(w, "%s %d\n", bucketName(name, labels, le), cum); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", bucketName(name, labels, "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(name+"_sum", labels), formatFloat(float64(h.Sum())*h.scale)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", seriesName(name+"_count", labels), cum)
+	return err
+}

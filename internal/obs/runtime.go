@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// memStats caches runtime.ReadMemStats across the gauge funcs of one
+// scrape (and across near-simultaneous scrapes): ReadMemStats stops the
+// world briefly, so four gauges must not mean four stops.
+var memCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func memStats() runtime.MemStats {
+	memCache.mu.Lock()
+	defer memCache.mu.Unlock()
+	if time.Since(memCache.at) > 500*time.Millisecond {
+		runtime.ReadMemStats(&memCache.stat)
+		memCache.at = time.Now()
+	}
+	return memCache.stat
+}
+
+// majorFaults reads the process's cumulative major page-fault count from
+// /proc/self/stat (field 12, majflt). On a mapped-checkpoint deployment
+// this is the page-touch proxy for arena reads that actually hit disk:
+// mapped bytes say how much could fault, majflt says how much did.
+// Returns 0 on platforms without procfs.
+func majorFaults() uint64 {
+	b, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return 0
+	}
+	// comm (field 2) may contain spaces; everything after the closing
+	// paren is space-separated, with majflt at index 9 of that tail
+	// (fields 3..; majflt is field 12 overall).
+	s := string(b)
+	i := strings.LastIndexByte(s, ')')
+	if i < 0 {
+		return 0
+	}
+	fields := strings.Fields(s[i+1:])
+	if len(fields) < 10 {
+		return 0
+	}
+	n, err := strconv.ParseUint(fields[9], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+var (
+	runtimeOnce sync.Once
+	runtimeReg  *Registry
+)
+
+// Runtime returns the process-wide runtime registry: goroutine count,
+// heap and total memory, GC cycle/pause totals, and the major page-fault
+// counter that proxies arena page touches. Built once, shared by every
+// /metrics handler in the process.
+func Runtime() *Registry {
+	runtimeOnce.Do(func() {
+		r := NewRegistry()
+		r.GaugeFunc("go_goroutines", "Number of live goroutines.",
+			func() float64 { return float64(runtime.NumGoroutine()) })
+		r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+			func() float64 { m := memStats(); return float64(m.HeapAlloc) })
+		r.GaugeFunc("go_sys_bytes", "Bytes of memory obtained from the OS.",
+			func() float64 { m := memStats(); return float64(m.Sys) })
+		r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+			func() uint64 { m := memStats(); return uint64(m.NumGC) })
+		r.FloatCounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+			func() float64 { m := memStats(); return float64(m.PauseTotalNs) * 1e-9 })
+		r.CounterFunc("process_major_page_faults_total",
+			"Major page faults (mapped-checkpoint page touches that hit disk).",
+			majorFaults)
+		runtimeReg = r
+	})
+	return runtimeReg
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	dynhl "repro"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -36,6 +37,12 @@ type Follower struct {
 	// apply failed or a gap appeared, cleared when a snapshot lands.
 	forceSnapshot atomic.Bool
 
+	reconnects   atomic.Uint64 // sessions dialled after the first
+	rebootstraps atomic.Uint64 // images applied over an existing store
+	acksSent     atomic.Uint64
+
+	reg *obs.Registry // metrics (metrics.go), built at StartFollower
+
 	connMu sync.Mutex
 	conn   net.Conn
 
@@ -53,6 +60,7 @@ func StartFollower(leaderAddr string, opts Options) *Follower {
 		opts:       opts.withDefaults(),
 		stop:       make(chan struct{}),
 	}
+	f.reg = newFollowerMetrics(f)
 	f.wg.Add(1)
 	go f.run()
 	return f
@@ -86,11 +94,14 @@ func (f *Follower) WaitReady(ctx context.Context) error {
 func (f *Follower) run() {
 	defer f.wg.Done()
 	backoff := f.opts.ReconnectMin
-	for {
+	for attempt := 0; ; attempt++ {
 		select {
 		case <-f.stop:
 			return
 		default:
+		}
+		if attempt > 0 {
+			f.reconnects.Add(1)
 		}
 		err := f.session()
 		f.connected.Store(false)
@@ -250,6 +261,7 @@ func (f *Follower) apply(conn net.Conn, queue <-chan item) error {
 			if err := writeFrame(conn, f.opts.Timeout, frameAck, u64Payload(ack)); err != nil {
 				return err
 			}
+			f.acksSent.Add(1)
 		}
 	}
 	return nil
@@ -272,6 +284,8 @@ func (f *Follower) applyOne(it item) (ack uint64, send bool, err error) {
 			f.store.Store(st)
 		} else if err := st.Reset(idx, epoch); err != nil {
 			return 0, false, err
+		} else {
+			f.rebootstraps.Add(1)
 		}
 		f.observeLeader(epoch)
 		f.forceSnapshot.Store(false)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	dynhl "repro"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -32,7 +33,10 @@ type Leader struct {
 	shippedBytes   atomic.Uint64
 	bootstraps     atomic.Uint64
 	resumes        atomic.Uint64
+	acksReceived   atomic.Uint64
 	lastAck        atomic.Int64 // unix nanos of the newest follower ack
+
+	reg *obs.Registry // metrics (metrics.go), built at StartLeader
 
 	wg sync.WaitGroup
 }
@@ -60,6 +64,7 @@ func StartLeader(addr string, d *wal.Durable, opts Options) (*Leader, error) {
 		ln:       ln,
 		sessions: make(map[*session]struct{}),
 	}
+	l.reg = newLeaderMetrics(l)
 	if err := l.store.AttachReplication(l); err != nil {
 		ln.Close()
 		return nil, err
@@ -141,6 +146,7 @@ func (l *Leader) serve(s *session) {
 			}
 			if epoch, err := decodeU64(payload, "ack"); err == nil {
 				s.acked.Store(epoch)
+				l.acksReceived.Add(1)
 				l.lastAck.Store(time.Now().UnixNano())
 			}
 		}

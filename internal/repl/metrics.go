@@ -1,0 +1,78 @@
+package repl
+
+import (
+	"repro/internal/obs"
+)
+
+// Metrics: each role owns a registry built at construction; every series
+// carries a role label so a process hosting both (tests, future chained
+// topologies) stays unambiguous. Lag is exposed as scrape-time gauge
+// funcs over the same state ReplicationStats reports — the numbers on
+// /metrics and /stats can never drift apart.
+
+func newLeaderMetrics(l *Leader) *obs.Registry {
+	r := obs.NewRegistry()
+	role := obs.Label{Name: "role", Value: "leader"}
+	r.GaugeFunc("dynhl_repl_followers", "Connected followers.",
+		func() float64 { return float64(l.ReplicationStats().Followers) }, role)
+	r.GaugeFunc("dynhl_repl_lag_epochs",
+		"Epochs the slowest connected follower's acks trail the published epoch.",
+		func() float64 { return float64(l.ReplicationStats().LagEpochs) }, role)
+	r.GaugeFunc("dynhl_repl_connected", "1 while accepting followers.",
+		func() float64 {
+			if l.ReplicationStats().Connected {
+				return 1
+			}
+			return 0
+		}, role)
+	r.CounterFunc("dynhl_repl_shipped_records_total", "Op-batch records shipped to followers.",
+		l.shippedRecords.Load, role)
+	r.CounterFunc("dynhl_repl_shipped_bytes_total", "Bytes shipped to followers (records and images).",
+		l.shippedBytes.Load, role)
+	r.CounterFunc("dynhl_repl_bootstraps_total", "Checkpoint images shipped (first contact or re-bootstrap).",
+		l.bootstraps.Load, role)
+	r.CounterFunc("dynhl_repl_resumes_total", "Sessions resumed from the follower's own epoch.",
+		l.resumes.Load, role)
+	r.CounterFunc("dynhl_repl_acks_total", "Follower acks received.",
+		l.acksReceived.Load, role)
+	return r
+}
+
+func newFollowerMetrics(f *Follower) *obs.Registry {
+	r := obs.NewRegistry()
+	role := obs.Label{Name: "role", Value: "follower"}
+	r.GaugeFunc("dynhl_repl_lag_epochs", "Epochs this replica trails the leader.",
+		func() float64 { return float64(f.ReplicationStats().LagEpochs) }, role)
+	r.GaugeFunc("dynhl_repl_lag_bytes", "Received-but-unapplied record bytes.",
+		func() float64 { return float64(f.ReplicationStats().LagBytes) }, role)
+	r.GaugeFunc("dynhl_repl_connected", "1 while the leader link is up.",
+		func() float64 {
+			if f.connected.Load() {
+				return 1
+			}
+			return 0
+		}, role)
+	r.GaugeFunc("dynhl_repl_ready", "1 once the replica bootstrapped and serves reads.",
+		func() float64 {
+			if f.ready.Load() {
+				return 1
+			}
+			return 0
+		}, role)
+	r.GaugeFunc("dynhl_repl_leader_epoch", "Newest epoch the leader is known to have published.",
+		func() float64 { return float64(f.leaderEpoch.Load()) }, role)
+	r.CounterFunc("dynhl_repl_reconnects_total", "Sessions dialled after the first (link drops survived).",
+		f.reconnects.Load, role)
+	r.CounterFunc("dynhl_repl_rebootstraps_total", "Full image bootstraps after the first (resume impossible).",
+		f.rebootstraps.Load, role)
+	r.CounterFunc("dynhl_repl_acks_total", "Acks written back to the leader.",
+		f.acksSent.Load, role)
+	return r
+}
+
+// MetricsRegistry returns the leader's metrics registry;
+// dynhl.Store.MetricsRegistries picks it up via the replication layer.
+func (l *Leader) MetricsRegistry() *obs.Registry { return l.reg }
+
+// MetricsRegistry returns the follower's metrics registry.
+func (f *Follower) MetricsRegistry() *obs.Registry { return f.reg }

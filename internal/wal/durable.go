@@ -106,6 +106,10 @@ type Durable struct {
 	stop   chan struct{}
 	wg     sync.WaitGroup
 	closed atomic.Bool
+
+	// metrics is the layer's observability surface (metrics.go), set once
+	// in attach before the store or the background worker can run.
+	metrics *walMetrics
 }
 
 func walDir(dir string) string { return filepath.Join(dir, "wal") }
@@ -174,6 +178,8 @@ func attach(dir string, store *dynhl.Store, ckptEpoch uint64, replayed uint64, o
 		stop:     make(chan struct{}),
 	}
 	d.ckptEpoch.Store(ckptEpoch)
+	d.metrics = newWALMetrics(d)
+	lg.m = d.metrics
 	if err := store.AttachDurability(d); err != nil {
 		lg.Close()
 		return nil, err
@@ -249,6 +255,7 @@ func (d *Durable) checkpointView(v dynhl.View) (uint64, error) {
 	if !ok {
 		return 0, fmt.Errorf("wal: snapshot cannot be checkpointed: %w", errors.ErrUnsupported)
 	}
+	start := time.Now()
 	// Records past the checkpoint must not ride only in the page cache
 	// while the files below them disappear.
 	if err := d.log.Sync(); err != nil {
@@ -257,6 +264,8 @@ func (d *Durable) checkpointView(v dynhl.View) (uint64, error) {
 	if _, err := writeCheckpoint(d.dir, epoch, src); err != nil {
 		return 0, err
 	}
+	d.metrics.checkpoint.Since(start)
+	d.metrics.checkpoints.Inc()
 	// The checkpoint is durable: from here the operation has succeeded and
 	// must report so — a caller like a Load commit would otherwise abort
 	// its publish while checkpoint-<epoch> stays on disk, shadowing

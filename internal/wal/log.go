@@ -122,6 +122,10 @@ type Log struct {
 	durable  uint64 // highest epoch known fsynced
 	segCount int
 
+	// m receives append/fsync timings; set once by the owning Durable
+	// before the log is used, nil for logs opened without one (tests).
+	m *walMetrics
+
 	buf []byte // frame scratch, reused across appends
 }
 
@@ -194,6 +198,7 @@ func (l *Log) Append(epoch uint64, ops []dynhl.Op) (int, error) {
 	if l.poisoned {
 		return 0, fmt.Errorf("wal: log is poisoned by an earlier unrolled-back append failure; restart to recover")
 	}
+	start := time.Now()
 	frame, err := appendRecord(l.buf[:0], epoch, ops)
 	if err != nil {
 		return 0, err
@@ -221,6 +226,9 @@ func (l *Log) Append(epoch uint64, ops []dynhl.Op) (int, error) {
 	}
 	l.records++
 	l.bytes += uint64(len(frame))
+	if l.m != nil {
+		l.m.append.Since(start)
+	}
 	if l.size >= l.segMax {
 		// The record is already durable, so a publish must not fail on
 		// this housekeeping: a rotation error leaves the oversized segment
@@ -256,8 +264,12 @@ func (l *Log) syncLocked() error {
 	if !l.pending {
 		return nil
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	if l.m != nil {
+		l.m.fsync.Since(start)
 	}
 	l.pending = false
 	l.syncs++

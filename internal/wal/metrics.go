@@ -1,0 +1,68 @@
+package wal
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Package-wide recovery counters: recovery runs before any Durable (and
+// therefore any registry) exists, so the boot path records into process
+// globals and every Durable's registry exposes them as counter funcs.
+var (
+	recoveriesTotal    atomic.Uint64 // successful Recover calls
+	tornTailsTotal     atomic.Uint64 // torn final records truncated on replay
+	replayedTotal      atomic.Uint64 // log records replayed over checkpoints
+	ckptFallbacksTotal atomic.Uint64 // damaged checkpoints skipped for older ones
+)
+
+// walMetrics is one Durable's metric set: inline timings recorded by the
+// log and checkpoint paths, plus scrape-time views of the counters the
+// log already keeps for DurabilityStats (no double bookkeeping).
+type walMetrics struct {
+	reg         *obs.Registry
+	append      *obs.Histogram // dynhl_wal_append_seconds (write + policy sync)
+	fsync       *obs.Histogram // dynhl_wal_fsync_seconds
+	checkpoint  *obs.Histogram // dynhl_wal_checkpoint_seconds
+	checkpoints *obs.Counter   // dynhl_wal_checkpoints_total
+}
+
+func newWALMetrics(d *Durable) *walMetrics {
+	r := obs.NewRegistry()
+	m := &walMetrics{
+		reg: r,
+		append: r.Duration("dynhl_wal_append_seconds",
+			"WAL record append latency, including the policy's fsync."),
+		fsync: r.Duration("dynhl_wal_fsync_seconds",
+			"WAL fsync latency."),
+		checkpoint: r.Duration("dynhl_wal_checkpoint_seconds",
+			"Checkpoint write latency (snapshot serialisation + sync)."),
+		checkpoints: r.Counter("dynhl_wal_checkpoints_total",
+			"Checkpoints completed."),
+	}
+	r.CounterFunc("dynhl_wal_records_total", "WAL records appended.",
+		func() uint64 { return d.DurabilityStats().Records })
+	r.CounterFunc("dynhl_wal_appended_bytes_total", "WAL bytes appended.",
+		func() uint64 { return d.DurabilityStats().Bytes })
+	r.CounterFunc("dynhl_wal_fsyncs_total", "WAL fsyncs issued.",
+		func() uint64 { return d.DurabilityStats().Syncs })
+	r.GaugeFunc("dynhl_wal_durable_epoch", "Highest epoch known durable.",
+		func() float64 { return float64(d.DurabilityStats().DurableEpoch) })
+	r.GaugeFunc("dynhl_wal_checkpoint_epoch", "Epoch of the newest completed checkpoint.",
+		func() float64 { return float64(d.ckptEpoch.Load()) })
+	r.GaugeFunc("dynhl_wal_segments", "Live log segment files.",
+		func() float64 { return float64(d.DurabilityStats().Segments) })
+	r.CounterFunc("dynhl_wal_recoveries_total",
+		"Successful recoveries (process-wide).", recoveriesTotal.Load)
+	r.CounterFunc("dynhl_wal_torn_tails_total",
+		"Torn final records truncated on replay (process-wide).", tornTailsTotal.Load)
+	r.CounterFunc("dynhl_wal_replayed_records_total",
+		"Log records replayed over checkpoints (process-wide).", replayedTotal.Load)
+	r.CounterFunc("dynhl_wal_checkpoint_fallbacks_total",
+		"Damaged checkpoints skipped for an older one (process-wide).", ckptFallbacksTotal.Load)
+	return m
+}
+
+// MetricsRegistry returns the durability layer's metrics registry;
+// dynhl.Store.MetricsRegistries picks it up once the layer is attached.
+func (d *Durable) MetricsRegistry() *obs.Registry { return d.metrics.reg }

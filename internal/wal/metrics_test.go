@@ -1,0 +1,111 @@
+package wal
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// walExposition renders every registry the durable store speaks for.
+func walExposition(t *testing.T, d *Durable) string {
+	t.Helper()
+	var b strings.Builder
+	if err := obs.WriteAll(&b, d.Store().MetricsRegistries()...); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// walSample extracts one series' value, failing when it is missing.
+func walSample(t *testing.T, text, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		name, raw, ok := strings.Cut(line, " ")
+		if ok && name == series {
+			var v float64
+			if _, err := fmt.Sscanf(raw, "%g", &v); err != nil {
+				t.Fatalf("series %s: bad value %q: %v", series, raw, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s missing from exposition:\n%s", series, text)
+	return 0
+}
+
+// TestWALMetricsExposition checks the durable layer's registry rides along
+// on Store.MetricsRegistries and its series move with appends, fsyncs and
+// checkpoints — and agree with DurabilityStats.
+func TestWALMetricsExposition(t *testing.T) {
+	d, err := Create(t.TempDir(), buildIndex(t, 30, 5), quietOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	insertFresh(t, d.Store())
+	insertFresh(t, d.Store())
+	if _, err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	text := walExposition(t, d)
+	st := d.DurabilityStats()
+	if got := walSample(t, text, "dynhl_wal_records_total"); got != float64(st.Records) {
+		t.Errorf("records_total %g, DurabilityStats says %d", got, st.Records)
+	}
+	if got := walSample(t, text, "dynhl_wal_appended_bytes_total"); got != float64(st.Bytes) {
+		t.Errorf("appended_bytes_total %g, DurabilityStats says %d", got, st.Bytes)
+	}
+	if got := walSample(t, text, "dynhl_wal_fsyncs_total"); got < 2 {
+		t.Errorf("fsyncs_total %g, want >= 2 under SyncAlways", got)
+	}
+	if got := walSample(t, text, "dynhl_wal_checkpoints_total"); got != 1 {
+		t.Errorf("checkpoints_total %g, want 1", got)
+	}
+	if got := walSample(t, text, "dynhl_wal_durable_epoch"); got != 2 {
+		t.Errorf("durable_epoch %g, want 2", got)
+	}
+	if got := walSample(t, text, "dynhl_wal_checkpoint_epoch"); got != 2 {
+		t.Errorf("checkpoint_epoch %g, want 2", got)
+	}
+	for _, h := range []string{"dynhl_wal_append_seconds_count", "dynhl_wal_fsync_seconds_count", "dynhl_wal_checkpoint_seconds_count"} {
+		if got := walSample(t, text, h); got < 1 {
+			t.Errorf("%s = %g, want >= 1", h, got)
+		}
+	}
+}
+
+// TestRecoveryMetricsAdvance checks the package-wide recovery counters: a
+// crash with a torn tail bumps recoveries, torn tails and replayed
+// records on the store recovered afterwards.
+func TestRecoveryMetricsAdvance(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Create(dir, buildIndex(t, 30, 7), quietOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertFresh(t, d.Store())
+	d.abandon()
+
+	recoveriesBefore := recoveriesTotal.Load()
+	replayedBefore := replayedTotal.Load()
+
+	d2, err := Recover(dir, quietOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := recoveriesTotal.Load() - recoveriesBefore; got != 1 {
+		t.Errorf("recoveries_total advanced by %d, want 1", got)
+	}
+	if got := replayedTotal.Load() - replayedBefore; got != 1 {
+		t.Errorf("replayed_records_total advanced by %d, want 1 (the unreplayed append)", got)
+	}
+	text := walExposition(t, d2)
+	if got := walSample(t, text, "dynhl_wal_recoveries_total"); got < 1 {
+		t.Errorf("recoveries_total %g on /metrics, want >= 1", got)
+	}
+}

@@ -54,6 +54,7 @@ func Recover(dir string, opts Options) (*Durable, error) {
 		}
 		if idx == nil {
 			if st, ckErr = readCheckpoint(c.path); ckErr != nil {
+				ckptFallbacksTotal.Add(1)
 				opts.Logf("wal: skipping damaged checkpoint %s: %v", c.path, ckErr)
 				continue
 			}
@@ -77,6 +78,8 @@ func Recover(dir string, opts Options) (*Durable, error) {
 	// same batching insight as the store's group commit, on the boot path):
 	// wrapping it here packs once and publishes once, at the last logged
 	// epoch, instead of paying one fork + pack + publish per record.
+	recoveriesTotal.Add(1)
+	replayedTotal.Add(replayed)
 	store := dynhl.NewStoreAt(idx, last)
 	return attach(dir, store, st.epoch, replayed, opts)
 }
@@ -170,6 +173,7 @@ func replay(o dynhl.Oracle, dir string, ckptEpoch uint64, logf func(string, ...a
 				}
 				// A crash cut the final append short; the record's epoch
 				// was never published, so dropping it loses nothing.
+				tornTailsTotal.Add(1)
 				logf("wal: truncating torn record at end of %s (offset %d, %d trailing bytes)", seg.path, off, len(data)-off)
 				if err := os.Truncate(seg.path, int64(off)); err != nil {
 					return 0, 0, fmt.Errorf("wal: truncating torn tail: %w", err)

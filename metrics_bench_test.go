@@ -1,0 +1,44 @@
+package dynhl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// BenchmarkQueryInstrumented isolates the cost of the always-on query
+// instrumentation: the same packed snapshot queried through a bare view
+// (no metrics — the pre-instrumentation read path) and through the
+// instrumented view Snapshot hands out (one time.Now, two atomic adds and
+// a threshold load per query). The delta is the observability tax on the
+// hot path; EXPERIMENTS.md records it.
+func BenchmarkQueryInstrumented(b *testing.B) {
+	const n = 50_000
+	idx, err := Build(testutil.RandomConnectedGraph(n, 2*n, 9), Options{Landmarks: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := NewStore(idx)
+	rng := rand.New(rand.NewSource(77))
+	pairs := make([]Pair, 4096)
+	for i := range pairs {
+		pairs[i] = Pair{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))}
+	}
+	bare := &view{sn: st.cur.Load()}
+	inst := st.Snapshot()
+	b.Run("bare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			bare.Query(p.U, p.V)
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			inst.Query(p.U, p.V)
+		}
+	})
+}

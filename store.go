@@ -137,6 +137,11 @@ type Store struct {
 	// write/wait paths — the lock-free read path never touches it.
 	pubMu sync.Mutex
 	pubCh chan struct{}
+
+	// metrics is the store's observability surface (metrics.go): set once
+	// at construction, recorded into by the read path and the commit
+	// pipeline with atomic adds only.
+	metrics *storeMetrics
 }
 
 // DurabilityStats describes the state of a durability layer attached with
@@ -285,7 +290,7 @@ func (s *Store) commit(next *snapshot, ops []Op) error {
 	if d == nil {
 		return nil
 	}
-	if err := d.Commit(next.epoch, ops, &view{sn: next}); err != nil {
+	if err := d.Commit(next.epoch, ops, &view{sn: next, m: s.metrics}); err != nil {
 		return fmt.Errorf("dynhl: durability commit of epoch %d: %w", next.epoch, err)
 	}
 	return nil
@@ -305,6 +310,7 @@ func NewStore(o Oracle) *Store {
 	if _, ok := o.(forkable); !ok {
 		s.rmu = new(sync.RWMutex)
 	}
+	s.metrics = newStoreMetrics(s, variantOf(o))
 	pack(o) // epoch 0 serves from the packed read form too
 	s.cur.Store(&snapshot{o: o})
 	return s
@@ -326,6 +332,7 @@ func NewStoreAt(o Oracle, epoch uint64) *Store {
 	if _, ok := o.(forkable); !ok {
 		s.rmu = new(sync.RWMutex)
 	}
+	s.metrics = newStoreMetrics(s, variantOf(o))
 	pack(o) // recovered epochs serve from the packed read form too
 	s.cur.Store(&snapshot{o: o, epoch: epoch})
 	return s
@@ -413,10 +420,11 @@ func (s *Store) Reset(o Oracle, epoch uint64) error {
 // each call answers from (and Epoch names) the store's current version at
 // that moment, under the fallback read lock.
 func (s *Store) Snapshot() View {
+	s.metrics.pins.Inc()
 	if s.rmu != nil {
-		return &view{live: s}
+		return &view{live: s, m: s.metrics}
 	}
-	return &view{sn: s.cur.Load()}
+	return &view{sn: s.cur.Load(), m: s.metrics}
 }
 
 // Epoch returns the current published version number.
@@ -473,7 +481,7 @@ func (s *Store) ApplyCtx(ctx context.Context, ops []Op) (ApplyResult, error) {
 	if s.rmu != nil {
 		return s.applyFallback(ops)
 	}
-	r := &applyReq{ops: ops, done: make(chan applyOutcome, 1)}
+	r := &applyReq{ops: ops, done: make(chan applyOutcome, 1), enq: time.Now()}
 	s.enqueue(r)
 	select {
 	case out := <-r.done:
@@ -482,6 +490,7 @@ func (s *Store) ApplyCtx(ctx context.Context, ops []Op) (ApplyResult, error) {
 		if r.state.CompareAndSwap(reqPending, reqAbandoned) {
 			// Excised before the committer claimed the batch: none of its
 			// ops were applied.
+			s.metrics.abandoned.Inc()
 			return ApplyResult{Epoch: s.Epoch()}, ctx.Err()
 		}
 		// Claimed already: the group is committing. Its outcome — including
@@ -533,7 +542,10 @@ func (s *Store) Query(u, v uint32) Dist {
 		s.rmu.RLock()
 		defer s.rmu.RUnlock()
 	}
-	return sn.o.Query(u, v)
+	start := time.Now()
+	d := sn.o.Query(u, v)
+	s.metrics.queryDone(sn.epoch, u, v, d, start)
+	return d
 }
 
 // QueryBatch answers many pairs against one snapshot — the whole batch is
@@ -544,7 +556,10 @@ func (s *Store) QueryBatch(pairs []Pair) []Dist {
 		s.rmu.RLock()
 		defer s.rmu.RUnlock()
 	}
-	return fanQueryBatch(sn.o, pairs)
+	start := time.Now()
+	out := fanQueryBatch(sn.o, pairs)
+	s.metrics.batchDone(len(pairs), start)
+	return out
 }
 
 // QueryBatchCtx is QueryBatch honouring cancellation between chunks.
@@ -554,7 +569,10 @@ func (s *Store) QueryBatchCtx(ctx context.Context, pairs []Pair) ([]Dist, error)
 		s.rmu.RLock()
 		defer s.rmu.RUnlock()
 	}
-	return queryBatchCtx(ctx, sn.o, pairs)
+	start := time.Now()
+	out, err := queryBatchCtx(ctx, sn.o, pairs)
+	s.metrics.batchDone(len(pairs), start)
+	return out, err
 }
 
 // InsertEdge publishes a one-op batch (see ApplyCtx); under concurrent
@@ -775,7 +793,8 @@ func (s *Store) LoadMappedFile(path string) (uint64, error) {
 // Epoch always names the version the answers come from.
 type view struct {
 	sn   *snapshot
-	live *Store // fallback mode only: resolve the current version per call
+	live *Store        // fallback mode only: resolve the current version per call
+	m    *storeMetrics // owning store's metrics; nil only for bare test views
 }
 
 // cur resolves the snapshot this call answers from. Fallback-mode callers
@@ -799,17 +818,33 @@ func (v *view) Epoch() uint64 { return v.cur().epoch }
 
 func (v *view) Query(u, w uint32) Dist {
 	defer v.rlock()()
-	return v.cur().o.Query(u, w)
+	sn := v.cur()
+	start := time.Now()
+	d := sn.o.Query(u, w)
+	if v.m != nil {
+		v.m.queryDone(sn.epoch, u, w, d, start)
+	}
+	return d
 }
 
 func (v *view) QueryBatch(pairs []Pair) []Dist {
 	defer v.rlock()()
-	return fanQueryBatch(v.cur().o, pairs)
+	start := time.Now()
+	out := fanQueryBatch(v.cur().o, pairs)
+	if v.m != nil {
+		v.m.batchDone(len(pairs), start)
+	}
+	return out
 }
 
 func (v *view) QueryBatchCtx(ctx context.Context, pairs []Pair) ([]Dist, error) {
 	defer v.rlock()()
-	return queryBatchCtx(ctx, v.cur().o, pairs)
+	start := time.Now()
+	out, err := queryBatchCtx(ctx, v.cur().o, pairs)
+	if v.m != nil {
+		v.m.batchDone(len(pairs), start)
+	}
+	return out, err
 }
 
 func (v *view) NumVertices() int {

@@ -1,6 +1,9 @@
 package dynhl
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // This file is the group-commit write pipeline behind Store.ApplyCtx.
 //
@@ -40,6 +43,7 @@ type applyReq struct {
 	ops   []Op
 	done  chan applyOutcome // buffered(1): the pipeline never blocks resolving
 	state atomic.Int32
+	enq   time.Time // when the caller enqueued; claimed-enq = coalesce wait
 }
 
 // applyOutcome is what a future resolves to.
@@ -75,8 +79,11 @@ type commitGroup struct {
 }
 
 // resolveRejections fails the rejected callers. Called only once the state
-// their validation ran against is known committed.
-func (g *commitGroup) resolveRejections() {
+// their validation ran against is known committed (which is also why the
+// rejection counter lives here: a provisional rejection redone against a
+// republished base must not count twice).
+func (g *commitGroup) resolveRejections(m *storeMetrics) {
+	m.rejected.Add(uint64(len(g.rejected)))
 	for _, rej := range g.rejected {
 		rej.req.resolve(ApplyResult{Epoch: rej.epoch}, rej.err)
 	}
@@ -105,6 +112,7 @@ func (s *Store) takeQueue() []*applyReq {
 	live := q[:0]
 	for _, r := range q {
 		if r.state.CompareAndSwap(reqPending, reqClaimed) {
+			s.metrics.stageWait.Since(r.enq)
 			live = append(live, r)
 		}
 	}
@@ -177,7 +185,7 @@ func (s *Store) commitLoop() {
 				sn := s.cur.Load()
 				g = s.repairGroup(sn.o, sn.epoch, g.reqs, true)
 			} else {
-				g.resolveRejections()
+				g.resolveRejections(s.metrics)
 			}
 		}
 		if len(g.live) == 0 {
@@ -197,6 +205,8 @@ func (s *Store) commitLoop() {
 // already published state; rejections against an unpublished base stay
 // provisional (see commitLoop).
 func (s *Store) repairGroup(base Oracle, baseEpoch uint64, reqs []*applyReq, baseCommitted bool) *commitGroup {
+	start := time.Now()
+	defer s.metrics.stageRepair.Since(start)
 	g := &commitGroup{reqs: reqs, epoch: baseEpoch + 1}
 	live := append([]*applyReq(nil), reqs...)
 	for {
@@ -223,7 +233,7 @@ func (s *Store) repairGroup(base Oracle, baseEpoch uint64, reqs []*applyReq, bas
 		}
 	}
 	if baseCommitted {
-		g.resolveRejections()
+		g.resolveRejections(s.metrics)
 	}
 	switch len(g.live) {
 	case 0:
@@ -250,12 +260,24 @@ func (s *Store) repairGroup(base Oracle, baseEpoch uint64, reqs []*applyReq, bas
 // so the committer knows whether the tip it repaired on actually became
 // real.
 func (s *Store) publishLoop(pubc <-chan *commitGroup, outc chan<- *commitGroup) {
+	m := s.metrics
 	for g := range pubc {
+		m.groups.Inc()
+		m.callers.Add(uint64(len(g.live)))
+		m.opsApplied.Add(uint64(len(g.ops)))
+		m.groupCallers.Observe(uint64(len(g.live)))
+		m.groupOps.Observe(uint64(len(g.ops)))
+		t := time.Now()
 		pack(g.work)
+		m.stagePack.Since(t)
 		next := &snapshot{o: g.work, epoch: g.epoch}
-		if err := s.commit(next, g.ops); err != nil {
+		t = time.Now()
+		err := s.commit(next, g.ops)
+		m.stageCommit.Since(t)
+		if err != nil {
 			// Not durable, not published: the fork is discarded whole and
 			// every co-batched caller sees the commit error.
+			m.commitErrs.Inc()
 			g.err = err
 			for _, r := range g.live {
 				r.resolve(ApplyResult{Epoch: g.epoch - 1}, err)
@@ -263,7 +285,9 @@ func (s *Store) publishLoop(pubc <-chan *commitGroup, outc chan<- *commitGroup) 
 			outc <- g
 			continue
 		}
+		t = time.Now()
 		s.publish(next)
+		m.stagePublish.Since(t)
 		for i, r := range g.live {
 			r.resolve(ApplyResult{
 				Summaries: g.sums[i],
