@@ -118,6 +118,8 @@ func main() {
 
 		mmapFlag = flag.String("mmap", "auto", "serve checkpoint and label files out of an mmap instead of decoding a heap copy: auto, on or off")
 
+		repairWorkers = flag.Int("repair-workers", 0, "per-landmark fan-out of update repairs and the delta repack (0 = GOMAXPROCS, 1 = serial; results are identical for every value)")
+
 		debugAddr = flag.String("debug-addr", "", "extra listen address serving /debug/pprof and /metrics (empty = off)")
 		accessLog = flag.Bool("access-log", false, "log one structured line per HTTP request")
 		slowQuery = flag.Duration("slow-query", 0, "log queries slower than this threshold, rate-bounded (0 = off)")
@@ -134,7 +136,7 @@ func main() {
 		if *leaderAddr == "" {
 			log.Fatal("hlserver: -role follower requires -leader-addr")
 		}
-		runFollower(*addr, *leaderAddr, mmapMode, *debugAddr, *accessLog, *slowQuery)
+		runFollower(*addr, *leaderAddr, mmapMode, *repairWorkers, *debugAddr, *accessLog, *slowQuery)
 		return
 	case "standalone", "leader", "":
 		if *role == "leader" && *dataDir == "" {
@@ -144,7 +146,7 @@ func main() {
 		log.Fatalf("hlserver: unknown -role %q (want standalone, leader or follower)", *role)
 	}
 
-	opt := dynhl.Options{Landmarks: *landmarks, Strategy: *strategy, Seed: *seed, Parallel: true}
+	opt := dynhl.Options{Landmarks: *landmarks, Strategy: *strategy, Seed: *seed, Parallel: true, RepairWorkers: *repairWorkers}
 	build := func() (dynhl.Oracle, error) {
 		return cli.BuildOracle(*graphPath, *mode, *ds, *scale, opt)
 	}
@@ -188,6 +190,10 @@ func main() {
 		}
 		store = dynhl.NewStore(oracle)
 	}
+	// Recovery rebuilds the oracle from checkpoint bytes, which does not
+	// carry the fan-out; (re)apply it store-wide so every path agrees.
+	store.SetRepairWorkers(*repairWorkers)
+	log.Printf("repair engine: %d workers", store.RepairWorkers())
 	if *loadLabels != "" {
 		if err := loadLabelFile(store, *loadLabels, mmapMode); err != nil {
 			log.Fatal("hlserver: ", err)
@@ -249,8 +255,8 @@ func main() {
 
 // runFollower serves a read replica: no local graph, labels or WAL — the
 // whole state is bootstrapped and then replayed from the leader.
-func runFollower(addr, leaderAddr string, mmapMode wal.MapMode, debugAddr string, accessLog bool, slowQuery time.Duration) {
-	f := repl.StartFollower(leaderAddr, repl.Options{Logf: log.Printf, Mmap: mmapMode})
+func runFollower(addr, leaderAddr string, mmapMode wal.MapMode, repairWorkers int, debugAddr string, accessLog bool, slowQuery time.Duration) {
+	f := repl.StartFollower(leaderAddr, repl.Options{Logf: log.Printf, Mmap: mmapMode, RepairWorkers: repairWorkers})
 	log.Printf("replicating from %s (reads 503 until the first bootstrap lands)", leaderAddr)
 	go func() {
 		if err := f.WaitReady(context.Background()); err != nil {

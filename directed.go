@@ -3,9 +3,11 @@ package dynhl
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/dhcl"
 	"repro/internal/digraph"
+	"repro/internal/fanout"
 	"repro/internal/landmark"
 )
 
@@ -33,9 +35,10 @@ type DirectedIndex struct {
 
 // BuildDirected constructs the directed labelling of g. Options drives it
 // exactly as Build does the undirected one — landmark count, selection
-// strategy and seed; degree-based strategies use total (in+out) degree.
-// Parallel construction is not implemented for this variant, so the
-// Parallel/Workers knobs are accepted and ignored.
+// strategy and seed (degree-based strategies use total in+out degree),
+// Parallel/Workers fan the per-pass construction BFS across cores, and
+// RepairWorkers sets the repair engine's fan-out. The result is identical
+// for every worker count.
 func BuildDirected(g *Digraph, opt Options) (*DirectedIndex, error) {
 	if opt.Landmarks <= 0 {
 		opt.Landmarks = 20
@@ -49,17 +52,25 @@ func BuildDirected(g *Digraph, opt Options) (*DirectedIndex, error) {
 	if err != nil {
 		return nil, err
 	}
-	return BuildDirectedWithLandmarks(g, lms)
+	return BuildDirectedWithLandmarks(g, lms, opt)
 }
 
 // BuildDirectedWithLandmarks constructs the labelling with an explicit
-// landmark set.
-func BuildDirectedWithLandmarks(g *Digraph, landmarks []uint32) (*DirectedIndex, error) {
-	idx, err := dhcl.Build(g, landmarks)
+// landmark set (Options strategy fields are ignored).
+func BuildDirectedWithLandmarks(g *Digraph, landmarks []uint32, opt Options) (*DirectedIndex, error) {
+	var idx *dhcl.Index
+	var err error
+	if opt.Parallel {
+		idx, err = dhcl.BuildParallel(g, landmarks, opt.Workers)
+	} else {
+		idx, err = dhcl.Build(g, landmarks)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &DirectedIndex{idx: idx}, nil
+	x := &DirectedIndex{idx: idx}
+	x.setRepairWorkers(opt.RepairWorkers)
+	return x, nil
 }
 
 // Graph returns the underlying directed graph. Treat it as read-only;
@@ -122,6 +133,17 @@ func (x *DirectedIndex) fork() Oracle {
 	return &DirectedIndex{idx: x.idx.Fork(x.idx.G.Fork())}
 }
 
+// setRepairWorkers tunes the per-pass repair fan-out and the delta repack
+// (0 = GOMAXPROCS, 1 = serial); see Options.RepairWorkers.
+func (x *DirectedIndex) setRepairWorkers(n int) { x.idx.Workers = n }
+
+// repairWorkers returns the configured (unresolved) repair fan-out.
+func (x *DirectedIndex) repairWorkers() int { return x.idx.Workers }
+
+// setRepairTimer installs f as the per-pass repair task timer; it is called
+// from worker goroutines and must be safe for concurrent use.
+func (x *DirectedIndex) setRepairTimer(f func(time.Duration)) { x.idx.RepairTimer = f }
+
 // DeleteEdge removes the directed edge u→v and repairs both label sets
 // with DecHL (see Oracle.DeleteEdge).
 func (x *DirectedIndex) DeleteEdge(u, v uint32) (UpdateSummary, error) {
@@ -173,6 +195,7 @@ func (x *DirectedIndex) Stats() Stats {
 		st.PackedBytes += pb.ArenaBytes()
 	}
 	st.MappedBytes = x.idx.MappedBytes()
+	st.RepairWorkers = fanout.Resolve(x.idx.Workers)
 	return st
 }
 
@@ -196,6 +219,8 @@ func (x *DirectedIndex) Load(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	idx.Workers = x.idx.Workers
+	idx.RepairTimer = x.idx.RepairTimer
 	x.idx = idx
 	return nil
 }

@@ -125,6 +125,26 @@
 // record is durable before its epoch becomes visible, and recovery replays
 // one record per epoch exactly as a follower does.
 //
+// # The parallel repair engine
+//
+// Inside one repair, the per-landmark work is independent by construction:
+// landmark r's repair writes only rank-r label entries and highway row r,
+// and its affected-vertex classification reads only rank-r entries of
+// other vertices. The repair engine exploits that by fanning the
+// per-landmark find+repair tasks (per label direction for the directed
+// variant) across Options.RepairWorkers cores (0 = GOMAXPROCS): every
+// task runs against the frozen pre-repair labelling and buffers its edits
+// as a delta, a barrier separates the fan from the merge, and a
+// single-threaded merge applies the deltas in rank order. Because the
+// serial path runs the identical task-then-merge code with one worker,
+// the labelling and the update summaries are byte-identical for every
+// worker count — the knob trades repair latency against cores, never
+// results. Construction fans the same way (Options.Parallel/Workers), and
+// the pack-on-publish delta repack fills its rebuilt chunks concurrently
+// under the same bound. Store.SetRepairWorkers retunes a live store; each
+// worker draws pooled per-task scratch, so the fan-out allocates nothing
+// per update beyond the deltas it buffers.
+//
 // # Two label representations: mutable slices, packed arena
 //
 // The labelling lives in two forms, split along the same read/write line as
@@ -268,6 +288,9 @@
 // repair (fork + IncHL+/DecHL), pack (CSR freeze), wal_commit (append +
 // fsync via the durability hook) and publish (snapshot swap) — with
 // dynhl_apply_group_callers/_ops recording how much each group coalesced.
+// The repair engine reports dynhl_repair_workers (the resolved fan-out)
+// and dynhl_repair_landmark_seconds (per-landmark task latency, observed
+// from the worker goroutines).
 // Attached layers register their own series in their own registries —
 // dynhl_wal_* (append/fsync/checkpoint timings, durable and checkpoint
 // epochs, torn tails and recoveries), dynhl_repl_* (lag gauges and ship/

@@ -3,7 +3,9 @@ package dynhl
 import (
 	"fmt"
 	"io"
+	"time"
 
+	"repro/internal/fanout"
 	"repro/internal/graph"
 	"repro/internal/hcl"
 	"repro/internal/inchl"
@@ -51,6 +53,16 @@ type Options struct {
 	// goroutines (0 = GOMAXPROCS). The result is identical to serial.
 	Parallel bool
 	Workers  int
+	// RepairWorkers bounds the per-landmark fan-out of the repair engine:
+	// every InsertEdge/DeleteEdge repair and the delta repack at epoch
+	// publish fan their per-landmark (per-pass for the directed variant)
+	// tasks across this many cores. 0 (the default) resolves to GOMAXPROCS,
+	// 1 forces the serial path. Every worker count produces a byte-identical
+	// labelling and identical update summaries — the tasks only buffer
+	// deltas against the frozen pre-repair labelling and a single-threaded
+	// merge applies them in rank order (see internal/inchl's parallel
+	// engine). Tune at runtime with Store.SetRepairWorkers.
+	RepairWorkers int
 }
 
 // Index is a dynamic distance oracle over a Graph: a highway cover
@@ -94,7 +106,9 @@ func BuildWithLandmarks(g *Graph, landmarks []uint32, opt Options) (*Index, erro
 	if err != nil {
 		return nil, err
 	}
-	return &Index{idx: idx, upd: inchl.New(idx)}, nil
+	x := &Index{idx: idx, upd: inchl.New(idx)}
+	x.setRepairWorkers(opt.RepairWorkers)
+	return x, nil
 }
 
 // Graph returns the underlying graph. Treat it as read-only; mutate through
@@ -159,8 +173,24 @@ func (x *Index) fork() Oracle {
 	idx := x.idx.Fork(x.idx.G.Fork())
 	upd := inchl.New(idx)
 	upd.Strategy = x.upd.Strategy
+	upd.Workers = x.upd.Workers
+	upd.RepairTimer = x.upd.RepairTimer
 	return &Index{idx: idx, upd: upd}
 }
+
+// setRepairWorkers tunes the per-landmark repair fan-out and the delta
+// repack (0 = GOMAXPROCS, 1 = serial); see Options.RepairWorkers.
+func (x *Index) setRepairWorkers(n int) {
+	x.upd.Workers = n
+	x.idx.Workers = n
+}
+
+// repairWorkers returns the configured (unresolved) repair fan-out.
+func (x *Index) repairWorkers() int { return x.upd.Workers }
+
+// setRepairTimer installs f as the per-landmark repair task timer; it is
+// called from worker goroutines and must be safe for concurrent use.
+func (x *Index) setRepairTimer(f func(time.Duration)) { x.upd.RepairTimer = f }
 
 // DeleteEdge removes the undirected edge (u,v) from the graph and repairs
 // the labelling with DecHL (see Oracle.DeleteEdge). Deleting an edge that
@@ -235,9 +265,13 @@ type Stats struct {
 	// consecutive epochs forked from a mapped boot report the same figure
 	// until the mapping is released.
 	MappedBytes int64
-	Epoch       uint64
-	Durability  *DurabilityStats  `json:",omitempty"`
-	Replication *ReplicationStats `json:",omitempty"`
+	// RepairWorkers is the resolved per-landmark fan-out of the repair
+	// engine for this oracle (Options.RepairWorkers with 0 resolved to
+	// GOMAXPROCS); zero only for oracle variants without one.
+	RepairWorkers int `json:",omitempty"`
+	Epoch         uint64
+	Durability    *DurabilityStats  `json:",omitempty"`
+	Replication   *ReplicationStats `json:",omitempty"`
 }
 
 // Stats returns current size statistics.
@@ -255,6 +289,7 @@ func (x *Index) Stats() Stats {
 		st.PackedBytes = p.ArenaBytes()
 	}
 	st.MappedBytes = x.idx.MappedBytes()
+	st.RepairWorkers = fanout.Resolve(x.upd.Workers)
 	return st
 }
 
@@ -278,7 +313,12 @@ func (x *Index) Load(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	x.idx, x.upd = idx, inchl.New(idx)
+	idx.Workers = x.idx.Workers
+	upd := inchl.New(idx)
+	upd.Strategy = x.upd.Strategy
+	upd.Workers = x.upd.Workers
+	upd.RepairTimer = x.upd.RepairTimer
+	x.idx, x.upd = idx, upd
 	return nil
 }
 

@@ -15,6 +15,11 @@ import (
 //     per-vertex slice form (plain Apply never packs),
 //   - all-pairs BFS over a mirror of the graph.
 //
+// The store runs its repairs under a fuzz-derived worker count while the
+// plain index stays serial, so the differential also covers the parallel
+// repair engine: any schedule-dependent divergence from the serial result
+// shows up as a labelling mismatch.
+//
 // Any divergence means the two label representations disagree or the
 // labelling itself is wrong. The seed corpus runs on every plain `go test`;
 // `go test -fuzz=FuzzPackedDifferential` explores further.
@@ -26,7 +31,14 @@ func FuzzPackedDifferential(f *testing.F) {
 		base := testutil.RandomConnectedGraph(24, 40, 97)
 		mirror := base.Clone()
 
-		packed, err := Build(base, Options{Landmarks: 4})
+		// The first byte picks the store's repair fan-out (it is reused as
+		// the first op byte — that correlation is harmless for coverage):
+		// 0 resolves to GOMAXPROCS, 1..3 are literal widths.
+		workers := 0
+		if len(data) > 0 {
+			workers = int(data[0]) % 4
+		}
+		packed, err := Build(base, Options{Landmarks: 4, RepairWorkers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -36,7 +48,7 @@ func FuzzPackedDifferential(f *testing.F) {
 		}
 		st := NewStore(packed)
 
-		plain, err := Build(mirror.Clone(), Options{Landmarks: 4})
+		plain, err := Build(mirror.Clone(), Options{Landmarks: 4, RepairWorkers: 1})
 		if err != nil {
 			t.Fatal(err)
 		}

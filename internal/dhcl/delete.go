@@ -3,7 +3,7 @@
 // shortest-path DAG (d(r→a) + 1 = d(r→b)) and its backward labels only when
 // it lies on the backward DAG (d(b→r) + 1 = d(a→r)), so the affected test
 // is four labelled lookups per landmark. Each affected (landmark,
-// direction) pair is repaired by rebuildPass, the same covered-flag BFS
+// direction) pair is repaired by a rebuild pass, the same covered-flag BFS
 // used at construction, which also drops entries and resets highway cells
 // of vertices that the deletion made unreachable.
 
@@ -12,6 +12,7 @@ package dhcl
 import (
 	"fmt"
 
+	"repro/internal/fanout"
 	"repro/internal/graph"
 )
 
@@ -49,17 +50,15 @@ func (idx *Index) DeleteEdge(a, b uint32) (Stats, error) {
 		return st, fmt.Errorf("dhcl: delete (%d,%d): %w", a, b, err)
 	}
 	if len(fwdAffected)+len(backAffected) > 0 {
-		dist, covered := idx.rebuildScratch(g.NumVertices())
+		// Serial repair order: all forward passes, then all backward ones.
+		tasks := make([]passTask, 0, len(fwdAffected)+len(backAffected))
 		for _, r := range fwdAffected {
-			before := st.EntriesAdded + st.EntriesRemoved + st.HighwayUpdates
-			idx.rebuildPass(r, true, dist, covered, &st)
-			st.AffectedForward += st.EntriesAdded + st.EntriesRemoved + st.HighwayUpdates - before
+			tasks = append(tasks, passTask{r, true})
 		}
 		for _, r := range backAffected {
-			before := st.EntriesAdded + st.EntriesRemoved + st.HighwayUpdates
-			idx.rebuildPass(r, false, dist, covered, &st)
-			st.AffectedBack += st.EntriesAdded + st.EntriesRemoved + st.HighwayUpdates - before
+			tasks = append(tasks, passTask{r, false})
 		}
+		idx.rebuildPasses(fanout.Resolve(idx.Workers), tasks, &st)
 	}
 	return st, nil
 }

@@ -9,11 +9,13 @@ package dhcl
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/arena"
 	"repro/internal/bfs"
 	"repro/internal/bitset"
 	"repro/internal/digraph"
+	"repro/internal/fanout"
 	"repro/internal/graph"
 	"repro/internal/hcl"
 	"repro/internal/queue"
@@ -58,24 +60,42 @@ type Index struct {
 
 	scratch bfs.SpacePool
 
-	// rebuild scratch for the deletion path, reused across DeleteEdge calls
-	// (mutations hold exclusive access, so one set suffices).
-	delDist  []graph.Dist
-	delCover []bool
+	// Workers bounds the per-pass fan-out of InsertEdge/DeleteEdge repairs:
+	// 0 (the default) resolves to GOMAXPROCS, 1 forces the serial path, any
+	// other value is used as given. Every worker count produces a
+	// byte-identical labelling and identical Stats (see parallel.go).
+	Workers int
+
+	// RepairTimer, when non-nil, observes the wall time of every repair
+	// pass. It is called from worker goroutines and must be safe for
+	// concurrent use.
+	RepairTimer func(time.Duration)
+
+	// del is worker 0's rebuild scratch, reused across updates (mutations
+	// hold exclusive access); extra workers draw pooled scratches.
+	del    passScratch
+	finds  []findResult
+	deltas []passDelta
 }
 
-// rebuildScratch returns dist/covered scratch sized for n vertices.
-func (idx *Index) rebuildScratch(n int) ([]graph.Dist, []bool) {
-	if len(idx.delDist) < n {
-		idx.delDist = make([]graph.Dist, n)
-		idx.delCover = make([]bool, n)
-	}
-	return idx.delDist[:n], idx.delCover[:n]
+// passTask names one (landmark, direction) maintenance pass.
+type passTask struct {
+	rank uint16
+	fwd  bool
 }
 
 // Build constructs the minimal directed labelling: per landmark one forward
 // and one backward covered-flag BFS.
 func Build(g *digraph.Digraph, landmarks []uint32) (*Index, error) {
+	return BuildParallel(g, landmarks, 1)
+}
+
+// BuildParallel constructs the same labelling as Build, fanning the
+// per-(landmark, direction) construction passes across workers
+// (0 = GOMAXPROCS, 1 = serial). The result is byte-identical for every
+// worker count: passes only buffer deltas against the empty labelling and a
+// single-threaded merge applies them in pass order.
+func BuildParallel(g *digraph.Digraph, landmarks []uint32, workers int) (*Index, error) {
 	if len(landmarks) == 0 {
 		return nil, fmt.Errorf("dhcl: need at least one landmark")
 	}
@@ -112,32 +132,57 @@ func Build(g *digraph.Digraph, landmarks []uint32) (*Index, error) {
 	for r, v := range idx.Landmarks {
 		idx.rankArr[v] = uint16(r)
 	}
-	dist := make([]graph.Dist, n)
-	covered := make([]bool, n)
-	var st Stats
-	for r := range idx.Landmarks {
-		// rebuildPass on an empty labelling is exactly the construction
-		// pass; it is shared with the decremental repair path.
-		idx.rebuildPass(uint16(r), true, dist, covered, &st)
-		idx.rebuildPass(uint16(r), false, dist, covered, &st)
+	tasks := make([]passTask, 0, 2*k)
+	for r := 0; r < k; r++ {
+		// Serial construction order: forward then backward per landmark.
+		tasks = append(tasks, passTask{uint16(r), true}, passTask{uint16(r), false})
 	}
+	var st Stats
+	idx.rebuildPasses(fanout.Resolve(workers), tasks, &st)
 	return idx, nil
 }
 
-// rebuildPass runs the covered-flag BFS of landmark rank r in one direction
-// (forward over out-edges when fwd, else backward over in-edges) over the
-// current graph and replaces that direction's entries and highway cells in
-// place — setting label entries for uncovered reachable vertices, removing
-// stale ones, and resetting cells of vertices that became unreachable to
-// Inf. On an empty labelling this is the construction pass; after an edge
-// deletion it is the decremental repair of one affected (landmark,
-// direction) pair.
-func (idx *Index) rebuildPass(r uint16, fwd bool, dist []graph.Dist, covered []bool, st *Stats) {
+// rebuildPasses fans the covered-flag BFS of the given (landmark, direction)
+// passes across workers — construction on an empty labelling, decremental
+// repair after a deletion — and merges their buffered deltas in task order,
+// charging each pass's changes to the matching Stats.Affected* counter.
+func (idx *Index) rebuildPasses(workers int, tasks []passTask, st *Stats) {
+	idx.sizeDeltas(len(tasks))
+	idx.fan(workers, len(tasks), func(ws *passScratch, t int) {
+		d := &idx.deltas[t]
+		d.reset()
+		idx.rebuildPassDelta(tasks[t].rank, tasks[t].fwd, ws, d)
+	})
+	for t := range tasks {
+		before := st.EntriesAdded + st.EntriesRemoved + st.HighwayUpdates
+		idx.applyPassRebuild(tasks[t].rank, tasks[t].fwd, &idx.deltas[t], st)
+		changed := st.EntriesAdded + st.EntriesRemoved + st.HighwayUpdates - before
+		if tasks[t].fwd {
+			st.AffectedForward += changed
+		} else {
+			st.AffectedBack += changed
+		}
+	}
+}
+
+// rebuildPassDelta runs the covered-flag BFS of landmark rank r in one
+// direction (forward over out-edges when fwd, else backward over in-edges)
+// over the current graph and buffers the replacement of that direction's
+// entries and highway cells — setting label entries for uncovered reachable
+// vertices, removing stale ones, and resetting cells of vertices that became
+// unreachable to Inf. Label edits are pre-checked against the frozen
+// labelling and exact (only this pass touches rank-r entries of its
+// direction); highway cells are candidates the merge re-checks. On an empty
+// labelling this is the construction pass; after an edge deletion it is the
+// decremental repair of one affected (landmark, direction) pair.
+func (idx *Index) rebuildPassDelta(r uint16, fwd bool, ws *passScratch, d *passDelta) {
 	root := idx.Landmarks[r]
 	adj := idx.G.In
 	if fwd {
 		adj = idx.G.Out
 	}
+	n := idx.G.NumVertices()
+	dist, covered := ws.dist[:n], ws.cover[:n]
 	for i := range dist {
 		dist[i] = graph.Inf
 	}
@@ -175,21 +220,16 @@ func (idx *Index) rebuildPass(r uint16, fwd bool, dist []graph.Dist, covered []b
 				i, j = s, r // d(s→root)
 			}
 			if idx.Highway(i, j) != dist[v] {
-				idx.setHighway(i, j, dist[v])
-				st.HighwayUpdates++
+				d.cell(s, dist[v])
 			}
 			continue
 		}
 		if dist[v] != graph.Inf && !covered[vv] {
 			if old, had := labels[vv].Get(r); !had || old != dist[v] {
-				idx.ownLabel(fwd, vv)
-				labels[vv] = labels[vv].Set(r, dist[v])
-				st.EntriesAdded++
+				d.setEntry(vv, dist[v])
 			}
 		} else if _, had := labels[vv].Get(r); had {
-			idx.ownLabel(fwd, vv)
-			labels[vv], _ = labels[vv].Remove(r)
-			st.EntriesRemoved++
+			d.removeEntry(vv)
 		}
 	}
 }
@@ -348,10 +388,10 @@ func (idx *Index) Pack() {
 		parentF, parentB = idx.parent.packedF, idx.parent.packedB
 	}
 	if idx.packedF == nil {
-		idx.packedF = hcl.Pack(idx.Lf, parentF, idx.sharedF)
+		idx.packedF = hcl.PackParallel(idx.Lf, parentF, idx.sharedF, idx.Workers)
 	}
 	if idx.packedB == nil {
-		idx.packedB = hcl.Pack(idx.Lb, parentB, idx.sharedB)
+		idx.packedB = hcl.PackParallel(idx.Lb, parentB, idx.sharedB, idx.Workers)
 	}
 	idx.parent = nil
 }
@@ -387,16 +427,18 @@ func (idx *Index) MappedBytes() int64 {
 // first writes to it. Snapshot discipline: idx is frozen once forked.
 func (idx *Index) Fork(g *digraph.Digraph) *Index {
 	return &Index{
-		G:         g,
-		Landmarks: idx.Landmarks, // immutable after construction
-		Lf:        append([]hcl.Label(nil), idx.Lf...),
-		Lb:        append([]hcl.Label(nil), idx.Lb...),
-		hf:        append([]graph.Dist(nil), idx.hf...),
-		k:         idx.k,
-		rankArr:   append([]uint16(nil), idx.rankArr...),
-		sharedF:   bitset.NewAllSet(len(idx.Lf)),
-		sharedB:   bitset.NewAllSet(len(idx.Lb)),
-		mapRef:    idx.mapRef, // label slices may still alias the mapping
+		G:           g,
+		Landmarks:   idx.Landmarks, // immutable after construction
+		Lf:          append([]hcl.Label(nil), idx.Lf...),
+		Lb:          append([]hcl.Label(nil), idx.Lb...),
+		hf:          append([]graph.Dist(nil), idx.hf...),
+		k:           idx.k,
+		rankArr:     append([]uint16(nil), idx.rankArr...),
+		sharedF:     bitset.NewAllSet(len(idx.Lf)),
+		sharedB:     bitset.NewAllSet(len(idx.Lb)),
+		mapRef:      idx.mapRef, // label slices may still alias the mapping
+		Workers:     idx.Workers,
+		RepairTimer: idx.RepairTimer,
 		// The fork mutates, so it starts unpacked; remembering the parent
 		// lets its Pack reuse whatever chunks the parent's arenas hold by
 		// the time the fork itself is frozen.

@@ -1,0 +1,192 @@
+// The parallel repair engine for the directed variant — the per-landmark
+// fan-out of internal/inchl specialised to (landmark, direction) passes. A
+// pass (r, fwd) writes only rank-r entries of its direction's label set and
+// only cell (r,s) (forward) or (s,r) (backward) of the highway, and its
+// classification reads only rank-r entries of the same direction, so passes
+// are independent: each task computes a passDelta against the frozen
+// pre-repair labelling, a barrier separates the fan from the merge, and the
+// merge applies deltas in serial pass order — forward before backward per
+// rank on insertion, all forward ranks before all backward ranks on
+// rebuilds — making every worker count byte-identical to serial.
+//
+// Insertion highway cells apply unconditionally (the serial repair never
+// reads the matrix before writing), so worker-side counters are exact.
+// Rebuild passes compare against the live matrix, so their tasks emit
+// candidate cells wherever the pre-merge value differs — a superset of the
+// serial writes, because any pass that writes a cell writes the same new
+// directed distance — and the merge re-checks each candidate, reproducing
+// serial's writes and counters exactly.
+
+package dhcl
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/fanout"
+	"repro/internal/graph"
+)
+
+// labelOp is one label edit of a pass delta: set (v,r) to d, or remove the
+// r-entry of v. Rank and direction are implicit — a delta belongs to one
+// pass.
+type labelOp struct {
+	v   uint32
+	d   graph.Dist
+	set bool
+}
+
+// hwOp is one highway cell: d(r→s) for a forward pass, d(s→r) for a
+// backward one, with the pass rank r implicit.
+type hwOp struct {
+	s uint16
+	d graph.Dist
+}
+
+// passDelta is the buffered outcome of one (landmark, direction) task.
+// added/removed/highway are worker-side counters, exact for insertion
+// deltas; rebuild deltas leave them zero and let the merge count.
+type passDelta struct {
+	ops     []labelOp
+	hw      []hwOp
+	added   int
+	removed int
+	highway int
+}
+
+func (d *passDelta) reset() {
+	d.ops = d.ops[:0]
+	d.hw = d.hw[:0]
+	d.added, d.removed, d.highway = 0, 0, 0
+}
+
+func (d *passDelta) setEntry(v uint32, dist graph.Dist) {
+	d.ops = append(d.ops, labelOp{v: v, d: dist, set: true})
+}
+
+func (d *passDelta) removeEntry(v uint32) {
+	d.ops = append(d.ops, labelOp{v: v})
+}
+
+func (d *passDelta) cell(s uint16, dist graph.Dist) {
+	d.hw = append(d.hw, hwOp{s: s, d: dist})
+}
+
+// passScratch is the per-worker BFS state of rebuild passes.
+type passScratch struct {
+	dist  []graph.Dist
+	cover []bool
+}
+
+func (s *passScratch) ensure(n int) {
+	if len(s.dist) < n {
+		s.dist = make([]graph.Dist, n)
+		s.cover = make([]bool, n)
+	}
+}
+
+var passPool = sync.Pool{New: func() any { return new(passScratch) }}
+
+// sizeDeltas resizes the per-task delta table, preserving slice capacity
+// across updates.
+func (idx *Index) sizeDeltas(n int) {
+	if cap(idx.deltas) < n {
+		idx.deltas = append(idx.deltas[:cap(idx.deltas)], make([]passDelta, n-cap(idx.deltas))...)
+	}
+	idx.deltas = idx.deltas[:n]
+}
+
+// fan runs fn for every task in [0,n) across workers (pre-resolved), giving
+// each worker pooled BFS scratch sized for the current graph; worker 0 uses
+// the index's own rebuild scratch. fn must not mutate the index — it reads
+// the frozen labelling and fills per-task deltas. Tasks are timed through
+// RepairTimer when set.
+func (idx *Index) fan(workers, n int, fn func(ws *passScratch, task int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	nv := idx.G.NumVertices()
+	scs := make([]*passScratch, workers)
+	scs[0] = &idx.del
+	scs[0].ensure(nv)
+	for i := 1; i < workers; i++ {
+		ws := passPool.Get().(*passScratch)
+		ws.ensure(nv)
+		scs[i] = ws
+	}
+	timer := idx.RepairTimer
+	fanout.Run(workers, n, func(worker, task int) {
+		if timer == nil {
+			fn(scs[worker], task)
+			return
+		}
+		start := time.Now()
+		fn(scs[worker], task)
+		timer(time.Since(start))
+	})
+	for _, ws := range scs[1:] {
+		passPool.Put(ws)
+	}
+}
+
+// applyPassInsert applies one insertion delta: highway cells and label ops
+// are definitive, so the merge writes them through and trusts the worker
+// counters.
+func (idx *Index) applyPassInsert(r uint16, fwd bool, d *passDelta, st *Stats) {
+	for _, h := range d.hw {
+		if fwd {
+			idx.setHighway(r, h.s, h.d) // d(r→s) decreased
+		} else {
+			idx.setHighway(h.s, r, h.d) // d(s→r) decreased
+		}
+	}
+	for _, op := range d.ops {
+		idx.applyLabelOp(r, fwd, op)
+	}
+	st.EntriesAdded += d.added
+	st.EntriesRemoved += d.removed
+	st.HighwayUpdates += d.highway
+}
+
+// applyPassRebuild applies one rebuild delta (construction or decremental),
+// re-checking each highway candidate against the live matrix — an
+// earlier-merged pass may have already written the cell to the same new
+// distance, in which case serial would not have counted it either — and
+// counting everything here, single-threaded, exactly as the serial pass
+// interleaved it.
+func (idx *Index) applyPassRebuild(r uint16, fwd bool, d *passDelta, st *Stats) {
+	for _, h := range d.hw {
+		i, j := r, h.s // d(root→s)
+		if !fwd {
+			i, j = h.s, r // d(s→root)
+		}
+		if idx.Highway(i, j) != h.d {
+			idx.setHighway(i, j, h.d)
+			st.HighwayUpdates++
+		}
+	}
+	for _, op := range d.ops {
+		idx.applyLabelOp(r, fwd, op)
+		if op.set {
+			st.EntriesAdded++
+		} else {
+			st.EntriesRemoved++
+		}
+	}
+}
+
+func (idx *Index) applyLabelOp(r uint16, fwd bool, op labelOp) {
+	labels := idx.Lb
+	if fwd {
+		labels = idx.Lf
+	}
+	idx.ownLabel(fwd, op.v)
+	if op.set {
+		labels[op.v] = labels[op.v].Set(r, op.d)
+	} else {
+		labels[op.v], _ = labels[op.v].Remove(r)
+	}
+}

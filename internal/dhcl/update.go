@@ -3,6 +3,7 @@ package dhcl
 import (
 	"fmt"
 
+	"repro/internal/fanout"
 	"repro/internal/graph"
 	"repro/internal/queue"
 )
@@ -22,16 +23,27 @@ type Stats struct {
 type findResult struct {
 	rank     uint16
 	fwd      bool                  // forward pass (maintains Lf) or backward (Lb)
+	skipped  bool                  // pass eliminated: the edge shortens nothing
 	affected []queue.Pair          // level order, depth = new distance
 	newDist  map[uint32]graph.Dist // affected vertex -> new distance
 	oldDist  map[uint32]graph.Dist // scanned vertex -> old distance
 }
 
+// sizeFinds resizes the per-task find table.
+func (idx *Index) sizeFinds(n int) {
+	if cap(idx.finds) < n {
+		idx.finds = append(idx.finds[:cap(idx.finds)], make([]findResult, n-cap(idx.finds))...)
+	}
+	idx.finds = idx.finds[:n]
+}
+
 // InsertEdge inserts the directed edge a→b and repairs both label sets:
 // forward distances can only change downstream of b, backward distances
-// only upstream of a (the directed analogue of Lemma 4.3). The find phase
-// for every landmark and direction runs against the pre-update labelling
-// before any repair mutates it.
+// only upstream of a (the directed analogue of Lemma 4.3). The 2|R|
+// (landmark, direction) passes fan across Workers cores — each task runs
+// its find against the pre-update labelling (no repair has mutated anything
+// yet: tasks only buffer deltas) plus the repair classification — and the
+// merge applies the deltas in serial pass order.
 func (idx *Index) InsertEdge(a, b uint32) (Stats, error) {
 	var st Stats
 	g := idx.G
@@ -49,23 +61,33 @@ func (idx *Index) InsertEdge(a, b uint32) (Stats, error) {
 	}
 	st.LandmarksTotal = idx.k
 
-	var finds []findResult
-	for r := 0; r < idx.k; r++ {
-		if fr, ok := idx.findAffected(uint16(r), true, a, b); ok {
+	tasks := 2 * idx.k // task t = pass (rank t/2, forward when t is even)
+	idx.sizeFinds(tasks)
+	idx.sizeDeltas(tasks)
+	idx.fan(fanout.Resolve(idx.Workers), tasks, func(_ *passScratch, t int) {
+		r, fwd := uint16(t/2), t%2 == 0
+		d := &idx.deltas[t]
+		d.reset()
+		fr, ok := idx.findAffected(r, fwd, a, b)
+		fr.skipped = !ok
+		idx.finds[t] = fr
+		if ok {
+			idx.classifyPass(&idx.finds[t], d)
+		}
+	})
+	for t := 0; t < tasks; t++ {
+		r, fwd := uint16(t/2), t%2 == 0
+		fr := &idx.finds[t]
+		if fr.skipped {
+			st.PassesSkipped++
+			continue
+		}
+		if fwd {
 			st.AffectedForward += len(fr.affected)
-			finds = append(finds, fr)
 		} else {
-			st.PassesSkipped++
-		}
-		if fr, ok := idx.findAffected(uint16(r), false, a, b); ok {
 			st.AffectedBack += len(fr.affected)
-			finds = append(finds, fr)
-		} else {
-			st.PassesSkipped++
 		}
-	}
-	for i := range finds {
-		idx.repairAffected(&finds[i], &st)
+		idx.applyPassInsert(r, fwd, &idx.deltas[t], &st)
 	}
 	return st, nil
 }
@@ -194,9 +216,12 @@ func (idx *Index) findAffected(r uint16, fwd bool, a, b uint32) (findResult, boo
 	return fr, true
 }
 
-// repairAffected walks one pass's affected set in level order and applies
-// the covered/uncovered classification of Lemma 4.6 in the pass direction.
-func (idx *Index) repairAffected(fr *findResult, st *Stats) {
+// classifyPass walks one pass's affected set in level order and applies the
+// covered/uncovered classification of Lemma 4.6 in the pass direction,
+// buffering edits into the delta. Entry checks read the frozen pre-repair
+// labelling and are exact: only this pass touches rank-r entries of its
+// direction, and highway cells of an insertion apply unconditionally.
+func (idx *Index) classifyPass(fr *findResult, d *passDelta) {
 	r := fr.rank
 	root := idx.Landmarks[r]
 	labels := idx.Lb
@@ -207,14 +232,10 @@ func (idx *Index) repairAffected(fr *findResult, st *Stats) {
 	}
 	covered := make(map[uint32]bool, len(fr.affected))
 	for _, p := range fr.affected {
-		w, d := p.V, p.D
+		w, dd := p.V, p.D
 		if s := idx.rankArr[w]; s != noRank {
-			if fr.fwd {
-				idx.setHighway(r, s, d) // d(r→s) decreased
-			} else {
-				idx.setHighway(s, r, d) // d(s→r) decreased
-			}
-			st.HighwayUpdates++
+			d.cell(s, dd) // d(r→s) decreased on forward passes, d(s→r) on backward
+			d.highway++
 			covered[w] = true
 			continue
 		}
@@ -228,7 +249,7 @@ func (idx *Index) repairAffected(fr *findResult, st *Stats) {
 					continue
 				}
 			}
-			if nd != d-1 {
+			if nd != dd-1 {
 				continue
 			}
 			if affected {
@@ -253,14 +274,12 @@ func (idx *Index) repairAffected(fr *findResult, st *Stats) {
 		covered[w] = cov
 		if cov {
 			if _, had := labels[w].Get(r); had {
-				idx.ownLabel(fr.fwd, w)
-				labels[w], _ = labels[w].Remove(r)
-				st.EntriesRemoved++
+				d.removeEntry(w)
+				d.removed++
 			}
 		} else {
-			idx.ownLabel(fr.fwd, w)
-			labels[w] = labels[w].Set(r, d)
-			st.EntriesAdded++
+			d.setEntry(w, dd)
+			d.added++
 		}
 	}
 }

@@ -1,0 +1,121 @@
+package exper
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/hcl"
+	"repro/internal/inchl"
+	"repro/internal/landmark"
+)
+
+// RepairRow holds one (dataset, worker-count) cell of the repair-engine
+// scaling experiment: parallel construction time plus per-op repair
+// latencies for an insert-then-delete workload, and the speedups over the
+// serial run of the same workload.
+type RepairRow struct {
+	Dataset       string
+	Workers       int // requested fan-out (>= 1; resolved literally)
+	BuildMs       float64
+	InsertUs      float64 // mean per-insertion repair time
+	DeleteUs      float64 // mean per-deletion repair time
+	BuildSpeedup  float64 // serial build time / this build time
+	RepairSpeedup float64 // serial total repair time / this total repair time
+}
+
+// Repair measures the parallel repair engine: for each dataset it rebuilds
+// the same labelling and replays the same insert+delete workload at each
+// fan-out in cfg.Workers (default 1, 2, 4, 8), reporting per-op repair
+// time and the speedup over the serial run. The labelling is
+// byte-identical across worker counts (pinned by the determinism tests),
+// so the runs differ only in wall-clock.
+func Repair(cfg Config) ([]RepairRow, error) {
+	cfg = cfg.withDefaults()
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	var rows []RepairRow
+	var table [][]string
+	for _, spec := range specs {
+		cells, err := repairDataset(spec, cfg, workers)
+		if err != nil {
+			return nil, fmt.Errorf("repair: dataset %s: %w", spec.Name, err)
+		}
+		rows = append(rows, cells...)
+		for _, r := range cells {
+			table = append(table, []string{
+				r.Dataset,
+				fmt.Sprintf("%d", r.Workers),
+				fmt.Sprintf("%.1f", r.BuildMs),
+				fmt.Sprintf("%.1f", r.InsertUs),
+				fmt.Sprintf("%.1f", r.DeleteUs),
+				fmt.Sprintf("%.2fx", r.BuildSpeedup),
+				fmt.Sprintf("%.2fx", r.RepairSpeedup),
+			})
+		}
+	}
+	writeTable(cfg.Out,
+		"Repair engine: build/repair scaling over worker counts",
+		[]string{"Dataset", "workers", "build ms", "insert µs", "delete µs", "build spd", "repair spd"},
+		table)
+	return rows, nil
+}
+
+// repairDataset runs the worker sweep for one dataset. The first entry of
+// workers is the speedup baseline (callers pass 1 first for the serial
+// reference).
+func repairDataset(spec dataset.Spec, cfg Config, workers []int) ([]RepairRow, error) {
+	base := dataset.Generate(spec, cfg.Scale, cfg.Seed)
+	lm := landmark.ByDegree(base, cfg.landmarkCount(spec))
+	inserts := SampleInsertions(base, cfg.Updates, cfg.Seed+505)
+
+	rows := make([]RepairRow, 0, len(workers))
+	var serialBuild, serialRepair time.Duration
+	for i, w := range workers {
+		g := base.Clone()
+		t0 := time.Now()
+		idx, err := hcl.BuildParallel(g, lm, w)
+		if err != nil {
+			return nil, err
+		}
+		build := time.Since(t0)
+
+		upd := inchl.New(idx)
+		upd.Workers = w
+		t0 = time.Now()
+		for _, e := range inserts {
+			if _, err := upd.InsertEdge(e[0], e[1]); err != nil {
+				return nil, err
+			}
+		}
+		insert := time.Since(t0)
+		t0 = time.Now()
+		for _, e := range inserts {
+			if _, err := upd.DeleteEdge(e[0], e[1]); err != nil {
+				return nil, err
+			}
+		}
+		del := time.Since(t0)
+
+		if i == 0 {
+			serialBuild, serialRepair = build, insert+del
+		}
+		perOp := float64(len(inserts))
+		rows = append(rows, RepairRow{
+			Dataset:       spec.Name,
+			Workers:       w,
+			BuildMs:       float64(build) / float64(time.Millisecond),
+			InsertUs:      float64(insert) / float64(time.Microsecond) / perOp,
+			DeleteUs:      float64(del) / float64(time.Microsecond) / perOp,
+			BuildSpeedup:  float64(serialBuild) / float64(build),
+			RepairSpeedup: float64(serialRepair) / float64(insert+del),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,70 @@
+package fanout
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, runtime.GOMAXPROCS(0)},
+		{-3, 1},
+		{1, 1},
+		{5, 5},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.in); got != c.want {
+			t.Errorf("Resolve(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestRunCoversAllTasks checks every task index runs exactly once for
+// serial, fixed and oversubscribed widths.
+func TestRunCoversAllTasks(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 64} {
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			hits := make([]atomic.Int32, n)
+			Run(workers, n, func(_, task int) { hits[task].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: task %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestRunSerialOnCallersGoroutine pins that workers<=1 (and n<2) never
+// spawns: worker id is always 0 and tasks run on the calling goroutine.
+func TestRunSerialOnCallersGoroutine(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{{1, 5}, {4, 1}, {-2, 3}} {
+		Run(tc.workers, tc.n, func(worker, _ int) {
+			if worker != 0 {
+				t.Fatalf("workers=%d n=%d: serial path used worker id %d", tc.workers, tc.n, worker)
+			}
+		})
+	}
+}
+
+// TestRunWorkerIDsDistinct checks concurrent workers get distinct ids in
+// [0, workers) — the contract per-worker scratch relies on.
+func TestRunWorkerIDsDistinct(t *testing.T) {
+	const workers, n = 4, 200
+	var used [workers]atomic.Int32
+	Run(workers, n, func(worker, _ int) {
+		if worker < 0 || worker >= workers {
+			t.Errorf("worker id %d out of range", worker)
+			return
+		}
+		used[worker].Add(1)
+	})
+	var total int32
+	for i := range used {
+		total += used[i].Load()
+	}
+	if total != n {
+		t.Fatalf("tasks seen by workers: %d, want %d", total, n)
+	}
+}

@@ -48,6 +48,12 @@ type Index struct {
 	// when the last descendant snapshot is collected.
 	mapRef *arena.Mapping
 
+	// Workers bounds the fan-out of Pack's per-chunk flattening: 0 (the
+	// default) resolves to GOMAXPROCS, 1 forces the serial path. The packed
+	// form is identical for every worker count. The per-landmark repair
+	// fan-out is tuned separately, on inchl.Updater.
+	Workers int
+
 	scratch bfs.SpacePool
 }
 
@@ -153,7 +159,7 @@ func (idx *Index) Pack() {
 	if idx.parent != nil {
 		parentPacked = idx.parent.packed
 	}
-	idx.packed = Pack(idx.L, parentPacked, idx.shared)
+	idx.packed = PackParallel(idx.L, parentPacked, idx.shared, idx.Workers)
 	idx.parent = nil
 }
 
@@ -227,6 +233,7 @@ func (idx *Index) Fork(g *graph.Graph) *Index {
 		rankArr:   append([]uint16(nil), idx.rankArr...),
 		shared:    bitset.NewAllSet(len(idx.L)),
 		mapRef:    idx.mapRef, // label slices may still alias the mapping
+		Workers:   idx.Workers,
 
 		// The fork mutates, so it starts unpacked; remembering the parent
 		// lets its Pack reuse whatever chunks the parent's arena holds by

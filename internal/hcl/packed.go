@@ -3,6 +3,7 @@ package hcl
 import (
 	"repro/internal/arena"
 	"repro/internal/bitset"
+	"repro/internal/fanout"
 	"repro/internal/graph"
 )
 
@@ -118,11 +119,22 @@ func PackLabels(labels []Label) *Packed {
 // epoch that touched k vertices costs O(k + touched-chunk slack), not
 // O(|V|). With prev or shared nil every chunk is rebuilt.
 func Pack(labels []Label, prev *Packed, shared *bitset.Set) *Packed {
+	return PackParallel(labels, prev, shared, 1)
+}
+
+// PackParallel is Pack with the per-chunk flattening fanned across workers
+// (0 = GOMAXPROCS, 1 = serial). The reuse decisions run serially first —
+// they are cheap bitset scans and fix the exact rebuild set — then the
+// touched chunks fill concurrently; each chunk is an independent slab, so
+// the result is identical for every worker count. Entry totals are summed
+// in chunk order after the barrier.
+func PackParallel(labels []Label, prev *Packed, shared *bitset.Set, workers int) *Packed {
 	n := len(labels)
 	p := &Packed{
 		chunks: make([]packChunk, (n+packChunkLen-1)/packChunkLen),
 		n:      n,
 	}
+	rebuild := make([]int, 0, len(p.chunks))
 	for ci := range p.chunks {
 		lo := ci * packChunkLen
 		hi := min(lo+packChunkLen, n)
@@ -130,15 +142,19 @@ func Pack(labels []Label, prev *Packed, shared *bitset.Set) *Packed {
 			// Every label in [lo,hi) is still the parent's: the parent's
 			// chunk is byte-identical, share it. A reused chunk may alias
 			// the parent's mapped checkpoint region, so the child inherits
-			// the mapping reference — touched chunks were rebuilt onto the
-			// heap above/below, which is the chunk-at-a-time migration off
-			// the mapping.
-			c := prev.chunks[ci]
-			p.chunks[ci] = c
-			p.entries += int64(c.off[len(c.off)-1])
+			// the mapping reference — touched chunks are rebuilt onto the
+			// heap below, which is the chunk-at-a-time migration off the
+			// mapping.
+			p.chunks[ci] = prev.chunks[ci]
 			p.ref = prev.ref
 			continue
 		}
+		rebuild = append(rebuild, ci)
+	}
+	fanout.Run(fanout.Resolve(workers), len(rebuild), func(_, t int) {
+		ci := rebuild[t]
+		lo := ci * packChunkLen
+		hi := min(lo+packChunkLen, n)
 		var cnt int
 		for _, l := range labels[lo:hi] {
 			cnt += len(l)
@@ -153,7 +169,10 @@ func Pack(labels []Label, prev *Packed, shared *bitset.Set) *Packed {
 		}
 		c.off[hi-lo] = uint32(len(c.entries))
 		p.chunks[ci] = c
-		p.entries += int64(cnt)
+	})
+	for ci := range p.chunks {
+		c := &p.chunks[ci]
+		p.entries += int64(c.off[len(c.off)-1])
 	}
 	return p
 }

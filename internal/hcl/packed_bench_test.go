@@ -1,6 +1,7 @@
 package hcl
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -62,6 +63,13 @@ func BenchmarkPack(b *testing.B) {
 			PackLabels(idx.L)
 		}
 	})
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("full-parallel/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				PackParallel(idx.L, nil, nil, w)
+			}
+		})
+	}
 	idx.Pack()
 	fork := idx.Fork(idx.G) // packing-only use: the graph is never mutated
 	for v := uint32(100); v < 110; v++ {

@@ -7,8 +7,9 @@
 // costs two labelled lookups per landmark and no search at all; unaffected
 // landmarks (the common case: an edge sits on the shortest-path DAGs of few
 // landmarks) keep their entries untouched. Each affected landmark is then
-// patched by re-running its construction BFS over the updated graph and
-// replacing its entries and highway row in place.
+// patched by re-running its construction BFS over the updated graph — the
+// rebuilds fan across workers, buffering their edits as deltas that a
+// single-threaded merge applies in rank order (see parallel.go).
 //
 // Unlike the insertion-side rebuildLandmark, the decremental rebuild must
 // handle vertices that became unreachable — their entries are dropped and
@@ -61,10 +62,23 @@ func (u *Updater) DeleteEdge(a, b uint32) (Stats, error) {
 	if err := g.RemoveEdge(a, b); err != nil {
 		return st, fmt.Errorf("inchl: delete (%d,%d): %w", a, b, err)
 	}
-	u.ensureScratch(g.NumVertices())
-	u.bumpEpoch()
-	for _, r := range affected {
-		u.rebuildLandmarkDec(r, &st)
+	u.sc.ensure(g.NumVertices())
+	u.sizeDeltas(len(affected))
+
+	// Fan one rebuild task per affected landmark against the frozen
+	// labelling; highway cells come back as candidates (where the pre-update
+	// matrix differs) because the serial rebuild compares against live cells.
+	u.fan(len(affected), func(sc *scratch, task int) {
+		d := &u.deltas[task]
+		d.reset()
+		u.rebuildLandmarkDec(sc, affected[task], d)
+	})
+
+	// Merge in rank order, with the current epoch's covStamp as the
+	// per-update union set feeding Stats.AffectedUnion.
+	u.sc.bump()
+	for i, r := range affected {
+		u.applyDeltaDec(r, &u.deltas[i], &st)
 	}
 	return st, nil
 }
@@ -79,29 +93,28 @@ func edgeOnDAG(da, db, w graph.Dist) bool {
 }
 
 // rebuildLandmarkDec re-runs the construction BFS of landmark r over the
-// already-updated graph and replaces every r-entry and the full highway row
-// r, including resets to Inf for vertices the deletion disconnected. The
-// current epoch's covStamp doubles as the per-update union set feeding
-// Stats.AffectedUnion; callers bump the epoch once per DeleteEdge.
-func (u *Updater) rebuildLandmarkDec(r uint16, st *Stats) {
+// already-updated graph and buffers the replacement of every r-entry and the
+// full highway row r, including resets to Inf for vertices the deletion
+// disconnected. Label edits are exact (rank-scoped, see parallel.go);
+// highway cells are emitted as candidates wherever the pre-merge matrix
+// disagrees — a superset of the serial writes, which the merge's re-check
+// reduces back to exactly serial's set.
+func (u *Updater) rebuildLandmarkDec(sc *scratch, r uint16, d *repairDelta) {
 	idx := u.Idx
 	g := idx.G
 	n := g.NumVertices()
-	if len(u.dist) < n {
-		u.dist = make([]graph.Dist, n)
-		u.cover = make([]bool, n)
-	}
-	dist, cover := u.dist[:n], u.cover[:n]
+	sc.ensureRebuild(n)
+	dist, cover := sc.dist[:n], sc.cover[:n]
 	for i := range dist {
 		dist[i] = graph.Inf
 		cover[i] = false
 	}
 	root := idx.Landmarks[r]
 	dist[root] = 0
-	u.plainQ.Reset()
-	u.plainQ.Push(root)
-	for !u.plainQ.Empty() {
-		v := u.plainQ.Pop()
+	sc.plainQ.Reset()
+	sc.plainQ.Push(root)
+	for !sc.plainQ.Empty() {
+		v := sc.plainQ.Pop()
 		dv := dist[v]
 		cv := cover[v]
 		for _, w := range g.Neighbors(v) {
@@ -109,18 +122,10 @@ func (u *Updater) rebuildLandmarkDec(r uint16, st *Stats) {
 			case dist[w] == graph.Inf:
 				dist[w] = dv + 1
 				cover[w] = cv || (idx.IsLandmark(w) && w != root)
-				u.plainQ.Push(w)
+				sc.plainQ.Push(w)
 			case dist[w] == dv+1 && cv:
 				cover[w] = true
 			}
-		}
-	}
-	e := u.epoch
-	touch := func(v uint32) {
-		st.AffectedSum++
-		if u.covStamp[v] != e {
-			u.covStamp[v] = e
-			st.AffectedUnion++
 		}
 	}
 	for v := 0; v < n; v++ {
@@ -130,22 +135,54 @@ func (u *Updater) rebuildLandmarkDec(r uint16, st *Stats) {
 		}
 		if s, isL := idx.Rank(vv); isL {
 			if idx.H.Dist(r, s) != dist[v] {
-				idx.H.Set(r, s, dist[v]) // Inf when the deletion disconnected s
-				st.HighwayUpdates++
-				touch(vv)
+				d.highway(s, dist[v]) // Inf when the deletion disconnected s
 			}
 			continue
 		}
 		if dist[v] != graph.Inf && !cover[v] {
 			if old, had := idx.EntryDist(vv, r); !had || old != dist[v] {
-				idx.SetEntry(vv, r, dist[v])
-				st.EntriesAdded++
-				touch(vv)
+				d.setEntry(vv, dist[v])
 			}
-		} else if idx.RemoveEntry(vv, r) {
-			st.EntriesRemoved++
-			touch(vv)
+		} else if _, had := idx.EntryDist(vv, r); had {
+			d.removeEntry(vv)
 		}
+	}
+}
+
+// applyDeltaDec applies one decremental delta. Label ops apply and count
+// directly — the worker's change checks were exact. Highway candidates are
+// re-checked against the live matrix: an earlier-rank merge may have already
+// mirror-written the cell to the same new distance (Highway.Set writes both
+// triangles), in which case serial would not have counted it either. The
+// touch accounting — AffectedSum per change, AffectedUnion via the primary
+// scratch's covStamp epoch — runs here, single-threaded, exactly as the
+// serial rebuild interleaved it.
+func (u *Updater) applyDeltaDec(r uint16, d *repairDelta, st *Stats) {
+	idx := u.Idx
+	e := u.sc.epoch
+	touch := func(v uint32) {
+		st.AffectedSum++
+		if u.sc.covStamp[v] != e {
+			u.sc.covStamp[v] = e
+			st.AffectedUnion++
+		}
+	}
+	for _, h := range d.hw {
+		if idx.H.Dist(r, h.s) != h.d {
+			idx.H.Set(r, h.s, h.d)
+			st.HighwayUpdates++
+			touch(idx.Landmarks[h.s])
+		}
+	}
+	for _, op := range d.ops {
+		if op.set {
+			idx.SetEntry(op.v, r, op.d)
+			st.EntriesAdded++
+		} else {
+			idx.RemoveEntry(op.v, r)
+			st.EntriesRemoved++
+		}
+		touch(op.v)
 	}
 }
 

@@ -26,14 +26,18 @@
 // shortest-path parents — the ∃-covered-parent test of Lemma 4.6 — which is
 // the same classification the paper's two-queue formulation computes.
 //
-// All per-update state lives in epoch-stamped scratch arrays owned by the
-// Updater, so steady-state updates allocate only the small per-landmark
-// result slices.
+// Both phases are landmark-independent, so each update fans per-landmark
+// find+repair tasks across Workers cores: tasks read the frozen pre-repair
+// labelling and buffer their edits as deltas, and a single-threaded merge
+// applies them in rank order — see parallel.go for why the result is
+// byte-identical to the serial loop. Per-update state lives in epoch-stamped
+// per-worker scratch, so steady-state updates allocate only the small
+// per-landmark result slices.
 package inchl
 
 import (
 	"fmt"
-	"math"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/hcl"
@@ -54,36 +58,39 @@ const (
 )
 
 // Updater maintains a highway cover labelling under insertions.
-// It is not safe for concurrent use.
+// It is not safe for concurrent use: the worker fan-out inside an update is
+// internal, and at most one update runs at a time.
 type Updater struct {
 	Idx *hcl.Index
 
 	// Strategy selects the repair implementation (default RepairPartial).
 	Strategy RepairStrategy
 
-	// Epoch-stamped scratch: a slot is valid only when its stamp equals the
-	// current epoch, so per-landmark resets are O(1).
-	epoch    uint32
-	oldStamp []uint32     // stamps for oldVal
-	oldVal   []graph.Dist // cached pre-update distances d_G(r,·)
-	newStamp []uint32     // stamps for newVal (doubles as the visited set)
-	newVal   []graph.Dist // new distances of affected vertices
-	covStamp []uint32     // stamps for covVal
-	covVal   []bool       // covered classification of processed vertices
+	// Workers bounds the per-landmark fan-out of the find/repair phases:
+	// 0 (the default) resolves to GOMAXPROCS, 1 forces the serial path,
+	// any other value is used as given. Every worker count produces a
+	// byte-identical labelling and identical Stats.
+	Workers int
 
-	q     queue.PairQueue
-	finds []findResult
+	// RepairTimer, when non-nil, observes the wall time of every
+	// per-landmark find+repair task. It is called from worker goroutines
+	// and must be safe for concurrent use.
+	RepairTimer func(time.Duration)
 
-	// rebuild-strategy scratch
-	dist   []graph.Dist
-	cover  []bool
-	plainQ queue.Uint32
+	// sc is worker 0's scratch; it also carries the cross-landmark union
+	// accounting (affectedUnion, decremental touch set), which only the
+	// single-threaded merge uses. Extra workers draw pooled scratches.
+	sc scratch
+
+	finds  []findResult  // per-task find results, reused across updates
+	deltas []repairDelta // per-task repair deltas, reused across updates
 }
 
 // findResult carries one landmark's affected set from the find phase to the
 // repair phase.
 type findResult struct {
 	rank     uint16
+	skipped  bool
 	affected []queue.Pair // BFS level order, depth = new distance
 	oldCache []queue.Pair // (vertex, old distance) for every scanned vertex
 }
@@ -126,39 +133,80 @@ func (u *Updater) InsertEdge(a, b uint32) (Stats, error) {
 		return st, fmt.Errorf("inchl: insert (%d,%d): %w", a, b, graph.ErrEdgeExists)
 	}
 
-	st.LandmarksTotal = idx.NumLandmarks()
+	k := idx.NumLandmarks()
+	st.LandmarksTotal = k
 
-	// Find phase: all landmarks, against the pre-update labelling. The
-	// queries below read the old labelling, so they see d_G even though the
-	// adjacency already contains (a,b) — BFS expansion, not labelled
-	// distances, is what needs the new edge.
+	// The find tasks below read the old labelling, so they see d_G even
+	// though the adjacency already contains (a,b) — BFS expansion, not
+	// labelled distances, is what needs the new edge.
 	if _, err := g.AddEdge(a, b); err != nil {
 		return st, fmt.Errorf("inchl: insert (%d,%d): %w", a, b, err)
 	}
-	u.ensureScratch(g.NumVertices())
-	u.finds = u.finds[:0]
-	for r := 0; r < idx.NumLandmarks(); r++ {
-		fr, skipped := u.findAffected(uint16(r), a, b)
-		if skipped {
+	u.sc.ensure(g.NumVertices())
+	u.sizeFinds(k)
+	u.sizeDeltas(k)
+
+	// Fan one find+repair task per landmark against the frozen labelling.
+	u.fan(k, func(sc *scratch, task int) {
+		u.insertTask(sc, uint16(task), a, b)
+	})
+
+	// Merge the buffered deltas in rank order — the serial apply order.
+	for r := 0; r < k; r++ {
+		fr := &u.finds[r]
+		if fr.skipped {
 			st.LandmarksSkipped++
 			continue
 		}
 		st.AffectedSum += len(fr.affected)
-		u.finds = append(u.finds, fr)
+		u.applyDelta(uint16(r), &u.deltas[r], &st)
 	}
 	st.AffectedUnion = u.affectedUnion()
+	return st, nil
+}
 
-	// Repair phase.
-	for i := range u.finds {
-		fr := &u.finds[i]
-		switch u.Strategy {
-		case RepairRebuild:
-			u.rebuildLandmark(fr.rank, &st)
-		default:
-			u.repairAffected(fr, &st)
+// insertTask is one landmark's share of an insertion: the jumped find BFS
+// and, when the landmark is affected, the repair classification (or the
+// rebuild ablation), buffered into the task's delta. It only reads the
+// index; every edit waits for the merge.
+func (u *Updater) insertTask(sc *scratch, r uint16, a, b uint32) {
+	fr := &u.finds[r]
+	fr.rank = r
+	fr.affected = fr.affected[:0]
+	fr.oldCache = fr.oldCache[:0]
+	d := &u.deltas[r]
+	d.reset()
+	if !u.findAffected(sc, fr, a, b) {
+		fr.skipped = true
+		return
+	}
+	fr.skipped = false
+	if u.Strategy == RepairRebuild {
+		u.rebuildLandmark(sc, r, d)
+	} else {
+		u.classifyAffected(sc, fr, d)
+	}
+}
+
+// applyDelta applies one insert-path delta: highway cells and label ops are
+// definitive (insert repairs never read the highway, and label checks are
+// rank-scoped), so the merge writes them through and trusts the worker-side
+// counters.
+func (u *Updater) applyDelta(r uint16, d *repairDelta, st *Stats) {
+	idx := u.Idx
+	for _, h := range d.hw {
+		idx.H.Set(r, h.s, h.d)
+	}
+	for _, op := range d.ops {
+		if op.set {
+			idx.SetEntry(op.v, r, op.d)
+		} else {
+			idx.RemoveEntry(op.v, r)
 		}
 	}
-	return st, nil
+	st.EntriesAdded += d.stats.EntriesAdded
+	st.EntriesRemoved += d.stats.EntriesRemoved
+	st.HighwayUpdates += d.stats.HighwayUpdates
 }
 
 // InsertVertex adds a new vertex connected to the given existing neighbours
@@ -191,41 +239,17 @@ func (u *Updater) InsertVertex(neighbors []uint32) (uint32, Stats, error) {
 	return v, agg, nil
 }
 
-// ensureScratch sizes the stamped arrays for n vertices.
-func (u *Updater) ensureScratch(n int) {
-	if len(u.oldStamp) >= n {
-		return
-	}
-	u.oldStamp = append(u.oldStamp, make([]uint32, n-len(u.oldStamp))...)
-	u.oldVal = append(u.oldVal, make([]graph.Dist, n-len(u.oldVal))...)
-	u.newStamp = append(u.newStamp, make([]uint32, n-len(u.newStamp))...)
-	u.newVal = append(u.newVal, make([]graph.Dist, n-len(u.newVal))...)
-	u.covStamp = append(u.covStamp, make([]uint32, n-len(u.covStamp))...)
-	u.covVal = append(u.covVal, make([]bool, n-len(u.covVal))...)
-}
-
-// bumpEpoch starts a fresh validity epoch, clearing stamps on wraparound.
-func (u *Updater) bumpEpoch() {
-	if u.epoch == math.MaxUint32 {
-		for i := range u.oldStamp {
-			u.oldStamp[i] = 0
-			u.newStamp[i] = 0
-			u.covStamp[i] = 0
-		}
-		u.epoch = 0
-	}
-	u.epoch++
-}
-
 // affectedUnion counts distinct affected vertices across all landmarks,
-// using a fresh epoch of the covered-stamp array as the seen set.
+// using a fresh epoch of the primary scratch's covered-stamp array as the
+// seen set.
 func (u *Updater) affectedUnion() int {
-	u.bumpEpoch()
+	u.sc.bump()
+	e := u.sc.epoch
 	count := 0
 	for i := range u.finds {
 		for _, p := range u.finds[i].affected {
-			if u.covStamp[p.V] != u.epoch {
-				u.covStamp[p.V] = u.epoch
+			if u.sc.covStamp[p.V] != e {
+				u.sc.covStamp[p.V] = e
 				count++
 			}
 		}
@@ -233,100 +257,94 @@ func (u *Updater) affectedUnion() int {
 	return count
 }
 
-// findAffected is Algorithm 2: the jumped BFS from b collecting Λ_r. It
-// reports skipped=true when the landmark can be eliminated because
-// d_G(r,a) = d_G(r,b).
-func (u *Updater) findAffected(r uint16, a, b uint32) (findResult, bool) {
+// findAffected is Algorithm 2: the jumped BFS from b collecting Λ_r into fr.
+// It reports false when the landmark can be eliminated because
+// d_G(r,a) = d_G(r,b). The scratch epoch it stamps old/new distances under
+// stays current for the fused classifyAffected that follows.
+func (u *Updater) findAffected(sc *scratch, fr *findResult, a, b uint32) bool {
 	idx := u.Idx
+	r := fr.rank
 	da := idx.LandmarkDist(r, a)
 	db := idx.LandmarkDist(r, b)
 	if da == db {
-		return findResult{}, true // Λ_r = ∅ (no shortest path can use (a,b))
+		return false // Λ_r = ∅ (no shortest path can use (a,b))
 	}
 	if db < da {
 		a, b = b, a
 		da, db = db, da
 	}
-	u.bumpEpoch()
-	e := u.epoch
-	fr := findResult{rank: r}
-	u.oldStamp[a], u.oldVal[a] = e, da
-	u.oldStamp[b], u.oldVal[b] = e, db
+	sc.bump()
+	e := sc.epoch
+	sc.oldStamp[a], sc.oldVal[a] = e, da
+	sc.oldStamp[b], sc.oldVal[b] = e, db
 	fr.oldCache = append(fr.oldCache, queue.Pair{V: a, D: da}, queue.Pair{V: b, D: db})
 	pi := graph.AddDist(da, 1) // new depth of b (Lemma 4.4 jump)
 
-	u.q.Reset()
-	u.q.Push(queue.Pair{V: b, D: pi})
-	u.newStamp[b], u.newVal[b] = e, pi
-	for !u.q.Empty() {
-		p := u.q.Pop()
+	sc.q.Reset()
+	sc.q.Push(queue.Pair{V: b, D: pi})
+	sc.newStamp[b], sc.newVal[b] = e, pi
+	for !sc.q.Empty() {
+		p := sc.q.Pop()
 		fr.affected = append(fr.affected, p)
 		next := graph.AddDist(p.D, 1)
 		for _, w := range idx.G.Neighbors(p.V) {
-			if u.newStamp[w] == e {
+			if sc.newStamp[w] == e {
 				continue // already affected (visited)
 			}
 			var old graph.Dist
-			if u.oldStamp[w] == e {
-				old = u.oldVal[w]
+			if sc.oldStamp[w] == e {
+				old = sc.oldVal[w]
 			} else {
 				old = idx.LandmarkDist(r, w)
-				u.oldStamp[w], u.oldVal[w] = e, old
+				sc.oldStamp[w], sc.oldVal[w] = e, old
 				fr.oldCache = append(fr.oldCache, queue.Pair{V: w, D: old})
 			}
 			if old >= next {
-				u.newStamp[w], u.newVal[w] = e, next
-				u.q.Push(queue.Pair{V: w, D: next})
+				sc.newStamp[w], sc.newVal[w] = e, next
+				sc.q.Push(queue.Pair{V: w, D: next})
 			}
 		}
 	}
-	return fr, false
+	return true
 }
 
-// repairAffected is Algorithm 3: it walks Λ_r in BFS level order and, for
+// classifyAffected is Algorithm 3: it walks Λ_r in BFS level order and, for
 // each affected vertex, decides coverage by Lemma 4.6 — the vertex is
 // covered iff it is a landmark, or some shortest-path parent (a neighbour
 // at new distance d-1) is a landmark other than r or is itself covered.
 // Covered vertices lose their r-entry; uncovered ones get the exact new
-// distance.
-func (u *Updater) repairAffected(fr *findResult, st *Stats) {
+// distance. It runs fused with findAffected on the same scratch epoch, so
+// the old/new distance stamps are already in place; edits go to the delta,
+// with the entry checks exact because only rank r ever touches r-entries.
+func (u *Updater) classifyAffected(sc *scratch, fr *findResult, d *repairDelta) {
 	idx := u.Idx
 	r := fr.rank
 	root := idx.Landmarks[r]
-	u.bumpEpoch()
-	e := u.epoch
-	// Replay the find phase's knowledge into the current epoch: old
-	// distances of scanned vertices and new distances of affected ones.
-	for _, p := range fr.oldCache {
-		u.oldStamp[p.V], u.oldVal[p.V] = e, p.D
-	}
+	e := sc.epoch
 	for _, p := range fr.affected {
-		u.newStamp[p.V], u.newVal[p.V] = e, p.D
-	}
-	for _, p := range fr.affected {
-		w, d := p.V, p.D
+		w, dd := p.V, p.D
 		if s, isL := idx.Rank(w); isL {
-			idx.H.Set(r, s, d)
-			st.HighwayUpdates++
-			u.covStamp[w], u.covVal[w] = e, true
+			d.highway(s, dd)
+			d.stats.HighwayUpdates++
+			sc.covStamp[w], sc.covVal[w] = e, true
 			continue
 		}
 		cov := false
 		for _, n := range idx.G.Neighbors(w) {
 			var nd graph.Dist
-			affected := u.newStamp[n] == e
+			affected := sc.newStamp[n] == e
 			if affected {
-				nd = u.newVal[n]
-			} else if u.oldStamp[n] == e {
-				nd = u.oldVal[n] // unaffected: old distance = new distance
+				nd = sc.newVal[n]
+			} else if sc.oldStamp[n] == e {
+				nd = sc.oldVal[n] // unaffected: old distance = new distance
 			} else {
 				continue // never scanned — cannot be a shortest-path parent
 			}
-			if nd != d-1 {
+			if nd != dd-1 {
 				continue
 			}
 			if affected {
-				if u.covStamp[n] == e && u.covVal[n] {
+				if sc.covStamp[n] == e && sc.covVal[n] {
 					cov = true
 					break
 				}
@@ -344,41 +362,39 @@ func (u *Updater) repairAffected(fr *findResult, st *Stats) {
 				break
 			}
 		}
-		u.covStamp[w], u.covVal[w] = e, cov
+		sc.covStamp[w], sc.covVal[w] = e, cov
 		if cov {
-			if idx.RemoveEntry(w, r) {
-				st.EntriesRemoved++
+			if _, had := idx.EntryDist(w, r); had {
+				d.removeEntry(w)
+				d.stats.EntriesRemoved++
 			}
 		} else {
-			idx.SetEntry(w, r, d)
-			st.EntriesAdded++
+			d.setEntry(w, dd)
+			d.stats.EntriesAdded++
 		}
 	}
 }
 
 // rebuildLandmark is the RepairRebuild ablation: rerun the construction BFS
 // of landmark r over the whole (already updated) graph, replacing every
-// r-entry. It produces the same labelling as repairAffected at full-BFS
+// r-entry. It produces the same labelling as classifyAffected at full-BFS
 // cost.
-func (u *Updater) rebuildLandmark(r uint16, st *Stats) {
+func (u *Updater) rebuildLandmark(sc *scratch, r uint16, d *repairDelta) {
 	idx := u.Idx
 	g := idx.G
 	n := g.NumVertices()
-	if len(u.dist) < n {
-		u.dist = make([]graph.Dist, n)
-		u.cover = make([]bool, n)
-	}
-	dist, cover := u.dist[:n], u.cover[:n]
+	sc.ensureRebuild(n)
+	dist, cover := sc.dist[:n], sc.cover[:n]
 	for i := range dist {
 		dist[i] = graph.Inf
 		cover[i] = false
 	}
 	root := idx.Landmarks[r]
 	dist[root] = 0
-	u.plainQ.Reset()
-	u.plainQ.Push(root)
-	for !u.plainQ.Empty() {
-		v := u.plainQ.Pop()
+	sc.plainQ.Reset()
+	sc.plainQ.Push(root)
+	for !sc.plainQ.Empty() {
+		v := sc.plainQ.Pop()
 		dv := dist[v]
 		cv := cover[v]
 		for _, w := range g.Neighbors(v) {
@@ -386,7 +402,7 @@ func (u *Updater) rebuildLandmark(r uint16, st *Stats) {
 			case dist[w] == graph.Inf:
 				dist[w] = dv + 1
 				cover[w] = cv || (idx.IsLandmark(w) && w != root)
-				u.plainQ.Push(w)
+				sc.plainQ.Push(w)
 			case dist[w] == dv+1 && cv:
 				cover[w] = true
 			}
@@ -397,18 +413,19 @@ func (u *Updater) rebuildLandmark(r uint16, st *Stats) {
 		vv := uint32(v)
 		if s, isL := idx.Rank(vv); isL {
 			if dist[v] != graph.Inf || vv == root {
-				idx.H.Set(r, s, dist[v])
-				st.HighwayUpdates++
+				d.highway(s, dist[v])
+				d.stats.HighwayUpdates++
 			}
 			continue
 		}
 		if dist[v] != graph.Inf && !cover[v] {
 			if old, had := idx.EntryDist(vv, r); !had || old != dist[v] {
-				idx.SetEntry(vv, r, dist[v])
-				st.EntriesAdded++
+				d.setEntry(vv, dist[v])
+				d.stats.EntriesAdded++
 			}
-		} else if idx.RemoveEntry(vv, r) {
-			st.EntriesRemoved++
+		} else if _, had := idx.EntryDist(vv, r); had {
+			d.removeEntry(vv)
+			d.stats.EntriesRemoved++
 		}
 	}
 }

@@ -1,0 +1,196 @@
+// The parallel repair engine. Every expensive phase of an update is
+// landmark-independent: the jumped find BFS reads only the frozen pre-update
+// labelling, and landmark r's repair writes only rank-r label entries and
+// highway row r, while its classification reads only rank-r entries of other
+// vertices. Updates therefore fan per-landmark tasks across workers — each
+// task computes a repairDelta (label ops plus highway cells) against the
+// unmodified labelling with its own pooled epoch-stamped scratch — and after
+// a full barrier a single-threaded merge applies the deltas in rank order.
+// The serial path (Workers == 1) runs the identical task+merge code, so the
+// resulting labelling is byte-identical for every worker count.
+//
+// Two invariants make worker-side decisions exact rather than speculative:
+//
+//   - Label writes are rank-scoped. Only landmark r's repair touches rank-r
+//     entries, so presence/value checks a task performs against the
+//     pre-repair labelling (EntryDist) hold unchanged at merge time.
+//   - Highway cells cross landmarks (Highway.Set mirrors (r,s) into (s,r)),
+//     but any two landmarks that write the same cell in one update write the
+//     same new distance. Insertion repairs never read the highway, so their
+//     cells apply unconditionally; the decremental rebuild compares against
+//     the current highway, so its tasks emit *candidate* cells where the
+//     pre-update value differs (a superset of what serial writes) and the
+//     merge re-checks each against the live matrix, reproducing serial's
+//     writes, counters and touch accounting exactly.
+
+package inchl
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/fanout"
+	"repro/internal/graph"
+	"repro/internal/queue"
+)
+
+// scratch is the per-worker update state: epoch-stamped distance arrays for
+// the find/classify phases and the plain BFS arrays for full rebuilds. A
+// slot of a stamped array is valid only when its stamp equals the current
+// epoch, so per-task resets are O(1) — each task bumps the epoch of the
+// scratch it runs on. The Updater owns one scratch (worker 0, also used for
+// the cross-landmark union accounting); extra workers borrow from a
+// package-level pool, which keeps the group-commit pipeline from allocating
+// worker state on every forked Updater. Stamps never exceed their scratch's
+// epoch, and that invariant survives pooling because stamps and epoch travel
+// together.
+type scratch struct {
+	epoch    uint32
+	oldStamp []uint32     // stamps for oldVal
+	oldVal   []graph.Dist // cached pre-update distances d_G(r,·)
+	newStamp []uint32     // stamps for newVal (doubles as the visited set)
+	newVal   []graph.Dist // new distances of affected vertices
+	covStamp []uint32     // stamps for covVal
+	covVal   []bool       // covered classification of processed vertices
+
+	q queue.PairQueue
+
+	// full-rebuild scratch (RepairRebuild and the decremental path)
+	dist   []graph.Dist
+	cover  []bool
+	plainQ queue.Uint32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// ensure sizes the stamped arrays for n vertices. Fresh slots carry stamp 0,
+// which bump() guarantees is never the current epoch.
+func (s *scratch) ensure(n int) {
+	if len(s.oldStamp) >= n {
+		return
+	}
+	s.oldStamp = append(s.oldStamp, make([]uint32, n-len(s.oldStamp))...)
+	s.oldVal = append(s.oldVal, make([]graph.Dist, n-len(s.oldVal))...)
+	s.newStamp = append(s.newStamp, make([]uint32, n-len(s.newStamp))...)
+	s.newVal = append(s.newVal, make([]graph.Dist, n-len(s.newVal))...)
+	s.covStamp = append(s.covStamp, make([]uint32, n-len(s.covStamp))...)
+	s.covVal = append(s.covVal, make([]bool, n-len(s.covVal))...)
+}
+
+// ensureRebuild sizes the plain BFS arrays for n vertices.
+func (s *scratch) ensureRebuild(n int) {
+	if len(s.dist) < n {
+		s.dist = make([]graph.Dist, n)
+		s.cover = make([]bool, n)
+	}
+}
+
+// bump starts a fresh validity epoch, clearing stamps on wraparound.
+func (s *scratch) bump() {
+	if s.epoch == math.MaxUint32 {
+		for i := range s.oldStamp {
+			s.oldStamp[i] = 0
+			s.newStamp[i] = 0
+			s.covStamp[i] = 0
+		}
+		s.epoch = 0
+	}
+	s.epoch++
+}
+
+// labelOp is one label edit of a repair delta: set (v,r) to d, or remove the
+// r-entry of v. The rank is implicit — a delta belongs to one landmark.
+type labelOp struct {
+	v   uint32
+	d   graph.Dist
+	set bool
+}
+
+// hwOp is one highway cell of a repair delta: H(r,s) = d with the task's
+// rank r implicit. Insert deltas carry definitive cells; decremental deltas
+// carry candidates the merge re-checks.
+type hwOp struct {
+	s uint16
+	d graph.Dist
+}
+
+// repairDelta is the outcome of one landmark's repair task, buffered so the
+// merge can apply it in rank order. stats holds the worker-side counters
+// that are exact by rank-scoping (insert paths only; the decremental merge
+// counts itself because of the highway re-check).
+type repairDelta struct {
+	ops   []labelOp
+	hw    []hwOp
+	stats Stats
+}
+
+func (d *repairDelta) reset() {
+	d.ops = d.ops[:0]
+	d.hw = d.hw[:0]
+	d.stats = Stats{}
+}
+
+func (d *repairDelta) setEntry(v uint32, dist graph.Dist) {
+	d.ops = append(d.ops, labelOp{v: v, d: dist, set: true})
+}
+
+func (d *repairDelta) removeEntry(v uint32) {
+	d.ops = append(d.ops, labelOp{v: v})
+}
+
+func (d *repairDelta) highway(s uint16, dist graph.Dist) {
+	d.hw = append(d.hw, hwOp{s: s, d: dist})
+}
+
+// sizeFinds and sizeDeltas resize the per-rank result tables, preserving the
+// capacity of every per-slot slice across updates.
+func (u *Updater) sizeFinds(n int) {
+	if cap(u.finds) < n {
+		u.finds = append(u.finds[:cap(u.finds)], make([]findResult, n-cap(u.finds))...)
+	}
+	u.finds = u.finds[:n]
+}
+
+func (u *Updater) sizeDeltas(n int) {
+	if cap(u.deltas) < n {
+		u.deltas = append(u.deltas[:cap(u.deltas)], make([]repairDelta, n-cap(u.deltas))...)
+	}
+	u.deltas = u.deltas[:n]
+}
+
+// fan runs fn for every task in [0,n) across the Updater's worker budget
+// (Workers: 0 = GOMAXPROCS, 1 = serial) and returns after all tasks
+// complete. Worker 0 is the Updater's own scratch; extra workers borrow
+// pooled scratches sized for the current graph. fn must not mutate the
+// index — it reads the frozen labelling and fills per-task deltas.
+func (u *Updater) fan(n int, fn func(sc *scratch, task int)) {
+	if n == 0 {
+		return
+	}
+	workers := fanout.Resolve(u.Workers)
+	if workers > n {
+		workers = n
+	}
+	nv := u.Idx.G.NumVertices()
+	scs := make([]*scratch, workers)
+	scs[0] = &u.sc
+	for i := 1; i < workers; i++ {
+		sc := scratchPool.Get().(*scratch)
+		sc.ensure(nv)
+		scs[i] = sc
+	}
+	timer := u.RepairTimer
+	fanout.Run(workers, n, func(worker, task int) {
+		if timer == nil {
+			fn(scs[worker], task)
+			return
+		}
+		start := time.Now()
+		fn(scs[worker], task)
+		timer(time.Since(start))
+	})
+	for _, sc := range scs[1:] {
+		scratchPool.Put(sc)
+	}
+}

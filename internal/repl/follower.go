@@ -278,6 +278,7 @@ func (f *Follower) applyOne(it item) (ack uint64, send bool, err error) {
 		st := f.store.Load()
 		if st == nil {
 			st = dynhl.NewStoreAt(idx, epoch)
+			st.SetRepairWorkers(f.opts.RepairWorkers)
 			if err := st.AttachReplication(f); err != nil {
 				return 0, false, err
 			}

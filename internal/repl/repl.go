@@ -96,6 +96,10 @@ type Options struct {
 	// mmap of it, so bootstrap does not hold a heap copy of the entries;
 	// wal.MapOff decodes to the heap. Leader side ignores it.
 	Mmap wal.MapMode
+	// RepairWorkers bounds the per-landmark fan-out of the follower's
+	// replay repairs (0 = GOMAXPROCS, 1 = serial; see
+	// dynhl.Options.RepairWorkers). Leader side ignores it.
+	RepairWorkers int
 }
 
 func (o Options) withDefaults() Options {

@@ -13,6 +13,7 @@ package whcl
 import (
 	"fmt"
 
+	"repro/internal/fanout"
 	"repro/internal/graph"
 	"repro/internal/wgraph"
 )
@@ -51,21 +52,20 @@ func (idx *Index) DeleteEdge(a, b uint32) (Stats, error) {
 	if _, err := g.RemoveEdge(a, b); err != nil {
 		return st, fmt.Errorf("whcl: delete (%d,%d): %w", a, b, err)
 	}
-	if len(affected) > 0 {
-		dist, covered := idx.rebuildScratch(g.NumVertices())
-		for _, r := range affected {
-			idx.rebuildLandmark(r, dist, covered, &st)
-		}
-	}
+	idx.rebuildLandmarks(fanout.Resolve(idx.Workers), affected, &st)
 	return st, nil
 }
 
-// rebuildLandmark re-runs landmark r's covered-flag Dijkstra over the
-// current graph and replaces its entries and highway row in place,
-// including Inf resets for disconnected vertices.
-func (idx *Index) rebuildLandmark(r uint16, dist []graph.Dist, covered []bool, st *Stats) {
+// rebuildLandmarkDelta re-runs landmark r's covered-flag Dijkstra over the
+// current graph and buffers the replacement of its entries and highway row,
+// including Inf resets for disconnected vertices. Label edits are
+// pre-checked against the frozen labelling and exact (only rank r touches
+// r-entries); highway cells are candidates the merge re-checks.
+func (idx *Index) rebuildLandmarkDelta(r uint16, ws *passScratch, d *repairDelta) {
 	g := idx.G
 	root := idx.Landmarks[r]
+	n := g.NumVertices()
+	dist, covered := ws.dist[:n], ws.cover[:n]
 	order := g.Dijkstra(root, dist)
 	// Covered pass in settle order: weights ≥ 1 settle every shortest-path
 	// parent strictly earlier.
@@ -81,31 +81,23 @@ func (idx *Index) rebuildLandmark(r uint16, dist []graph.Dist, covered []bool, s
 			}
 		}
 	}
-	for v := 0; v < g.NumVertices(); v++ {
+	for v := 0; v < n; v++ {
 		vv := uint32(v)
 		if vv == root {
 			continue
 		}
 		if s := idx.rankArr[vv]; s != noRank {
 			if idx.Highway(r, s) != dist[v] {
-				idx.setHighway(r, s, dist[v]) // Inf when disconnected
-				st.HighwayUpdates++
-				st.AffectedSum++
+				d.cell(s, dist[v]) // Inf when disconnected
 			}
 			continue
 		}
 		if dist[v] != graph.Inf && !covered[v] {
 			if old, had := idx.L[vv].Get(r); !had || old != dist[v] {
-				idx.ownLabel(vv)
-				idx.L[vv] = idx.L[vv].Set(r, dist[v])
-				st.EntriesAdded++
-				st.AffectedSum++
+				d.setEntry(vv, dist[v])
 			}
 		} else if _, had := idx.L[vv].Get(r); had {
-			idx.ownLabel(vv)
-			idx.L[vv], _ = idx.L[vv].Remove(r)
-			st.EntriesRemoved++
-			st.AffectedSum++
+			d.removeEntry(vv)
 		}
 	}
 }

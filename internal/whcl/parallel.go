@@ -1,0 +1,184 @@
+// The parallel repair engine for the weighted variant — the per-landmark
+// fan-out of internal/inchl with Dijkstra searches in place of BFS. Landmark
+// r's repair writes only rank-r label entries and highway row r (mirrored),
+// and its classification reads only rank-r entries of other vertices, so
+// per-landmark tasks are independent: each computes a delta against the
+// frozen pre-repair labelling, a barrier separates the fan from the merge,
+// and the merge applies deltas in rank order — byte-identical to serial for
+// every worker count.
+//
+// Insertion highway cells apply unconditionally (the serial repair never
+// reads the matrix before writing) with exact worker-side counters. Rebuild
+// passes compare against the live matrix, so their tasks emit candidate
+// cells wherever the pre-merge value differs — a superset of the serial
+// writes, because any two landmarks that write the same (mirrored) cell in
+// one update write the same new distance — and the merge re-checks each
+// candidate, reproducing serial's writes and counters exactly.
+
+package whcl
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/fanout"
+	"repro/internal/graph"
+)
+
+// labelOp is one label edit of a delta: set (v,r) to d, or remove the
+// r-entry of v. The rank is implicit — a delta belongs to one landmark.
+type labelOp struct {
+	v   uint32
+	d   graph.Dist
+	set bool
+}
+
+// hwOp is one highway cell H(r,s) = d with the task's rank r implicit.
+type hwOp struct {
+	s uint16
+	d graph.Dist
+}
+
+// repairDelta is the buffered outcome of one landmark's task.
+// added/removed/highway are worker-side counters, exact for insertion
+// deltas; rebuild deltas leave them zero and let the merge count.
+type repairDelta struct {
+	ops     []labelOp
+	hw      []hwOp
+	added   int
+	removed int
+	highway int
+}
+
+func (d *repairDelta) reset() {
+	d.ops = d.ops[:0]
+	d.hw = d.hw[:0]
+	d.added, d.removed, d.highway = 0, 0, 0
+}
+
+func (d *repairDelta) setEntry(v uint32, dist graph.Dist) {
+	d.ops = append(d.ops, labelOp{v: v, d: dist, set: true})
+}
+
+func (d *repairDelta) removeEntry(v uint32) {
+	d.ops = append(d.ops, labelOp{v: v})
+}
+
+func (d *repairDelta) cell(s uint16, dist graph.Dist) {
+	d.hw = append(d.hw, hwOp{s: s, d: dist})
+}
+
+// passScratch is the per-worker Dijkstra state of rebuild passes.
+type passScratch struct {
+	dist  []graph.Dist
+	cover []bool
+}
+
+func (s *passScratch) ensure(n int) {
+	if len(s.dist) < n {
+		s.dist = make([]graph.Dist, n)
+		s.cover = make([]bool, n)
+	}
+}
+
+var passPool = sync.Pool{New: func() any { return new(passScratch) }}
+
+// sizeFinds and sizeDeltas resize the per-task result tables.
+func (idx *Index) sizeFinds(n int) {
+	if cap(idx.finds) < n {
+		idx.finds = append(idx.finds[:cap(idx.finds)], make([]findResult, n-cap(idx.finds))...)
+	}
+	idx.finds = idx.finds[:n]
+}
+
+func (idx *Index) sizeDeltas(n int) {
+	if cap(idx.deltas) < n {
+		idx.deltas = append(idx.deltas[:cap(idx.deltas)], make([]repairDelta, n-cap(idx.deltas))...)
+	}
+	idx.deltas = idx.deltas[:n]
+}
+
+// fan runs fn for every task in [0,n) across workers (pre-resolved), giving
+// each worker pooled Dijkstra scratch sized for the current graph; worker 0
+// uses the index's own rebuild scratch. fn must not mutate the index — it
+// reads the frozen labelling and fills per-task deltas. Tasks are timed
+// through RepairTimer when set.
+func (idx *Index) fan(workers, n int, fn func(ws *passScratch, task int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	nv := idx.G.NumVertices()
+	scs := make([]*passScratch, workers)
+	scs[0] = &idx.del
+	scs[0].ensure(nv)
+	for i := 1; i < workers; i++ {
+		ws := passPool.Get().(*passScratch)
+		ws.ensure(nv)
+		scs[i] = ws
+	}
+	timer := idx.RepairTimer
+	fanout.Run(workers, n, func(worker, task int) {
+		if timer == nil {
+			fn(scs[worker], task)
+			return
+		}
+		start := time.Now()
+		fn(scs[worker], task)
+		timer(time.Since(start))
+	})
+	for _, ws := range scs[1:] {
+		passPool.Put(ws)
+	}
+}
+
+// applyInsert applies one insertion delta: highway cells and label ops are
+// definitive, so the merge writes them through and trusts the worker
+// counters.
+func (idx *Index) applyInsert(r uint16, d *repairDelta, st *Stats) {
+	for _, h := range d.hw {
+		idx.setHighway(r, h.s, h.d)
+	}
+	for _, op := range d.ops {
+		idx.applyLabelOp(r, op)
+	}
+	st.EntriesAdded += d.added
+	st.EntriesRemoved += d.removed
+	st.HighwayUpdates += d.highway
+}
+
+// applyRebuild applies one rebuild delta (construction or decremental),
+// re-checking each highway candidate against the live matrix — an
+// earlier-merged landmark may have already mirror-written the cell to the
+// same new distance, in which case serial would not have counted it either —
+// and counting everything here, single-threaded, exactly as the serial
+// rebuild interleaved it.
+func (idx *Index) applyRebuild(r uint16, d *repairDelta, st *Stats) {
+	for _, h := range d.hw {
+		if idx.Highway(r, h.s) != h.d {
+			idx.setHighway(r, h.s, h.d)
+			st.HighwayUpdates++
+			st.AffectedSum++
+		}
+	}
+	for _, op := range d.ops {
+		idx.applyLabelOp(r, op)
+		if op.set {
+			st.EntriesAdded++
+		} else {
+			st.EntriesRemoved++
+		}
+		st.AffectedSum++
+	}
+}
+
+func (idx *Index) applyLabelOp(r uint16, op labelOp) {
+	idx.ownLabel(op.v)
+	if op.set {
+		idx.L[op.v] = idx.L[op.v].Set(r, op.d)
+	} else {
+		idx.L[op.v], _ = idx.L[op.v].Remove(r)
+	}
+}

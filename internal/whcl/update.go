@@ -3,6 +3,7 @@ package whcl
 import (
 	"fmt"
 
+	"repro/internal/fanout"
 	"repro/internal/graph"
 	"repro/internal/wgraph"
 )
@@ -19,6 +20,7 @@ type Stats struct {
 
 type findResult struct {
 	rank     uint16
+	skipped  bool                  // landmark eliminated: the edge shortens nothing
 	affected []wgraph.Item         // settle order: non-decreasing new distance
 	newDist  map[uint32]graph.Dist // affected vertex -> new distance
 	oldDist  map[uint32]graph.Dist // scanned vertex -> old distance
@@ -27,8 +29,10 @@ type findResult struct {
 // InsertEdge inserts the weighted edge (a,b,w) and repairs the labelling:
 // per landmark a jumped Dijkstra from the far endpoint collects vertices
 // whose shortest path to the landmark now runs through the new edge, then a
-// settle-order pass applies the covered/uncovered classification. The find
-// phase for every landmark runs against the pre-update labelling.
+// settle-order pass applies the covered/uncovered classification. The
+// per-landmark tasks fan across Workers cores — every find runs against the
+// pre-update labelling (no repair has mutated anything yet: tasks only
+// buffer deltas) — and the merge applies the deltas in rank order.
 func (idx *Index) InsertEdge(a, b uint32, w graph.Dist) (Stats, error) {
 	var st Stats
 	g := idx.G
@@ -43,17 +47,27 @@ func (idx *Index) InsertEdge(a, b uint32, w graph.Dist) (Stats, error) {
 	}
 	st.LandmarksTotal = idx.k
 
-	var finds []findResult
-	for r := 0; r < idx.k; r++ {
-		if fr, ok := idx.findAffected(uint16(r), a, b, w); ok {
-			st.AffectedSum += len(fr.affected)
-			finds = append(finds, fr)
-		} else {
-			st.LandmarksSkipped++
+	idx.sizeFinds(idx.k)
+	idx.sizeDeltas(idx.k)
+	idx.fan(fanout.Resolve(idx.Workers), idx.k, func(_ *passScratch, t int) {
+		r := uint16(t)
+		d := &idx.deltas[t]
+		d.reset()
+		fr, ok := idx.findAffected(r, a, b, w)
+		fr.skipped = !ok
+		idx.finds[t] = fr
+		if ok {
+			idx.classifyAffected(&idx.finds[t], d)
 		}
-	}
-	for i := range finds {
-		idx.repairAffected(&finds[i], &st)
+	})
+	for t := 0; t < idx.k; t++ {
+		fr := &idx.finds[t]
+		if fr.skipped {
+			st.LandmarksSkipped++
+			continue
+		}
+		st.AffectedSum += len(fr.affected)
+		idx.applyInsert(uint16(t), &idx.deltas[t], &st)
 	}
 	return st, nil
 }
@@ -138,19 +152,21 @@ func (idx *Index) findAffected(r uint16, a, b uint32, w graph.Dist) (findResult,
 	return fr, true
 }
 
-// repairAffected walks Λ_r in settle order and applies Lemma 4.6: a vertex
+// classifyAffected walks Λ_r in settle order and applies Lemma 4.6: a vertex
 // is covered iff it is a landmark or some shortest-path parent (neighbour u
 // with newdist(u) + w(u,v) = newdist(v)) is a landmark other than r or
-// covered itself.
-func (idx *Index) repairAffected(fr *findResult, st *Stats) {
+// covered itself. Edits are buffered into the delta; entry checks read the
+// frozen pre-repair labelling and are exact because only rank r ever touches
+// r-entries, and insertion highway cells apply unconditionally.
+func (idx *Index) classifyAffected(fr *findResult, d *repairDelta) {
 	r := fr.rank
 	root := idx.Landmarks[r]
 	covered := make(map[uint32]bool, len(fr.affected))
 	for _, it := range fr.affected {
-		v, d := it.V, it.D
+		v, dd := it.V, it.D
 		if s := idx.rankArr[v]; s != noRank {
-			idx.setHighway(r, s, d)
-			st.HighwayUpdates++
+			d.cell(s, dd)
+			d.highway++
 			covered[v] = true
 			continue
 		}
@@ -165,7 +181,7 @@ func (idx *Index) repairAffected(fr *findResult, st *Stats) {
 					continue
 				}
 			}
-			if graph.AddDist(nd, arc.W) != d {
+			if graph.AddDist(nd, arc.W) != dd {
 				continue // not a shortest-path parent
 			}
 			if affected {
@@ -190,14 +206,12 @@ func (idx *Index) repairAffected(fr *findResult, st *Stats) {
 		covered[v] = cov
 		if cov {
 			if _, has := idx.L[v].Get(r); has {
-				idx.ownLabel(v)
-				idx.L[v], _ = idx.L[v].Remove(r)
-				st.EntriesRemoved++
+				d.removeEntry(v)
+				d.removed++
 			}
 		} else {
-			idx.ownLabel(v)
-			idx.L[v] = idx.L[v].Set(r, d)
-			st.EntriesAdded++
+			d.setEntry(v, dd)
+			d.added++
 		}
 	}
 }

@@ -9,9 +9,11 @@ package whcl
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/arena"
 	"repro/internal/bitset"
+	"repro/internal/fanout"
 	"repro/internal/graph"
 	"repro/internal/hcl"
 	"repro/internal/wgraph"
@@ -54,24 +56,36 @@ type Index struct {
 
 	scratch wgraph.SpacePool
 
-	// rebuild scratch for the deletion path, reused across DeleteEdge calls
-	// (mutations hold exclusive access, so one set suffices).
-	delDist  []graph.Dist
-	delCover []bool
-}
+	// Workers bounds the per-landmark fan-out of InsertEdge/DeleteEdge
+	// repairs: 0 (the default) resolves to GOMAXPROCS, 1 forces the serial
+	// path, any other value is used as given. Every worker count produces a
+	// byte-identical labelling and identical Stats (see parallel.go).
+	Workers int
 
-// rebuildScratch returns dist/covered scratch sized for n vertices.
-func (idx *Index) rebuildScratch(n int) ([]graph.Dist, []bool) {
-	if len(idx.delDist) < n {
-		idx.delDist = make([]graph.Dist, n)
-		idx.delCover = make([]bool, n)
-	}
-	return idx.delDist[:n], idx.delCover[:n]
+	// RepairTimer, when non-nil, observes the wall time of every
+	// per-landmark repair task. It is called from worker goroutines and must
+	// be safe for concurrent use.
+	RepairTimer func(time.Duration)
+
+	// del is worker 0's rebuild scratch, reused across updates (mutations
+	// hold exclusive access); extra workers draw pooled scratches.
+	del    passScratch
+	finds  []findResult
+	deltas []repairDelta
 }
 
 // Build constructs the minimal weighted labelling with one covered-flag
 // Dijkstra per landmark.
 func Build(g *wgraph.Graph, landmarks []uint32) (*Index, error) {
+	return BuildParallel(g, landmarks, 1)
+}
+
+// BuildParallel constructs the same labelling as Build, fanning the
+// per-landmark construction Dijkstras across workers (0 = GOMAXPROCS,
+// 1 = serial). The result is byte-identical for every worker count: tasks
+// only buffer deltas against the empty labelling and a single-threaded
+// merge applies them in rank order.
+func BuildParallel(g *wgraph.Graph, landmarks []uint32, workers int) (*Index, error) {
 	if len(landmarks) == 0 {
 		return nil, fmt.Errorf("whcl: need at least one landmark")
 	}
@@ -107,15 +121,30 @@ func Build(g *wgraph.Graph, landmarks []uint32) (*Index, error) {
 	for r, v := range idx.Landmarks {
 		idx.rankArr[v] = uint16(r)
 	}
-	dist := make([]graph.Dist, n)
-	covered := make([]bool, n)
 	var st Stats
-	for r := range idx.Landmarks {
-		// rebuildLandmark on an empty labelling is exactly the construction
-		// pass; it is shared with the decremental repair path.
-		idx.rebuildLandmark(uint16(r), dist, covered, &st)
+	// rebuildLandmarks on an empty labelling is exactly the construction
+	// pass; it is shared with the decremental repair path.
+	ranks := make([]uint16, k)
+	for r := range ranks {
+		ranks[r] = uint16(r)
 	}
+	idx.rebuildLandmarks(fanout.Resolve(workers), ranks, &st)
 	return idx, nil
+}
+
+// rebuildLandmarks fans the covered-flag Dijkstra of the given landmark
+// ranks across workers — construction on an empty labelling, decremental
+// repair after a deletion — and merges their buffered deltas in task order.
+func (idx *Index) rebuildLandmarks(workers int, ranks []uint16, st *Stats) {
+	idx.sizeDeltas(len(ranks))
+	idx.fan(workers, len(ranks), func(ws *passScratch, t int) {
+		d := &idx.deltas[t]
+		d.reset()
+		idx.rebuildLandmarkDelta(ranks[t], ws, d)
+	})
+	for t, r := range ranks {
+		idx.applyRebuild(r, &idx.deltas[t], st)
+	}
 }
 
 // Highway returns the exact weighted distance between landmark ranks.
@@ -235,14 +264,16 @@ func (idx *Index) EnsureVertex(v uint32) {
 // first writes to it. Snapshot discipline: idx is frozen once forked.
 func (idx *Index) Fork(g *wgraph.Graph) *Index {
 	return &Index{
-		G:         g,
-		Landmarks: idx.Landmarks, // immutable after construction
-		L:         append([]hcl.Label(nil), idx.L...),
-		hw:        append([]graph.Dist(nil), idx.hw...),
-		k:         idx.k,
-		rankArr:   append([]uint16(nil), idx.rankArr...),
-		shared:    bitset.NewAllSet(len(idx.L)),
-		mapRef:    idx.mapRef, // label slices may still alias the mapping
+		G:           g,
+		Landmarks:   idx.Landmarks, // immutable after construction
+		L:           append([]hcl.Label(nil), idx.L...),
+		hw:          append([]graph.Dist(nil), idx.hw...),
+		k:           idx.k,
+		rankArr:     append([]uint16(nil), idx.rankArr...),
+		shared:      bitset.NewAllSet(len(idx.L)),
+		mapRef:      idx.mapRef, // label slices may still alias the mapping
+		Workers:     idx.Workers,
+		RepairTimer: idx.RepairTimer,
 		// The fork mutates, so it starts unpacked; remembering the parent
 		// lets its Pack reuse whatever chunks the parent's arena holds by
 		// the time the fork itself is frozen.
@@ -263,7 +294,7 @@ func (idx *Index) Pack() {
 	if idx.parent != nil {
 		parentPacked = idx.parent.packed
 	}
-	idx.packed = hcl.Pack(idx.L, parentPacked, idx.shared)
+	idx.packed = hcl.PackParallel(idx.L, parentPacked, idx.shared, idx.Workers)
 	idx.parent = nil
 }
 

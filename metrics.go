@@ -49,6 +49,9 @@ type storeMetrics struct {
 	batchPairs *obs.Histogram // dynhl_query_batch_pairs
 	pins       *obs.Counter   // dynhl_snapshot_pins_total
 
+	// Repair engine.
+	repairLandmark *obs.Histogram // dynhl_repair_landmark_seconds
+
 	// Write pipeline stages (store_queue.go).
 	stageWait    *obs.Histogram // coalesce wait: enqueue -> claimed
 	stageRepair  *obs.Histogram // fork + applyOps over the group
@@ -89,6 +92,9 @@ func newStoreMetrics(s *Store, variant string) *storeMetrics {
 		pins: r.Counter("dynhl_snapshot_pins_total",
 			"Views handed out by Snapshot (epoch pins).", vl),
 
+		repairLandmark: r.Duration("dynhl_repair_landmark_seconds",
+			"Per-landmark (per-pass) repair task latency inside the parallel repair engine.", vl),
+
 		stageWait: r.Duration("dynhl_apply_stage_seconds",
 			"Write-pipeline stage latency.", obs.Label{Name: "stage", Value: "coalesce_wait"}),
 		stageRepair: r.Duration("dynhl_apply_stage_seconds",
@@ -124,6 +130,8 @@ func newStoreMetrics(s *Store, variant string) *storeMetrics {
 	}
 	r.GaugeFunc("dynhl_epoch", "Current published epoch.",
 		func() float64 { return float64(s.Epoch()) })
+	r.GaugeFunc("dynhl_repair_workers", "Resolved per-landmark repair fan-out (0: no repair engine).",
+		func() float64 { return float64(s.RepairWorkers()) })
 	r.GaugeFunc("dynhl_arena_mapped_bytes", "Bytes of live mmap'd arenas (process-wide).",
 		func() float64 { return float64(arena.TotalMapped()) })
 	r.GaugeFunc("dynhl_arena_mappings", "Live mmap'd arenas (process-wide).",

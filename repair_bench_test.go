@@ -1,0 +1,44 @@
+// Benchmarks for the parallel repair engine: the same insert+delete churn
+// replayed at each worker count. The repaired labelling is byte-identical
+// across fan-outs (parallel_test.go pins it), so the sweep isolates the
+// wall-clock effect of fanning the per-landmark repair tasks.
+package dynhl_test
+
+import (
+	"fmt"
+	"testing"
+
+	dynhl "repro"
+	"repro/internal/testutil"
+)
+
+// BenchmarkRepairParallel measures one insert repair plus one delete
+// repair per iteration (net-zero churn, so the index stays at a stable
+// size for any N) on the 50k-vertex kernel proxy, across repair fan-outs.
+// workers=1 is the serial engine; compare sub-benchmarks for the scaling
+// curve. Single-core hosts time-slice the workers, so the parallel cases
+// then measure fan overhead rather than speedup.
+func BenchmarkRepairParallel(b *testing.B) {
+	base := testutil.RandomConnectedGraph(50_000, 100_000, 9)
+	churn := testutil.NonEdges(base, 4096, 33)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			x, err := dynhl.Build(base.Clone(), dynhl.Options{
+				Landmarks: 16, Parallel: w != 1, RepairWorkers: w,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := churn[i%len(churn)]
+				if _, err := x.InsertEdge(e[0], e[1], 0); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := x.DeleteEdge(e[0], e[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fanout"
 )
 
 // batchChunk is the smallest per-worker share of a fanned QueryBatch; below
@@ -58,6 +60,16 @@ type View interface {
 type forkable interface {
 	Oracle
 	fork() Oracle
+}
+
+// repairTunable is implemented by the in-package variants: the store tunes
+// the parallel repair engine (per-landmark fan-out, per-task timer) through
+// it. Forks inherit the settings, so tuning the current snapshot covers
+// every future epoch.
+type repairTunable interface {
+	setRepairWorkers(n int)
+	repairWorkers() int
+	setRepairTimer(f func(time.Duration))
 }
 
 // packer is implemented by the in-package variants: packLabels freezes the
@@ -142,6 +154,14 @@ type Store struct {
 	// at construction, recorded into by the read path and the commit
 	// pipeline with atomic adds only.
 	metrics *storeMetrics
+
+	// repairW mirrors the resolved per-landmark repair fan-out of the
+	// wrapped oracle for RepairWorkers and the dynhl_repair_workers gauge
+	// (atomic: the gauge reads it off the scrape path); repairReq remembers
+	// the last requested raw value (under wmu) so oracles swapped in by
+	// Reset inherit it. Zero when the variant has no repair engine.
+	repairW   atomic.Int64
+	repairReq int
 }
 
 // DurabilityStats describes the state of a durability layer attached with
@@ -311,6 +331,7 @@ func NewStore(o Oracle) *Store {
 		s.rmu = new(sync.RWMutex)
 	}
 	s.metrics = newStoreMetrics(s, variantOf(o))
+	s.tuneRepair(o)
 	pack(o) // epoch 0 serves from the packed read form too
 	s.cur.Store(&snapshot{o: o})
 	return s
@@ -333,10 +354,46 @@ func NewStoreAt(o Oracle, epoch uint64) *Store {
 		s.rmu = new(sync.RWMutex)
 	}
 	s.metrics = newStoreMetrics(s, variantOf(o))
+	s.tuneRepair(o)
 	pack(o) // recovered epochs serve from the packed read form too
 	s.cur.Store(&snapshot{o: o, epoch: epoch})
 	return s
 }
+
+// tuneRepair attaches the store's repair instrumentation to o (the
+// per-landmark task timer feeding dynhl_repair_landmark_seconds), applies
+// any previously requested fan-out, and refreshes the resolved-worker
+// mirror. A no-op for variants without a repair engine.
+func (s *Store) tuneRepair(o Oracle) {
+	t, ok := o.(repairTunable)
+	if !ok {
+		return
+	}
+	if s.repairReq != 0 {
+		t.setRepairWorkers(s.repairReq)
+	}
+	t.setRepairTimer(s.metrics.repairLandmark.ObserveDuration)
+	s.repairW.Store(int64(fanout.Resolve(t.repairWorkers())))
+}
+
+// SetRepairWorkers tunes the per-landmark fan-out of the repair engine for
+// every subsequent write (0 = GOMAXPROCS, 1 = serial; see
+// Options.RepairWorkers). The labelling is byte-identical for every worker
+// count, so the knob trades repair latency against cores without affecting
+// results. A no-op when the wrapped variant has no repair engine.
+func (s *Store) SetRepairWorkers(n int) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.repairReq = n
+	if t, ok := s.cur.Load().o.(repairTunable); ok {
+		t.setRepairWorkers(n)
+		s.repairW.Store(int64(fanout.Resolve(n)))
+	}
+}
+
+// RepairWorkers returns the resolved per-landmark repair fan-out of the
+// wrapped oracle, or 0 when the variant has no repair engine.
+func (s *Store) RepairWorkers() int { return int(s.repairW.Load()) }
 
 // publish installs next as the current version and wakes every WaitEpoch
 // caller parked on the previous one.
@@ -405,6 +462,7 @@ func (s *Store) Reset(o Oracle, epoch uint64) error {
 	if s.durability() != nil {
 		return errors.New("dynhl: cannot reset a durable store (its log would not cover the new state)")
 	}
+	s.tuneRepair(o)
 	pack(o)
 	s.publish(&snapshot{o: o, epoch: epoch})
 	return nil

@@ -233,11 +233,16 @@ func TestApplyConcurrentHammer(t *testing.T) {
 	)
 	base := testutil.RandomConnectedGraph(vertices, 200, 11)
 	recon := base.Clone() // pristine copy for ground-truth reconstruction
-	idx, err := dynhl.Build(base, dynhl.Options{Landmarks: 6})
+	// A pinned multi-worker fan (not the GOMAXPROCS default, which is 1 on
+	// single-CPU runners) guarantees that under -race this hammer drives
+	// the parallel repair engine inside the committer while writers and
+	// snapshot readers race around it.
+	idx, err := dynhl.Build(base, dynhl.Options{Landmarks: 6, RepairWorkers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	st := dynhl.NewStore(idx)
+	st.SetRepairWorkers(4)
 
 	type record struct {
 		epoch uint64

@@ -3,7 +3,9 @@ package dynhl
 import (
 	"fmt"
 	"io"
+	"time"
 
+	"repro/internal/fanout"
 	"repro/internal/landmark"
 	"repro/internal/wgraph"
 	"repro/internal/whcl"
@@ -36,9 +38,10 @@ type WeightedIndex struct {
 
 // BuildWeighted constructs the weighted labelling of g. Options drives it
 // exactly as Build does the unweighted one — landmark count, selection
-// strategy and seed; degree-based strategies count neighbours, not weights.
-// Parallel construction is not implemented for this variant, so the
-// Parallel/Workers knobs are accepted and ignored.
+// strategy and seed (degree-based strategies count neighbours, not
+// weights), Parallel/Workers fan the per-landmark construction Dijkstras
+// across cores, and RepairWorkers sets the repair engine's fan-out. The
+// result is identical for every worker count.
 func BuildWeighted(g *WeightedGraph, opt Options) (*WeightedIndex, error) {
 	if opt.Landmarks <= 0 {
 		opt.Landmarks = 20
@@ -52,17 +55,25 @@ func BuildWeighted(g *WeightedGraph, opt Options) (*WeightedIndex, error) {
 	if err != nil {
 		return nil, err
 	}
-	return BuildWeightedWithLandmarks(g, lms)
+	return BuildWeightedWithLandmarks(g, lms, opt)
 }
 
 // BuildWeightedWithLandmarks constructs the labelling with an explicit
-// landmark set.
-func BuildWeightedWithLandmarks(g *WeightedGraph, landmarks []uint32) (*WeightedIndex, error) {
-	idx, err := whcl.Build(g, landmarks)
+// landmark set (Options strategy fields are ignored).
+func BuildWeightedWithLandmarks(g *WeightedGraph, landmarks []uint32, opt Options) (*WeightedIndex, error) {
+	var idx *whcl.Index
+	var err error
+	if opt.Parallel {
+		idx, err = whcl.BuildParallel(g, landmarks, opt.Workers)
+	} else {
+		idx, err = whcl.Build(g, landmarks)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &WeightedIndex{idx: idx}, nil
+	x := &WeightedIndex{idx: idx}
+	x.setRepairWorkers(opt.RepairWorkers)
+	return x, nil
 }
 
 // Graph returns the underlying weighted graph. Treat it as read-only;
@@ -126,6 +137,17 @@ func (x *WeightedIndex) fork() Oracle {
 	return &WeightedIndex{idx: x.idx.Fork(x.idx.G.Fork())}
 }
 
+// setRepairWorkers tunes the per-landmark repair fan-out and the delta
+// repack (0 = GOMAXPROCS, 1 = serial); see Options.RepairWorkers.
+func (x *WeightedIndex) setRepairWorkers(n int) { x.idx.Workers = n }
+
+// repairWorkers returns the configured (unresolved) repair fan-out.
+func (x *WeightedIndex) repairWorkers() int { return x.idx.Workers }
+
+// setRepairTimer installs f as the per-landmark repair task timer; it is
+// called from worker goroutines and must be safe for concurrent use.
+func (x *WeightedIndex) setRepairTimer(f func(time.Duration)) { x.idx.RepairTimer = f }
+
 // DeleteEdge removes the undirected weighted edge (u,v) and repairs the
 // labelling with DecHL (see Oracle.DeleteEdge).
 func (x *WeightedIndex) DeleteEdge(u, v uint32) (UpdateSummary, error) {
@@ -172,6 +194,7 @@ func (x *WeightedIndex) Stats() Stats {
 		st.PackedBytes = p.ArenaBytes()
 	}
 	st.MappedBytes = x.idx.MappedBytes()
+	st.RepairWorkers = fanout.Resolve(x.idx.Workers)
 	return st
 }
 
@@ -195,6 +218,8 @@ func (x *WeightedIndex) Load(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	idx.Workers = x.idx.Workers
+	idx.RepairTimer = x.idx.RepairTimer
 	x.idx = idx
 	return nil
 }
